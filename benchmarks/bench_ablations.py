@@ -1,0 +1,172 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not figures from the paper -- these quantify why its design decisions
+matter, using the same 50-benchmark workload:
+
+* **ranking off** (constants free): how many benchmarks still converge in
+  <= 3 examples without the Occam/generalization preferences of §4.4/§5.4;
+* **relaxed reachability off** (§5.3): semantic benchmarks that need
+  substring-derived keys stop being solvable at all;
+* **depth bound k**: reachability depth vs solvability of the chained
+  Example 3 lookup;
+* **TokenSeq length**: structure growth when positions may use 2-token
+  sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_table
+from repro.benchsuite import all_benchmarks, examples_needed, get_benchmark
+from repro.config import SynthesisConfig
+
+# A representative slice (keeps the ablation matrix fast: every class of
+# task -- pure lookup, join, concat-key, substring-key, datatype, syntactic).
+SAMPLE = [
+    "ex2-customer-price",
+    "ex5-bike-price",
+    "ex6-company-codes",
+    "ex8-date-format",
+    "sku-markup",
+    "name-swap",
+    "quarter-months",
+    "street-abbrev",
+]
+
+
+def test_ablation_ranking_off(benchmark):
+    """Zeroing the constant penalties collapses ranking to 'anything goes'."""
+
+    def run():
+        config = SynthesisConfig().with_weights(
+            const_atom_base=0.0, const_atom_per_char=0.0, const_predicate=0.0
+        )
+        outcomes = []
+        for name in SAMPLE:
+            result = examples_needed(get_benchmark(name), config=config)
+            outcomes.append((name, result))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'benchmark':28s} {'default':>8} {'no-ranking':>11}"]
+    degraded = 0
+    for name, result in outcomes:
+        base = examples_needed(get_benchmark(name))
+        shown = str(result.examples_used) if result.converged else "FAIL"
+        lines.append(f"{name:28s} {base.examples_used:>8} {shown:>11}")
+        if (not result.converged) or result.examples_used > base.examples_used:
+            degraded += 1
+    lines.append("-" * 49)
+    lines.append(f"{degraded}/{len(outcomes)} benchmarks degraded without ranking")
+    record_table("Ablation -- ranking disabled (constants free)", lines)
+    assert degraded >= len(outcomes) // 2
+
+
+def test_ablation_relaxed_reachability_off(benchmark):
+    """Without §5.3's substring triggers, substring-keyed tasks are unsolvable."""
+
+    def run():
+        config = SynthesisConfig(relaxed_reachability=False)
+        outcomes = []
+        for name in ("ex5-bike-price", "ex6-company-codes", "sku-markup",
+                     "quarter-months", "ex8-date-format"):
+            result = examples_needed(get_benchmark(name), config=config)
+            outcomes.append((name, result.converged, result.examples_used))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'benchmark':28s} {'converged':>10}"]
+    failures = 0
+    for name, converged, used in outcomes:
+        lines.append(f"{name:28s} {str(converged):>10}")
+        if not converged:
+            failures += 1
+    lines.append("-" * 40)
+    lines.append(f"{failures}/{len(outcomes)} substring-keyed tasks become unsolvable")
+    record_table("Ablation -- relaxed reachability disabled", lines)
+    assert failures >= 3
+
+
+def test_ablation_depth_bound(benchmark):
+    """Example 3's chain needs k >= chain length (paper sets k = #tables).
+
+    Run in the pure lookup language: Lu could sidestep a shallow bound
+    with syntactic shortcuts, which is exactly what this ablation is not
+    about.
+    """
+
+    def run():
+        bench = get_benchmark("ex3-chain-lookup")
+        outcomes = []
+        for depth in (1, 2, 3, 4):
+            config = SynthesisConfig(depth_bound=depth)
+            result = examples_needed(bench, language="lookup", config=config)
+            outcomes.append((depth, result.converged))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'depth bound k':>13} {'solves chain':>13}"]
+    for depth, converged in outcomes:
+        lines.append(f"{depth:13d} {str(converged):>13}")
+    record_table("Ablation -- reachability depth bound k (Example 3 chain)", lines)
+    assert not outcomes[0][1]  # k = 1 cannot span a 3-step chain
+    assert outcomes[-1][1]
+
+
+def test_ablation_tokenseq_length(benchmark):
+    """Longer TokenSeqs enrich position sets: larger structures, same result."""
+
+    def run():
+        bench = get_benchmark("ex8-date-format")
+        sizes = []
+        for seq_len in (1, 2):
+            config = SynthesisConfig(max_tokenseq_len=seq_len)
+            session = bench.session(config=config)
+            inputs, output = bench.rows[0]
+            session.add_example(inputs, output)
+            program = session.learn()
+            correct = all(
+                program.run(row_inputs) == row_output
+                for row_inputs, row_output in bench.rows
+            )
+            sizes.append((seq_len, session.structure_size(), correct))
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'max TokenSeq len':>16} {'structure size':>15} {'one-shot?':>10}"]
+    for seq_len, size, correct in sizes:
+        lines.append(f"{seq_len:16d} {size:15d} {str(correct):>10}")
+    record_table("Ablation -- TokenSeq length vs structure size", lines)
+    assert sizes[1][1] > sizes[0][1]
+
+
+def test_ablation_table_scaling(benchmark):
+    """Learning time grows politely with table size (§9 discussion)."""
+    import time
+
+    from repro.engine.session import SynthesisSession
+    from repro.tables import Catalog, Table
+
+    def run():
+        timings = []
+        for rows in (10, 50, 200):
+            table = Table(
+                "Big",
+                ["K", "V"],
+                [(f"key{i:04d}", f"val{i:04d}") for i in range(rows)],
+                keys=[("K",)],
+            )
+            session = SynthesisSession(Catalog([table]))
+            started = time.perf_counter()
+            session.add_example(("key0007",), "val0007")
+            session.learn()
+            timings.append((rows, time.perf_counter() - started))
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'table rows':>10} {'seconds':>9}"]
+    for rows, seconds in timings:
+        lines.append(f"{rows:10d} {seconds:9.3f}")
+    record_table("Ablation -- catalog size scaling (single lookup)", lines)
+    assert timings[-1][1] < 30.0

@@ -1,0 +1,50 @@
+"""Figure 11(b): size of the data structure representing all consistent
+expressions.
+
+The paper reports sizes "typically from 100 to 2000" units (one unit per
+terminal symbol of the data-structure grammar).  This bench prints the
+size series over the 50 benchmarks and checks the headline contrast with
+Figure 11(a): structure size is polynomial while the number of
+represented expressions is exponential (Theorem 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import record_table
+from repro.benchsuite import all_benchmarks
+from repro.benchsuite.runner import approx_log10
+
+
+def _series():
+    rows = []
+    for bench in all_benchmarks():
+        session = bench.session()
+        inputs, output = bench.rows[0]
+        session.add_example(inputs, output)
+        rows.append(
+            (
+                bench.ident,
+                bench.name,
+                session.structure_size(),
+                approx_log10(session.consistent_count()),
+            )
+        )
+    return rows
+
+
+def test_fig11b_structure_sizes(benchmark):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    lines = [f"{'#':>3} {'benchmark':30s} {'size':>8} {'log10(count)':>13}"]
+    for ident, name, size, log_count in rows:
+        lines.append(f"{ident:3d} {name:30s} {size:8d} {log_count:13.1f}")
+    sizes = [size for _, _, size, _ in rows]
+    lines.append("-" * 58)
+    lines.append(
+        f"min {min(sizes)}   median {sorted(sizes)[len(sizes)//2]}   "
+        f"max {max(sizes)}   (paper: typically 100 .. 2000)"
+    )
+    record_table("Figure 11(b) -- size of the version-space data structure", lines)
+    for ident, name, size, log_count in rows:
+        # Succinctness: the structure is always dwarfed by what it denotes.
+        assert log_count > approx_log10(size), name

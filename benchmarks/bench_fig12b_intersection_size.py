@@ -1,0 +1,74 @@
+"""Figure 12(b): data-structure size before and after Intersect_u.
+
+Theorem 4(b) admits a quadratic blowup; the paper shows empirically that
+on the benchmarks requiring more than one example the size "mostly
+decreases after intersection and increases slightly in a few cases, but
+is very far from a quadratic increase".  This bench reproduces that
+comparison for every benchmark whose interaction protocol used >= 2
+examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import convergence_results, record_table
+from repro.benchsuite import all_benchmarks
+from repro.benchsuite.runner import measure_benchmark
+
+
+def _series():
+    results = convergence_results()
+    rows = []
+    for bench in all_benchmarks():
+        outcome = results[bench.name]
+        if not outcome.converged or outcome.examples_used < 2:
+            continue
+        metrics = measure_benchmark(bench, intersect_examples=2)
+        if metrics.size_after_intersection is None:
+            continue
+        rows.append(
+            (bench.name, metrics.size_first_example, metrics.size_after_intersection)
+        )
+    return rows
+
+
+def test_fig12b_intersection_sizes(benchmark):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    lines = [
+        f"{'benchmark':28s} {'first example':>14} {'after ∩':>10} {'ratio':>7}"
+    ]
+    for name, before, after in rows:
+        lines.append(
+            f"{name:28s} {before:14d} {after:10d} {after / before:7.2f}"
+        )
+    lines.append("-" * 62)
+    shrank = sum(1 for _, before, after in rows if after <= before)
+    lines.append(
+        f"{shrank}/{len(rows)} structures shrank; worst ratio "
+        f"{max(after / before for _, before, after in rows):.2f} "
+        "(quadratic would be ~size_1 x)"
+    )
+    record_table(
+        "Figure 12(b) -- structure size before vs after intersection", lines
+    )
+    # Far from quadratic: the ratio stays a small constant.
+    for name, before, after in rows:
+        assert after < before * 8, name
+
+
+def test_intersection_never_quadratic_on_paper_examples(benchmark):
+    def run():
+        from repro.benchsuite import get_benchmark
+
+        checks = []
+        for name in ("ex1-markup-price", "ex6-company-codes", "ex7-spot-time"):
+            bench = get_benchmark(name)
+            metrics = measure_benchmark(bench, intersect_examples=2)
+            checks.append(
+                (name, metrics.size_first_example, metrics.size_after_intersection)
+            )
+        return checks
+
+    checks = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, before, after in checks:
+        assert after is not None and after < before * before, name

@@ -1,0 +1,44 @@
+"""§7 "Effectiveness of ranking": examples needed per benchmark.
+
+The paper: "all benchmark problems required at most 3 input-output
+examples: 35 benchmarks required 1 example, 13 benchmarks required 2
+examples and 2 benchmarks required 3 examples."  This bench runs the
+§3.2 interaction protocol on all 50 benchmarks and prints the
+distribution next to the paper's.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from conftest import convergence_results, record_table
+from repro.benchsuite import all_benchmarks
+
+
+def test_examples_needed_distribution(benchmark):
+    results = benchmark.pedantic(
+        convergence_results, rounds=1, iterations=1
+    )
+    lines = [f"{'#':>3} {'benchmark':30s} {'class':>5} {'examples':>9}"]
+    for bench in all_benchmarks():
+        outcome = results[bench.name]
+        shown = str(outcome.examples_used) if outcome.converged else "FAIL"
+        lines.append(
+            f"{bench.ident:3d} {bench.name:30s} {bench.language_class:>5} {shown:>9}"
+        )
+    distribution = Counter(
+        outcome.examples_used for outcome in results.values() if outcome.converged
+    )
+    lines.append("-" * 50)
+    lines.append(
+        "ours : "
+        + "  ".join(f"{k} example(s): {v}" for k, v in sorted(distribution.items()))
+    )
+    lines.append("paper: 1 example(s): 35  2 example(s): 13  3 example(s): 2")
+    record_table("§7 ranking effectiveness -- examples needed", lines)
+
+    # The paper's headline claim must hold: everything converges within 3.
+    assert all(outcome.converged for outcome in results.values())
+    assert max(outcome.examples_used for outcome in results.values()) <= 3

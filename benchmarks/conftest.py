@@ -1,0 +1,38 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each bench file computes the series behind one figure/table of the paper
+and registers a rendered table here; ``pytest_terminal_summary`` prints
+everything after the run (terminal-summary output is never captured, so
+the tables always reach the console / the tee'd bench_output.txt).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+_TABLES: List[str] = []
+
+# Convergence results are reused by several figures; cache them per run.
+_CONVERGENCE_CACHE: Dict[str, object] = {}
+
+
+def record_table(title: str, lines) -> None:
+    """Register a rendered results table for the end-of-run summary."""
+    body = "\n".join(lines)
+    _TABLES.append(f"\n{'=' * 72}\n{title}\n{'-' * 72}\n{body}")
+
+
+def convergence_results():
+    """examples_needed for all 50 benchmarks, computed once per session."""
+    if "results" not in _CONVERGENCE_CACHE:
+        from repro.benchsuite import all_benchmarks, examples_needed
+
+        _CONVERGENCE_CACHE["results"] = {
+            bench.name: examples_needed(bench) for bench in all_benchmarks()
+        }
+    return _CONVERGENCE_CACHE["results"]
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for table in _TABLES:
+        terminalreporter.write_line(table)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Paper Example 2: a pure lookup-language (Lt) task with a join.
+
+Customer names map to sale prices through a join of CustData and Sale on
+the (Addr, St) composite key.  This example runs in the restricted lookup
+language to show the Lt layer standing alone, and demonstrates the
+interaction model: after one example the surviving programs still
+disagree on some inputs, the session highlights one, and the user's fix
+converges the space.
+
+Run:  python examples/customer_join.py
+"""
+
+from repro import Catalog, SynthesisSession, Table
+
+
+def main() -> None:
+    custdata = Table(
+        "CustData",
+        ["Name", "Addr", "St"],
+        [
+            ("Sean Riley", "432", "15th"),
+            ("Peter Shaw", "24", "18th"),
+            ("Mike Henry", "432", "18th"),
+            ("Gary Lamb", "104", "12th"),
+        ],
+        keys=[("Name",), ("Addr", "St")],
+    )
+    sale = Table(
+        "Sale",
+        ["Addr", "St", "Date", "Price"],
+        [
+            ("24", "18th", "5/21", "110"),
+            ("104", "12th", "5/23", "225"),
+            ("432", "18th", "5/20", "2015"),
+            ("432", "15th", "5/24", "495"),
+        ],
+        keys=[("Addr", "St")],
+    )
+
+    session = SynthesisSession(Catalog([custdata, sale]), language="lookup")
+    session.add_example(("Peter Shaw",), "110")
+
+    print("After 1 example the top program is:")
+    print(" ", session.learn().source())
+
+    remaining = [("Gary Lamb",), ("Mike Henry",), ("Sean Riley",)]
+    flagged = session.highlight_ambiguous(remaining)
+    if flagged:
+        state, outputs = flagged[0]
+        print(f"\nConsistent programs disagree on {state}: {outputs}")
+        print("Giving the correct output as a second example...")
+        session.add_example(state, "225" if state == ("Gary Lamb",) else outputs[0])
+
+    program = session.learn()
+    print("\nConverged program:")
+    print(" ", program.source())
+    print(" ", program.describe())
+    print()
+    for row in remaining:
+        print(f"  {row[0]:12} -> {program(row)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Paper Examples 7 and 8: standard data types via background knowledge.
+
+Times and dates are manipulated with zero user tables: the §6 background
+tables (Time, Month, DateOrd) encode the domain knowledge (18 -> 6 PM,
+6 -> Jun, 3 -> 3rd) and the synthesizer composes lookups into them with
+substring extraction.
+
+Run:  python examples/datetime_formatting.py
+"""
+
+from repro import SynthesisSession
+
+
+def spot_times() -> None:
+    print("Example 7 -- spot times to h:mm AM/PM")
+    session = SynthesisSession(background=["Time"])
+    session.add_example(("1800",), "6:00 PM")
+    session.add_example(("0730",), "7:30 AM")
+
+    program = session.learn()
+    print("  program:", program.source())
+    for value in ("2345", "0915", "1200", "0005"):
+        print(f"  {value} -> {program((value,))}")
+    print()
+
+
+def date_formatting() -> None:
+    print("Example 8 -- m-d-yyyy to 'Mon d(th), yyyy'")
+    session = SynthesisSession(background=["Month", "DateOrd"])
+    session.add_example(("6-3-2008",), "Jun 3rd, 2008")
+
+    program = session.learn()
+    print("  program:", program.source())
+    print("  meaning:", program.describe())
+    for value in ("3-26-2010", "8-1-2009", "9-24-2007", "12-2-2011"):
+        print(f"  {value} -> {program((value,))}")
+    print()
+
+
+def main() -> None:
+    spot_times()
+    date_formatting()
+
+
+if __name__ == "__main__":
+    main()

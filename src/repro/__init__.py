@@ -1,0 +1,51 @@
+"""repro: a reproduction of *Learning Semantic String Transformations from
+Examples* (Singh & Gulwani, VLDB 2012).
+
+Public API quick reference::
+
+    from repro import Table, Catalog, SynthesisSession, synthesize
+
+    catalog = Catalog([Table("Comp", ["Id", "Name"], rows, keys=[("Id",)])])
+    program = synthesize([(("c4 c3 c1",), "Facebook Apple Microsoft")],
+                         catalog=catalog)
+    program(("c2 c5 c6",))   # -> "Google IBM Xerox"
+
+Sub-packages: :mod:`repro.tables` (relational substrate, §4/§6),
+:mod:`repro.syntactic` (Ls, §5), :mod:`repro.lookup` (Lt, §4),
+:mod:`repro.semantic` (Lu, §5), :mod:`repro.engine` (interaction model,
+§3.2), :mod:`repro.benchsuite` (the 50-problem evaluation, §7).
+"""
+
+from repro.config import DEFAULT_CONFIG, RankingWeights, SynthesisConfig
+from repro.engine import Program, SynthesisSession, paraphrase, synthesize
+from repro.exceptions import (
+    InconsistentExampleError,
+    NoProgramFoundError,
+    ReproError,
+    SynthesisError,
+    TableError,
+)
+from repro.tables import Catalog, Table
+from repro.tables.background import background_catalog, background_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "DEFAULT_CONFIG",
+    "InconsistentExampleError",
+    "NoProgramFoundError",
+    "Program",
+    "RankingWeights",
+    "ReproError",
+    "SynthesisConfig",
+    "SynthesisSession",
+    "SynthesisError",
+    "Table",
+    "TableError",
+    "background_catalog",
+    "background_table",
+    "paraphrase",
+    "synthesize",
+    "__version__",
+]

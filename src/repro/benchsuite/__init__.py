@@ -1,0 +1,31 @@
+"""The 50-problem benchmark suite of paper §7.
+
+The original corpus (help-forum problems, technical report MSR-TR-2012-5)
+is not publicly available; this package reconstructs it with the paper's
+documented composition: 50 problems, 12 expressible in the lookup language
+Lt and 38 requiring the semantic language Lu, including all eight examples
+printed in the paper.  Every benchmark carries at least five data rows so
+the §3.2 interaction protocol (add an example, check the rest, fix the
+first mismatch) can run to convergence.
+
+Use :func:`all_benchmarks` / :func:`get_benchmark` to access the registry
+and :mod:`repro.benchsuite.runner` for the experiment protocols.
+"""
+
+from repro.benchsuite.model import Benchmark, all_benchmarks, get_benchmark
+from repro.benchsuite.runner import (
+    ConvergenceResult,
+    examples_needed,
+    measure_benchmark,
+    time_benchmark,
+)
+
+__all__ = [
+    "Benchmark",
+    "ConvergenceResult",
+    "all_benchmarks",
+    "examples_needed",
+    "get_benchmark",
+    "measure_benchmark",
+    "time_benchmark",
+]

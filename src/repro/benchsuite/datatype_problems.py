@@ -1,0 +1,319 @@
+"""Benchmarks 37-50: standard data-type manipulations (§6).
+
+These rely on the background-knowledge tables shipped with the system
+(time, months, ordinals, padding, weekdays, phone codes, currencies,
+street suffixes, states).  Problems 37 and 38 are the paper's Examples 7
+and 8 verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.model import Benchmark, next_ident, register
+from repro.tables.table import Table
+
+
+def _rows(*pairs):
+    return tuple((tuple(inputs), output) for inputs, output in pairs)
+
+
+# ---------------------------------------------------------------------------
+# 37. Paper Example 7: spot times -> hh:mm AM/PM.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="ex7-spot-time",
+        description="Convert 4-digit spot times into h:mm AM/PM format.",
+        source="Paper Example 7 (time manipulation).",
+        language_class="Lu",
+        tables=(),
+        background=("Time",),
+        rows=_rows(
+            (("1800",), "6:00 PM"),
+            (("0730",), "7:30 AM"),
+            (("2345",), "11:45 PM"),
+            (("0915",), "9:15 AM"),
+            (("1200",), "12:00 PM"),
+            (("0545",), "5:45 AM"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 38. Paper Example 8: date formatting with month names and ordinals.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="ex8-date-format",
+        description="Convert m-d-yyyy dates into 'Mon d(th), yyyy' format.",
+        source="Paper Example 8 (date manipulation).",
+        language_class="Lu",
+        tables=(),
+        background=("Month", "DateOrd"),
+        rows=_rows(
+            (("6-3-2008",), "Jun 3rd, 2008"),
+            (("3-26-2010",), "Mar 26th, 2010"),
+            (("8-1-2009",), "Aug 1st, 2009"),
+            (("9-24-2007",), "Sep 24th, 2007"),
+            (("12-2-2011",), "Dec 2nd, 2011"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 39. ISO date -> long form.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="iso-date-longform",
+        description="Rewrite yyyy-mm-dd dates as 'MonthName d, yyyy'.",
+        source="Forum-style: report header dates.",
+        language_class="Lu",
+        tables=(),
+        background=("Month", "NumPad"),
+        rows=_rows(
+            (("2010-06-08",), "June 8, 2010"),
+            (("2011-03-27",), "March 27, 2011"),
+            (("2009-11-04",), "November 4, 2009"),
+            (("2012-01-19",), "January 19, 2012"),
+            (("2008-09-30",), "September 30, 2008"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 40. Month abbreviation inside a tag -> numeric month/year.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="report-tag-month",
+        description="Turn 'Report-Mon-yyyy' tags into mm/yyyy.",
+        source="Forum-style: filename normalization.",
+        language_class="Lu",
+        tables=(),
+        background=("Month",),
+        rows=_rows(
+            (("Report-Sep-2021",), "09/2021"),
+            (("Report-Jan-2020",), "01/2020"),
+            (("Report-Dec-2019",), "12/2019"),
+            (("Report-Apr-2022",), "04/2022"),
+            (("Report-Jun-2021",), "06/2021"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 41. hh:mm 24-hour times -> 12-hour with AM/PM.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="time-24-to-12",
+        description="Convert 24-hour hh:mm times to 12-hour h:mm AM/PM.",
+        source="Forum-style: schedule sheet.",
+        language_class="Lu",
+        tables=(),
+        background=("Time",),
+        rows=_rows(
+            (("18:45",), "6:45 PM"),
+            (("09:05",), "9:05 AM"),
+            (("23:10",), "11:10 PM"),
+            (("12:30",), "12:30 PM"),
+            (("07:55",), "7:55 AM"),
+            (("15:20",), "3:20 PM"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 42. Append the ordinal suffix to a day-of-month.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="day-ordinal",
+        description="Append st/nd/rd/th to the day in 'Month d' strings.",
+        source="Forum-style: event calendar formatting.",
+        language_class="Lu",
+        tables=(),
+        background=("DateOrd",),
+        rows=_rows(
+            (("May 3",), "May 3rd"),
+            (("June 1",), "June 1st"),
+            (("April 22",), "April 22nd"),
+            (("March 11",), "March 11th"),
+            (("July 28",), "July 28th"),
+            (("August 5",), "August 5th"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 43. USPS street suffix abbreviation.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="street-abbrev",
+        description="Abbreviate the street suffix in mailing addresses.",
+        source="Forum-style: address standardization.",
+        language_class="Lu",
+        tables=(),
+        background=("StreetSuffix",),
+        rows=_rows(
+            (("100 Main Street",), "100 Main St"),
+            (("22 Oak Avenue",), "22 Oak Ave"),
+            (("7 Pine Boulevard",), "7 Pine Blvd"),
+            (("450 Cedar Drive",), "450 Cedar Dr"),
+            (("18 Elm Court",), "18 Elm Ct"),
+            (("93 Birch Lane",), "93 Birch Ln"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 44. Expand the state abbreviation after the city.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="state-expand",
+        description="Expand the postal state code in 'City, ST' strings.",
+        source="Forum-style: address readability.",
+        language_class="Lu",
+        tables=(),
+        background=("USState",),
+        rows=_rows(
+            (("Austin, TX",), "Austin, Texas"),
+            (("Denver, CO",), "Denver, Colorado"),
+            (("Miami, FL",), "Miami, Florida"),
+            (("Reno, NV",), "Reno, Nevada"),
+            (("Salem, OR",), "Salem, Oregon"),
+            (("Tampa, FL",), "Tampa, Florida"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 45. International dialing prefix -> country name.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="phone-isd-country",
+        description="Replace the +NN dialing prefix with the country name.",
+        source="Paper §6's phone-number background knowledge.",
+        language_class="Lu",
+        tables=(),
+        background=("PhoneISD",),
+        rows=_rows(
+            (("+90 555 1234",), "Turkey 555 1234"),
+            (("+91 998 0021",), "India 998 0021"),
+            (("+44 207 9460",), "United Kingdom 207 9460"),
+            (("+81 332 0055",), "Japan 332 0055"),
+            (("+49 305 5509",), "Germany 305 5509"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 46. Currency code before an amount -> symbol.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="currency-amount",
+        description="Replace ISO currency codes with symbols before the "
+        "amount.",
+        source="Forum-style: price list localization.",
+        language_class="Lu",
+        tables=(),
+        background=("Currency",),
+        rows=_rows(
+            (("USD 25.40",), "$25.40"),
+            (("EUR 13.99",), "€13.99"),
+            (("GBP 7.25",), "£7.25"),
+            (("JPY 1800.00",), "¥1800.00"),
+            (("INR 450.75",), "₹450.75"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 47. ISO country code -> dialing instruction.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="iso-dial",
+        description="Produce 'dial +NN' instructions from ISO country codes.",
+        source="Forum-style: call center cheat sheet.",
+        language_class="Lu",
+        tables=(),
+        background=("PhoneISD",),
+        rows=_rows(
+            (("TR",), "dial +90"),
+            (("IN",), "dial +91"),
+            (("GB",), "dial +44"),
+            (("JP",), "dial +81"),
+            (("DE",), "dial +49"),
+            (("FR",), "dial +33"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 48. Zero-pad month and day in m/d/yyyy dates.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="date-pad",
+        description="Zero-pad the month and day of m/d/yyyy dates.",
+        source="Forum-style: date normalization for sorting.",
+        language_class="Lu",
+        tables=(),
+        background=("NumPad",),
+        rows=_rows(
+            (("3/7/2011",), "03/07/2011"),
+            (("11/4/2010",), "11/04/2010"),
+            (("4/9/2012",), "04/09/2012"),
+            (("9/21/2009",), "09/21/2009"),
+            (("6/5/2008",), "06/05/2008"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 49. Weekday abbreviation -> full name.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="weekday-expand",
+        description="Expand the weekday abbreviation in 'Ddd hh:mm' slots.",
+        source="Forum-style: meeting schedule sheet.",
+        language_class="Lu",
+        tables=(),
+        background=("Weekday",),
+        rows=_rows(
+            (("Wed 14:00",), "Wednesday 14:00"),
+            (("Mon 09:30",), "Monday 09:30"),
+            (("Fri 16:15",), "Friday 16:15"),
+            (("Tue 11:45",), "Tuesday 11:45"),
+            (("Sat 10:00",), "Saturday 10:00"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 50. Month name in a report title -> mm-yyyy stamp.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="month-name-stamp",
+        description="Produce an mm-yyyy stamp from 'MonthName yyyy report' "
+        "titles.",
+        source="Forum-style: archive stamping.",
+        language_class="Lu",
+        tables=(),
+        background=("Month",),
+        rows=_rows(
+            (("June 2010 report",), "06-2010"),
+            (("March 2011 report",), "03-2011"),
+            (("November 2009 report",), "11-2009"),
+            (("January 2012 report",), "01-2012"),
+            (("September 2008 report",), "09-2008"),
+        ),
+    )
+)

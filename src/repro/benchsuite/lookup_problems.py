@@ -1,0 +1,459 @@
+"""The 12 benchmarks expressible in the pure lookup language Lt (§7).
+
+These tasks need only (possibly nested) exact-match Select expressions:
+single lookups, joins across tables, composite keys, and lookup chains --
+the shapes §4 motivates.  Problem 1 is the paper's Example 2 verbatim
+(extended with a fifth customer so the interaction protocol has spare
+rows); problem 2 instantiates Example 3's chain construction.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.model import Benchmark, next_ident, register
+from repro.tables.table import Table
+
+
+def _rows(*pairs):
+    return tuple((tuple(inputs), output) for inputs, output in pairs)
+
+
+# ---------------------------------------------------------------------------
+# 1. Paper Example 2: customer name -> sale price via (Addr, St) join.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="ex2-customer-price",
+        description="Map customer names to selling price joining CustData and "
+        "Sale on address and street number.",
+        source="Paper Example 2 (Excel help-forum).",
+        language_class="Lt",
+        tables=(
+            Table(
+                "CustData",
+                ["Name", "Addr", "St"],
+                [
+                    ("Sean Riley", "432", "15th"),
+                    ("Peter Shaw", "24", "18th"),
+                    ("Mike Henry", "432", "18th"),
+                    ("Gary Lamb", "104", "12th"),
+                    ("Lisa Cole", "77", "9th"),
+                ],
+                keys=[("Name",), ("Addr", "St")],
+            ),
+            Table(
+                "Sale",
+                ["Addr", "St", "Date", "Price"],
+                [
+                    ("24", "18th", "5/21", "110"),
+                    ("104", "12th", "5/23", "225"),
+                    ("432", "18th", "5/20", "2015"),
+                    ("432", "15th", "5/24", "495"),
+                    ("77", "9th", "5/25", "350"),
+                ],
+                keys=[("Addr", "St")],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("Peter Shaw",), "110"),
+            (("Gary Lamb",), "225"),
+            (("Mike Henry",), "2015"),
+            (("Sean Riley",), "495"),
+            (("Lisa Cole",), "350"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 2. Paper Example 3: chained lookups through T1 -> T2 -> T3.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="ex3-chain-lookup",
+        description="Follow a chain of three tables mapping a start code to "
+        "its final successor (Example 3 with m = 4).",
+        source="Paper Example 3 (worst-case sharing construction).",
+        language_class="Lt",
+        tables=tuple(
+            Table(
+                f"T{i}",
+                ["C1", "C2", "C3"],
+                [
+                    (f"{chain}{i}", f"{chain}{i + 1}", f"{chain}{i + 2}")
+                    for chain in ("ax", "bx", "cx", "dx", "ex")
+                ],
+                keys=[("C1",)],
+            )
+            for i in (1, 2, 3)
+        ),
+        background=(),
+        rows=_rows(
+            (("ax1",), "ax4"),
+            (("bx1",), "bx4"),
+            (("cx1",), "cx4"),
+            (("dx1",), "dx4"),
+            (("ex1",), "ex4"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 3. Single-table product price lookup.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="product-price",
+        description="Fill the unit price of a product from the Products sheet.",
+        source="Forum-style: invoice sheet referencing a product catalog.",
+        language_class="Lt",
+        tables=(
+            Table(
+                "Products",
+                ["Product", "Price", "Stock"],
+                [
+                    ("Hammer", "12.50", "14"),
+                    ("Wrench", "18.00", "3"),
+                    ("Pliers", "9.75", "27"),
+                    ("Drill", "89.99", "6"),
+                    ("Saw", "24.30", "11"),
+                    ("Chisel", "7.40", "19"),
+                ],
+                keys=[("Product",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("Hammer",), "12.50"),
+            (("Wrench",), "18.00"),
+            (("Pliers",), "9.75"),
+            (("Drill",), "89.99"),
+            (("Saw",), "24.30"),
+            (("Chisel",), "7.40"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 4. Country -> capital.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="country-capital",
+        description="Map country names to their capitals.",
+        source="Forum-style: geography quiz sheet.",
+        language_class="Lt",
+        tables=(
+            Table(
+                "Countries",
+                ["Country", "Capital", "Continent"],
+                [
+                    ("France", "Paris", "Europe"),
+                    ("Japan", "Tokyo", "Asia"),
+                    ("Kenya", "Nairobi", "Africa"),
+                    ("Brazil", "Brasilia", "South America"),
+                    ("Canada", "Ottawa", "North America"),
+                    ("Norway", "Oslo", "Europe"),
+                ],
+                keys=[("Country",), ("Capital",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("France",), "Paris"),
+            (("Japan",), "Tokyo"),
+            (("Kenya",), "Nairobi"),
+            (("Brazil",), "Brasilia"),
+            (("Canada",), "Ottawa"),
+            (("Norway",), "Oslo"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 5. Airport code -> city.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="airport-city",
+        description="Expand IATA airport codes to city names.",
+        source="Forum-style: travel booking sheet.",
+        language_class="Lt",
+        tables=(
+            Table(
+                "Airports",
+                ["Code", "City"],
+                [
+                    ("SEA", "Seattle"),
+                    ("JFK", "New York"),
+                    ("LAX", "Los Angeles"),
+                    ("ORD", "Chicago"),
+                    ("DFW", "Dallas"),
+                    ("ATL", "Atlanta"),
+                ],
+                keys=[("Code",), ("City",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("SEA",), "Seattle"),
+            (("JFK",), "New York"),
+            (("LAX",), "Los Angeles"),
+            (("ORD",), "Chicago"),
+            (("DFW",), "Dallas"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 6. Employee -> department name via department id join.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="employee-department",
+        description="Show each employee's department name, joining the staff "
+        "list with the department directory.",
+        source="Forum-style: HR roster join.",
+        language_class="Lt",
+        tables=(
+            Table(
+                "Staff",
+                ["Employee", "DeptId"],
+                [
+                    ("Alice Winters", "D10"),
+                    ("Bob Chen", "D20"),
+                    ("Carol Diaz", "D30"),
+                    ("Dan Foster", "D10"),
+                    ("Eve Sharp", "D40"),
+                ],
+                keys=[("Employee",)],
+            ),
+            Table(
+                "Departments",
+                ["DeptId", "DeptName", "Building"],
+                [
+                    ("D10", "Engineering", "B1"),
+                    ("D20", "Marketing", "B2"),
+                    ("D30", "Finance", "B1"),
+                    ("D40", "Legal", "B3"),
+                ],
+                keys=[("DeptId",), ("DeptName",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("Alice Winters",), "Engineering"),
+            (("Bob Chen",), "Marketing"),
+            (("Carol Diaz",), "Finance"),
+            (("Dan Foster",), "Engineering"),
+            (("Eve Sharp",), "Legal"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 7. Composite key: (student, course) -> grade.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="course-grade",
+        description="Look up the grade for a student in a given course "
+        "(two input columns forming a composite key).",
+        source="Forum-style: gradebook with two key columns.",
+        language_class="Lt",
+        tables=(
+            Table(
+                "Grades",
+                ["Student", "Course", "Grade"],
+                [
+                    ("Amy", "Math", "A"),
+                    ("Amy", "Physics", "B+"),
+                    ("Ben", "Math", "B"),
+                    ("Ben", "Physics", "A-"),
+                    ("Cara", "Math", "A-"),
+                    ("Cara", "Chemistry", "B-"),
+                ],
+                keys=[("Student", "Course")],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("Amy", "Math"), "A"),
+            (("Ben", "Physics"), "A-"),
+            (("Cara", "Math"), "A-"),
+            (("Amy", "Physics"), "B+"),
+            (("Ben", "Math"), "B"),
+            (("Cara", "Chemistry"), "B-"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 8. ISBN -> book title.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="isbn-title",
+        description="Fill book titles from ISBNs using the library catalog.",
+        source="Forum-style: library inventory sheet.",
+        language_class="Lt",
+        tables=(
+            Table(
+                "Books",
+                ["ISBN", "Title", "Year"],
+                [
+                    ("0131103628", "The C Programming Language", "1988"),
+                    ("0201633612", "Design Patterns", "1994"),
+                    ("0262033844", "Introduction to Algorithms", "2009"),
+                    ("0596517742", "JavaScript The Good Parts", "2008"),
+                    ("1449355730", "Learning Python", "2013"),
+                ],
+                keys=[("ISBN",), ("Title",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("0131103628",), "The C Programming Language"),
+            (("0201633612",), "Design Patterns"),
+            (("0262033844",), "Introduction to Algorithms"),
+            (("0596517742",), "JavaScript The Good Parts"),
+            (("1449355730",), "Learning Python"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 9. Three-table chain: order -> customer -> region.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="order-region",
+        description="Find the sales region for an order by joining orders to "
+        "customers and customers to regions.",
+        source="Forum-style: two-hop VLOOKUP replacement.",
+        language_class="Lt",
+        tables=(
+            Table(
+                "Orders",
+                ["OrderId", "Customer"],
+                [
+                    ("O-1001", "Acme Corp"),
+                    ("O-1002", "Globex"),
+                    ("O-1003", "Initech"),
+                    ("O-1004", "Umbrella"),
+                    ("O-1005", "Hooli"),
+                ],
+                keys=[("OrderId",)],
+            ),
+            Table(
+                "Customers",
+                ["Customer", "RegionId"],
+                [
+                    ("Acme Corp", "R1"),
+                    ("Globex", "R2"),
+                    ("Initech", "R1"),
+                    ("Umbrella", "R3"),
+                    ("Hooli", "R2"),
+                ],
+                keys=[("Customer",)],
+            ),
+            Table(
+                "Regions",
+                ["RegionId", "RegionName"],
+                [
+                    ("R1", "West Coast"),
+                    ("R2", "East Coast"),
+                    ("R3", "Midwest"),
+                ],
+                keys=[("RegionId",), ("RegionName",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("O-1001",), "West Coast"),
+            (("O-1002",), "East Coast"),
+            (("O-1003",), "West Coast"),
+            (("O-1004",), "Midwest"),
+            (("O-1005",), "East Coast"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 10. Currency code -> symbol (background knowledge, exact key).
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="currency-symbol",
+        description="Convert ISO currency codes to their symbols.",
+        source="Forum-style: finance sheet; §6 background knowledge.",
+        language_class="Lt",
+        tables=(),
+        background=("Currency",),
+        rows=_rows(
+            (("USD",), "$"),
+            (("EUR",), "€"),
+            (("GBP",), "£"),
+            (("JPY",), "¥"),
+            (("INR",), "₹"),
+            (("TRY",), "₺"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 11. US state name -> postal abbreviation.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="state-abbrev",
+        description="Abbreviate US state names to their postal codes.",
+        source="Forum-style: mailing list cleanup; §6 background knowledge.",
+        language_class="Lt",
+        tables=(),
+        background=("USState",),
+        rows=_rows(
+            (("Texas",), "TX"),
+            (("California",), "CA"),
+            (("New York",), "NY"),
+            (("Washington",), "WA"),
+            (("Florida",), "FL"),
+            (("Ohio",), "OH"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 12. Composite key over two input columns: (city, state) -> zip.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="city-state-zip",
+        description="Find the zip code for a (city, state) pair.",
+        source="Forum-style: address completion with a two-column key.",
+        language_class="Lt",
+        tables=(
+            Table(
+                "ZipCodes",
+                ["City", "State", "Zip"],
+                [
+                    ("Springfield", "IL", "62701"),
+                    ("Springfield", "MA", "01101"),
+                    ("Portland", "OR", "97201"),
+                    ("Portland", "ME", "04101"),
+                    ("Austin", "TX", "73301"),
+                    ("Denver", "CO", "80201"),
+                ],
+                keys=[("City", "State"), ("Zip",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("Springfield", "IL"), "62701"),
+            (("Springfield", "MA"), "01101"),
+            (("Portland", "OR"), "97201"),
+            (("Portland", "ME"), "04101"),
+            (("Austin", "TX"), "73301"),
+            (("Denver", "CO"), "80201"),
+        ),
+    )
+)

@@ -1,0 +1,114 @@
+"""Benchmark model and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.engine.session import SynthesisSession
+from repro.tables.background import background_catalog
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+Row = Tuple[Tuple[str, ...], str]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One §7 benchmark problem.
+
+    Attributes:
+        ident: stable 1-based index (order of the registry).
+        name: unique slug.
+        description: what the end-user asked for.
+        source: provenance note (paper example / forum-style task).
+        language_class: ``"Lt"`` when the task is expressible in the pure
+            lookup language, else ``"Lu"`` (paper: 12 vs 38).
+        tables: the user's spreadsheet tables.
+        background: names of §6 background tables the task relies on.
+        rows: (inputs, expected output) pairs; at least five, so the
+            interaction protocol has rows left to check after 3 examples.
+    """
+
+    ident: int
+    name: str
+    description: str
+    source: str
+    language_class: str
+    tables: Tuple[Table, ...]
+    background: Tuple[str, ...]
+    rows: Tuple[Row, ...]
+
+    def __post_init__(self) -> None:
+        if self.language_class not in ("Lt", "Lu"):
+            raise ValueError(f"bad language_class {self.language_class!r}")
+        if len(self.rows) < 5:
+            raise ValueError(f"benchmark {self.name!r} needs >= 5 rows")
+
+    # ------------------------------------------------------------------
+    def catalog(self) -> Catalog:
+        """User tables merged with the required background tables."""
+        merged = Catalog(self.tables)
+        if self.background:
+            merged = merged.merged_with(background_catalog(list(self.background)))
+        return merged
+
+    def session(
+        self,
+        language: str = "semantic",
+        config: SynthesisConfig = DEFAULT_CONFIG,
+    ) -> SynthesisSession:
+        """A fresh synthesis session for this benchmark."""
+        return SynthesisSession(
+            catalog=Catalog(self.tables),
+            language=language,
+            background=self.background or None,
+            config=config,
+        )
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.rows[0][0])
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+_ORDERED: List[Benchmark] = []
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    if benchmark.name in _REGISTRY:
+        raise ValueError(f"duplicate benchmark name {benchmark.name!r}")
+    _REGISTRY[benchmark.name] = benchmark
+    _ORDERED.append(benchmark)
+    return benchmark
+
+
+def _ensure_loaded() -> None:
+    if _ORDERED:
+        return
+    # Importing the problem modules populates the registry.
+    from repro.benchsuite import lookup_problems  # noqa: F401
+    from repro.benchsuite import semantic_problems  # noqa: F401
+    from repro.benchsuite import datatype_problems  # noqa: F401
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """All 50 benchmarks in registry (= paper index) order."""
+    _ensure_loaded()
+    return list(_ORDERED)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look a benchmark up by slug."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def next_ident() -> int:
+    return len(_ORDERED) + 1

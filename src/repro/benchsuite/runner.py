@@ -1,0 +1,140 @@
+"""Experiment protocols over the benchmark suite (paper §7).
+
+``examples_needed`` implements the paper's effectiveness-of-ranking
+measurement: feed examples one at a time (starting with the first row,
+then always the first row the current top-ranked program gets wrong) and
+count how many are needed before the top-ranked program is correct on
+every row.  The paper reports 35/13/2 benchmarks needing 1/2/3 examples.
+
+``time_benchmark`` measures end-to-end synthesis time at the converged
+example count (Figure 12(a)); ``measure_benchmark`` reports the Figure 11
+metrics plus the before/after-intersection sizes of Figure 12(b).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from math import log10
+from typing import List, Optional, Tuple
+
+from repro.benchsuite.model import Benchmark
+from repro.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.exceptions import SynthesisError
+
+
+def approx_log10(value: int) -> float:
+    """log10 of a (possibly astronomically large) integer count."""
+    if value <= 0:
+        return float("-inf")
+    if value.bit_length() <= 900:
+        return log10(value)
+    return value.bit_length() * 0.30102999566398120
+
+
+@dataclass
+class ConvergenceResult:
+    """Outcome of the incremental-example interaction protocol."""
+
+    benchmark: str
+    examples_used: int
+    converged: bool
+    program: Optional[str]
+    elapsed_seconds: float
+
+
+def examples_needed(
+    benchmark: Benchmark,
+    language: str = "semantic",
+    config: SynthesisConfig = DEFAULT_CONFIG,
+    max_examples: int = 5,
+) -> ConvergenceResult:
+    """Run the §3.2 interaction protocol to convergence."""
+    session = benchmark.session(language=language, config=config)
+    started = time.perf_counter()
+    rows = list(benchmark.rows)
+    given: List[int] = []
+
+    def first_mismatch(program) -> Optional[int]:
+        for index, (inputs, expected) in enumerate(rows):
+            if program.run(inputs) != expected:
+                return index
+        return None
+
+    next_index = 0
+    while len(given) < max_examples:
+        inputs, expected = rows[next_index]
+        given.append(next_index)
+        try:
+            session.add_example(inputs, expected)
+            program = session.learn()
+        except SynthesisError:
+            return ConvergenceResult(
+                benchmark.name,
+                len(given),
+                False,
+                None,
+                time.perf_counter() - started,
+            )
+        mismatch = first_mismatch(program)
+        if mismatch is None:
+            return ConvergenceResult(
+                benchmark.name,
+                len(given),
+                True,
+                str(program.expr),
+                time.perf_counter() - started,
+            )
+        next_index = mismatch
+    return ConvergenceResult(
+        benchmark.name, len(given), False, None, time.perf_counter() - started
+    )
+
+
+def time_benchmark(
+    benchmark: Benchmark,
+    num_examples: int,
+    language: str = "semantic",
+    config: SynthesisConfig = DEFAULT_CONFIG,
+) -> float:
+    """Seconds for one full synthesis (GenerateStr + Intersect + rank)."""
+    session = benchmark.session(language=language, config=config)
+    started = time.perf_counter()
+    for inputs, expected in benchmark.rows[:num_examples]:
+        session.add_example(inputs, expected)
+    session.learn()
+    return time.perf_counter() - started
+
+
+@dataclass
+class BenchmarkMetrics:
+    """Figure 11/12 numbers for one benchmark."""
+
+    benchmark: str
+    log10_expressions: float
+    size_first_example: int
+    size_after_intersection: Optional[int]
+
+
+def measure_benchmark(
+    benchmark: Benchmark,
+    config: SynthesisConfig = DEFAULT_CONFIG,
+    intersect_examples: int = 2,
+) -> BenchmarkMetrics:
+    """Figure 11(a)/(b) on the first example; 12(b) after intersection."""
+    session = benchmark.session(config=config)
+    inputs, expected = benchmark.rows[0]
+    session.add_example(inputs, expected)
+    count = session.consistent_count()
+    size_first = session.structure_size()
+    size_after: Optional[int] = None
+    if len(benchmark.rows) >= intersect_examples:
+        try:
+            for more_inputs, more_expected in benchmark.rows[1:intersect_examples]:
+                session.add_example(more_inputs, more_expected)
+            size_after = session.structure_size()
+        except SynthesisError:
+            size_after = None
+    return BenchmarkMetrics(
+        benchmark.name, approx_log10(count), size_first, size_after
+    )

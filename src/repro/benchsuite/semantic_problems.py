@@ -1,0 +1,773 @@
+"""Benchmarks 13-36: tasks requiring the semantic language Lu (§7).
+
+These combine lookups with syntactic manipulation -- substring-derived
+keys, concatenated lookup results, manipulation of lookup outputs -- plus
+a block of purely syntactic tasks (Ls ⊂ Lu but ⊄ Lt), mirroring the
+paper's composition.  Problems 13-16 are the paper's Examples 1, 4, 5
+and 6 verbatim (with extra data rows for the interaction protocol).
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite.model import Benchmark, next_ident, register
+from repro.tables.table import Table
+
+
+def _rows(*pairs):
+    return tuple((tuple(inputs), output) for inputs, output in pairs)
+
+
+# ---------------------------------------------------------------------------
+# 13. Paper Example 1: selling price from markup and monthly cost tables.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="ex1-markup-price",
+        description="Compute the selling-price formula string from item name "
+        "and selling date using MarkupRec and CostRec.",
+        source="Paper Example 1 (motivating example).",
+        language_class="Lu",
+        tables=(
+            Table(
+                "MarkupRec",
+                ["Id", "Name", "Markup"],
+                [
+                    ("S30", "Stroller", "30%"),
+                    ("B56", "Bib", "45%"),
+                    ("D32", "Diapers", "35%"),
+                    ("W98", "Wipes", "40%"),
+                    ("A46", "Aspirator", "30%"),
+                ],
+                keys=[("Id",), ("Name",)],
+            ),
+            Table(
+                "CostRec",
+                ["Id", "Date", "Price"],
+                [
+                    ("S30", "12/2010", "$145.67"),
+                    ("S30", "11/2010", "$142.38"),
+                    ("B56", "12/2010", "$3.56"),
+                    ("D32", "1/2011", "$21.45"),
+                    ("W98", "4/2009", "$5.12"),
+                    ("A46", "2/2010", "$2.56"),
+                ],
+                keys=[("Id", "Date")],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("Stroller", "10/12/2010"), "$145.67+0.30*145.67"),
+            (("Bib", "23/12/2010"), "$3.56+0.45*3.56"),
+            (("Diapers", "21/1/2011"), "$21.45+0.35*21.45"),
+            (("Wipes", "2/4/2009"), "$5.12+0.40*5.12"),
+            (("Aspirator", "23/2/2010"), "$2.56+0.30*2.56"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 14. Paper Example 4: "Alan Turing" -> "Turing A" (purely syntactic).
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="ex4-name-initial",
+        description="Reformat names as last name followed by first initial.",
+        source="Paper Example 4 (QuickCode-style syntactic task).",
+        language_class="Lu",
+        tables=(),
+        background=(),
+        rows=_rows(
+            (("Alan Turing",), "Turing A"),
+            (("Oliver Heaviside",), "Heaviside O"),
+            (("Grace Hopper",), "Hopper G"),
+            (("Kurt Godel",), "Godel K"),
+            (("Donald Knuth",), "Knuth D"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 15. Paper Example 5: indexing with concatenated strings.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="ex5-bike-price",
+        description="Price quote by concatenating bike name and engine cc "
+        "before looking up BikePrices.",
+        source="Paper Example 5.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "BikePrices",
+                ["Bike", "Price"],
+                [
+                    ("Ducati100", "10,000"),
+                    ("Ducati125", "12,500"),
+                    ("Ducati250", "18,000"),
+                    ("Honda125", "11,500"),
+                    ("Honda250", "19,000"),
+                ],
+                keys=[("Bike",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("Honda", "125"), "11,500"),
+            (("Ducati", "100"), "10,000"),
+            (("Honda", "250"), "19,000"),
+            (("Ducati", "250"), "18,000"),
+            (("Ducati", "125"), "12,500"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 16. Paper Example 6: expanding a series of company codes.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="ex6-company-codes",
+        description="Expand a space-separated series of company codes into "
+        "company names via the Comp table.",
+        source="Paper Example 6 (nested syntactic and lookup).",
+        language_class="Lu",
+        tables=(
+            Table(
+                "Comp",
+                ["Id", "Name"],
+                [
+                    ("c1", "Microsoft"),
+                    ("c2", "Google"),
+                    ("c3", "Apple"),
+                    ("c4", "Facebook"),
+                    ("c5", "IBM"),
+                    ("c6", "Xerox"),
+                ],
+                keys=[("Id",), ("Name",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("c4 c3 c1",), "Facebook Apple Microsoft"),
+            (("c2 c5 c6",), "Google IBM Xerox"),
+            (("c1 c5 c4",), "Microsoft IBM Facebook"),
+            (("c2 c3 c4",), "Google Apple Facebook"),
+            (("c6 c2 c3",), "Xerox Google Apple"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 17. Extract an embedded product code and look up its name.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="order-product-name",
+        description="Pull the product code out of an order note and replace "
+        "it with the product name.",
+        source="Forum-style: order sheet with free-text notes.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "Items",
+                ["Id", "Name"],
+                [
+                    ("S30", "Stroller"),
+                    ("B56", "Bib"),
+                    ("D32", "Diapers"),
+                    ("W98", "Wipes"),
+                    ("A46", "Aspirator"),
+                ],
+                keys=[("Id",), ("Name",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("Order #S30 (urgent)",), "Stroller"),
+            (("Order #B56 (normal)",), "Bib"),
+            (("Order #D32 (urgent)",), "Diapers"),
+            (("Order #W98 (low)",), "Wipes"),
+            (("Order #A46 (normal)",), "Aspirator"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 18. Key prefix before a dash drives a lookup.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="sku-markup",
+        description="Given SKU-year strings, fetch the markup percentage of "
+        "the SKU prefix.",
+        source="Forum-style: inventory sheet with composite SKU strings.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "Markups",
+                ["Id", "Markup"],
+                [
+                    ("S30", "30%"),
+                    ("B56", "45%"),
+                    ("D32", "35%"),
+                    ("W98", "40%"),
+                    ("A46", "25%"),
+                ],
+                keys=[("Id",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("S30-2010",), "30%"),
+            (("B56-2011",), "45%"),
+            (("D32-2010",), "35%"),
+            (("W98-2012",), "40%"),
+            (("A46-2011",), "25%"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 19. Email domain -> company name.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="email-company",
+        description="Map email addresses to company names by their domain.",
+        source="Forum-style: CRM contact cleanup.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "Domains",
+                ["Domain", "Company"],
+                [
+                    ("contoso.com", "Contoso Inc"),
+                    ("fabrikam.com", "Fabrikam Ltd"),
+                    ("adventure.com", "Adventure Works"),
+                    ("tailspin.com", "Tailspin Toys"),
+                    ("wingtip.com", "Wingtip Inc"),
+                ],
+                keys=[("Domain",), ("Company",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("john@contoso.com",), "Contoso Inc"),
+            (("mary@fabrikam.com",), "Fabrikam Ltd"),
+            (("omar@adventure.com",), "Adventure Works"),
+            (("tina@tailspin.com",), "Tailspin Toys"),
+            (("saul@wingtip.com",), "Wingtip Inc"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 20. City mentioned in text -> timezone.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="city-timezone",
+        description="Extract the destination city from a note and produce "
+        "its IANA timezone.",
+        source="Forum-style: travel itinerary sheet.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "TimeZones",
+                ["City", "Zone"],
+                [
+                    ("Denver", "America/Denver"),
+                    ("Phoenix", "America/Phoenix"),
+                    ("Chicago", "America/Chicago"),
+                    ("Boston", "America/New_York"),
+                    ("Seattle", "America/Los_Angeles"),
+                ],
+                keys=[("City",), ("Zone",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("Flight to Denver",), "America/Denver"),
+            (("Flight to Phoenix",), "America/Phoenix"),
+            (("Flight to Chicago",), "America/Chicago"),
+            (("Flight to Boston",), "America/New_York"),
+            (("Flight to Seattle",), "America/Los_Angeles"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 21. Course code -> expanded department plus number.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="course-expand",
+        description="Expand course codes like CS101 into department name "
+        "plus course number.",
+        source="Forum-style: registrar sheet.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "Depts",
+                ["Code", "Dept"],
+                [
+                    ("CS", "Computer Science"),
+                    ("EE", "Electrical Engineering"),
+                    ("ME", "Mechanical Engineering"),
+                    ("BIO", "Biology"),
+                    ("CHEM", "Chemistry"),
+                ],
+                keys=[("Code",), ("Dept",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("CS101",), "Computer Science 101"),
+            (("EE250",), "Electrical Engineering 250"),
+            (("ME310",), "Mechanical Engineering 310"),
+            (("BIO120",), "Biology 120"),
+            (("CHEM201",), "Chemistry 201"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 22. Badge id -> "Name (Department)".
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="badge-name-dept",
+        description="Render employee badges as name plus parenthesized "
+        "department from the badge id.",
+        source="Forum-style: security desk roster.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "Badges",
+                ["BadgeId", "Name", "Dept"],
+                [
+                    ("E042", "John Park", "Engineering"),
+                    ("E108", "Mary Liu", "Marketing"),
+                    ("E220", "Omar Reyes", "Finance"),
+                    ("E311", "Tina Wong", "Legal"),
+                    ("E415", "Saul Berg", "Sales"),
+                ],
+                keys=[("BadgeId",), ("Name",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("E042",), "John Park (Engineering)"),
+            (("E108",), "Mary Liu (Marketing)"),
+            (("E220",), "Omar Reyes (Finance)"),
+            (("E311",), "Tina Wong (Legal)"),
+            (("E415",), "Saul Berg (Sales)"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 23. Concatenated (region, tier) key -> commission rate.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="region-tier-rate",
+        description="Find the commission rate keyed by region and tier "
+        "concatenated together.",
+        source="Forum-style: sales compensation sheet (Example 5 pattern).",
+        language_class="Lu",
+        tables=(
+            Table(
+                "Rates",
+                ["Key", "Rate"],
+                [
+                    ("WestGold", "0.12"),
+                    ("WestSilver", "0.09"),
+                    ("EastGold", "0.15"),
+                    ("EastSilver", "0.11"),
+                    ("NorthGold", "0.10"),
+                    ("SouthSilver", "0.08"),
+                ],
+                keys=[("Key",), ("Rate",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("West", "Gold"), "0.12"),
+            (("West", "Silver"), "0.09"),
+            (("East", "Gold"), "0.15"),
+            (("East", "Silver"), "0.11"),
+            (("North", "Gold"), "0.10"),
+            (("South", "Silver"), "0.08"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 24. Invoice reference -> customer (lookup on an extracted order number).
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="invoice-customer",
+        description="Resolve invoice references like INV-00042 to the "
+        "ordering customer.",
+        source="Forum-style: accounts receivable sheet.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "OrderBook",
+                ["OrderNum", "Customer"],
+                [
+                    ("00042", "Acme Corp"),
+                    ("00107", "Globex"),
+                    ("00233", "Initech"),
+                    ("00310", "Umbrella"),
+                    ("00458", "Hooli"),
+                ],
+                keys=[("OrderNum",), ("Customer",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("INV-00042",), "Acme Corp"),
+            (("INV-00107",), "Globex"),
+            (("INV-00233",), "Initech"),
+            (("INV-00310",), "Umbrella"),
+            (("INV-00458",), "Hooli"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 25. Year+quarter string -> month range plus year.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="quarter-months",
+        description="Expand 2010Q1-style period codes into the quarter's "
+        "month range followed by the year.",
+        source="Forum-style: financial reporting sheet.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "Quarters",
+                ["Q", "Months"],
+                [
+                    ("Q1", "January-March"),
+                    ("Q2", "April-June"),
+                    ("Q3", "July-September"),
+                    ("Q4", "October-December"),
+                ],
+                keys=[("Q",), ("Months",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("2010Q1",), "January-March 2010"),
+            (("2011Q3",), "July-September 2011"),
+            (("2009Q2",), "April-June 2009"),
+            (("2012Q4",), "October-December 2012"),
+            (("2011Q1",), "January-March 2011"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 26. City -> "Country (CUR)" through two tables.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="city-country-currency",
+        description="For each city, produce the country and its currency "
+        "code in parentheses.",
+        source="Forum-style: expense report normalization.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "CityCountry",
+                ["City", "Country"],
+                [
+                    ("Paris", "France"),
+                    ("Tokyo", "Japan"),
+                    ("Berlin", "Germany"),
+                    ("Madrid", "Spain"),
+                    ("Oslo", "Norway"),
+                ],
+                keys=[("City",), ("Country",)],
+            ),
+            Table(
+                "CountryCur",
+                ["Country", "Cur"],
+                [
+                    ("France", "EUR"),
+                    ("Japan", "JPY"),
+                    ("Germany", "EUR"),
+                    ("Spain", "EUR"),
+                    ("Norway", "NOK"),
+                ],
+                keys=[("Country",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("Paris",), "France (EUR)"),
+            (("Tokyo",), "Japan (JPY)"),
+            (("Berlin",), "Germany (EUR)"),
+            (("Madrid",), "Spain (EUR)"),
+            (("Oslo",), "Norway (NOK)"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 27. Route code -> "City to City" (two lookups from one input).
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="iata-route",
+        description="Expand SEA-JFK style route codes into city-to-city "
+        "descriptions.",
+        source="Forum-style: airline operations sheet.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "Airports2",
+                ["Code", "City"],
+                [
+                    ("SEA", "Seattle"),
+                    ("JFK", "New York"),
+                    ("LAX", "Los Angeles"),
+                    ("ORD", "Chicago"),
+                    ("DFW", "Dallas"),
+                    ("ATL", "Atlanta"),
+                ],
+                keys=[("Code",), ("City",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("SEA-JFK",), "Seattle to New York"),
+            (("LAX-ORD",), "Los Angeles to Chicago"),
+            (("DFW-ATL",), "Dallas to Atlanta"),
+            (("JFK-LAX",), "New York to Los Angeles"),
+            (("ORD-SEA",), "Chicago to Seattle"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 28. Product -> category -> tax, concatenated.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="product-category-tax",
+        description="Tag products with their category and its tax rate.",
+        source="Forum-style: point-of-sale configuration.",
+        language_class="Lu",
+        tables=(
+            Table(
+                "Categories",
+                ["Product", "Category"],
+                [
+                    ("Stroller", "BABY"),
+                    ("Bib", "BABY"),
+                    ("Drill", "TOOLS"),
+                    ("Saw", "TOOLS"),
+                    ("Wine", "ALCOHOL"),
+                ],
+                keys=[("Product",)],
+            ),
+            Table(
+                "TaxRates",
+                ["Category", "Tax"],
+                [
+                    ("BABY", "5%"),
+                    ("TOOLS", "12%"),
+                    ("ALCOHOL", "21%"),
+                ],
+                keys=[("Category",), ("Tax",)],
+            ),
+        ),
+        background=(),
+        rows=_rows(
+            (("Stroller",), "BABY-5%"),
+            (("Bib",), "BABY-5%"),
+            (("Drill",), "TOOLS-12%"),
+            (("Saw",), "TOOLS-12%"),
+            (("Wine",), "ALCOHOL-21%"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 29. Purely syntactic: initial + last name -> corporate email.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="name-to-email",
+        description="Build corporate email handles from full names.",
+        source="Forum-style: onboarding sheet (syntactic only).",
+        language_class="Lu",
+        tables=(),
+        background=(),
+        rows=_rows(
+            (("Jane Roe",), "JRoe@corp.com"),
+            (("Mark Lee",), "MLee@corp.com"),
+            (("Tina Fey",), "TFey@corp.com"),
+            (("Omar Sy",), "OSy@corp.com"),
+            (("Ada King",), "AKing@corp.com"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 30. Purely syntactic: "Last, First" -> "First Last".
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="name-swap",
+        description="Reorder 'Last, First' names into 'First Last'.",
+        source="Forum-style: mailing list cleanup (syntactic only).",
+        language_class="Lu",
+        tables=(),
+        background=(),
+        rows=_rows(
+            (("Doe, John",), "John Doe"),
+            (("Curie, Marie",), "Marie Curie"),
+            (("Turing, Alan",), "Alan Turing"),
+            (("Hopper, Grace",), "Grace Hopper"),
+            (("Knuth, Donald",), "Donald Knuth"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 31. Purely syntactic: 10-digit phone -> (425) 555-1234.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="phone-format",
+        description="Format bare 10-digit phone numbers with parentheses "
+        "and dashes.",
+        source="Forum-style: contact list normalization (syntactic only).",
+        language_class="Lu",
+        tables=(),
+        background=(),
+        rows=_rows(
+            (("4255551234",), "(425) 555-1234"),
+            (("2065557890",), "(206) 555-7890"),
+            (("3125550147",), "(312) 555-0147"),
+            (("6175559058",), "(617) 555-9058"),
+            (("9715550021",), "(971) 555-0021"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 32. Purely syntactic: extract the parenthesized qualifier.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="extract-parenthetical",
+        description="Pull the qualifier out of 'Item (qualifier)' strings.",
+        source="Forum-style: catalog attribute extraction (syntactic only).",
+        language_class="Lu",
+        tables=(),
+        background=(),
+        rows=_rows(
+            (("Widget (large)",), "large"),
+            (("Gadget (small)",), "small"),
+            (("Sprocket (medium)",), "medium"),
+            (("Gizmo (tiny)",), "tiny"),
+            (("Doohickey (huge)",), "huge"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 33. Purely syntactic: username after the domain prefix.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="username-extract",
+        description="Extract the login name from 'DOMAIN:user ...' audit "
+        "lines.",
+        source="Forum-style: log analysis sheet (syntactic only).",
+        language_class="Lu",
+        tables=(),
+        background=(),
+        rows=_rows(
+            (("CORP:jsmith logged in",), "jsmith"),
+            (("CORP:adoe logged in",), "adoe"),
+            (("SALES:bbaker logged in",), "bbaker"),
+            (("CORP:cchan logged in",), "cchan"),
+            (("HR:dpatel logged in",), "dpatel"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 34. Purely syntactic: mask an SSN keeping the last group.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="ssn-mask",
+        description="Mask social security numbers keeping only the last "
+        "four digits.",
+        source="Forum-style: compliance masking (syntactic only).",
+        language_class="Lu",
+        tables=(),
+        background=(),
+        rows=_rows(
+            (("123-45-6789",), "XXX-XX-6789"),
+            (("987-65-4321",), "XXX-XX-4321"),
+            (("555-12-0345",), "XXX-XX-0345"),
+            (("222-33-4444",), "XXX-XX-4444"),
+            (("111-22-3333",), "XXX-XX-3333"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 35. Purely syntactic: move the level marker to the back.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="log-rearrange",
+        description="Rewrite 'LEVEL - message' log lines as 'message "
+        "(LEVEL)'.",
+        source="Forum-style: log reformatting (syntactic only).",
+        language_class="Lu",
+        tables=(),
+        background=(),
+        rows=_rows(
+            (("ERROR - disk full",), "disk full (ERROR)"),
+            (("WARN - low memory",), "low memory (WARN)"),
+            (("INFO - job started",), "job started (INFO)"),
+            (("ERROR - net down",), "net down (ERROR)"),
+            (("DEBUG - cache miss",), "cache miss (DEBUG)"),
+        ),
+    )
+)
+
+# ---------------------------------------------------------------------------
+# 36. Purely syntactic: bibliography formatting.
+register(
+    Benchmark(
+        ident=next_ident(),
+        name="bibliography",
+        description="Turn 'Author Year Title' rows into 'Author (Year). "
+        "Title.' citations.",
+        source="Forum-style: reference list formatting (syntactic only).",
+        language_class="Lu",
+        tables=(),
+        background=(),
+        rows=_rows(
+            (("Knuth 1968 TAOCP",), "Knuth (1968). TAOCP."),
+            (("Codd 1970 Relations",), "Codd (1970). Relations."),
+            (("Dijkstra 1959 Paths",), "Dijkstra (1959). Paths."),
+            (("Shannon 1948 Information",), "Shannon (1948). Information."),
+            (("Turing 1936 Computability",), "Turing (1936). Computability."),
+        ),
+    )
+)

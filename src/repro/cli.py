@@ -1,0 +1,113 @@
+"""Command-line interface: the Excel add-in workflow for the terminal.
+
+Usage::
+
+    python -m repro --table Comp.csv --examples examples.csv [--fill pending.csv]
+
+``examples.csv`` holds one example per row: all columns but the last are
+inputs, the last is the output.  ``--fill`` rows have inputs only; the
+learned program's outputs are printed as CSV.  ``--language`` selects
+Lu (default), Lt or Ls; ``--background`` merges §6 tables by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.engine.session import SynthesisSession
+from repro.exceptions import ReproError
+from repro.tables.catalog import Catalog
+from repro.tables.io import load_table_csv
+
+LANGUAGE_BY_FLAG = {"semantic": "semantic", "lookup": "lookup", "syntactic": "syntactic",
+                    "Lu": "semantic", "Lt": "lookup", "Ls": "syntactic"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Learn semantic string transformations from examples "
+        "(Singh & Gulwani, VLDB 2012).",
+    )
+    parser.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="CSV",
+        help="lookup table CSV (first row = header; repeatable)",
+    )
+    parser.add_argument(
+        "--examples",
+        required=True,
+        metavar="CSV",
+        help="examples CSV: input columns then the output column",
+    )
+    parser.add_argument(
+        "--fill",
+        metavar="CSV",
+        help="rows of inputs to fill with the learned program",
+    )
+    parser.add_argument(
+        "--language",
+        default="semantic",
+        choices=sorted(LANGUAGE_BY_FLAG),
+        help="transformation language (default: semantic / Lu)",
+    )
+    parser.add_argument(
+        "--background",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="background table to merge (e.g. Month, Time; repeatable)",
+    )
+    parser.add_argument(
+        "--describe",
+        action="store_true",
+        help="also print the natural-language paraphrase",
+    )
+    return parser
+
+
+def _read_rows(path: str) -> List[List[str]]:
+    with open(path, newline="", encoding="utf-8") as handle:
+        return [row for row in csv.reader(handle) if row]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        catalog = Catalog([load_table_csv(Path(path)) for path in args.table])
+        session = SynthesisSession(
+            catalog=catalog,
+            language=LANGUAGE_BY_FLAG[args.language],
+            background=args.background or None,
+        )
+        for row in _read_rows(args.examples):
+            if len(row) < 2:
+                raise ReproError(
+                    f"example row needs >= 2 columns (inputs..., output): {row}"
+                )
+            session.add_example(tuple(row[:-1]), row[-1])
+        program = session.learn()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    print(f"program: {program.source()}")
+    if args.describe:
+        print(f"meaning: {program.describe()}")
+
+    if args.fill:
+        writer = csv.writer(sys.stdout, lineterminator="\n")
+        for row in _read_rows(args.fill):
+            result = program.run(tuple(row))
+            writer.writerow(row + [result if result is not None else ""])
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""Tunable parameters for the synthesis algorithms.
+
+The paper fixes most of these implicitly (token set, depth bound k = number
+of tables, the "stronger restriction" on relaxed reachability); we expose
+them so the ablation benchmarks in ``benchmarks/bench_ablations.py`` can
+toggle each design choice and measure its effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RankingWeights:
+    """Cost-model weights implementing the partial orders of §4.4 and §5.4.
+
+    Lower cost = preferred.  Every preference the paper states maps to one
+    weight here:
+
+    * fewer/shorter `Concatenate` pieces -> ``edge_base`` (per piece),
+    * fewer constants -> constant atoms cost ``const_atom_base`` plus
+      ``const_atom_per_char`` per character, so extracting or looking up a
+      long string always beats hard-coding it, while short separators stay
+      affordable; ``const_predicate`` makes constant lookup keys a last
+      resort,
+    * lookups over constants -> ``select_base`` + cheap node references,
+    * smaller lookup depth -> ``select_base`` accumulates per nesting level,
+    * distinct tables for joins -> ``self_join_penalty``,
+    * regex positions generalize better than absolute ones -> ``cpos_entry``
+      costs more than ``regex_entry``.
+    """
+
+    edge_base: float = 8.0
+    const_atom_base: float = 10.0
+    const_atom_per_char: float = 28.0
+    ref_atom: float = 2.0
+    substr_atom: float = 6.0
+    cpos_entry: float = 5.0
+    regex_entry: float = 1.0
+    regex_token: float = 0.5
+    var_expr: float = 1.0
+    select_base: float = 12.0
+    const_predicate: float = 30.0
+    node_predicate: float = 2.0
+    self_join_penalty: float = 20.0
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Knobs for GenerateStr/Intersect in all three languages.
+
+    Attributes:
+        max_tokenseq_len: maximum number of tokens in a ``TokenSeq`` used in
+            generated position expressions (paper examples all use 1).
+        depth_bound: the paper's k; ``None`` means "number of tables in the
+            catalog" (§4.3).
+        max_reachable_nodes: safety valve on the node set size (the paper's
+            t); reaching it stops the reachability loop early.
+        min_overlap_len: minimum length of a proper-substring overlap that
+            triggers relaxed reachability in ``GenerateStr'_t`` (§5.3).
+        relaxed_reachability: when False, the semantic generator falls back
+            to the exact-equality trigger of plain ``GenerateStr_t`` -- the
+            ablation for §5.3's substring-based reachability.
+        include_ref_atoms: include whole-string node references ``e_t`` as
+            atomic expressions (the `f_s := e_t` production); disabling is
+            an ablation only.
+        weights: the ranking cost model.
+    """
+
+    max_tokenseq_len: int = 1
+    depth_bound: Optional[int] = None
+    max_reachable_nodes: int = 2000
+    min_overlap_len: int = 1
+    relaxed_reachability: bool = True
+    include_ref_atoms: bool = True
+    weights: RankingWeights = field(default_factory=RankingWeights)
+
+    def with_weights(self, **kwargs) -> "SynthesisConfig":
+        """A copy of this config with some ranking weights replaced."""
+        return replace(self, weights=replace(self.weights, **kwargs))
+
+
+DEFAULT_CONFIG = SynthesisConfig()

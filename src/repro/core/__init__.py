@@ -1,0 +1,22 @@
+"""Core formalism shared by all three transformation languages (paper §3).
+
+The paper factors every language into four pieces: an expression language
+``L``, a version-space data structure ``D``, a ``GenerateStr`` procedure,
+and an ``Intersect`` procedure.  :mod:`repro.core.base` defines the common
+expression protocol and evaluation conventions; :mod:`repro.core.formalism`
+defines the generic ``Synthesize`` driver of §3.1 that any language
+implementation plugs into.
+"""
+
+from repro.core.base import BOTTOM, EvalResult, Expression, InputState, make_state
+from repro.core.formalism import LanguageAdapter, Synthesize
+
+__all__ = [
+    "BOTTOM",
+    "EvalResult",
+    "Expression",
+    "InputState",
+    "LanguageAdapter",
+    "Synthesize",
+    "make_state",
+]

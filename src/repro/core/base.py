@@ -1,0 +1,80 @@
+"""Expression protocol and evaluation conventions (paper §3.1).
+
+An expression ``e`` maps an input state sigma -- a tuple of ``m`` input
+strings ``(v1, ..., vm)`` -- to an output string.  Lookup expressions
+additionally consult a catalog of relational tables, so evaluation takes
+the catalog as a second argument; purely syntactic expressions ignore it.
+
+Evaluation can fail (for example a position expression that does not match
+on a new input).  Failure is represented by ``None`` (the paper's ⊥), and
+``BOTTOM`` is an alias for readability.  A failed *lookup* however returns
+the empty string, matching the paper's semantics for ``Select`` when no row
+satisfies the condition.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.tables.catalog import Catalog
+
+InputState = Tuple[str, ...]
+EvalResult = Optional[str]
+
+#: The undefined result of evaluation (paper's ⊥).
+BOTTOM: EvalResult = None
+
+
+def make_state(*values: str) -> InputState:
+    """Build an input state from positional input-column values.
+
+    >>> make_state("Stroller", "10/12/2010")
+    ('Stroller', '10/12/2010')
+    """
+    for value in values:
+        if not isinstance(value, str):
+            raise TypeError(f"input values must be strings, got {value!r}")
+    return tuple(values)
+
+
+class Expression:
+    """Base class for all concrete AST nodes in Lt, Ls and Lu.
+
+    Subclasses implement :meth:`evaluate` and structural equality/hash so
+    expression sets behave like mathematical sets.  Subclasses are
+    immutable value objects.
+    """
+
+    __slots__ = ()
+
+    def evaluate(self, state: InputState, catalog: "Catalog | None" = None) -> EvalResult:
+        """Evaluate this expression on ``state`` against ``catalog``.
+
+        Returns the output string, or ``BOTTOM`` when the expression is
+        undefined on this input (e.g. an out-of-range position).
+        """
+        raise NotImplementedError
+
+    # --- structural value semantics -------------------------------------
+    def _key(self) -> tuple:
+        """Tuple of fields that defines structural identity."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def __repr__(self) -> str:  # pragma: no cover - convenience only
+        return str(self)
+
+    # --- introspection ---------------------------------------------------
+    def size(self) -> int:
+        """Number of AST nodes; used by tests and the ranking tie-breaks."""
+        return 1
+
+    def depth(self) -> int:
+        """Nesting depth of lookup operations (1 for flat expressions)."""
+        return 1

@@ -1,0 +1,32 @@
+"""Expressions shared by every language: the input variable ``v_i``."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.base import EvalResult, Expression, InputState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tables.catalog import Catalog
+
+
+class Var(Expression):
+    """The input string variable ``v_i`` (0-based ``index``, printed 1-based)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        if index < 0:
+            raise ValueError(f"variable index must be >= 0, got {index}")
+        self.index = index
+
+    def evaluate(self, state: InputState, catalog: "Catalog | None" = None) -> EvalResult:
+        if self.index >= len(state):
+            return None
+        return state[self.index]
+
+    def _key(self) -> tuple:
+        return (self.index,)
+
+    def __str__(self) -> str:
+        return f"v{self.index + 1}"

@@ -1,0 +1,114 @@
+"""The generic inductive synthesis driver of paper §3.1.
+
+``Synthesize((sigma_1, s_1), ..., (sigma_n, s_n))`` calls ``GenerateStr`` on
+the first example and folds ``Intersect`` over the remaining ones::
+
+    P := GenerateStr(sigma_1, s_1)
+    for i = 2..n: P := Intersect(P, GenerateStr(sigma_i, s_i))
+    return P
+
+Each concrete language (Lt in :mod:`repro.lookup`, Ls in
+:mod:`repro.syntactic`, Lu in :mod:`repro.semantic`) supplies the two
+procedures through a :class:`LanguageAdapter`.  Keeping the driver generic
+mirrors the paper's presentation and lets the engine treat all three
+languages uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.base import InputState
+from repro.exceptions import InconsistentExampleError, NoProgramFoundError
+
+D = TypeVar("D")  # the language's version-space data structure
+
+Example = Tuple[InputState, str]
+
+
+@dataclass(frozen=True)
+class LanguageAdapter(Generic[D]):
+    """Bundles a language's GenerateStr/Intersect plus helpers.
+
+    Attributes:
+        name: human-readable language name ("Lt", "Ls", "Lu").
+        generate: ``GenerateStr(sigma, s) -> D | None`` -- ``None`` when no
+            expression in the language is consistent with the example.
+        intersect: ``Intersect(D, D) -> D | None`` -- ``None`` when the
+            intersection is empty.
+        is_empty: structural emptiness test on ``D``.
+    """
+
+    name: str
+    generate: Callable[[InputState, str], Optional[D]]
+    intersect: Callable[[D, D], Optional[D]]
+    is_empty: Callable[[D], bool]
+
+
+def _check_examples(examples: Sequence[Example]) -> None:
+    if not examples:
+        raise InconsistentExampleError("at least one input-output example is required")
+    arity = len(examples[0][0])
+    for state, output in examples:
+        if not isinstance(output, str):
+            raise InconsistentExampleError(f"output must be a string, got {output!r}")
+        if len(state) != arity:
+            raise InconsistentExampleError(
+                f"all examples must have the same number of inputs; "
+                f"expected {arity}, got {len(state)}"
+            )
+
+
+def Synthesize(adapter: LanguageAdapter[D], examples: Sequence[Example]) -> D:
+    """Run the paper's Synthesize procedure (§3.1) for ``adapter``.
+
+    Raises:
+        NoProgramFoundError: when no expression in the language is
+            consistent with every example.
+        InconsistentExampleError: when the examples are malformed.
+    """
+    _check_examples(examples)
+    state, output = examples[0]
+    structure = adapter.generate(state, output)
+    if structure is None or adapter.is_empty(structure):
+        raise NoProgramFoundError(
+            f"{adapter.name}: no expression is consistent with example 1"
+        )
+    for index, (state, output) in enumerate(examples[1:], start=2):
+        fresh = adapter.generate(state, output)
+        if fresh is None or adapter.is_empty(fresh):
+            raise NoProgramFoundError(
+                f"{adapter.name}: no expression is consistent with example {index}"
+            )
+        merged = adapter.intersect(structure, fresh)
+        if merged is None or adapter.is_empty(merged):
+            raise NoProgramFoundError(
+                f"{adapter.name}: examples 1..{index} have no common expression"
+            )
+        structure = merged
+    return structure
+
+
+def synthesize_incremental(
+    adapter: LanguageAdapter[D],
+    structure: Optional[D],
+    example: Example,
+) -> D:
+    """One incremental step of Synthesize: fold a new example into ``structure``.
+
+    With ``structure=None`` this is the base case (GenerateStr alone).
+    Used by the interactive session, which receives examples one at a time.
+    """
+    state, output = example
+    fresh = adapter.generate(state, output)
+    if fresh is None or adapter.is_empty(fresh):
+        raise NoProgramFoundError(
+            f"{adapter.name}: no expression is consistent with ({state!r} -> {output!r})"
+        )
+    if structure is None:
+        return fresh
+    merged = adapter.intersect(structure, fresh)
+    if merged is None or adapter.is_empty(merged):
+        raise NoProgramFoundError(f"{adapter.name}: version space became empty")
+    return merged

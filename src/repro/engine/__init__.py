@@ -1,0 +1,14 @@
+"""End-user facing engine (paper §3.2): sessions, programs, interaction.
+
+This is the programmatic equivalent of the paper's Excel add-in: the user
+supplies input-output examples one at a time; the engine maintains the
+version space incrementally, exposes the top-ranked program, fills in the
+remaining rows, and highlights inputs on which the surviving consistent
+programs still disagree so the user knows where to look.
+"""
+
+from repro.engine.program import Program
+from repro.engine.session import SynthesisSession, synthesize
+from repro.engine.paraphrase import paraphrase
+
+__all__ = ["Program", "SynthesisSession", "synthesize", "paraphrase"]

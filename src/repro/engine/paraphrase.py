@@ -1,0 +1,78 @@
+"""Natural-language paraphrasing of learned transformations (§3.2).
+
+"The transformations can be shown using the surface syntax, or can be
+paraphrased in a natural language."  This module does the latter, so the
+interactive session can explain to an end-user what the top-ranked
+program will do before they apply it to a whole column.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Expression
+from repro.core.exprs import Var
+from repro.lookup.ast import Select
+from repro.syntactic.ast import Concatenate, ConstStr, CPos, Pos, Position, SubStr
+from repro.syntactic.regex import EPSILON, regex_name
+
+
+def _ordinal(number: int) -> str:
+    value = abs(number)
+    if 10 <= value % 100 <= 20:
+        suffix = "th"
+    else:
+        suffix = {1: "st", 2: "nd", 3: "rd"}.get(value % 10, "th")
+    if number < 0:
+        return f"{value}{suffix}-from-last"
+    return f"{value}{suffix}"
+
+
+def _describe_position(position: Position, side: str) -> str:
+    if isinstance(position, CPos):
+        if position.k >= 0:
+            return f"character position {position.k}"
+        return f"{-position.k - 1} characters before the end"
+    assert isinstance(position, Pos)
+    r1, r2, c = position.r1, position.r2, position.c
+    if r1 == EPSILON and r2 != EPSILON:
+        return f"the start of the {_ordinal(c)} {regex_name(r2)} match"
+    if r2 == EPSILON and r1 != EPSILON:
+        return f"the end of the {_ordinal(c)} {regex_name(r1)} match"
+    return (
+        f"the {_ordinal(c)} boundary between {regex_name(r1)} and {regex_name(r2)}"
+    )
+
+
+def paraphrase(expr: Expression) -> str:
+    """A human-readable, recursively built description of ``expr``."""
+    if isinstance(expr, Var):
+        return f"input column v{expr.index + 1}"
+    if isinstance(expr, ConstStr):
+        return f'the text "{expr.text}"'
+    if isinstance(expr, SubStr):
+        source = paraphrase(expr.source)
+        # Recognize the SubStr2 sugar: the c-th occurrence of a token.
+        if (
+            isinstance(expr.p1, Pos)
+            and isinstance(expr.p2, Pos)
+            and expr.p1.r1 == EPSILON
+            and expr.p2.r2 == EPSILON
+            and expr.p1.r2 == expr.p2.r1
+            and expr.p1.c == expr.p2.c
+        ):
+            token = regex_name(expr.p1.r2)
+            return f"the {_ordinal(expr.p1.c)} {token} token of {source}"
+        start = _describe_position(expr.p1, "start")
+        end = _describe_position(expr.p2, "end")
+        return f"the substring of {source} from {start} to {end}"
+    if isinstance(expr, Select):
+        conditions = " and ".join(
+            f"{column} equals {paraphrase(sub)}" for column, sub in expr.predicates
+        )
+        return (
+            f"the {expr.column} entry of table {expr.table} in the row where "
+            f"{conditions}"
+        )
+    if isinstance(expr, Concatenate):
+        parts = "; then ".join(paraphrase(part) for part in expr.parts)
+        return f"the concatenation of: {parts}"
+    return str(expr)

@@ -1,0 +1,67 @@
+"""A learned transformation wrapped for end-user consumption."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.base import Expression, InputState
+from repro.tables.catalog import Catalog
+
+
+class Program:
+    """A concrete transformation: callable, printable, explainable.
+
+    >>> program(("c2 c5 c6",))        # doctest: +SKIP
+    'Google IBM Xerox'
+    """
+
+    def __init__(
+        self,
+        expr: Expression,
+        catalog: Optional[Catalog],
+        language: str,
+        num_inputs: int,
+    ) -> None:
+        self.expr = expr
+        self.catalog = catalog
+        self.language = language
+        self.num_inputs = num_inputs
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: Union[InputState, Sequence[str]]) -> Optional[str]:
+        """Evaluate on one row of inputs; ``None`` when undefined (⊥)."""
+        state = tuple(inputs)
+        if len(state) != self.num_inputs:
+            raise ValueError(
+                f"program expects {self.num_inputs} inputs, got {len(state)}"
+            )
+        return self.expr.evaluate(state, self.catalog)
+
+    __call__ = run
+
+    def fill(self, rows: Sequence[Sequence[str]]) -> List[Optional[str]]:
+        """Run on many rows (the add-in's 'Apply' button over a column)."""
+        return [self.run(row) for row in rows]
+
+    def is_consistent_with(
+        self, examples: Sequence[Tuple[InputState, str]]
+    ) -> bool:
+        """Does this program reproduce every given example?"""
+        return all(self.run(state) == output for state, output in examples)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Natural-language paraphrase of the transformation (§3.2)."""
+        from repro.engine.paraphrase import paraphrase
+
+        return paraphrase(self.expr)
+
+    def source(self) -> str:
+        """The surface syntax of the expression."""
+        return str(self.expr)
+
+    def __str__(self) -> str:
+        return self.source()
+
+    def __repr__(self) -> str:
+        return f"Program({self.language}: {self.source()})"

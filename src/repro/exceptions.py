@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from one base class while still distinguishing table
+schema problems from synthesis failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TableError(ReproError):
+    """A relational table is malformed (ragged rows, duplicate columns...)."""
+
+
+class KeyConstraintError(TableError):
+    """A declared candidate key does not uniquely identify rows."""
+
+
+class UnknownTableError(TableError):
+    """A lookup referenced a table that is not in the catalog."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown table: {name!r}")
+        self.name = name
+
+
+class UnknownColumnError(TableError):
+    """A lookup referenced a column that does not exist in its table."""
+
+    def __init__(self, table: str, column: str) -> None:
+        super().__init__(f"table {table!r} has no column {column!r}")
+        self.table = table
+        self.column = column
+
+
+class SynthesisError(ReproError):
+    """Synthesis could not produce a program for the given examples."""
+
+
+class NoProgramFoundError(SynthesisError):
+    """The version space became empty (no expression fits all examples)."""
+
+
+class InconsistentExampleError(SynthesisError):
+    """An example is malformed (wrong arity, non-string values...)."""

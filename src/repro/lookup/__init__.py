@@ -1,0 +1,32 @@
+"""The lookup transformation language Lt (paper §4).
+
+* :mod:`~repro.lookup.ast` -- concrete ``Select`` expressions with
+  conjunctive candidate-key conditions,
+* :mod:`~repro.lookup.dstruct` -- the data structure Dt: a node store with
+  generalized selects, shared row conditions and generalized predicates,
+* :mod:`~repro.lookup.generate` -- ``GenerateStr_t`` (Figure 5(a)),
+* :mod:`~repro.lookup.intersect` -- ``Intersect_t`` (Figure 5(b)) with the
+  emptiness-pruning fixpoint,
+* :mod:`~repro.lookup.measure` -- expression counting and structure size,
+* :mod:`~repro.lookup.extract` -- ranking-based extraction (§4.4) and
+  enumeration,
+* :mod:`~repro.lookup.language` -- the Lt language bundle/adapter.
+"""
+
+from repro.lookup.ast import Select
+from repro.lookup.dstruct import GenPredicate, GenSelect, NodeStore, RowCondition, VarEntry
+from repro.lookup.generate import generate_lookup
+from repro.lookup.intersect import intersect_lookup
+from repro.lookup.language import LookupLanguage
+
+__all__ = [
+    "Select",
+    "GenPredicate",
+    "GenSelect",
+    "NodeStore",
+    "RowCondition",
+    "VarEntry",
+    "generate_lookup",
+    "intersect_lookup",
+    "LookupLanguage",
+]

@@ -1,0 +1,78 @@
+"""Concrete AST of the lookup language Lt (paper §4.1).
+
+    e_t := v_i | Select(C, T, b)
+    b   := p_1 ∧ ... ∧ p_n        (over the columns of a candidate key)
+    p   := C = s | C = e
+
+``Select(C, T, b)`` returns ``T[C, r]`` for the unique row ``r`` satisfying
+``b`` and the empty string when no such row exists.  A ⊥ result in a
+predicate sub-expression behaves like "no row matches" (returns ε), which
+keeps Select total as in the paper.
+
+Constants are represented with :class:`~repro.syntactic.ast.ConstStr` so
+predicates uniformly hold expressions; the input variable is the shared
+:class:`~repro.core.exprs.Var`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+from repro.core.base import EvalResult, Expression, InputState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tables.catalog import Catalog
+
+PredicatePair = Tuple[str, Expression]
+
+
+class Select(Expression):
+    """``Select(column, table, [(key_column, expr), ...])``."""
+
+    __slots__ = ("column", "table", "predicates")
+
+    def __init__(
+        self, column: str, table: str, predicates: Sequence[PredicatePair]
+    ) -> None:
+        if not predicates:
+            raise ValueError("Select requires at least one predicate")
+        self.column = column
+        self.table = table
+        self.predicates: Tuple[PredicatePair, ...] = tuple(
+            (key_column, expr) for key_column, expr in predicates
+        )
+
+    def evaluate(self, state: InputState, catalog: "Catalog | None" = None) -> EvalResult:
+        if catalog is None:
+            raise ValueError("Select evaluation requires a catalog")
+        table = catalog.table(self.table)
+        conditions = {}
+        for key_column, expr in self.predicates:
+            value = expr.evaluate(state, catalog)
+            if value is None:
+                return ""  # an undefined key behaves like "no row matches"
+            conditions[key_column] = value
+        return table.lookup(self.column, conditions)
+
+    def _key(self) -> tuple:
+        return (self.column, self.table, self.predicates)
+
+    def size(self) -> int:
+        return 1 + sum(expr.size() for _, expr in self.predicates)
+
+    def depth(self) -> int:
+        return 1 + max(expr.depth() for _, expr in self.predicates)
+
+    def tables_used(self) -> set:
+        """All table names used by this select and its sub-expressions."""
+        used = {self.table}
+        for _, expr in self.predicates:
+            if isinstance(expr, Select):
+                used |= expr.tables_used()
+        return used
+
+    def __str__(self) -> str:
+        condition = " ∧ ".join(
+            f"{key_column} = {expr}" for key_column, expr in self.predicates
+        )
+        return f"Select({self.column}, {self.table}, {condition})"

@@ -1,0 +1,240 @@
+"""Ranking-based extraction and enumeration for Dt (paper §4.4).
+
+The paper defines a partial order; we realize it as a compositional cost
+model (see :class:`repro.config.RankingWeights`) and extract the cheapest
+concrete expression by dynamic programming over (node, depth budget) --
+the same k-bounded denotation used by :mod:`measure`, so extraction always
+terminates even on self-referential stores.
+
+Per §4.4 the extractor prefers: smaller depth (every Select adds
+``select_base`` and deeper budgets are only used when they pay), predicates
+comparing against nodes/variables over constants (``const_predicate`` ≫
+``node_predicate``), and distinct tables for joins (``self_join_penalty``
+when a predicate's chosen sub-expression already uses the parent's table).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.core.base import Expression
+from repro.core.exprs import Var
+from repro.lookup.ast import Select
+from repro.lookup.dstruct import GenPredicate, GenSelect, NodeStore, VarEntry
+from repro.syntactic.ast import ConstStr
+
+Ranked = Tuple[float, Expression]
+#: ``dag_extractor(dag, node_best)`` ranks a dag-valued predicate, where
+#: ``node_best(node)`` gives the referenced node's best at reduced budget.
+DagExtractor = Callable[[object, Callable[[int], Optional[Ranked]]], Optional[Ranked]]
+
+
+def expression_tables(expr: Expression) -> Set[str]:
+    """Tables used anywhere inside ``expr`` (for the self-join penalty)."""
+    if isinstance(expr, Select):
+        tables: Set[str] = {expr.table}
+        for _, sub in expr.predicates:
+            tables |= expression_tables(sub)
+        return tables
+    parts = getattr(expr, "parts", None)
+    if parts is not None:
+        tables = set()
+        for part in parts:
+            tables |= expression_tables(part)
+        return tables
+    source = getattr(expr, "source", None)
+    if source is not None:
+        return expression_tables(source)
+    return set()
+
+
+class Extractor:
+    """Budget-bounded best-expression DP over a node store."""
+
+    def __init__(
+        self,
+        store: NodeStore,
+        config: SynthesisConfig = DEFAULT_CONFIG,
+        dag_extractor: Optional[DagExtractor] = None,
+    ) -> None:
+        self.store = store
+        self.config = config
+        self.dag_extractor = dag_extractor
+        self._memo: Dict[Tuple[int, int], Optional[Ranked]] = {}
+
+    # ------------------------------------------------------------------
+    def best_node(self, node: int, budget: Optional[int] = None) -> Optional[Ranked]:
+        if budget is None:
+            budget = self.store.depth_limit
+        key = (node, budget)
+        if key in self._memo:
+            return self._memo[key]
+        # Break self-recursion pessimistically during computation: a cyclic
+        # reference at the same budget cannot improve a positive-cost min.
+        self._memo[key] = None
+        champion: Optional[Ranked] = None
+        weights = self.config.weights
+        for entry in self.store.progs[node]:
+            if isinstance(entry, VarEntry):
+                candidate: Optional[Ranked] = (weights.var_expr, Var(entry.index))
+            elif budget > 0:
+                candidate = self._rank_select(entry, budget)
+            else:
+                candidate = None
+            if candidate is None:
+                continue
+            if champion is None or (candidate[0], str(candidate[1])) < (
+                champion[0],
+                str(champion[1]),
+            ):
+                champion = candidate
+        self._memo[key] = champion
+        return champion
+
+    def _rank_select(self, entry: GenSelect, budget: int) -> Optional[Ranked]:
+        weights = self.config.weights
+        champion: Optional[Ranked] = None
+        for predicates in entry.cond.keys:
+            total = weights.select_base
+            pairs: List[Tuple[str, Expression]] = []
+            feasible = True
+            for predicate in predicates:
+                choice = self._rank_predicate(predicate, entry.table, budget)
+                if choice is None:
+                    feasible = False
+                    break
+                total += choice[0]
+                pairs.append((predicate.column, choice[1]))
+            if not feasible:
+                continue
+            candidate = (total, Select(entry.column, entry.table, pairs))
+            if champion is None or (candidate[0], str(candidate[1])) < (
+                champion[0],
+                str(champion[1]),
+            ):
+                champion = candidate
+        return champion
+
+    def _rank_predicate(
+        self, predicate: GenPredicate, parent_table: str, budget: int
+    ) -> Optional[Ranked]:
+        weights = self.config.weights
+        champion: Optional[Ranked] = None
+        if predicate.dag is not None:
+            if self.dag_extractor is None:
+                raise ValueError("dag-valued predicate needs a dag_extractor")
+            champion = self.dag_extractor(
+                predicate.dag, lambda node: self.best_node(node, budget - 1)
+            )
+            if champion is not None and parent_table in expression_tables(champion[1]):
+                champion = (champion[0] + weights.self_join_penalty, champion[1])
+            return champion
+        if predicate.node is not None:
+            ranked = self.best_node(predicate.node, budget - 1)
+            if ranked is not None:
+                cost = weights.node_predicate + ranked[0]
+                if parent_table in expression_tables(ranked[1]):
+                    cost += weights.self_join_penalty
+                champion = (cost, ranked[1])
+        if predicate.constant is not None:
+            constant = (weights.const_predicate, ConstStr(predicate.constant))
+            if champion is None or constant[0] < champion[0]:
+                champion = constant
+        return champion
+
+
+def best_expressions(
+    store: NodeStore,
+    config: SynthesisConfig = DEFAULT_CONFIG,
+    dag_extractor: Optional[DagExtractor] = None,
+) -> Dict[int, Ranked]:
+    """Cheapest concrete expression per node (nodes with none are absent)."""
+    extractor = Extractor(store, config, dag_extractor)
+    result: Dict[int, Ranked] = {}
+    for node in range(len(store.vals)):
+        ranked = extractor.best_node(node)
+        if ranked is not None:
+            result[node] = ranked
+    return result
+
+
+def best_expression(
+    store: NodeStore,
+    config: SynthesisConfig = DEFAULT_CONFIG,
+    dag_extractor: Optional[DagExtractor] = None,
+) -> Optional[Ranked]:
+    """The top-ranked expression for the store's target node."""
+    if store.target is None:
+        return None
+    return Extractor(store, config, dag_extractor).best_node(store.target)
+
+
+def enumerate_expressions(
+    store: NodeStore,
+    node: Optional[int] = None,
+    limit: int = 1000,
+) -> Iterator[Expression]:
+    """Yield concrete Lt expressions for ``node`` (default target).
+
+    Walks the same depth-bounded denotation as ``count_expressions``:
+    when the total number of expressions is at most ``limit`` (at every
+    node), the yielded list is exhaustive and its length equals the count.
+    Sub-expression lists are memoized per (node, depth) and individually
+    capped at ``limit``.
+    """
+    root = store.target if node is None else node
+    if root is None:
+        return
+    memo: Dict[Tuple[int, int], List[Expression]] = {}
+
+    def exprs_for(current: int, depth: int) -> List[Expression]:
+        key = (current, depth)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        memo[key] = []  # break self-reference at equal depth defensively
+        out: List[Expression] = []
+        for entry in store.progs[current]:
+            if len(out) >= limit:
+                break
+            if isinstance(entry, VarEntry):
+                out.append(Var(entry.index))
+                continue
+            if depth <= 0:
+                continue
+            for predicates in entry.cond.keys:
+                option_lists: List[List[Expression]] = []
+                feasible = True
+                for predicate in predicates:
+                    options: List[Expression] = []
+                    if predicate.constant is not None:
+                        options.append(ConstStr(predicate.constant))
+                    if predicate.node is not None:
+                        options.extend(exprs_for(predicate.node, depth - 1))
+                    if not options:
+                        feasible = False
+                        break
+                    option_lists.append(options)
+                if not feasible:
+                    continue
+                columns = [p.column for p in predicates]
+                for combo in _cartesian(option_lists):
+                    out.append(Select(entry.column, entry.table, list(zip(columns, combo))))
+                    if len(out) >= limit:
+                        break
+                if len(out) >= limit:
+                    break
+        memo[key] = out
+        return out
+
+    def _cartesian(option_lists: List[List[Expression]]) -> Iterator[tuple]:
+        if not option_lists:
+            yield ()
+            return
+        head, *tail = option_lists
+        for option in head:
+            for rest in _cartesian(tail):
+                yield (option,) + rest
+
+    yield from exprs_for(root, store.depth_limit)

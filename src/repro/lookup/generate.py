@@ -1,0 +1,130 @@
+"""GenerateStr_t: all Lt expressions consistent with one example (Fig 5(a)).
+
+The algorithm is forward reachability over table entries: starting from the
+input-variable strings, a table row is *triggered* when some reachable
+string equals one of its cells; the row's other cells then become reachable
+with a generalized ``Select`` recording how.
+
+We implement the paper's loop in two phases (see DESIGN.md note 2):
+
+1. **Reachability** (bounded by k steps, k = number of tables by default):
+   discover nodes and remember, per (table, row), which columns matched and
+   which selects to attach.
+2. **Condition building**: construct each row's generalized condition once
+   against the final val⁻¹ map.  This equals the paper's revisit-and-update
+   behaviour (line 15) without duplicate select entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.core.base import InputState
+from repro.lookup.dstruct import (
+    GenPredicate,
+    GenSelect,
+    NodeStore,
+    RowCondition,
+    VarEntry,
+)
+from repro.tables.catalog import Catalog
+
+RowKey = Tuple[str, int]  # (table name, row index)
+
+
+def generate_lookup(
+    catalog: Catalog,
+    state: InputState,
+    output: str,
+    config: SynthesisConfig = DEFAULT_CONFIG,
+) -> NodeStore:
+    """Build Dt for the example (state -> output).
+
+    The returned store's ``target`` is ``None`` when the output string is
+    not a reachable table entry -- i.e. no Lt expression is consistent.
+    """
+    depth_bound_config = (
+        config.depth_bound
+        if config.depth_bound is not None
+        else catalog.default_depth_bound()
+    )
+    # Measures use the k-bounded denotation; +2 slack admits the boundary
+    # expressions whose outermost selects were attached on the last step.
+    store = NodeStore(depth_limit=depth_bound_config + 2)
+
+    # Base case (Fig 5(a) lines 2-6): one node per distinct input value.
+    frontier: List[int] = []
+    for index, value in enumerate(state):
+        node, created = store.ensure_node(value, depth=0)
+        if created:
+            frontier.append(node)
+        store.progs[node].append(VarEntry(index))
+
+    depth_bound = depth_bound_config
+
+    # Phase 1: reachability (lines 7-15, trigger condition T[C,r] = val(η)).
+    matched_columns: Dict[RowKey, Set[str]] = {}
+    attached: Set[Tuple[str, str, int]] = set()
+    pending_selects: List[Tuple[int, str, str, int]] = []  # node, table, column, row
+
+    step = 0
+    while frontier and step < depth_bound and len(store) < config.max_reachable_nodes:
+        step += 1
+        affected_rows: List[RowKey] = []
+        for node in frontier:
+            value = store.vals[node]
+            if not value:
+                continue  # empty cells trigger nothing useful
+            for occurrence in catalog.occurrences_of(value):
+                row_key = (occurrence.table, occurrence.row)
+                columns = matched_columns.setdefault(row_key, set())
+                if occurrence.column not in columns:
+                    columns.add(occurrence.column)
+                    affected_rows.append(row_key)
+
+        next_frontier: List[int] = []
+        for table_name, row in affected_rows:
+            table = catalog.table(table_name)
+            matched = matched_columns[(table_name, row)]
+            for column in table.columns:
+                # Eligible when triggered by a *different* column (C' != C).
+                if not (matched - {column}):
+                    continue
+                key = (table_name, column, row)
+                if key in attached:
+                    continue
+                attached.add(key)
+                value = table.cell(column, row)
+                node, created = store.ensure_node(value, depth=step)
+                if created:
+                    next_frontier.append(node)
+                pending_selects.append((node, table_name, column, row))
+        frontier = next_frontier
+
+    # Phase 2: one shared generalized condition per triggered row, built
+    # against the final val⁻¹ (the fixpoint of the paper's updates).
+    conditions: Dict[RowKey, RowCondition] = {}
+    for (table_name, row) in matched_columns:
+        table = catalog.table(table_name)
+        per_key: List[List[GenPredicate]] = []
+        for candidate_key in table.keys:
+            predicates = [
+                GenPredicate(
+                    column=key_column,
+                    constant=table.cell(key_column, row),
+                    node=store.node_for(table.cell(key_column, row)),
+                )
+                for key_column in candidate_key
+            ]
+            per_key.append(predicates)
+        conditions[(table_name, row)] = RowCondition(table_name, row, per_key)
+
+    # Phase 3: attach the generalized selects.
+    for node, table_name, column, row in pending_selects:
+        store.progs[node].append(
+            GenSelect(column, table_name, conditions[(table_name, row)])
+        )
+
+    store.target = store.node_for(output)
+    return store

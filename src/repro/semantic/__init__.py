@@ -1,0 +1,31 @@
+"""The semantic transformation language Lu (paper §5): Lt + Ls combined.
+
+Lu extends the lookup language with syntactic manipulation in both
+directions: lookup *keys* may be arbitrary syntactic expressions over
+previously reachable strings (``p_t := C = e_s``), and lookup *outputs* may
+be substringed and concatenated into the final result
+(``f_s := ConstStr(s) | e_t | SubStr(e_t, p1, p2)``).
+
+* :mod:`~repro.semantic.dstruct` -- the Du structure: a node store whose
+  predicates are nested Dags, plus the top-level output Dag,
+* :mod:`~repro.semantic.generate` -- ``GenerateStr'_t`` (relaxed substring
+  reachability) and ``GenerateStr_u``,
+* :mod:`~repro.semantic.intersect` -- ``Intersect_u`` with the global
+  emptiness-pruning fixpoint,
+* :mod:`~repro.semantic.measure` -- Figure 11(a)/(b) metrics,
+* :mod:`~repro.semantic.extract` -- ranking (§5.4), extraction and
+  enumeration,
+* :mod:`~repro.semantic.language` -- the Lu bundle/adapter.
+"""
+
+from repro.semantic.dstruct import SemanticStructure
+from repro.semantic.generate import generate_semantic
+from repro.semantic.intersect import intersect_semantic
+from repro.semantic.language import SemanticLanguage
+
+__all__ = [
+    "SemanticStructure",
+    "generate_semantic",
+    "intersect_semantic",
+    "SemanticLanguage",
+]

@@ -1,0 +1,300 @@
+"""Ranking, extraction and enumeration for Du (paper §5.4).
+
+The §5.4 preferences extend §4.4's: prefer lookup expressions that index
+with longer matched strings (fewer dag edges through the per-edge base
+cost), fewer constant expressions (length-scaled constant costs), and
+longer generated outputs.  Extraction composes the lookup extractor with
+dag best-path search; the mutual recursion is budget-bounded exactly like
+counting, so it terminates on self-referential structures.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian_product
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.core.base import Expression
+from repro.core.exprs import Var
+from repro.lookup.ast import Select
+from repro.lookup.dstruct import GenSelect, NodeStore, VarEntry
+from repro.lookup.extract import Extractor, Ranked, expression_tables
+from repro.semantic.dstruct import SemanticStructure
+from repro.syntactic.ast import ConstStr, SubStr
+from repro.syntactic.dag import Atom, ConstAtom, Dag, RefAtom, SubStrAtom
+from repro.syntactic.language import assemble_concatenation
+from repro.syntactic.positions import best_position_expr, enumerate_position_exprs
+
+
+class SemanticExtractor:
+    """Best-program extraction for Du."""
+
+    def __init__(
+        self, structure: SemanticStructure, config: SynthesisConfig = DEFAULT_CONFIG
+    ) -> None:
+        self.structure = structure
+        self.config = config
+        self.weights = config.weights
+        self.node_extractor = Extractor(
+            structure.store, config, dag_extractor=self._extract_dag
+        )
+
+    # -- atoms -----------------------------------------------------------
+    def _atom_best(
+        self, atom: Atom, node_best: Callable[[int], Optional[Ranked]]
+    ) -> Optional[Ranked]:
+        weights = self.weights
+        if isinstance(atom, ConstAtom):
+            cost = weights.const_atom_base + weights.const_atom_per_char * len(
+                atom.text
+            )
+            return (cost, ConstStr(atom.text))
+        ranked = node_best(atom.source)
+        if ranked is None:
+            return None
+        if isinstance(atom, RefAtom):
+            return (weights.ref_atom + ranked[0], ranked[1])
+        cost1, p1 = best_position_expr(atom.p1, weights)
+        cost2, p2 = best_position_expr(atom.p2, weights)
+        cost = weights.substr_atom + ranked[0] + cost1 + cost2
+        return (cost, SubStr(ranked[1], p1, p2))
+
+    # -- dags --------------------------------------------------------------
+    def _extract_dag(
+        self, dag: Dag, node_best: Callable[[int], Optional[Ranked]]
+    ) -> Optional[Ranked]:
+        result = dag.best_path(
+            lambda atom: self._atom_best(atom, node_best),
+            self.weights.edge_base,
+        )
+        if result is None:
+            return None
+        cost, parts = result
+        return (cost, assemble_concatenation(parts))
+
+    # -- entry point ---------------------------------------------------------
+    def best_program(self) -> Optional[Ranked]:
+        budget = self.structure.store.depth_limit
+        return self._extract_dag(
+            self.structure.dag,
+            lambda node: self.node_extractor.best_node(node, budget),
+        )
+
+
+def best_program(
+    structure: SemanticStructure, config: SynthesisConfig = DEFAULT_CONFIG
+) -> Optional[Expression]:
+    """The top-ranked Lu program, or ``None`` when the structure is empty."""
+    ranked = SemanticExtractor(structure, config).best_program()
+    if ranked is None:
+        return None
+    return ranked[1]
+
+
+def top_k_programs(
+    structure: SemanticStructure,
+    k: int,
+    config: SynthesisConfig = DEFAULT_CONFIG,
+) -> List[Tuple[float, Expression]]:
+    """The k cheapest distinct Lu programs, best first (§3.2's top-k view).
+
+    Diversity comes from the top dag: alternative path decompositions and
+    alternative atoms per edge, each expanded with up to k position
+    choices; node references use their single best expression (deeper
+    alternatives explode combinatorially without changing behaviour on
+    the examples).  Results are deduplicated by rendered program text.
+    """
+    if k <= 0:
+        return []
+    extractor = SemanticExtractor(structure, config)
+    weights = config.weights
+    budget = structure.store.depth_limit
+    node_best = lambda node: extractor.node_extractor.best_node(node, budget)  # noqa: E731
+
+    def atom_options(atom: Atom) -> List[Tuple[float, Expression]]:
+        """Up to k ranked concrete expressions for one atom."""
+        if isinstance(atom, ConstAtom):
+            cost = weights.const_atom_base + weights.const_atom_per_char * len(
+                atom.text
+            )
+            return [(cost, ConstStr(atom.text))]
+        ranked = node_best(atom.source)
+        if ranked is None:
+            return []
+        if isinstance(atom, RefAtom):
+            return [(weights.ref_atom + ranked[0], ranked[1])]
+        from repro.syntactic.positions import enumerate_position_exprs
+
+        options: List[Tuple[float, Expression]] = []
+        base = weights.substr_atom + ranked[0]
+        for p1 in enumerate_position_exprs(atom.p1):
+            for p2 in enumerate_position_exprs(atom.p2):
+                cost = base + _position_cost(p1, weights) + _position_cost(p2, weights)
+                options.append((cost, SubStr(ranked[1], p1, p2)))
+                if len(options) >= k:
+                    return options
+        return options
+
+    dag = structure.dag
+    if dag.is_trivial_empty:
+        return [(0.0, ConstStr(""))]
+
+    # DP: k cheapest (cost, parts) suffixes per dag node, in reverse
+    # topological order.
+    suffixes: Dict[int, List[Tuple[float, Tuple[Expression, ...]]]] = {
+        dag.target: [(0.0, ())]
+    }
+    for node in reversed(dag.topological_order()):
+        if node == dag.target:
+            continue
+        candidates: List[Tuple[float, Tuple[Expression, ...]]] = []
+        for successor in dag.out_neighbors()[node]:
+            tails = suffixes.get(successor)
+            if not tails:
+                continue
+            options = dag.edges.get((node, successor))
+            if not options:
+                continue
+            edge_choices: List[Tuple[float, Expression]] = []
+            for atom in options:
+                edge_choices.extend(atom_options(atom))
+            edge_choices.sort(key=lambda pair: pair[0])
+            for cost, expr in edge_choices[: k * 2]:
+                for tail_cost, tail in tails:
+                    candidates.append(
+                        (weights.edge_base + cost + tail_cost, (expr,) + tail)
+                    )
+        candidates.sort(key=lambda pair: pair[0])
+        if candidates:
+            suffixes[node] = candidates[: k * 2]
+    ranked_paths = suffixes.get(dag.source, [])
+
+    results: List[Tuple[float, Expression]] = []
+    seen: set = set()
+    for cost, parts in ranked_paths:
+        program = assemble_concatenation(list(parts))
+        key = str(program)
+        if key in seen:
+            continue
+        seen.add(key)
+        results.append((cost, program))
+        if len(results) >= k:
+            break
+    return results
+
+
+def _position_cost(position, weights) -> float:
+    from repro.syntactic.ast import CPos
+
+    if isinstance(position, CPos):
+        return weights.cpos_entry
+    return weights.regex_entry + weights.regex_token * (
+        len(position.r1) + len(position.r2)
+    )
+
+
+def enumerate_programs(
+    structure: SemanticStructure,
+    limit: int = 1000,
+    per_edge_limit: int = 8,
+) -> Iterator[Expression]:
+    """Yield concrete Lu programs (a bounded sample of the denotation).
+
+    Used by soundness property tests: every yielded program must evaluate
+    to the example output.  ``per_edge_limit`` caps the alternatives taken
+    per dag edge / node so the cartesian products stay tractable.
+    """
+    store = structure.store
+    node_memo: Dict[Tuple[int, int], List[Expression]] = {}
+
+    def node_exprs(node: int, budget: int) -> List[Expression]:
+        key = (node, budget)
+        cached = node_memo.get(key)
+        if cached is not None:
+            return cached
+        node_memo[key] = []
+        out: List[Expression] = []
+        for entry in store.progs[node]:
+            if len(out) >= per_edge_limit:
+                break
+            if isinstance(entry, VarEntry):
+                out.append(Var(entry.index))
+                continue
+            if budget <= 0:
+                continue
+            for predicates in entry.cond.keys:
+                option_lists: List[List[Expression]] = []
+                feasible = True
+                for predicate in predicates:
+                    if predicate.dag is not None:
+                        options = dag_exprs(predicate.dag, budget - 1)
+                    else:
+                        options = []
+                        if predicate.constant is not None:
+                            options.append(ConstStr(predicate.constant))
+                        if predicate.node is not None:
+                            options.extend(node_exprs(predicate.node, budget - 1))
+                    if not options:
+                        feasible = False
+                        break
+                    option_lists.append(options[:per_edge_limit])
+                if not feasible:
+                    continue
+                columns = [p.column for p in predicates]
+                for combo in cartesian_product(*option_lists):
+                    out.append(Select(entry.column, entry.table, list(zip(columns, combo))))
+                    if len(out) >= per_edge_limit:
+                        break
+                if len(out) >= per_edge_limit:
+                    break
+        node_memo[key] = out
+        return out
+
+    def atom_exprs(atom: Atom, budget: int) -> List[Expression]:
+        if isinstance(atom, ConstAtom):
+            return [ConstStr(atom.text)]
+        if isinstance(atom, RefAtom):
+            return node_exprs(atom.source, budget)
+        sources = node_exprs(atom.source, budget)
+        out: List[Expression] = []
+        for source in sources[:2]:
+            for p1 in enumerate_position_exprs(atom.p1):
+                for p2 in enumerate_position_exprs(atom.p2):
+                    out.append(SubStr(source, p1, p2))
+                    if len(out) >= per_edge_limit:
+                        return out
+        return out
+
+    def dag_exprs(dag: Dag, budget: int) -> List[Expression]:
+        out: List[Expression] = []
+        for path in dag.enumerate_paths(limit=per_edge_limit):
+            option_lists = []
+            for edge in path:
+                options: List[Expression] = []
+                for atom in dag.edges[edge]:
+                    options.extend(atom_exprs(atom, budget))
+                    if len(options) >= per_edge_limit:
+                        break
+                option_lists.append(options[:per_edge_limit])
+            for combo in cartesian_product(*option_lists):
+                out.append(assemble_concatenation(list(combo)))
+                if len(out) >= per_edge_limit * per_edge_limit:
+                    return out
+        return out
+
+    produced = 0
+    budget = store.depth_limit
+    for path in structure.dag.enumerate_paths(limit=limit):
+        option_lists = []
+        for edge in path:
+            options: List[Expression] = []
+            for atom in structure.dag.edges[edge]:
+                options.extend(atom_exprs(atom, budget))
+                if len(options) >= per_edge_limit:
+                    break
+            option_lists.append(options[:per_edge_limit])
+        for combo in cartesian_product(*option_lists):
+            yield assemble_concatenation(list(combo))
+            produced += 1
+            if produced >= limit:
+                return

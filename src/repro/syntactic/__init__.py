@@ -1,0 +1,46 @@
+"""The syntactic transformation language Ls (paper §5, after Gulwani [8]).
+
+This package reimplements the subset of the POPL 2011 string-transformation
+language that the paper reproduces as ``Ls``:
+
+* :mod:`~repro.syntactic.tokens` -- the token alphabet (character-class and
+  special-character tokens, with this paper's conventions: ``AlphTok``
+  matches alphanumeric runs),
+* :mod:`~repro.syntactic.regex` -- token-sequence regular expressions and
+  their match semantics,
+* :mod:`~repro.syntactic.ast` -- concrete expressions ``ConstStr``,
+  ``SubStr``, ``Concatenate`` and position expressions ``CPos``/``Pos``,
+* :mod:`~repro.syntactic.positions` -- generalized position sets,
+* :mod:`~repro.syntactic.dag` -- the Dag version-space data structure,
+* :mod:`~repro.syntactic.generate` / :mod:`~repro.syntactic.intersect` --
+  ``GenerateStr_s`` and ``Intersect_s``,
+* :mod:`~repro.syntactic.language` -- the standalone Ls language adapter
+  (sources are the input variables; used for purely syntactic tasks such
+  as paper Example 4).
+"""
+
+from repro.syntactic.ast import Concatenate, ConstStr, CPos, Pos, SubStr, substr2
+from repro.syntactic.dag import ConstAtom, Dag, RefAtom, SubStrAtom
+from repro.syntactic.generate import generate_dag
+from repro.syntactic.intersect import intersect_dags
+from repro.syntactic.language import syntactic_adapter, SyntacticLanguage
+from repro.syntactic.tokens import TOKENS, token_by_name
+
+__all__ = [
+    "Concatenate",
+    "ConstStr",
+    "CPos",
+    "Pos",
+    "SubStr",
+    "substr2",
+    "Dag",
+    "ConstAtom",
+    "RefAtom",
+    "SubStrAtom",
+    "generate_dag",
+    "intersect_dags",
+    "syntactic_adapter",
+    "SyntacticLanguage",
+    "TOKENS",
+    "token_by_name",
+]

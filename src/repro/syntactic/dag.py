@@ -1,0 +1,285 @@
+"""The Dag version-space data structure (paper §5.2).
+
+``Dag(α̃, αs, αt, ξ̃, W)`` succinctly represents a set of ``Concatenate``
+expressions: nodes are string positions, and every source→target path
+yields the concatenation of one atomic expression per edge.
+
+Edges carry *generalized atomic expressions*:
+
+* :class:`ConstAtom` -- one constant string,
+* :class:`RefAtom` -- a whole-string reference to a *source* (an input
+  variable in pure Ls; a node η of the lookup structure in Lu),
+* :class:`SubStrAtom` -- substrings of a source with generalized position
+  sets on both ends.
+
+What a "source" means is deliberately abstract: every measure/extraction
+function takes callbacks to resolve source ids, so the same Dag code
+serves both Ls (sources = variables) and Lu (sources = lookup nodes with
+their own nested version spaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.syntactic.positions import PosSet
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ConstAtom:
+    """The ``ConstStr(text)`` atomic expression."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class RefAtom:
+    """A whole-string use of a source (``f_s := e_t`` with e_t's full value)."""
+
+    source: int
+
+
+@dataclass(frozen=True)
+class SubStrAtom:
+    """``SubStr(source, p̃1, p̃2)`` with generalized position sets."""
+
+    source: int
+    p1: PosSet
+    p2: PosSet
+
+
+Atom = object  # ConstAtom | RefAtom | SubStrAtom
+
+
+class Dag:
+    """A DAG over integer nodes with atom-labelled edges.
+
+    ``edges`` maps ``(i, j)`` to the list of atomic-expression sets on that
+    edge (the paper's ``W``).  The node list must be topologically
+    orderable; generated dags use string positions ``0..l`` directly.
+    """
+
+    __slots__ = ("nodes", "source", "target", "edges", "_out")
+
+    def __init__(
+        self,
+        nodes: Sequence[int],
+        source: int,
+        target: int,
+        edges: Dict[Edge, List[Atom]],
+    ) -> None:
+        self.nodes: Tuple[int, ...] = tuple(nodes)
+        self.source = source
+        self.target = target
+        self.edges: Dict[Edge, List[Atom]] = edges
+        self._out: Optional[Dict[int, List[int]]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_trivial_empty(self) -> bool:
+        """True for the degenerate dag of the empty output string."""
+        return self.source == self.target
+
+    def out_neighbors(self) -> Dict[int, List[int]]:
+        """Adjacency map node -> successor nodes (cached)."""
+        if self._out is None:
+            out: Dict[int, List[int]] = {node: [] for node in self.nodes}
+            for (i, j) in self.edges:
+                out[i].append(j)
+            for successors in out.values():
+                successors.sort()
+            self._out = out
+        return self._out
+
+    def topological_order(self) -> List[int]:
+        """Kahn topological order of the nodes (edges always go forward)."""
+        indegree: Dict[int, int] = {node: 0 for node in self.nodes}
+        for (_, j) in self.edges:
+            indegree[j] += 1
+        ready = sorted(node for node, degree in indegree.items() if degree == 0)
+        order: List[int] = []
+        out = self.out_neighbors()
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for successor in out[node]:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    ready.append(successor)
+        if len(order) != len(self.nodes):
+            raise ValueError("dag contains a cycle")
+        return order
+
+    def has_path(self) -> bool:
+        """Is there any source→target path (with at least one edge each)?"""
+        if self.is_trivial_empty:
+            return True
+        out = self.out_neighbors()
+        seen: Set[int] = {self.source}
+        stack = [self.source]
+        while stack:
+            node = stack.pop()
+            if node == self.target:
+                return True
+            for successor in out[node]:
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return False
+
+    # ------------------------------------------------------------------
+    def count_paths(self, atom_count: Callable[[Atom], int]) -> int:
+        """Number of concrete expressions represented (Figure 11(a) metric).
+
+        ``atom_count`` resolves the number of concrete expressions an atom
+        denotes (1 for constants; position-set products times the source's
+        own count for substrings/references).
+        """
+        if self.is_trivial_empty:
+            return 1
+        ways: Dict[int, int] = {node: 0 for node in self.nodes}
+        ways[self.target] = 1
+        for node in reversed(self.topological_order()):
+            if node == self.target:
+                continue
+            total = 0
+            for successor in self.out_neighbors()[node]:
+                options = self.edges.get((node, successor))
+                if not options:
+                    continue
+                edge_total = sum(atom_count(atom) for atom in options)
+                total += edge_total * ways[successor]
+            ways[node] = total
+        return ways[self.source]
+
+    def structure_size(self, atom_size: Callable[[Atom], int]) -> int:
+        """Terminal-symbol size of the dag (Figure 11(b) metric)."""
+        return sum(
+            atom_size(atom) for options in self.edges.values() for atom in options
+        )
+
+    def best_path(
+        self,
+        atom_best: Callable[[Atom], Optional[Tuple[float, object]]],
+        edge_base: float,
+    ) -> Optional[Tuple[float, List[object]]]:
+        """Cheapest source→target path under the ranking cost model.
+
+        ``atom_best`` returns (cost, concrete expression) for an atom, or
+        ``None`` when the atom is currently unrealizable (e.g. its source
+        node became empty after intersection).  Returns (total cost, list
+        of concrete atomic expressions along the path).
+        """
+        if self.is_trivial_empty:
+            return (0.0, [])
+        best: Dict[int, Tuple[float, List[object]]] = {self.target: (0.0, [])}
+        for node in reversed(self.topological_order()):
+            if node == self.target:
+                continue
+            champion: Optional[Tuple[float, List[object]]] = None
+            for successor in self.out_neighbors()[node]:
+                tail = best.get(successor)
+                if tail is None:
+                    continue
+                options = self.edges.get((node, successor))
+                if not options:
+                    continue
+                for atom in options:
+                    resolved = atom_best(atom)
+                    if resolved is None:
+                        continue
+                    cost = edge_base + resolved[0] + tail[0]
+                    if champion is None or cost < champion[0]:
+                        champion = (cost, [resolved[1]] + tail[1])
+            if champion is not None:
+                best[node] = champion
+        return best.get(self.source)
+
+    def enumerate_paths(self, limit: int = 100000) -> Iterator[List[Edge]]:
+        """Yield source→target paths as edge lists (bounded by ``limit``)."""
+        if self.is_trivial_empty:
+            yield []
+            return
+        out = self.out_neighbors()
+        budget = [limit]
+
+        def walk(node: int, prefix: List[Edge]) -> Iterator[List[Edge]]:
+            if budget[0] <= 0:
+                return
+            if node == self.target:
+                budget[0] -= 1
+                yield list(prefix)
+                return
+            for successor in out[node]:
+                if (node, successor) in self.edges:
+                    prefix.append((node, successor))
+                    yield from walk(successor, prefix)
+                    prefix.pop()
+
+        yield from walk(self.source, [])
+
+    def pruned(self, atom_valid: Callable[[Atom], bool]) -> Optional["Dag"]:
+        """Drop invalid atoms/edges and nodes off every source→target path.
+
+        Returns ``None`` when no path survives.
+        """
+        if self.is_trivial_empty:
+            return self
+        kept_edges: Dict[Edge, List[Atom]] = {}
+        for edge, options in self.edges.items():
+            kept = [atom for atom in options if atom_valid(atom)]
+            if kept:
+                kept_edges[edge] = kept
+        # Forward reachability from source.
+        forward: Set[int] = {self.source}
+        changed = True
+        while changed:
+            changed = False
+            for (i, j) in kept_edges:
+                if i in forward and j not in forward:
+                    forward.add(j)
+                    changed = True
+        if self.target not in forward:
+            return None
+        # Backward reachability from target.
+        backward: Set[int] = {self.target}
+        changed = True
+        while changed:
+            changed = False
+            for (i, j) in kept_edges:
+                if j in backward and i not in backward:
+                    backward.add(i)
+                    changed = True
+        alive = forward & backward
+        final_edges = {
+            edge: options
+            for edge, options in kept_edges.items()
+            if edge[0] in alive and edge[1] in alive
+        }
+        nodes = sorted(alive)
+        return Dag(nodes, self.source, self.target, final_edges)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"Dag(nodes={len(self.nodes)}, edges={len(self.edges)}, "
+            f"source={self.source}, target={self.target})"
+        )
+
+
+def full_span_edges(length: int) -> Iterable[Edge]:
+    """All forward edges over positions 0..length (the generated dag shape)."""
+    return ((i, j) for i in range(length) for j in range(i + 1, length + 1))

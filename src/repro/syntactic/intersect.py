@@ -1,0 +1,125 @@
+"""Intersect_s: intersection of two Dags (paper §5.3).
+
+The product construction mirrors finite-automaton intersection: product
+nodes are pairs of nodes, and an edge exists where both dags have an edge
+whose atom sets intersect.  Atom intersection rules:
+
+* ``ConstAtom`` ∩ ``ConstAtom``: equal text survives,
+* ``RefAtom`` ∩ ``RefAtom``: sources must merge (equality for variables;
+  node-pair intersection in Lu, supplied via ``merge_source``),
+* ``SubStrAtom`` ∩ ``SubStrAtom``: sources must merge and both position
+  sets must intersect (``IntersectPos``).
+
+``merge_source(s1, s2)`` returns the merged source id or ``None``; in Lu
+it allocates product nodes whose emptiness is only known after the global
+pruning fixpoint, so the returned dag may still contain atoms that later
+prove empty -- :meth:`Dag.pruned` removes them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.syntactic.dag import Atom, ConstAtom, Dag, Edge, RefAtom, SubStrAtom
+from repro.syntactic.positions import intersect_position_sets
+
+MergeSource = Callable[[int, int], Optional[int]]
+
+
+def equal_source_merge(first: int, second: int) -> Optional[int]:
+    """Source merge for pure Ls: variable indices must be equal."""
+    return first if first == second else None
+
+
+def _intersect_atoms(
+    first: List[Atom], second: List[Atom], merge_source: MergeSource
+) -> List[Atom]:
+    """All pairwise atom intersections, bucketed by atom type for speed."""
+    result: List[Atom] = []
+    consts = {atom.text for atom in first if isinstance(atom, ConstAtom)}
+    refs = [atom for atom in first if isinstance(atom, RefAtom)]
+    substrs = [atom for atom in first if isinstance(atom, SubStrAtom)]
+    for atom in second:
+        if isinstance(atom, ConstAtom):
+            if atom.text in consts:
+                result.append(atom)
+        elif isinstance(atom, RefAtom):
+            for other in refs:
+                merged = merge_source(other.source, atom.source)
+                if merged is not None:
+                    result.append(RefAtom(merged))
+        else:
+            for other in substrs:
+                merged = merge_source(other.source, atom.source)
+                if merged is None:
+                    continue
+                p1 = intersect_position_sets(other.p1, atom.p1)
+                if p1 is None:
+                    continue
+                p2 = intersect_position_sets(other.p2, atom.p2)
+                if p2 is None:
+                    continue
+                result.append(SubStrAtom(merged, p1, p2))
+    return result
+
+
+def intersect_dags(
+    first: Dag,
+    second: Dag,
+    merge_source: MergeSource = equal_source_merge,
+) -> Optional[Dag]:
+    """Product-automaton intersection; ``None`` when no common expression.
+
+    Returned node ids are freshly numbered; the pair structure is internal.
+    """
+    if first.is_trivial_empty or second.is_trivial_empty:
+        # Only the empty concatenation lives in a trivial dag; intersection
+        # is non-empty only if both are trivial.
+        if first.is_trivial_empty and second.is_trivial_empty:
+            return Dag((0,), 0, 0, {})
+        return None
+
+    out1 = first.out_neighbors()
+    out2 = second.out_neighbors()
+    pair_ids: Dict[Tuple[int, int], int] = {}
+    edges: Dict[Edge, List[Atom]] = {}
+
+    def pair_id(pair: Tuple[int, int]) -> int:
+        ident = pair_ids.get(pair)
+        if ident is None:
+            ident = len(pair_ids)
+            pair_ids[pair] = ident
+        return ident
+
+    start = (first.source, second.source)
+    goal = (first.target, second.target)
+    pair_id(start)
+    worklist = [start]
+    seen = {start}
+    while worklist:
+        a, b = worklist.pop()
+        for a2 in out1[a]:
+            options1 = first.edges.get((a, a2))
+            if not options1:
+                continue
+            for b2 in out2[b]:
+                options2 = second.edges.get((b, b2))
+                if not options2:
+                    continue
+                merged = _intersect_atoms(options1, options2, merge_source)
+                if not merged:
+                    continue
+                edges[(pair_id((a, b)), pair_id((a2, b2)))] = merged
+                if (a2, b2) not in seen:
+                    seen.add((a2, b2))
+                    worklist.append((a2, b2))
+
+    if goal not in pair_ids:
+        return None
+    dag = Dag(
+        tuple(range(len(pair_ids))),
+        pair_ids[start],
+        pair_ids[goal],
+        edges,
+    )
+    return dag.pruned(lambda atom: True)

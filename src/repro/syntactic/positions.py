@@ -1,0 +1,167 @@
+"""Generalized position sets (the p̃ of the Dag data structure, §5.2).
+
+A generalized position set represents *all* position expressions that
+evaluate to a given position ``t`` of a given string.  It is a tuple of
+entries of two shapes (plain tagged tuples for speed -- these are the
+hottest objects in the synthesizer):
+
+* ``("C", k)`` -- the constant positions ``CPos(t)`` and ``CPos(t-l-1)``,
+* ``("R", r1, r2, cs)`` -- ``pos(r1, r2, c)`` for every ``c`` in the
+  frozenset ``cs`` (the occurrence index from the left and from the right).
+
+``pos(ε, ε, c)`` is deliberately excluded: it aliases constant positions
+and would only inflate the expression counts of Figure 11(a).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.config import RankingWeights
+from repro.syntactic.ast import CPos, Pos, Position
+from repro.syntactic.regex import (
+    EPSILON,
+    Regex,
+    boundary_index,
+    candidate_left_regexes,
+    candidate_right_regexes,
+)
+from repro.syntactic.tokens import match_index
+
+# Entry shapes: ("C", k) | ("R", r1, r2, cs)
+PosEntry = tuple
+PosSet = Tuple[PosEntry, ...]
+
+TAG_CPOS = "C"
+TAG_REGEX = "R"
+
+
+def generalized_positions(text: str, position: int, max_tokenseq_len: int = 1) -> PosSet:
+    """All position expressions evaluating to ``position`` on ``text``.
+
+    Mirrors the generation step of GenerateStr_s: two constant entries and
+    one regex entry per (r1, r2) boundary pair matching at ``position``.
+    """
+    if not 0 <= position <= len(text):
+        raise ValueError(f"position {position} out of range for {text!r}")
+    entries: List[PosEntry] = [
+        (TAG_CPOS, position),
+        (TAG_CPOS, position - len(text) - 1),
+    ]
+    token_index = match_index(text)
+    boundaries = boundary_index(text)
+    lefts = candidate_left_regexes(token_index, position, max_tokenseq_len)
+    rights = candidate_right_regexes(token_index, position, max_tokenseq_len)
+    for r1 in lefts:
+        for r2 in rights:
+            if r1 == EPSILON and r2 == EPSILON:
+                continue
+            matches = boundaries.pair_positions(r1, r2)
+            index = bisect_left(matches, position)
+            if index >= len(matches) or matches[index] != position:
+                continue  # defensive: the pair should match at position
+            cs = frozenset((index + 1, index - len(matches)))
+            entries.append((TAG_REGEX, r1, r2, cs))
+    return tuple(entries)
+
+
+_GP_CACHE: dict = {}
+_GP_CACHE_LIMIT = 65536
+
+
+def cached_positions(text: str, position: int, max_tokenseq_len: int = 1) -> PosSet:
+    """Memoized :func:`generalized_positions` (hot path of GenerateStr)."""
+    key = (text, position, max_tokenseq_len)
+    cached = _GP_CACHE.get(key)
+    if cached is None:
+        if len(_GP_CACHE) >= _GP_CACHE_LIMIT:
+            _GP_CACHE.clear()
+        cached = generalized_positions(text, position, max_tokenseq_len)
+        _GP_CACHE[key] = cached
+    return cached
+
+
+def intersect_position_sets(first: PosSet, second: PosSet) -> Optional[PosSet]:
+    """IntersectPos: entries common to both sets, or ``None`` when empty.
+
+    Constant entries intersect on equality; regex entries with the same
+    (r1, r2) intersect their occurrence sets.
+    """
+    first_cpos = {entry[1] for entry in first if entry[0] == TAG_CPOS}
+    regex_index = {
+        (entry[1], entry[2]): entry[3] for entry in first if entry[0] == TAG_REGEX
+    }
+    result: List[PosEntry] = []
+    for entry in second:
+        if entry[0] == TAG_CPOS:
+            if entry[1] in first_cpos:
+                result.append(entry)
+        else:
+            other_cs = regex_index.get((entry[1], entry[2]))
+            if other_cs is None:
+                continue
+            common = entry[3] & other_cs
+            if common:
+                result.append((TAG_REGEX, entry[1], entry[2], common))
+    if not result:
+        return None
+    return tuple(result)
+
+
+def count_position_exprs(entries: PosSet) -> int:
+    """Number of concrete position expressions the set denotes."""
+    total = 0
+    for entry in entries:
+        total += 1 if entry[0] == TAG_CPOS else len(entry[3])
+    return total
+
+
+def position_set_size(entries: PosSet) -> int:
+    """Terminal-symbol size of the set (for the Figure 11(b) metric)."""
+    size = 0
+    for entry in entries:
+        if entry[0] == TAG_CPOS:
+            size += 1
+        else:
+            size += max(len(entry[1]), 1) + max(len(entry[2]), 1) + len(entry[3])
+    return size
+
+
+def enumerate_position_exprs(entries: PosSet) -> Iterator[Position]:
+    """Yield every concrete position expression in the set."""
+    for entry in entries:
+        if entry[0] == TAG_CPOS:
+            yield CPos(entry[1])
+        else:
+            for c in sorted(entry[3]):
+                yield Pos(entry[1], entry[2], c)
+
+
+def best_position_expr(
+    entries: PosSet, weights: RankingWeights
+) -> Tuple[float, Position]:
+    """Cheapest concrete position expression under the ranking weights.
+
+    Regex positions are preferred over constants (they generalize across
+    inputs of different lengths); shorter regexes over longer; deterministic
+    tie-break on the entry's structural key for reproducibility.
+    """
+    best: Optional[Tuple[float, str, Position]] = None
+    for entry in entries:
+        if entry[0] == TAG_CPOS:
+            cost = weights.cpos_entry
+            expr: Position = CPos(entry[1])
+        else:
+            cost = weights.regex_entry + weights.regex_token * (
+                len(entry[1]) + len(entry[2])
+            )
+            # Prefer the smallest absolute occurrence index; ties favour the
+            # positive (left-anchored) one.
+            c = sorted(entry[3], key=lambda x: (abs(x), x < 0))[0]
+            expr = Pos(entry[1], entry[2], c)
+        candidate = (cost, str(expr), expr)
+        if best is None or candidate[:2] < best[:2]:
+            best = candidate
+    assert best is not None, "position sets are never empty"
+    return best[0], best[2]

@@ -1,0 +1,172 @@
+"""Token-sequence regular expressions (paper §5).
+
+A regular expression ``r`` is ε, a token, or ``TokenSeq(τ1, ..., τn)``.
+We represent all three uniformly as a tuple of token ids -- ``()`` is ε.
+
+The key operation is the *match boundary* semantics used by position
+expressions: ``pos(r1, r2, c)`` evaluates to the c-th position ``t`` such
+that a match of ``r1`` ends at ``t`` and a match of ``r2`` starts at ``t``
+(ε matches everywhere, zero-width).  Evaluation and generation share this
+module so a generated position expression always evaluates back to the
+position it was generated for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.syntactic.tokens import TokenMatchIndex, match_index, token_by_id
+
+Regex = Tuple[int, ...]  # tuple of token ids; () is ε
+
+EPSILON: Regex = ()
+
+
+def regex_name(regex: Regex) -> str:
+    """Human-readable name: ε, a token name, or TokenSeq(...)."""
+    if not regex:
+        return "ε"
+    if len(regex) == 1:
+        return token_by_id(regex[0]).name
+    return "TokenSeq({})".format(", ".join(token_by_id(t).name for t in regex))
+
+
+def regex_matches(regex: Regex, text: str) -> List[Tuple[int, int]]:
+    """All (start, end) matches of ``regex`` in ``text``.
+
+    A token sequence matches where consecutive token matches abut.  ε
+    matches at every position with zero width.
+    """
+    index = match_index(text)
+    if not regex:
+        return [(i, i) for i in range(len(text) + 1)]
+    spans = index.token_spans(regex[0])
+    for token in regex[1:]:
+        next_spans = index.token_spans(token)
+        starts: Dict[int, List[int]] = {}
+        for start, end in next_spans:
+            starts.setdefault(start, []).append(end)
+        joined: List[Tuple[int, int]] = []
+        for start, end in spans:
+            for new_end in starts.get(end, ()):
+                joined.append((start, new_end))
+        spans = joined
+        if not spans:
+            break
+    return spans
+
+
+def match_end_positions(regex: Regex, text: str) -> Set[int]:
+    """Positions where some match of ``regex`` ends (all positions for ε)."""
+    if not regex:
+        return set(range(len(text) + 1))
+    return {end for _, end in regex_matches(regex, text)}
+
+
+def match_start_positions(regex: Regex, text: str) -> Set[int]:
+    """Positions where some match of ``regex`` starts (all positions for ε)."""
+    if not regex:
+        return set(range(len(text) + 1))
+    return {start for start, _ in regex_matches(regex, text)}
+
+
+class BoundaryIndex:
+    """Per-string cache of boundary positions for (r1, r2) pairs.
+
+    ``pair_positions(r1, r2)`` is the ordered list of positions ``t`` where
+    some match of ``r1`` ends and some match of ``r2`` starts -- the match
+    list that ``pos(r1, r2, c)`` indexes with ``c``.
+    """
+
+    __slots__ = ("text", "_pairs", "_ends", "_starts")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self._pairs: Dict[Tuple[Regex, Regex], List[int]] = {}
+        self._ends: Dict[Regex, Set[int]] = {}
+        self._starts: Dict[Regex, Set[int]] = {}
+
+    def ends(self, regex: Regex) -> Set[int]:
+        cached = self._ends.get(regex)
+        if cached is None:
+            cached = match_end_positions(regex, self.text)
+            self._ends[regex] = cached
+        return cached
+
+    def starts(self, regex: Regex) -> Set[int]:
+        cached = self._starts.get(regex)
+        if cached is None:
+            cached = match_start_positions(regex, self.text)
+            self._starts[regex] = cached
+        return cached
+
+    def pair_positions(self, r1: Regex, r2: Regex) -> List[int]:
+        key = (r1, r2)
+        cached = self._pairs.get(key)
+        if cached is None:
+            cached = sorted(self.ends(r1) & self.starts(r2))
+            self._pairs[key] = cached
+        return cached
+
+
+_BOUNDARY_CACHE: Dict[str, BoundaryIndex] = {}
+_BOUNDARY_CACHE_LIMIT = 8192
+
+
+def boundary_index(text: str) -> BoundaryIndex:
+    """Memoized :class:`BoundaryIndex` for ``text``."""
+    index = _BOUNDARY_CACHE.get(text)
+    if index is None:
+        if len(_BOUNDARY_CACHE) >= _BOUNDARY_CACHE_LIMIT:
+            _BOUNDARY_CACHE.clear()
+        index = BoundaryIndex(text)
+        _BOUNDARY_CACHE[text] = index
+    return index
+
+
+def evaluate_pos(text: str, r1: Regex, r2: Regex, c: int) -> "int | None":
+    """Evaluate ``pos(r1, r2, c)`` on ``text`` (paper §5 semantics).
+
+    Positive ``c`` counts matches from the left (1-based); negative ``c``
+    from the right (-1 is the last match).  Returns ``None`` (⊥) when there
+    is no c-th match or ``c`` is zero.
+    """
+    if c == 0:
+        return None
+    positions = boundary_index(text).pair_positions(r1, r2)
+    index = c - 1 if c > 0 else len(positions) + c
+    if 0 <= index < len(positions):
+        return positions[index]
+    return None
+
+
+def candidate_left_regexes(
+    index: TokenMatchIndex, position: int, max_len: int
+) -> List[Regex]:
+    """Regexes (|r| <= max_len) with a match ending at ``position``, plus ε."""
+    singles = [(ident,) for ident in index.tokens_ending_at(position)]
+    result: List[Regex] = [EPSILON] + singles
+    if max_len >= 2:
+        for ident in index.tokens_ending_at(position):
+            for start, end in index.token_spans(ident):
+                if end != position:
+                    continue
+                for previous in index.tokens_ending_at(start):
+                    result.append((previous, ident))
+    return result
+
+
+def candidate_right_regexes(
+    index: TokenMatchIndex, position: int, max_len: int
+) -> List[Regex]:
+    """Regexes (|r| <= max_len) with a match starting at ``position``, plus ε."""
+    singles = [(ident,) for ident in index.tokens_starting_at(position)]
+    result: List[Regex] = [EPSILON] + singles
+    if max_len >= 2:
+        for ident in index.tokens_starting_at(position):
+            for start, end in index.token_spans(ident):
+                if start != position:
+                    continue
+                for following in index.tokens_starting_at(end):
+                    result.append((ident, following))
+    return result

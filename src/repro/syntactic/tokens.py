@@ -1,0 +1,167 @@
+"""The token alphabet of Ls (paper §5).
+
+Tokens come in four kinds:
+
+* character-class tokens match *maximal* nonempty runs of a character
+  class.  Following this paper's conventions (§5): ``AlphTok`` matches
+  alphanumeric runs, ``UpperTok`` uppercase runs, ``NumTok`` digit runs,
+  ``DecNumTok`` digit-or-dot runs; we also include lowercase and pure
+  letter runs and whitespace,
+* special-character tokens match single occurrences of one character
+  (``SlashTok``, ``HyphenTok``, ...),
+* ``StartTok`` and ``EndTok`` match the zero-width beginning/end of the
+  string.
+
+Maximality matters: ``pos(ε, AlphTok, 1)`` must denote the start of the
+first alphanumeric *run*, not any position inside it, for ``SubStr2(v,
+AlphTok, 1)`` to extract the first word as the paper's examples expect.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+Span = Tuple[int, int]
+
+KIND_CLASS = "class"
+KIND_CHAR = "char"
+KIND_START = "start"
+KIND_END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token of the alphabet; ``ident`` is its stable integer id."""
+
+    ident: int
+    name: str
+    kind: str
+    pattern: str  # regex for class tokens, the literal char for char tokens
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _build_tokens() -> Tuple[Token, ...]:
+    specs: List[Tuple[str, str, str]] = [
+        # name, kind, pattern
+        ("StartTok", KIND_START, ""),
+        ("EndTok", KIND_END, ""),
+        # Character classes (maximal runs). AlphTok is alphanumeric in this
+        # paper; WordTok (pure letters) is a natural companion.
+        ("AlphTok", KIND_CLASS, "[A-Za-z0-9]+"),
+        ("WordTok", KIND_CLASS, "[A-Za-z]+"),
+        ("UpperTok", KIND_CLASS, "[A-Z]+"),
+        ("LowerTok", KIND_CLASS, "[a-z]+"),
+        ("NumTok", KIND_CLASS, "[0-9]+"),
+        ("DecNumTok", KIND_CLASS, "[0-9.]+"),
+        ("WsTok", KIND_CLASS, r"\s+"),
+        # Special characters (single occurrences).
+        ("SlashTok", KIND_CHAR, "/"),
+        ("HyphenTok", KIND_CHAR, "-"),
+        ("DotTok", KIND_CHAR, "."),
+        ("CommaTok", KIND_CHAR, ","),
+        ("ColonTok", KIND_CHAR, ":"),
+        ("SemicolonTok", KIND_CHAR, ";"),
+        ("UnderscoreTok", KIND_CHAR, "_"),
+        ("AtTok", KIND_CHAR, "@"),
+        ("DollarTok", KIND_CHAR, "$"),
+        ("PercentTok", KIND_CHAR, "%"),
+        ("PlusTok", KIND_CHAR, "+"),
+        ("StarTok", KIND_CHAR, "*"),
+        ("LParenTok", KIND_CHAR, "("),
+        ("RParenTok", KIND_CHAR, ")"),
+        ("HashTok", KIND_CHAR, "#"),
+        ("QuoteTok", KIND_CHAR, "'"),
+    ]
+    return tuple(
+        Token(ident, name, kind, pattern)
+        for ident, (name, kind, pattern) in enumerate(specs)
+    )
+
+
+TOKENS: Tuple[Token, ...] = _build_tokens()
+_BY_NAME: Dict[str, Token] = {token.name: token for token in TOKENS}
+_CLASS_RE: Dict[int, "re.Pattern[str]"] = {
+    token.ident: re.compile(token.pattern)
+    for token in TOKENS
+    if token.kind == KIND_CLASS
+}
+
+
+def token_by_name(name: str) -> Token:
+    """Look a token up by its paper name (e.g. ``"NumTok"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown token {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def token_by_id(ident: int) -> Token:
+    return TOKENS[ident]
+
+
+def token_matches(token: Token, text: str) -> List[Span]:
+    """All matches of ``token`` in ``text`` as (start, end) spans.
+
+    Class tokens yield maximal runs; char tokens yield each single-char
+    occurrence; Start/End yield their zero-width span.
+    """
+    if token.kind == KIND_CLASS:
+        return [match.span() for match in _CLASS_RE[token.ident].finditer(text)]
+    if token.kind == KIND_CHAR:
+        return [(i, i + 1) for i, ch in enumerate(text) if ch == token.pattern]
+    if token.kind == KIND_START:
+        return [(0, 0)]
+    return [(len(text), len(text))]
+
+
+class TokenMatchIndex:
+    """Per-string cache of token matches and boundary sets.
+
+    ``ends_at[t]`` / ``starts_at[t]`` give the token ids with a match
+    ending/starting at position ``t`` -- the candidate regexes for
+    generalized positions at ``t``.
+    """
+
+    __slots__ = ("text", "matches", "ends_at", "starts_at")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.matches: Dict[int, List[Span]] = {}
+        self.ends_at: Dict[int, List[int]] = {}
+        self.starts_at: Dict[int, List[int]] = {}
+        for token in TOKENS:
+            spans = token_matches(token, text)
+            if not spans:
+                continue
+            self.matches[token.ident] = spans
+            for start, end in spans:
+                self.starts_at.setdefault(start, []).append(token.ident)
+                self.ends_at.setdefault(end, []).append(token.ident)
+
+    def token_spans(self, ident: int) -> List[Span]:
+        return self.matches.get(ident, [])
+
+    def tokens_ending_at(self, position: int) -> List[int]:
+        return self.ends_at.get(position, [])
+
+    def tokens_starting_at(self, position: int) -> List[int]:
+        return self.starts_at.get(position, [])
+
+
+_INDEX_CACHE: Dict[str, TokenMatchIndex] = {}
+_INDEX_CACHE_LIMIT = 8192
+
+
+def match_index(text: str) -> TokenMatchIndex:
+    """Memoized :class:`TokenMatchIndex` for ``text``."""
+    index = _INDEX_CACHE.get(text)
+    if index is None:
+        if len(_INDEX_CACHE) >= _INDEX_CACHE_LIMIT:
+            _INDEX_CACHE.clear()
+        index = TokenMatchIndex(text)
+        _INDEX_CACHE[text] = index
+    return index

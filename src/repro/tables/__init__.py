@@ -1,0 +1,21 @@
+"""Relational table substrate (paper §4, §6).
+
+The paper's lookup transformations run against a database of relational
+tables -- in the original system these are Excel ranges plus a few
+hard-coded background-knowledge tables.  This package provides:
+
+* :class:`~repro.tables.table.Table` -- an immutable in-memory table of
+  string cells with candidate-key metadata,
+* :class:`~repro.tables.catalog.Catalog` -- a named collection of tables
+  with the value -> occurrence index used by reachability,
+* :mod:`~repro.tables.keys` -- automatic candidate-key discovery,
+* :mod:`~repro.tables.background` -- the standard data-type tables of §6
+  (time, months, ordinals, weekdays, currencies, phone codes, states),
+* :mod:`~repro.tables.io` -- a small CSV loader/dumper.
+"""
+
+from repro.tables.catalog import Catalog, Occurrence
+from repro.tables.keys import discover_candidate_keys
+from repro.tables.table import Table
+
+__all__ = ["Catalog", "Occurrence", "Table", "discover_candidate_keys"]

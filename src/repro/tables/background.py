@@ -1,0 +1,210 @@
+"""Background-knowledge tables for standard data types (paper §6).
+
+The paper encodes the semantics of dates, times, phone numbers, currencies
+etc. as relational tables that ship with the system ("we hard-code a few
+useful relational tables of our own").  This module builds those tables.
+
+Each builder returns a fresh :class:`Table`; :func:`background_catalog`
+bundles a chosen subset into a :class:`Catalog` which callers merge with
+their spreadsheet tables.  Keys are declared explicitly because the paper
+names them (e.g. for Time, column ``24Hour`` is a primary key and
+``(12Hour, AMPM)`` is a second candidate key).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+MONTHS = (
+    "January", "February", "March", "April", "May", "June",
+    "July", "August", "September", "October", "November", "December",
+)
+
+WEEKDAYS = (
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+)
+
+
+def _ordinal_suffix(number: int) -> str:
+    if 10 <= number % 100 <= 20:
+        return "th"
+    return {1: "st", 2: "nd", 3: "rd"}.get(number % 10, "th")
+
+
+def time_table() -> Table:
+    """The §6 Time table, with zero-padded variants as extra candidate keys.
+
+    Paper columns: 24Hour (primary key), 12Hour, AMPM with 24 entries
+    (0,0,AM) ... (23,11,PM).  We add padded columns (``00``..``23``) so the
+    table also keys spot-time strings like ``0600`` whose hour substring is
+    zero padded -- the same background fact, one more spelling.
+    """
+    rows: List[Tuple[str, ...]] = []
+    for hour in range(24):
+        hour12 = hour % 12
+        if hour12 == 0:
+            hour12 = 12 if hour >= 12 else 0
+        # Paper populates (0, 0, AM) ... (11, 11, AM), (12, 12, PM), (13, 1, PM)...
+        if hour == 0:
+            hour12 = 0
+        ampm = "AM" if hour < 12 else "PM"
+        rows.append(
+            (str(hour), f"{hour:02d}", str(hour12), f"{hour12:02d}", ampm)
+        )
+    return Table(
+        "Time",
+        ["24Hour", "24HourPad", "12Hour", "12HourPad", "AMPM"],
+        rows,
+        keys=[("24Hour",), ("24HourPad",), ("12Hour", "AMPM"), ("12HourPad", "AMPM")],
+    )
+
+
+def month_table() -> Table:
+    """The §6 Month table: month number <-> month name, plus abbreviations.
+
+    Paper columns MN and MW (each a candidate key by itself); we add the
+    three-letter abbreviation and the zero-padded number as extra keyed
+    spellings of the same knowledge.
+    """
+    rows = [
+        (str(number), f"{number:02d}", name, name[:3])
+        for number, name in enumerate(MONTHS, start=1)
+    ]
+    return Table(
+        "Month",
+        ["MN", "MNPad", "MW", "MA"],
+        rows,
+        keys=[("MN",), ("MNPad",), ("MW",), ("MA",)],
+    )
+
+
+def date_ordinal_table() -> Table:
+    """The §6 DateOrd table: day number -> ordinal suffix (1 -> st ...)."""
+    rows = [(str(day), _ordinal_suffix(day)) for day in range(1, 32)]
+    return Table("DateOrd", ["Num", "Ord"], rows, keys=[("Num",)])
+
+
+def number_pad_table() -> Table:
+    """Day-of-month number <-> zero-padded form (1 <-> 01, ..., 31 <-> 31).
+
+    Used for date re-formatting tasks: padding is pure background
+    knowledge, so (like months and ordinals) it lives in a table.
+    """
+    rows = [(str(n), f"{n:02d}") for n in range(1, 32)]
+    return Table("NumPad", ["Num", "Pad"], rows, keys=[("Num",), ("Pad",)])
+
+
+def weekday_table() -> Table:
+    """Weekday number (ISO, 1=Monday) <-> weekday name and abbreviation."""
+    rows = [
+        (str(number), name, name[:3])
+        for number, name in enumerate(WEEKDAYS, start=1)
+    ]
+    return Table("Weekday", ["DN", "DW", "DA"], rows, keys=[("DN",), ("DW",), ("DA",)])
+
+
+def phone_isd_table() -> Table:
+    """Country <-> international dialing code (paper's Turkey/90 example)."""
+    rows = [
+        ("1", "United States", "US"),
+        ("7", "Russia", "RU"),
+        ("33", "France", "FR"),
+        ("34", "Spain", "ES"),
+        ("39", "Italy", "IT"),
+        ("44", "United Kingdom", "GB"),
+        ("49", "Germany", "DE"),
+        ("52", "Mexico", "MX"),
+        ("55", "Brazil", "BR"),
+        ("61", "Australia", "AU"),
+        ("81", "Japan", "JP"),
+        ("86", "China", "CN"),
+        ("90", "Turkey", "TR"),
+        ("91", "India", "IN"),
+    ]
+    return Table(
+        "PhoneISD",
+        ["Code", "Country", "ISO"],
+        rows,
+        keys=[("Code",), ("Country",), ("ISO",)],
+    )
+
+
+def currency_table() -> Table:
+    """Currency code <-> symbol <-> name."""
+    rows = [
+        ("USD", "$", "US Dollar", "United States"),
+        ("EUR", "€", "Euro", "Eurozone"),
+        ("GBP", "£", "Pound Sterling", "United Kingdom"),
+        ("JPY", "¥", "Yen", "Japan"),
+        ("INR", "₹", "Rupee", "India"),
+        ("TRY", "₺", "Lira", "Turkey"),
+        ("CHF", "Fr", "Swiss Franc", "Switzerland"),
+        ("AUD", "A$", "Australian Dollar", "Australia"),
+    ]
+    return Table(
+        "Currency",
+        ["Code", "Symbol", "CName", "Region"],
+        rows,
+        keys=[("Code",), ("Symbol",), ("CName",)],
+    )
+
+
+def us_state_table() -> Table:
+    """US state name <-> postal abbreviation (address manipulation tasks)."""
+    rows = [
+        ("Alabama", "AL"), ("Alaska", "AK"), ("Arizona", "AZ"),
+        ("California", "CA"), ("Colorado", "CO"), ("Florida", "FL"),
+        ("Georgia", "GA"), ("Illinois", "IL"), ("Massachusetts", "MA"),
+        ("Michigan", "MI"), ("Nevada", "NV"), ("New York", "NY"),
+        ("Ohio", "OH"), ("Oregon", "OR"), ("Texas", "TX"),
+        ("Utah", "UT"), ("Virginia", "VA"), ("Washington", "WA"),
+    ]
+    return Table("USState", ["State", "Abbrev"], rows, keys=[("State",), ("Abbrev",)])
+
+
+def street_suffix_table() -> Table:
+    """Street suffix long form <-> USPS abbreviation."""
+    rows = [
+        ("Street", "St"), ("Avenue", "Ave"), ("Boulevard", "Blvd"),
+        ("Drive", "Dr"), ("Court", "Ct"), ("Road", "Rd"),
+        ("Lane", "Ln"), ("Place", "Pl"), ("Square", "Sq"),
+    ]
+    return Table("StreetSuffix", ["Long", "Short"], rows, keys=[("Long",), ("Short",)])
+
+
+_BUILDERS = {
+    "Time": time_table,
+    "Month": month_table,
+    "DateOrd": date_ordinal_table,
+    "NumPad": number_pad_table,
+    "Weekday": weekday_table,
+    "PhoneISD": phone_isd_table,
+    "Currency": currency_table,
+    "USState": us_state_table,
+    "StreetSuffix": street_suffix_table,
+}
+
+
+def available_background_tables() -> List[str]:
+    """Names of all shipping background tables."""
+    return list(_BUILDERS.keys())
+
+
+def background_table(name: str) -> Table:
+    """Build one background table by name."""
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown background table {name!r}; "
+            f"available: {available_background_tables()}"
+        ) from None
+
+
+def background_catalog(names: Optional[Iterable[str]] = None) -> Catalog:
+    """A catalog with the requested (default: all) background tables."""
+    chosen = list(names) if names is not None else available_background_tables()
+    return Catalog([background_table(name) for name in chosen])

@@ -1,0 +1,108 @@
+"""Catalog: the database of relational tables plus the value index.
+
+``GenerateStr_t`` (Figure 5(a), line 9) iterates over *all table entries
+equal to a reachable string*.  To make that loop fast the catalog maintains
+an inverted index from cell value to its occurrences ``(table, column,
+row)``.  The semantic algorithm additionally needs substring-overlap
+triggers (§5.3), for which the catalog exposes the set of distinct cell
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import TableError, UnknownTableError
+from repro.tables.table import Table
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One cell occurrence of a value: the paper's (T, C, r) triple."""
+
+    table: str
+    column: str
+    row: int
+
+
+class Catalog:
+    """A named, ordered collection of :class:`Table` objects.
+
+    >>> catalog = Catalog([Table("T", ["a", "b"], [("1", "x")])])
+    >>> catalog.occurrences_of("x")
+    [Occurrence(table='T', column='b', row=0)]
+    """
+
+    def __init__(self, tables: Iterable[Table] = ()) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._order: List[str] = []
+        self._value_index: Dict[str, List[Occurrence]] = {}
+        for table in tables:
+            self.add(table)
+
+    # ------------------------------------------------------------------
+    def add(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise TableError(f"catalog already contains a table named {table.name!r}")
+        self._tables[table.name] = table
+        self._order.append(table.name)
+        for row_number, row in enumerate(table.rows):
+            for column, value in zip(table.columns, row):
+                self._value_index.setdefault(value, []).append(
+                    Occurrence(table.name, column, row_number)
+                )
+
+    def extend(self, tables: Iterable[Table]) -> "Catalog":
+        for table in tables:
+            self.add(table)
+        return self
+
+    def merged_with(self, other: "Catalog") -> "Catalog":
+        """A new catalog containing this catalog's tables then ``other``'s."""
+        merged = Catalog(self.tables())
+        merged.extend(other.tables())
+        return merged
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self.tables())
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def tables(self) -> List[Table]:
+        return [self._tables[name] for name in self._order]
+
+    def table_names(self) -> List[str]:
+        return list(self._order)
+
+    # ------------------------------------------------------------------
+    def occurrences_of(self, value: str) -> List[Occurrence]:
+        """All (table, column, row) cells whose content equals ``value``."""
+        return list(self._value_index.get(value, ()))
+
+    def distinct_values(self) -> List[str]:
+        """All distinct cell values across the catalog."""
+        return list(self._value_index.keys())
+
+    @property
+    def total_entries(self) -> int:
+        """Total number of cells across all tables (paper's entry count)."""
+        return sum(t.num_rows * t.num_columns for t in self.tables())
+
+    def default_depth_bound(self) -> int:
+        """The paper sets the reachability bound k to the number of tables."""
+        return max(1, len(self._order))
+
+    def __repr__(self) -> str:
+        return f"Catalog({self._order!r}, entries={self.total_entries})"

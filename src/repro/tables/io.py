@@ -1,0 +1,59 @@
+"""Minimal CSV import/export for tables.
+
+End-users bring their data as spreadsheet ranges; the nearest offline
+equivalent is CSV.  This module round-trips :class:`Table` objects through
+``csv`` with a one-line header, treating every cell as a string (the
+paper's languages are untyped over strings).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.exceptions import TableError
+from repro.tables.table import Table
+
+
+def table_from_csv_text(
+    name: str,
+    text: str,
+    keys: Optional[Sequence[Sequence[str]]] = None,
+) -> Table:
+    """Parse CSV ``text`` (first row = header) into a :class:`Table`.
+
+    >>> table_from_csv_text("T", "a,b\\n1,x\\n2,y\\n").columns
+    ('a', 'b')
+    """
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if len(rows) < 2:
+        raise TableError(f"CSV for table {name!r} needs a header and at least one row")
+    header, data = rows[0], rows[1:]
+    return Table(name, header, data, keys=keys)
+
+
+def load_table_csv(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    keys: Optional[Sequence[Sequence[str]]] = None,
+) -> Table:
+    """Load a table from a CSV file; table name defaults to the file stem."""
+    path = Path(path)
+    return table_from_csv_text(name or path.stem, path.read_text(encoding="utf-8"), keys)
+
+
+def table_to_csv_text(table: Table) -> str:
+    """Serialize ``table`` to CSV text (header + rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(table.columns)
+    writer.writerows(table.rows)
+    return buffer.getvalue()
+
+
+def save_table_csv(table: Table, path: Union[str, Path]) -> None:
+    """Write ``table`` to ``path`` as CSV."""
+    Path(path).write_text(table_to_csv_text(table), encoding="utf-8")

@@ -1,0 +1,71 @@
+"""Candidate-key discovery.
+
+The synthesis algorithm needs the candidate keys of every table
+(``CandidateKeys(T)`` in Figure 5(a), line 10).  Spreadsheet users never
+declare keys, so the original system infers them from the data; we do the
+same: a *candidate key* is a minimal set of columns whose value
+combinations are unique across rows.
+
+Discovery enumerates column subsets by increasing width (so minimality is
+enforced by skipping supersets of already-found keys) up to ``max_width``.
+For the small spreadsheet tables the paper targets this exhaustive search
+is cheap; the width cap keeps it polynomial for wide tables.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Sequence, Tuple
+
+CandidateKey = Tuple[str, ...]
+
+
+def _is_unique(
+    rows: Sequence[Sequence[str]], positions: Tuple[int, ...]
+) -> bool:
+    seen = set()
+    for row in rows:
+        values = tuple(row[p] for p in positions)
+        if values in seen:
+            return False
+        seen.add(values)
+    return True
+
+
+def discover_candidate_keys(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    max_width: int = 2,
+) -> Tuple[CandidateKey, ...]:
+    """Return all minimal candidate keys of width <= ``max_width``.
+
+    Keys are returned in (width, column-order) order, matching how a user
+    would read the table left to right.  If no column subset within the
+    width cap is unique, the full column set is returned as a last-resort
+    key (every relation trivially has one when rows are distinct) -- and if
+    even the full rows collide, the first such "key" is still returned so
+    tables remain usable; lookups will simply never use the ambiguous key.
+
+    >>> discover_candidate_keys(["a", "b"], [("1", "x"), ("2", "x")])
+    (('a',),)
+    """
+    column_list = list(columns)
+    found: List[CandidateKey] = []
+    found_sets: List[frozenset] = []
+    for width in range(1, min(max_width, len(column_list)) + 1):
+        for subset in combinations(range(len(column_list)), width):
+            names = tuple(column_list[i] for i in subset)
+            name_set = frozenset(names)
+            if any(previous <= name_set for previous in found_sets):
+                continue  # not minimal
+            if _is_unique(rows, subset):
+                found.append(names)
+                found_sets.append(name_set)
+    if not found:
+        found.append(tuple(column_list))
+    return tuple(found)
+
+
+def key_widths(keys: Iterable[CandidateKey]) -> List[int]:
+    """Widths of each key; handy for the complexity accounting in tests."""
+    return [len(key) for key in keys]

@@ -1,0 +1,201 @@
+"""The Table value object.
+
+A table has a name, an ordered list of column names, rows of string cells
+and a list of *candidate keys* (each an ordered tuple of column names).
+The paper restricts the columns used in Select conditions to candidate
+keys so that a lookup returns at most one row (§4.1); candidate keys are
+therefore first-class metadata here.
+
+Keys may be declared explicitly or discovered from the data with
+:func:`repro.tables.keys.discover_candidate_keys`.
+Declared keys are validated against the data at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import KeyConstraintError, TableError, UnknownColumnError
+
+CandidateKey = Tuple[str, ...]
+
+
+class Table:
+    """An immutable relational table of string cells.
+
+    Args:
+        name: table identifier used by ``Select`` expressions.
+        columns: ordered column names (unique).
+        rows: sequence of rows; each row has one string per column.
+        keys: optional explicit candidate keys; when omitted, minimal keys
+            are discovered from the data (width <= ``max_key_width``).
+        max_key_width: cap on discovered key width.
+
+    >>> t = Table("Comp", ["Id", "Name"], [("c1", "Microsoft"), ("c2", "Google")])
+    >>> t.lookup("Name", {"Id": "c1"})
+    'Microsoft'
+    """
+
+    __slots__ = (
+        "name",
+        "columns",
+        "rows",
+        "keys",
+        "_column_index",
+        "_key_row_index",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[str]],
+        keys: Optional[Sequence[Sequence[str]]] = None,
+        max_key_width: int = 2,
+    ) -> None:
+        if not name:
+            raise TableError("table name must be non-empty")
+        columns = list(columns)
+        if not columns:
+            raise TableError(f"table {name!r} must have at least one column")
+        if len(set(columns)) != len(columns):
+            raise TableError(f"table {name!r} has duplicate column names: {columns}")
+
+        normalized_rows: List[Tuple[str, ...]] = []
+        for row_number, row in enumerate(rows):
+            row = tuple(row)
+            if len(row) != len(columns):
+                raise TableError(
+                    f"table {name!r} row {row_number} has {len(row)} cells, "
+                    f"expected {len(columns)}"
+                )
+            for cell in row:
+                if not isinstance(cell, str):
+                    raise TableError(
+                        f"table {name!r} row {row_number} has non-string cell {cell!r}"
+                    )
+            normalized_rows.append(row)
+        if not normalized_rows:
+            raise TableError(f"table {name!r} must have at least one row")
+
+        self.name = name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self.rows: Tuple[Tuple[str, ...], ...] = tuple(normalized_rows)
+        self._column_index: Dict[str, int] = {c: i for i, c in enumerate(self.columns)}
+
+        if keys is None:
+            from repro.tables.keys import discover_candidate_keys
+
+            discovered = discover_candidate_keys(
+                self.columns, self.rows, max_width=max_key_width
+            )
+            self.keys: Tuple[CandidateKey, ...] = discovered
+        else:
+            validated: List[CandidateKey] = []
+            for key in keys:
+                key = tuple(key)
+                for column in key:
+                    if column not in self._column_index:
+                        raise UnknownColumnError(name, column)
+                self._check_key_uniqueness(key)
+                validated.append(key)
+            if not validated:
+                raise KeyConstraintError(f"table {name!r}: empty candidate key list")
+            self.keys = tuple(validated)
+
+        # Precompute key-tuple -> row index for every candidate key; used by
+        # both evaluation and condition construction.
+        self._key_row_index: Dict[CandidateKey, Dict[Tuple[str, ...], int]] = {}
+        for key in self.keys:
+            mapping: Dict[Tuple[str, ...], int] = {}
+            for row_number, row in enumerate(self.rows):
+                values = tuple(row[self._column_index[c]] for c in key)
+                mapping[values] = row_number
+            self._key_row_index[key] = mapping
+
+    # ------------------------------------------------------------------
+    def _check_key_uniqueness(self, key: CandidateKey) -> None:
+        seen: Dict[Tuple[str, ...], int] = {}
+        for row_number, row in enumerate(self.rows):
+            values = tuple(row[self._column_index[c]] for c in key)
+            if values in seen:
+                raise KeyConstraintError(
+                    f"table {self.name!r}: candidate key {key} is not unique "
+                    f"(rows {seen[values]} and {row_number} share {values})"
+                )
+            seen[values] = row_number
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def column_position(self, column: str) -> int:
+        """Index of ``column``; raises :class:`UnknownColumnError`."""
+        try:
+            return self._column_index[column]
+        except KeyError:
+            raise UnknownColumnError(self.name, column) from None
+
+    def has_column(self, column: str) -> bool:
+        return column in self._column_index
+
+    def cell(self, column: str, row: int) -> str:
+        """The paper's ``T[C, r]``."""
+        return self.rows[row][self.column_position(column)]
+
+    def column_values(self, column: str) -> Tuple[str, ...]:
+        position = self.column_position(column)
+        return tuple(row[position] for row in self.rows)
+
+    def row_by_key(self, key: CandidateKey, values: Tuple[str, ...]) -> Optional[int]:
+        """Row index whose ``key`` columns equal ``values``, or ``None``."""
+        index = self._key_row_index.get(key)
+        if index is None:
+            raise KeyConstraintError(
+                f"table {self.name!r}: {key} is not a declared candidate key"
+            )
+        return index.get(values)
+
+    def find_rows(self, conditions: Dict[str, str]) -> List[int]:
+        """All row indices whose cells match every ``column: value`` pair."""
+        positions = [(self.column_position(c), v) for c, v in conditions.items()]
+        return [
+            row_number
+            for row_number, row in enumerate(self.rows)
+            if all(row[position] == value for position, value in positions)
+        ]
+
+    def lookup(self, column: str, conditions: Dict[str, str]) -> str:
+        """Evaluate a concrete lookup: the paper's Select semantics.
+
+        Returns ``T[column, r]`` when exactly one row ``r`` matches
+        ``conditions``, and the empty string otherwise (paper §4.1).
+        """
+        matches = self.find_rows(conditions)
+        if len(matches) == 1:
+            return self.cell(column, matches[0])
+        return ""
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Table)
+            and self.name == other.name
+            and self.columns == other.columns
+            and self.rows == other.rows
+            and self.keys == other.keys
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.columns, self.rows, self.keys))
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, columns={list(self.columns)}, "
+            f"rows={self.num_rows}, keys={[list(k) for k in self.keys]})"
+        )

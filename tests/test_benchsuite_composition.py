@@ -1,0 +1,93 @@
+"""Composition and well-formedness of the 50-problem benchmark suite (§7)."""
+
+import pytest
+
+from repro.benchsuite import all_benchmarks, get_benchmark
+from repro.exceptions import NoProgramFoundError
+
+
+class TestComposition:
+    def test_exactly_fifty_benchmarks(self):
+        assert len(all_benchmarks()) == 50
+
+    def test_paper_split_12_lookup_38_semantic(self):
+        benchmarks = all_benchmarks()
+        lookup = [b for b in benchmarks if b.language_class == "Lt"]
+        semantic = [b for b in benchmarks if b.language_class == "Lu"]
+        assert len(lookup) == 12
+        assert len(semantic) == 38
+
+    def test_idents_dense_and_ordered(self):
+        idents = [b.ident for b in all_benchmarks()]
+        assert idents == list(range(1, 51))
+
+    def test_names_unique(self):
+        names = [b.name for b in all_benchmarks()]
+        assert len(set(names)) == 50
+
+    def test_every_benchmark_has_five_rows(self):
+        for benchmark in all_benchmarks():
+            assert len(benchmark.rows) >= 5, benchmark.name
+
+    def test_paper_examples_present(self):
+        for name in (
+            "ex1-markup-price",
+            "ex2-customer-price",
+            "ex3-chain-lookup",
+            "ex4-name-initial",
+            "ex5-bike-price",
+            "ex6-company-codes",
+            "ex7-spot-time",
+            "ex8-date-format",
+        ):
+            assert get_benchmark(name) is not None
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("no-such-benchmark")
+
+    def test_row_arity_consistent(self):
+        for benchmark in all_benchmarks():
+            arity = benchmark.num_inputs
+            for inputs, output in benchmark.rows:
+                assert len(inputs) == arity, benchmark.name
+                assert isinstance(output, str)
+
+    def test_catalogs_build(self):
+        for benchmark in all_benchmarks():
+            catalog = benchmark.catalog()
+            # Lu benchmarks may be purely syntactic (no tables at all).
+            assert catalog.total_entries >= 0
+
+
+class TestLookupClassSolvableInLt:
+    """The 12 Lt benchmarks must be solvable in the pure lookup language."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [b.name for b in all_benchmarks() if b.language_class == "Lt"],
+    )
+    def test_lookup_language_learns(self, name):
+        benchmark = get_benchmark(name)
+        session = benchmark.session(language="lookup")
+        # Feed up to three examples, then check the rest.
+        for inputs, output in benchmark.rows[:3]:
+            session.add_example(inputs, output)
+        program = session.learn()
+        for inputs, output in benchmark.rows:
+            assert program.run(inputs) == output, f"{name}: {inputs}"
+
+
+class TestSemanticClassNotInLt:
+    """A sample of Lu benchmarks must NOT be expressible in Lt alone."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["ex5-bike-price", "ex6-company-codes", "ex8-date-format", "name-swap"],
+    )
+    def test_lookup_language_fails(self, name):
+        benchmark = get_benchmark(name)
+        session = benchmark.session(language="lookup")
+        with pytest.raises(NoProgramFoundError):
+            for inputs, output in benchmark.rows[:3]:
+                session.add_example(inputs, output)

@@ -1,0 +1,84 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def workdir(tmp_path):
+    (tmp_path / "Comp.csv").write_text(
+        "Id,Name\nc1,Microsoft\nc2,Google\nc3,Apple\nc4,Facebook\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "examples.csv").write_text(
+        "c4 c3 c1,Facebook Apple Microsoft\n", encoding="utf-8"
+    )
+    (tmp_path / "pending.csv").write_text("c2 c3 c1\nc1 c4 c2\n", encoding="utf-8")
+    return tmp_path
+
+
+class TestCli:
+    def test_learn_and_fill(self, workdir, capsys):
+        code = main(
+            [
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--fill", str(workdir / "pending.csv"),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "program: " in output
+        assert "Google Apple Microsoft" in output
+        assert "Microsoft Facebook Google" in output
+
+    def test_describe_flag(self, workdir, capsys):
+        code = main(
+            [
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--describe",
+            ]
+        )
+        assert code == 0
+        assert "meaning: " in capsys.readouterr().out
+
+    def test_background_tables(self, tmp_path, capsys):
+        (tmp_path / "ex.csv").write_text("6-3-2008,Jun 3rd, 2008\n", encoding="utf-8")
+        # csv parses the quoted-less comma: 3 columns -> 2 inputs, 1 output;
+        # use a proper quoted file instead.
+        (tmp_path / "ex.csv").write_text(
+            '6-3-2008,"Jun 3rd, 2008"\n', encoding="utf-8"
+        )
+        code = main(
+            [
+                "--examples", str(tmp_path / "ex.csv"),
+                "--background", "Month",
+                "--background", "DateOrd",
+            ]
+        )
+        assert code == 0
+        assert "Select" in capsys.readouterr().out
+
+    def test_bad_example_row(self, tmp_path, capsys):
+        (tmp_path / "ex.csv").write_text("only-one-column\n", encoding="utf-8")
+        code = main(["--examples", str(tmp_path / "ex.csv")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_contradiction_reports_error(self, tmp_path, capsys):
+        (tmp_path / "ex.csv").write_text("a,x\na,y\n", encoding="utf-8")
+        code = main(["--examples", str(tmp_path / "ex.csv"), "--language", "syntactic"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_language_aliases(self, workdir, capsys):
+        code = main(
+            [
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--language", "Lu",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,140 @@
+"""Unit tests for the §3.1 generic Synthesize driver and core protocol."""
+
+import pytest
+
+from repro.core.base import BOTTOM, Expression, make_state
+from repro.core.exprs import Var
+from repro.core.formalism import LanguageAdapter, Synthesize, synthesize_incremental
+from repro.exceptions import InconsistentExampleError, NoProgramFoundError
+
+
+def toy_adapter():
+    """A toy 'language' whose structure is the set of constant outputs."""
+
+    def generate(state, output):
+        return {output}
+
+    def intersect(first, second):
+        merged = first & second
+        return merged or None
+
+    return LanguageAdapter(
+        name="toy",
+        generate=generate,
+        intersect=intersect,
+        is_empty=lambda s: not s,
+    )
+
+
+class TestMakeState:
+    def test_builds_tuple(self):
+        assert make_state("a", "b") == ("a", "b")
+
+    def test_rejects_non_strings(self):
+        with pytest.raises(TypeError):
+            make_state("a", 3)
+
+    def test_empty_state_allowed(self):
+        assert make_state() == ()
+
+
+class TestExpressionProtocol:
+    def test_base_not_implemented(self):
+        expr = Expression()
+        with pytest.raises(NotImplementedError):
+            expr.evaluate(("a",))
+        with pytest.raises(NotImplementedError):
+            expr._key()
+
+    def test_bottom_is_none(self):
+        assert BOTTOM is None
+
+    def test_cross_type_inequality(self):
+        from repro.syntactic.ast import ConstStr
+
+        assert Var(0) != ConstStr("v1")
+
+    def test_default_size_and_depth(self):
+        assert Var(0).size() == 1
+        assert Var(0).depth() == 1
+
+
+class TestSynthesizeDriver:
+    def test_single_example(self):
+        result = Synthesize(toy_adapter(), [(("x",), "out")])
+        assert result == {"out"}
+
+    def test_fold_intersects(self):
+        adapter = toy_adapter()
+        # Same output twice: survives.
+        assert Synthesize(adapter, [(("a",), "o"), (("b",), "o")]) == {"o"}
+
+    def test_empty_intersection_raises(self):
+        adapter = toy_adapter()
+        with pytest.raises(NoProgramFoundError):
+            Synthesize(adapter, [(("a",), "o1"), (("b",), "o2")])
+
+    def test_no_examples_rejected(self):
+        with pytest.raises(InconsistentExampleError):
+            Synthesize(toy_adapter(), [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(InconsistentExampleError):
+            Synthesize(toy_adapter(), [(("a",), "o"), (("a", "b"), "o")])
+
+    def test_non_string_output_rejected(self):
+        with pytest.raises(InconsistentExampleError):
+            Synthesize(toy_adapter(), [(("a",), 42)])
+
+    def test_incremental_base_case(self):
+        adapter = toy_adapter()
+        structure = synthesize_incremental(adapter, None, (("a",), "o"))
+        assert structure == {"o"}
+
+    def test_incremental_fold(self):
+        adapter = toy_adapter()
+        structure = synthesize_incremental(adapter, {"o", "p"}, (("a",), "o"))
+        assert structure == {"o"}
+
+    def test_incremental_empty_raises(self):
+        adapter = toy_adapter()
+        with pytest.raises(NoProgramFoundError):
+            synthesize_incremental(adapter, {"p"}, (("a",), "o"))
+
+
+class TestConfig:
+    def test_with_weights_replaces_only_given(self):
+        from repro.config import SynthesisConfig
+
+        config = SynthesisConfig().with_weights(select_base=99.0)
+        assert config.weights.select_base == 99.0
+        assert config.weights.edge_base == SynthesisConfig().weights.edge_base
+
+    def test_config_frozen(self):
+        from dataclasses import FrozenInstanceError
+
+        from repro.config import DEFAULT_CONFIG
+
+        with pytest.raises(FrozenInstanceError):
+            DEFAULT_CONFIG.max_tokenseq_len = 5
+
+    def test_exception_hierarchy(self):
+        from repro import exceptions
+
+        assert issubclass(exceptions.NoProgramFoundError, exceptions.SynthesisError)
+        assert issubclass(exceptions.SynthesisError, exceptions.ReproError)
+        assert issubclass(exceptions.KeyConstraintError, exceptions.TableError)
+        assert issubclass(exceptions.UnknownTableError, exceptions.TableError)
+
+    def test_unknown_table_error_payload(self):
+        from repro.exceptions import UnknownTableError
+
+        error = UnknownTableError("Nope")
+        assert error.name == "Nope"
+        assert "Nope" in str(error)
+
+    def test_unknown_column_error_payload(self):
+        from repro.exceptions import UnknownColumnError
+
+        error = UnknownColumnError("T", "c")
+        assert error.table == "T" and error.column == "c"

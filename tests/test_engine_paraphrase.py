@@ -1,0 +1,78 @@
+"""Unit tests for the natural-language paraphrasing (§3.2)."""
+
+from repro.core.exprs import Var
+from repro.engine.paraphrase import paraphrase
+from repro.lookup.ast import Select
+from repro.syntactic.ast import Concatenate, ConstStr, CPos, Pos, SubStr, substr2
+from repro.syntactic.regex import EPSILON
+from repro.syntactic.tokens import token_by_name
+
+
+class TestLeaves:
+    def test_var(self):
+        assert paraphrase(Var(0)) == "input column v1"
+
+    def test_const(self):
+        assert paraphrase(ConstStr("+0.")) == 'the text "+0."'
+
+
+class TestSubstrings:
+    def test_substr2_sugar_recognized(self):
+        text = paraphrase(substr2(Var(0), "AlphTok", 2))
+        assert text == "the 2nd AlphTok token of input column v1"
+
+    def test_negative_occurrence(self):
+        text = paraphrase(substr2(Var(0), "NumTok", -1))
+        assert "1st-from-last" in text
+
+    def test_generic_substr(self):
+        token = (token_by_name("SlashTok").ident,)
+        expr = SubStr(Var(1), Pos(token, EPSILON, 1), CPos(-1))
+        text = paraphrase(expr)
+        assert "substring of input column v2" in text
+        assert "SlashTok" in text
+
+    def test_cpos_rendering(self):
+        expr = SubStr(Var(0), CPos(0), CPos(-3))
+        text = paraphrase(expr)
+        assert "character position 0" in text
+        assert "2 characters before the end" in text
+
+
+class TestSelects:
+    def test_simple_select(self):
+        expr = Select("Name", "Comp", [("Id", Var(0))])
+        text = paraphrase(expr)
+        assert text == (
+            "the Name entry of table Comp in the row where Id equals "
+            "input column v1"
+        )
+
+    def test_nested_select(self):
+        inner = Select("Id", "MarkupRec", [("Name", Var(0))])
+        outer = Select("Price", "CostRec", [("Id", inner), ("Date", Var(1))])
+        text = paraphrase(outer)
+        assert "Price entry of table CostRec" in text
+        assert "Id entry of table MarkupRec" in text
+        assert " and Date equals input column v2" in text
+
+
+class TestConcatenate:
+    def test_parts_joined(self):
+        expr = Concatenate([ConstStr("a"), Var(0)])
+        text = paraphrase(expr)
+        assert text.startswith("the concatenation of: ")
+        assert '"a"' in text and "v1" in text
+
+    def test_full_example6_program_readable(self):
+        expr = Concatenate(
+            [
+                Select("Name", "Comp", [("Id", substr2(Var(0), "AlphTok", 1))]),
+                ConstStr(" "),
+                Select("Name", "Comp", [("Id", substr2(Var(0), "AlphTok", 2))]),
+            ]
+        )
+        text = paraphrase(expr)
+        assert "1st AlphTok token" in text
+        assert "2nd AlphTok token" in text
+        assert text.count("table Comp") == 2

@@ -1,0 +1,169 @@
+"""Unit tests for the SynthesisSession interaction model (§3.2)."""
+
+import pytest
+
+from repro import Catalog, SynthesisSession, Table, synthesize
+from repro.exceptions import (
+    InconsistentExampleError,
+    NoProgramFoundError,
+    SynthesisError,
+)
+
+
+@pytest.fixture()
+def comp_catalog():
+    return Catalog(
+        [
+            Table(
+                "Comp",
+                ["Id", "Name"],
+                [
+                    ("c1", "Microsoft"),
+                    ("c2", "Google"),
+                    ("c3", "Apple"),
+                    ("c4", "Facebook"),
+                    ("c5", "IBM"),
+                    ("c6", "Xerox"),
+                ],
+                keys=[("Id",), ("Name",)],
+            )
+        ]
+    )
+
+
+class TestBasicFlow:
+    def test_learn_and_apply(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4 c3 c1",), "Facebook Apple Microsoft")
+        program = session.learn()
+        assert program(("c2 c5 c6",)) == "Google IBM Xerox"
+
+    def test_apply_over_rows(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        assert session.apply([("c1",), ("c2",)]) == ["Microsoft", "Google"]
+
+    def test_incremental_examples(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4 c3 c1",), "Facebook Apple Microsoft")
+        session.add_example(("c2 c5 c6",), "Google IBM Xerox")
+        assert len(session.examples) == 2
+        program = session.learn()
+        assert program(("c1 c5 c4",)) == "Microsoft IBM Facebook"
+
+    def test_reset(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        session.reset()
+        assert session.examples == []
+        with pytest.raises(SynthesisError):
+            session.learn()
+
+    def test_learn_without_examples_raises(self, comp_catalog):
+        with pytest.raises(SynthesisError):
+            SynthesisSession(comp_catalog).learn()
+
+    def test_arity_mismatch_rejected(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        with pytest.raises(InconsistentExampleError):
+            session.add_example(("c4", "c1"), "x")
+
+    def test_contradiction_raises(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        with pytest.raises(NoProgramFoundError):
+            session.add_example(("c4",), "Google")
+
+
+class TestLanguages:
+    def test_lookup_language(self, comp_catalog):
+        session = SynthesisSession(comp_catalog, language="lookup")
+        session.add_example(("c4",), "Facebook")
+        assert session.learn()(("c5",)) == "IBM"
+
+    def test_syntactic_language(self):
+        session = SynthesisSession(language="syntactic")
+        session.add_example(("Alan Turing",), "Turing")
+        session.add_example(("Grace Hopper",), "Hopper")
+        assert session.learn()(("Kurt Godel",)) == "Godel"
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(ValueError):
+            SynthesisSession(language="prolog")
+
+    def test_background_tables_merged(self):
+        session = SynthesisSession(background=["Month", "DateOrd"])
+        session.add_example(("6-3-2008",), "Jun 3rd, 2008")
+        assert session.learn()(("9-24-2007",)) == "Sep 24th, 2007"
+
+    def test_background_all(self):
+        session = SynthesisSession(background="all")
+        assert "Time" in session.catalog and "Month" in session.catalog
+
+
+class TestMetrics:
+    def test_consistent_count_positive(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        assert session.consistent_count() > 1000
+
+    def test_structure_size_positive(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        assert session.structure_size() > 10
+
+    def test_count_shrinks_with_examples(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        before = session.consistent_count()
+        session.add_example(("c2",), "Google")
+        assert session.consistent_count() < before
+
+
+class TestAmbiguity:
+    def test_highlight_ambiguous_finds_disagreement(self, comp_catalog):
+        # After one example the space contains both constant and lookup
+        # programs, which disagree on fresh inputs.
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        flagged = session.highlight_ambiguous([("c2",), ("c4",)])
+        flagged_inputs = {state for state, _ in flagged}
+        assert ("c2",) in flagged_inputs
+        # On the original example input all programs agree.
+        assert ("c4",) not in flagged_inputs
+
+    def test_distinguishing_input(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        assert session.distinguishing_input([("c4",), ("c2",)]) == ("c2",)
+
+    def test_no_distinguishing_input_when_converged(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        assert session.distinguishing_input([("c4",)]) is None
+
+    def test_consistent_programs_start_with_best(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        programs = session.consistent_programs(limit=5)
+        assert str(programs[0].expr) == str(session.learn().expr)
+        assert len(programs) == 5
+
+
+class TestFunctionalApi:
+    def test_synthesize_one_call(self, comp_catalog):
+        program = synthesize(
+            [(("c4 c3 c1",), "Facebook Apple Microsoft")], catalog=comp_catalog
+        )
+        assert program(("c2 c5 c6",)) == "Google IBM Xerox"
+
+    def test_wrong_arity_to_program(self, comp_catalog):
+        program = synthesize([(("c4",), "Facebook")], catalog=comp_catalog)
+        with pytest.raises(ValueError):
+            program(("a", "b"))
+
+    def test_program_consistency_check(self, comp_catalog):
+        program = synthesize([(("c4",), "Facebook")], catalog=comp_catalog)
+        assert program.is_consistent_with([(("c4",), "Facebook")])
+        assert not program.is_consistent_with([(("c4",), "Google")])

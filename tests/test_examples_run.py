@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion and prints the
+expected learned outputs (the repository's executable documentation)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+def run_example(path: Path) -> str:
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    run_example(path)
+
+
+class TestExampleOutputs:
+    def test_quickstart_learns_example6(self):
+        output = run_example(Path("examples/quickstart.py"))
+        assert "'Google IBM Xerox'" in output
+        assert "Learned program:" in output
+
+    def test_markup_pricing_fills_figure1(self):
+        output = run_example(Path("examples/markup_pricing.py"))
+        assert "$21.45+0.35*21.45" in output
+        assert "$2.56+0.30*2.56" in output
+
+    def test_datetime_formatting(self):
+        output = run_example(Path("examples/datetime_formatting.py"))
+        assert "11:45 PM" in output
+        assert "Mar 26th, 2010" in output
+
+    def test_bike_prices_one_shot(self):
+        output = run_example(Path("examples/bike_prices.py"))
+        assert "Concatenate(v1, v2)" in output
+        assert "19,000" in output
+
+    def test_customer_join_interaction(self):
+        output = run_example(Path("examples/customer_join.py"))
+        assert "disagree" in output
+        assert "2015" in output

@@ -1,0 +1,109 @@
+"""Unit tests for the concrete Select expression."""
+
+import pytest
+
+from repro.core.exprs import Var
+from repro.lookup.ast import Select
+from repro.syntactic.ast import ConstStr, CPos, SubStr
+from repro.tables import Catalog, Table
+
+
+@pytest.fixture()
+def catalog():
+    custdata = Table(
+        "CustData",
+        ["Name", "Addr", "St"],
+        [
+            ("Sean Riley", "432", "15th"),
+            ("Peter Shaw", "24", "18th"),
+            ("Mike Henry", "432", "18th"),
+            ("Gary Lamb", "104", "12th"),
+        ],
+        keys=[("Name",), ("Addr", "St")],
+    )
+    sale = Table(
+        "Sale",
+        ["Addr", "St", "Date", "Price"],
+        [
+            ("24", "18th", "5/21", "110"),
+            ("104", "12th", "5/23", "225"),
+            ("432", "18th", "5/20", "2015"),
+            ("432", "15th", "5/24", "495"),
+        ],
+        keys=[("Addr", "St")],
+    )
+    return Catalog([custdata, sale])
+
+
+class TestEvaluation:
+    def test_simple_lookup(self, catalog):
+        expr = Select("Addr", "CustData", [("Name", Var(0))])
+        assert expr.evaluate(("Peter Shaw",), catalog) == "24"
+
+    def test_paper_example2_join(self, catalog):
+        # Select(Price, Sale, Addr = Select(Addr, CustData, Name=v1)
+        #                   ∧ St = Select(St, CustData, Name=v1))
+        expr = Select(
+            "Price",
+            "Sale",
+            [
+                ("Addr", Select("Addr", "CustData", [("Name", Var(0))])),
+                ("St", Select("St", "CustData", [("Name", Var(0))])),
+            ],
+        )
+        assert expr.evaluate(("Peter Shaw",), catalog) == "110"
+        assert expr.evaluate(("Gary Lamb",), catalog) == "225"
+        assert expr.evaluate(("Mike Henry",), catalog) == "2015"
+        assert expr.evaluate(("Sean Riley",), catalog) == "495"
+
+    def test_no_match_returns_empty(self, catalog):
+        expr = Select("Addr", "CustData", [("Name", Var(0))])
+        assert expr.evaluate(("Nobody",), catalog) == ""
+
+    def test_bottom_predicate_returns_empty(self, catalog):
+        bad = SubStr(Var(0), CPos(50), CPos(60))
+        expr = Select("Addr", "CustData", [("Name", bad)])
+        assert expr.evaluate(("Peter Shaw",), catalog) == ""
+
+    def test_constant_predicate(self, catalog):
+        expr = Select("St", "CustData", [("Name", ConstStr("Gary Lamb"))])
+        assert expr.evaluate(("anything",), catalog) == "12th"
+
+    def test_requires_catalog(self):
+        expr = Select("a", "T", [("b", Var(0))])
+        with pytest.raises(ValueError):
+            expr.evaluate(("x",), None)
+
+    def test_unknown_table_raises(self, catalog):
+        from repro.exceptions import UnknownTableError
+
+        expr = Select("a", "Nope", [("b", Var(0))])
+        with pytest.raises(UnknownTableError):
+            expr.evaluate(("x",), catalog)
+
+
+class TestStructure:
+    def test_requires_predicates(self):
+        with pytest.raises(ValueError):
+            Select("a", "T", [])
+
+    def test_equality(self):
+        first = Select("a", "T", [("b", Var(0))])
+        second = Select("a", "T", [("b", Var(0))])
+        assert first == second and hash(first) == hash(second)
+
+    def test_depth_counts_nesting(self):
+        inner = Select("Addr", "CustData", [("Name", Var(0))])
+        outer = Select("Price", "Sale", [("Addr", inner), ("St", Var(1))])
+        assert inner.depth() == 2
+        assert outer.depth() == 3
+
+    def test_tables_used(self):
+        inner = Select("Addr", "CustData", [("Name", Var(0))])
+        outer = Select("Price", "Sale", [("Addr", inner)])
+        assert outer.tables_used() == {"Sale", "CustData"}
+
+    def test_str_rendering(self):
+        expr = Select("a", "T", [("b", Var(0)), ("c", ConstStr("x"))])
+        text = str(expr)
+        assert "Select(a, T" in text and "∧" in text

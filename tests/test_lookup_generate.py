@@ -1,0 +1,189 @@
+"""Unit tests for GenerateStr_t (Figure 5(a))."""
+
+import pytest
+
+from repro.config import SynthesisConfig
+from repro.lookup.dstruct import GenSelect, VarEntry
+from repro.lookup.generate import generate_lookup
+from repro.lookup.language import LookupLanguage
+from repro.tables import Catalog, Table
+
+
+def chain_catalog(m=4):
+    """Paper Example 3: tables T1..Tm-1, Ti maps s_i -> (s_i+1, s_i+2)."""
+    tables = []
+    for i in range(1, m):
+        tables.append(
+            Table(
+                f"T{i}",
+                ["C1", "C2", "C3"],
+                [(f"s{i}", f"s{i+1}", f"s{i+2}")],
+                keys=[("C1",)],
+            )
+        )
+    return Catalog(tables)
+
+
+@pytest.fixture()
+def cust_catalog():
+    custdata = Table(
+        "CustData",
+        ["Name", "Addr", "St"],
+        [
+            ("Sean Riley", "432", "15th"),
+            ("Peter Shaw", "24", "18th"),
+            ("Mike Henry", "432", "18th"),
+            ("Gary Lamb", "104", "12th"),
+        ],
+        keys=[("Name",), ("Addr", "St")],
+    )
+    sale = Table(
+        "Sale",
+        ["Addr", "St", "Date", "Price"],
+        [
+            ("24", "18th", "5/21", "110"),
+            ("104", "12th", "5/23", "225"),
+            ("432", "18th", "5/20", "2015"),
+            ("432", "15th", "5/24", "495"),
+        ],
+        keys=[("Addr", "St")],
+    )
+    return Catalog([custdata, sale])
+
+
+class TestBaseCase:
+    def test_var_nodes_created(self, cust_catalog):
+        store = generate_lookup(cust_catalog, ("Peter Shaw", "zzz"), "110")
+        assert store.vals[0] == "Peter Shaw"
+        assert VarEntry(0) in store.progs[0]
+        assert VarEntry(1) in store.progs[1]
+
+    def test_duplicate_inputs_share_node(self, cust_catalog):
+        store = generate_lookup(cust_catalog, ("x", "x"), "y")
+        node = store.node_for("x")
+        assert VarEntry(0) in store.progs[node]
+        assert VarEntry(1) in store.progs[node]
+
+    def test_unreachable_output_has_no_target(self, cust_catalog):
+        store = generate_lookup(cust_catalog, ("Peter Shaw",), "not-in-tables")
+        assert store.target is None
+
+
+class TestReachability:
+    def test_example2_price_reachable(self, cust_catalog):
+        store = generate_lookup(cust_catalog, ("Peter Shaw",), "110")
+        assert store.target is not None
+        assert store.vals[store.target] == "110"
+
+    def test_selects_attached_to_row_columns(self, cust_catalog):
+        store = generate_lookup(cust_catalog, ("Peter Shaw",), "110")
+        addr = store.node_for("24")
+        tables = {e.table for e in store.progs[addr] if isinstance(e, GenSelect)}
+        # "24" is reachable from CustData (Addr of Peter Shaw) and later
+        # from Sale (Addr of the matched sale row).
+        assert "CustData" in tables
+
+    def test_matched_column_not_selected_from_itself(self):
+        catalog = Catalog(
+            [Table("T", ["A", "B"], [("x", "y")], keys=[("A",)])]
+        )
+        store = generate_lookup(catalog, ("x",), "y")
+        x_node = store.node_for("x")
+        # The trigger column A must not get Select(A, T, ...) from its own
+        # match (paper: foreach C' != C).
+        assert all(
+            not (isinstance(e, GenSelect) and e.column == "A")
+            for e in store.progs[x_node]
+        )
+
+    def test_two_matched_columns_select_each_other(self):
+        catalog = Catalog(
+            [Table("T", ["A", "B"], [("x", "y")], keys=[("A",), ("B",)])]
+        )
+        store = generate_lookup(catalog, ("x", "y"), "y")
+        x_node = store.node_for("x")
+        y_node = store.node_for("y")
+        assert any(
+            isinstance(e, GenSelect) and e.column == "A" for e in store.progs[x_node]
+        )
+        assert any(
+            isinstance(e, GenSelect) and e.column == "B" for e in store.progs[y_node]
+        )
+
+    def test_depth_bound_limits_chain(self):
+        catalog = chain_catalog(6)  # s1 .. s7 via 5 tables
+        config = SynthesisConfig(depth_bound=1)
+        store = generate_lookup(catalog, ("s1",), "s7", config)
+        # One step reaches s2 and s3 only.
+        assert store.node_for("s2") is not None
+        assert store.node_for("s4") is None
+
+    def test_default_depth_reaches_chain_end(self):
+        catalog = chain_catalog(5)
+        store = generate_lookup(catalog, ("s1",), "s6")
+        assert store.target is not None
+
+    def test_node_cap_respected(self):
+        catalog = chain_catalog(6)
+        config = SynthesisConfig(max_reachable_nodes=3)
+        store = generate_lookup(catalog, ("s1",), "s7", config)
+        assert len(store) <= 3 + 2  # one growth round past the cap at most
+
+
+class TestConditions:
+    def test_condition_covers_candidate_keys(self, cust_catalog):
+        store = generate_lookup(cust_catalog, ("Peter Shaw",), "110")
+        target_selects = [
+            e for e in store.progs[store.target] if isinstance(e, GenSelect)
+        ]
+        assert target_selects
+        sale_select = next(e for e in target_selects if e.table == "Sale")
+        # Sale has one candidate key (Addr, St).
+        assert [p.column for p in sale_select.cond.keys[0]] == ["Addr", "St"]
+
+    def test_predicates_carry_constant_and_node(self, cust_catalog):
+        store = generate_lookup(cust_catalog, ("Peter Shaw",), "110")
+        sale_select = next(
+            e
+            for e in store.progs[store.target]
+            if isinstance(e, GenSelect) and e.table == "Sale"
+        )
+        addr_predicate = sale_select.cond.keys[0][0]
+        assert addr_predicate.constant == "24"
+        assert addr_predicate.node == store.node_for("24")
+
+    def test_conditions_shared_across_row_selects(self, cust_catalog):
+        store = generate_lookup(cust_catalog, ("Peter Shaw",), "110")
+        by_row = {}
+        for progs in store.progs:
+            for entry in progs:
+                if isinstance(entry, GenSelect):
+                    by_row.setdefault((entry.table, entry.cond.row), []).append(
+                        entry.cond
+                    )
+        for conditions in by_row.values():
+            assert all(c is conditions[0] for c in conditions)
+
+
+class TestSoundness:
+    def test_enumerated_expressions_are_consistent(self, cust_catalog):
+        # Theorem 2(a) soundness: everything in the store evaluates to the
+        # output on the example input.
+        language = LookupLanguage(cust_catalog)
+        state, output = ("Peter Shaw",), "110"
+        store = language.generate(state, output)
+        count = 0
+        for expr in language.enumerate_programs(store, limit=200):
+            assert expr.evaluate(state, cust_catalog) == output, str(expr)
+            count += 1
+        assert count >= 2  # several consistent lookups exist
+
+    def test_example3_sharing_count(self):
+        # Example 3 with m=4: expressions to reach s4 from s1.
+        language = LookupLanguage(chain_catalog(4))
+        store = language.generate(("s1",), "s4")
+        assert store is not None
+        # N(2)=1 select from T1; N(3)=select(T2 via s2)+select(T1 C3)...
+        # The count obeys N(i) = 2 + N(i-1) + N(i-2) in the paper's general
+        # construction; here we just require exponential-ish growth >= 3.
+        assert language.count_expressions(store) >= 3

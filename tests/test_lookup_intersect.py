@@ -1,0 +1,137 @@
+"""Unit tests for Intersect_t and the pruning fixpoint."""
+
+import pytest
+
+from repro.core.formalism import Synthesize
+from repro.exceptions import NoProgramFoundError
+from repro.lookup.language import LookupLanguage
+from repro.tables import Catalog, Table
+
+
+@pytest.fixture()
+def cust_catalog():
+    custdata = Table(
+        "CustData",
+        ["Name", "Addr", "St"],
+        [
+            ("Sean Riley", "432", "15th"),
+            ("Peter Shaw", "24", "18th"),
+            ("Mike Henry", "432", "18th"),
+            ("Gary Lamb", "104", "12th"),
+        ],
+        keys=[("Name",), ("Addr", "St")],
+    )
+    sale = Table(
+        "Sale",
+        ["Addr", "St", "Date", "Price"],
+        [
+            ("24", "18th", "5/21", "110"),
+            ("104", "12th", "5/23", "225"),
+            ("432", "18th", "5/20", "2015"),
+            ("432", "15th", "5/24", "495"),
+        ],
+        keys=[("Addr", "St")],
+    )
+    return Catalog([custdata, sale])
+
+
+class TestExample2:
+    def test_two_examples_learn_the_join(self, cust_catalog):
+        # Paper Example 2: the nested join must survive intersection and be
+        # the top-ranked program, generalizing to the remaining customers.
+        language = LookupLanguage(cust_catalog)
+        store = Synthesize(
+            language.adapter(),
+            [(("Peter Shaw",), "110"), (("Gary Lamb",), "225")],
+        )
+        program = language.best_program(store)
+        assert program.evaluate(("Mike Henry",), cust_catalog) == "2015"
+        assert program.evaluate(("Sean Riley",), cust_catalog) == "495"
+
+    def test_intersection_sound_on_both(self, cust_catalog):
+        language = LookupLanguage(cust_catalog)
+        examples = [(("Peter Shaw",), "110"), (("Gary Lamb",), "225")]
+        store = Synthesize(language.adapter(), examples)
+        for expr in language.enumerate_programs(store, limit=50):
+            for state, output in examples:
+                assert expr.evaluate(state, cust_catalog) == output, str(expr)
+
+    def test_intersection_shrinks_or_keeps_count(self, cust_catalog):
+        language = LookupLanguage(cust_catalog)
+        first = language.generate(("Peter Shaw",), "110")
+        second = language.generate(("Gary Lamb",), "225")
+        merged = language.intersect(first, second)
+        assert merged is not None
+        assert language.count_expressions(merged) <= language.count_expressions(first)
+
+
+class TestEmptyIntersections:
+    def test_unreachable_output_fails(self, cust_catalog):
+        language = LookupLanguage(cust_catalog)
+        with pytest.raises(NoProgramFoundError):
+            Synthesize(language.adapter(), [(("Peter Shaw",), "no-such-entry")])
+
+    def test_contradictory_examples_fail(self, cust_catalog):
+        language = LookupLanguage(cust_catalog)
+        with pytest.raises(NoProgramFoundError):
+            Synthesize(
+                language.adapter(),
+                # Same input mapped to two different prices: no single
+                # deterministic Lt program can do both.
+                [(("Peter Shaw",), "110"), (("Peter Shaw",), "225")],
+            )
+
+    def test_different_tables_dont_intersect(self):
+        t1 = Table("A", ["k", "v"], [("x", "out1"), ("y", "out2")], keys=[("k",)])
+        t2 = Table("B", ["k", "v"], [("x", "out2"), ("y", "out1")], keys=[("k",)])
+        language = LookupLanguage(Catalog([t1, t2]))
+        # Example 1 consistent with A-lookup (x->out1) and B... x in B gives
+        # out2, so only A works for ex1; for ex2 only A works again (y->out2).
+        store = Synthesize(
+            language.adapter(), [(("x",), "out1"), (("y",), "out2")]
+        )
+        program = language.best_program(store)
+        assert program.table == "A"
+
+
+class TestConstantGeneralization:
+    def test_constant_predicate_survives_when_node_changes(self):
+        # The same row is triggered through different variables in the two
+        # examples (v1 then v2), so the *node* option dies in intersection
+        # while the *constant* option survives: the learned program is
+        # Select(v, T, k = ConstStr("a")).
+        table = Table("T", ["k", "v"], [("a", "1"), ("b", "2")], keys=[("k",)])
+        catalog = Catalog([table])
+        language = LookupLanguage(catalog)
+        store = Synthesize(
+            language.adapter(), [(("a", "q"), "1"), (("zz", "a"), "1")]
+        )
+        program = language.best_program(store)
+        assert program.evaluate(("anything", "else"), catalog) == "1"
+        from repro.syntactic.ast import ConstStr
+
+        assert program.predicates[0][1] == ConstStr("a")
+
+    def test_variable_predicate_survives_when_row_changes(self):
+        table = Table("T", ["k", "v"], [("a", "1"), ("b", "2")], keys=[("k",)])
+        catalog = Catalog([table])
+        language = LookupLanguage(catalog)
+        store = Synthesize(language.adapter(), [(("a",), "1"), (("b",), "2")])
+        program = language.best_program(store)
+        assert program.evaluate(("b",), catalog) == "2"
+        assert program.evaluate(("a",), catalog) == "1"
+
+
+class TestThreeWayIntersection:
+    def test_chain_of_three_examples(self, cust_catalog):
+        language = LookupLanguage(cust_catalog)
+        store = Synthesize(
+            language.adapter(),
+            [
+                (("Peter Shaw",), "110"),
+                (("Gary Lamb",), "225"),
+                (("Mike Henry",), "2015"),
+            ],
+        )
+        program = language.best_program(store)
+        assert program.evaluate(("Sean Riley",), cust_catalog) == "495"

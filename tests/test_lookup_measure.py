@@ -1,0 +1,169 @@
+"""Unit tests for Dt counting/size and the SCC machinery."""
+
+import pytest
+
+from repro.lookup.dstruct import GenPredicate, GenSelect, NodeStore, RowCondition, VarEntry
+from repro.lookup.extract import best_expression, enumerate_expressions
+from repro.lookup.generate import generate_lookup
+from repro.lookup.language import LookupLanguage
+from repro.lookup.measure import (
+    count_expressions,
+    has_self_reference,
+    strongly_connected_components,
+    structure_size,
+)
+from repro.tables import Catalog, Table
+
+
+def manual_store():
+    """v1 -> η0; η1 = Select(B, T, A={a, η0}); target η1."""
+    store = NodeStore()
+    n0 = store.new_node("a")
+    store.progs[n0].append(VarEntry(0))
+    n1 = store.new_node("b")
+    cond = RowCondition("T", 0, [[GenPredicate("A", constant="a", node=n0)]])
+    store.progs[n1].append(GenSelect("B", "T", cond))
+    store.target = n1
+    return store
+
+
+class TestScc:
+    def test_acyclic_components_singletons(self):
+        graph = {0: [1], 1: [2], 2: []}
+        components = strongly_connected_components(graph, lambda n: graph[n])
+        assert sorted(len(c) for c in components) == [1, 1, 1]
+
+    def test_cycle_grouped(self):
+        graph = {0: [1], 1: [0], 2: [0]}
+        components = strongly_connected_components(graph, lambda n: graph[n])
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2]
+
+    def test_reverse_topological_order(self):
+        graph = {0: [1], 1: [2], 2: []}
+        components = strongly_connected_components(graph, lambda n: graph[n])
+        flattened = [node for component in components for node in component]
+        # Dependencies (successors) must come before dependents.
+        assert flattened.index(2) < flattened.index(1) < flattened.index(0)
+
+    def test_has_self_reference_false_for_plain_store(self):
+        store = manual_store()
+        assert not has_self_reference(store)
+
+
+class TestCounting:
+    def test_manual_store_count(self):
+        # η1's select: one key, one predicate with const (1) + node (1) = 2.
+        assert count_expressions(manual_store()) == 2
+
+    def test_count_matches_enumeration(self):
+        store = manual_store()
+        assert count_expressions(store) == len(
+            list(enumerate_expressions(store, limit=10000))
+        )
+
+    def test_count_zero_without_target(self):
+        store = manual_store()
+        store.target = None
+        assert count_expressions(store) == 0
+
+    def test_cyclic_store_terminates(self):
+        # Deliberate mutual reference: η0 <-> η1 (DESIGN.md note 3).
+        store = NodeStore(depth_limit=4)
+        n0 = store.new_node("a")
+        n1 = store.new_node("b")
+        store.progs[n0].append(VarEntry(0))
+        cond01 = RowCondition("T", 0, [[GenPredicate("A", constant="a", node=n0)]])
+        cond10 = RowCondition("T", 1, [[GenPredicate("B", constant="b", node=n1)]])
+        store.progs[n1].append(GenSelect("B", "T", cond01))
+        store.progs[n0].append(GenSelect("A", "T", cond10))
+        store.target = n1
+        assert has_self_reference(store)
+        count = count_expressions(store)
+        assert count >= 1  # terminated with a finite count
+
+    def test_depth_budget_bounds_count(self):
+        # A self-loop yields more expressions at higher budgets.
+        store = NodeStore(depth_limit=2)
+        n0 = store.new_node("a")
+        store.progs[n0].append(VarEntry(0))
+        cond = RowCondition("T", 0, [[GenPredicate("A", constant="a", node=n0)]])
+        store.progs[n0].append(GenSelect("A", "T", cond))
+        store.target = n0
+        shallow = count_expressions(store)
+        store.depth_limit = 5
+        deep = count_expressions(store)
+        assert shallow < deep
+
+    def test_paper_example3_recurrence(self):
+        # Example 3: N(i) = 2 + N(i-1) + N(i-2) for the chain construction.
+        # With our per-row conditions: reaching s_i is possible from T_{i-1}
+        # (C2) and T_{i-2} (C3); verify exponential growth in m.
+        def chain(m):
+            tables = [
+                Table(
+                    f"T{i}",
+                    ["C1", "C2", "C3"],
+                    [(f"s{i}", f"s{i+1}", f"s{i+2}")],
+                    keys=[("C1",)],
+                )
+                for i in range(1, m)
+            ]
+            return Catalog(tables)
+
+        counts = []
+        for m in (4, 5, 6):
+            language = LookupLanguage(chain(m))
+            store = language.generate(("s1",), f"s{m}")
+            counts.append(language.count_expressions(store))
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_composite_key_product(self):
+        # Paper §4.2 second worst case: n key columns, each with (constant +
+        # m variables) choices -> (m+1)^n expressions.
+        table = Table(
+            "T",
+            ["C1", "C2", "C3"],
+            [("s", "s", "t"), ("s", "x", "u"), ("x", "s", "v")],
+            keys=[("C1", "C2")],
+        )
+        catalog = Catalog([table])
+        language = LookupLanguage(catalog)
+        store = language.generate(("s", "s"), "t")
+        # At nesting depth 1 (the paper's illustrative arithmetic) each key
+        # predicate offers the constant plus the shared node for "s", which
+        # denotes both v1 and v2 -> (2 + 1)^2 = 9 expressions.  Deeper
+        # budgets legitimately add nested-select variants on top.
+        store.depth_limit = 1
+        assert language.count_expressions(store) == 9
+
+
+class TestStructureSize:
+    def test_manual_store_size(self):
+        # VarEntry (1) + Select (2: column+table) + predicate (1 column +
+        # 1 const + 1 node ref) = 6.
+        assert structure_size(manual_store()) == 6
+
+    def test_shared_condition_counted_once(self):
+        store = manual_store()
+        # Attach a second select sharing the same RowCondition object.
+        select = next(
+            e for e in store.progs[store.target] if isinstance(e, GenSelect)
+        )
+        store.progs[store.target].append(GenSelect("C", "T", select.cond))
+        assert structure_size(store) == 6 + 2  # only the new select header
+
+    def test_roots_restriction(self):
+        store = manual_store()
+        orphan = store.new_node("zz")
+        store.progs[orphan].append(VarEntry(3))
+        full = structure_size(store)
+        restricted = structure_size(store, roots=[store.target])
+        assert restricted == full - 1
+
+    def test_size_grows_with_reachability(self):
+        table = Table("T", ["a", "b"], [("x", "y")], keys=[("a",)])
+        catalog = Catalog([table])
+        small = generate_lookup(catalog, ("zzz",), "q")
+        large = generate_lookup(catalog, ("x",), "y")
+        assert structure_size(large) > structure_size(small)

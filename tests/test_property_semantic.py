@@ -1,0 +1,126 @@
+"""Hypothesis property tests for the lookup and semantic layers.
+
+Randomized catalogs and examples exercise Theorem 2(a)/4(a) soundness --
+everything the version space denotes must reproduce the example -- plus
+intersection soundness across two randomly generated examples that share
+a hidden ground-truth program.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.lookup.language import LookupLanguage
+from repro.semantic.language import SemanticLanguage
+from repro.tables import Catalog, Table
+
+# Small distinct-ish cell values.
+CELL = st.text(alphabet="abcdxyz059", min_size=1, max_size=5)
+
+
+@st.composite
+def small_table(draw):
+    """A 2-4 row, 2-column table with unique keys and unique values."""
+    n = draw(st.integers(min_value=2, max_value=4))
+    keys = draw(
+        st.lists(CELL, min_size=n, max_size=n, unique=True)
+    )
+    values = draw(
+        st.lists(CELL, min_size=n, max_size=n, unique=True)
+    )
+    rows = list(zip(keys, values))
+    return Table("T", ["K", "V"], rows, keys=[("K",)])
+
+
+class TestLookupSoundness:
+    @given(small_table(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_generated_expressions_reproduce_example(self, table, data):
+        catalog = Catalog([table])
+        row = data.draw(st.integers(min_value=0, max_value=table.num_rows - 1))
+        state = (table.cell("K", row),)
+        output = table.cell("V", row)
+        language = LookupLanguage(catalog)
+        store = language.generate(state, output)
+        assume(store is not None)
+        for expr in language.enumerate_programs(store, limit=30):
+            assert expr.evaluate(state, catalog) == output, str(expr)
+
+    @given(small_table(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_intersection_on_two_rows(self, table, data):
+        assume(table.num_rows >= 2)
+        catalog = Catalog([table])
+        language = LookupLanguage(catalog)
+        examples = [
+            ((table.cell("K", row),), table.cell("V", row)) for row in (0, 1)
+        ]
+        first = language.generate(*examples[0])
+        second = language.generate(*examples[1])
+        assume(first is not None and second is not None)
+        merged = language.intersect(first, second)
+        # Select(V, T, K=v1) is consistent with both rows, so the merge
+        # must be non-empty and everything in it must fit both examples.
+        assert merged is not None
+        for expr in language.enumerate_programs(merged, limit=30):
+            for state, output in examples:
+                assert expr.evaluate(state, catalog) == output, str(expr)
+
+
+class TestSemanticSoundness:
+    @given(small_table(), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_generated_programs_reproduce_example(self, table, data):
+        catalog = Catalog([table])
+        row = data.draw(st.integers(min_value=0, max_value=table.num_rows - 1))
+        # Input embeds the key; output embeds the value -- the semantic
+        # generator must derive the key by substring extraction.
+        state = ("go " + table.cell("K", row),)
+        output = table.cell("V", row) + "!"
+        language = SemanticLanguage(catalog)
+        structure = language.generate(state, output)
+        assert structure is not None  # constants alone always suffice
+        for program in language.enumerate_programs(structure, limit=25):
+            assert program.evaluate(state, catalog) == output, str(program)
+
+    @given(small_table(), st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_best_program_reproduces_example(self, table, data):
+        catalog = Catalog([table])
+        row = data.draw(st.integers(min_value=0, max_value=table.num_rows - 1))
+        state = (table.cell("K", row),)
+        output = table.cell("V", row)
+        language = SemanticLanguage(catalog)
+        structure = language.generate(state, output)
+        program = language.best_program(structure)
+        assert program is not None
+        assert program.evaluate(state, catalog) == output
+
+    @given(small_table())
+    @settings(max_examples=20, deadline=None)
+    def test_two_row_intersection_generalizes_or_fails_loud(self, table):
+        assume(table.num_rows >= 3)
+        catalog = Catalog([table])
+        language = SemanticLanguage(catalog)
+        examples = [
+            ((table.cell("K", row),), table.cell("V", row)) for row in (0, 1)
+        ]
+        first = language.generate(*examples[0])
+        second = language.generate(*examples[1])
+        merged = language.intersect(first, second)
+        assert merged is not None  # the K=v1 lookup survives
+        for program in language.enumerate_programs(merged, limit=20):
+            for state, output in examples:
+                assert program.evaluate(state, catalog) == output, str(program)
+
+
+class TestCountEnumerationAgreement:
+    @given(st.text(alphabet="ab1 ", min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_syntactic_count_equals_enumeration(self, text):
+        from repro.syntactic.language import SyntacticLanguage
+
+        language = SyntacticLanguage()
+        dag = language.generate((text,), text[: max(1, len(text) - 1)])
+        count = language.count_expressions(dag)
+        assume(count <= 3000)
+        enumerated = list(language.enumerate_programs(dag, limit=5000))
+        assert count == len(enumerated)

@@ -1,0 +1,141 @@
+"""Hypothesis property tests for the syntactic layer.
+
+These pin the paper's Definition 1 invariants on randomized inputs:
+generation is sound (every represented expression is consistent with the
+example) and intersection is sound and complete (common behaviour
+survives; everything surviving is consistent with both examples).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.syntactic.language import SyntacticLanguage
+from repro.syntactic.positions import (
+    count_position_exprs,
+    enumerate_position_exprs,
+    generalized_positions,
+    intersect_position_sets,
+)
+from repro.syntactic.tokens import TOKENS, token_matches
+
+# A compact alphabet exercising every token kind without exploding match
+# tables: letters, digits, separators.
+TEXT = st.text(
+    alphabet="ab AB01-/.,:",
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestTokenProperties:
+    @given(TEXT)
+    @settings(max_examples=60)
+    def test_class_token_matches_are_maximal_and_disjoint(self, text):
+        for token in TOKENS:
+            if token.kind != "class":
+                continue
+            spans = token_matches(token, text)
+            for i, (start, end) in enumerate(spans):
+                assert start < end
+                if i + 1 < len(spans):
+                    # Disjoint and non-adjacent (maximality).
+                    assert spans[i + 1][0] > end
+
+    @given(TEXT)
+    @settings(max_examples=60)
+    def test_char_tokens_cover_exact_occurrences(self, text):
+        for token in TOKENS:
+            if token.kind != "char":
+                continue
+            spans = token_matches(token, text)
+            assert len(spans) == text.count(token.pattern)
+
+
+class TestPositionProperties:
+    @given(TEXT, st.data())
+    @settings(max_examples=80)
+    def test_generated_positions_round_trip(self, text, data):
+        position = data.draw(st.integers(min_value=0, max_value=len(text)))
+        entries = generalized_positions(text, position)
+        for expr in enumerate_position_exprs(entries):
+            assert expr.position_in(text) == position
+
+    @given(TEXT, st.data())
+    @settings(max_examples=60)
+    def test_count_matches_enumeration(self, text, data):
+        position = data.draw(st.integers(min_value=0, max_value=len(text)))
+        entries = generalized_positions(text, position)
+        assert count_position_exprs(entries) == len(
+            list(enumerate_position_exprs(entries))
+        )
+
+    @given(TEXT, TEXT, st.data())
+    @settings(max_examples=60)
+    def test_intersection_sound_on_both_strings(self, first, second, data):
+        p1 = data.draw(st.integers(min_value=0, max_value=len(first)))
+        p2 = data.draw(st.integers(min_value=0, max_value=len(second)))
+        merged = intersect_position_sets(
+            generalized_positions(first, p1), generalized_positions(second, p2)
+        )
+        if merged is None:
+            return
+        for expr in enumerate_position_exprs(merged):
+            assert expr.position_in(first) == p1
+            assert expr.position_in(second) == p2
+
+
+class TestGenerateSoundness:
+    @given(TEXT, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_every_program_consistent_with_example(self, text, data):
+        # Output: a substring of the input (guaranteeing var-based programs)
+        # possibly wrapped in constant junk.
+        start = data.draw(st.integers(min_value=0, max_value=len(text) - 1))
+        end = data.draw(st.integers(min_value=start + 1, max_value=len(text)))
+        prefix = data.draw(st.sampled_from(["", "x:", "<<"]))
+        output = prefix + text[start:end]
+        language = SyntacticLanguage()
+        dag = language.generate((text,), output)
+        for program in language.enumerate_programs(dag, limit=60):
+            assert program.evaluate((text,)) == output, str(program)
+
+    @given(TEXT, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_best_program_consistent(self, text, data):
+        start = data.draw(st.integers(min_value=0, max_value=len(text) - 1))
+        end = data.draw(st.integers(min_value=start + 1, max_value=len(text)))
+        output = text[start:end]
+        language = SyntacticLanguage()
+        dag = language.generate((text,), output)
+        program = language.best_program(dag)
+        assert program is not None
+        assert program.evaluate((text,)) == output
+
+
+class TestIntersectionSoundness:
+    @given(TEXT, TEXT, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_intersection_consistent_with_both(self, first, second, data):
+        # Build both outputs with the same "recipe": first k characters.
+        k = data.draw(
+            st.integers(min_value=1, max_value=min(len(first), len(second)))
+        )
+        examples = [((first,), first[:k]), ((second,), second[:k])]
+        language = SyntacticLanguage()
+        d1 = language.generate(*examples[0])
+        d2 = language.generate(*examples[1])
+        merged = language.intersect(d1, d2)
+        assert merged is not None  # CPos-prefix programs always survive
+        for program in language.enumerate_programs(merged, limit=40):
+            for state, output in examples:
+                assert program.evaluate(state) == output, str(program)
+
+    @given(TEXT)
+    @settings(max_examples=30, deadline=None)
+    def test_self_intersection_preserves_behaviour(self, text):
+        language = SyntacticLanguage()
+        dag = language.generate((text,), text)
+        merged = language.intersect(dag, dag)
+        assert merged is not None
+        # Counts may differ only through path renumbering, never behaviour.
+        best = language.best_program(merged)
+        assert best.evaluate((text,)) == text

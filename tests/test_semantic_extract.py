@@ -1,0 +1,118 @@
+"""Unit tests for Lu ranking and extraction (paper §5.4)."""
+
+import pytest
+
+from repro.config import SynthesisConfig
+from repro.lookup.ast import Select
+from repro.semantic.extract import best_program
+from repro.semantic.language import SemanticLanguage
+from repro.syntactic.ast import Concatenate, ConstStr
+from repro.tables import Catalog, Table
+
+
+@pytest.fixture()
+def comp_catalog():
+    return Catalog(
+        [
+            Table(
+                "Comp",
+                ["Id", "Name"],
+                [
+                    ("c1", "Microsoft"),
+                    ("c2", "Google"),
+                    ("c3", "Apple"),
+                    ("c4", "Facebook"),
+                    ("c5", "IBM"),
+                    ("c6", "Xerox"),
+                ],
+                keys=[("Id",), ("Name",)],
+            )
+        ]
+    )
+
+
+class TestPaperExamples:
+    def test_example6_one_shot(self, comp_catalog):
+        # §5.4's ranking must pick the lookup program from ONE example.
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4 c3 c1",), "Facebook Apple Microsoft")
+        program = language.best_program(structure)
+        assert program.evaluate(("c2 c5 c6",), comp_catalog) == "Google IBM Xerox"
+        assert program.evaluate(("c1 c5 c4",), comp_catalog) == "Microsoft IBM Facebook"
+
+    def test_example5_one_shot_concat_key(self):
+        catalog = Catalog(
+            [
+                Table(
+                    "BikePrices",
+                    ["Bike", "Price"],
+                    [
+                        ("Ducati100", "10,000"),
+                        ("Ducati125", "12,500"),
+                        ("Ducati250", "18,000"),
+                        ("Honda125", "11,500"),
+                        ("Honda250", "19,000"),
+                    ],
+                    keys=[("Bike",)],
+                )
+            ]
+        )
+        language = SemanticLanguage(catalog)
+        structure = language.generate(("Honda", "125"), "11,500")
+        program = language.best_program(structure)
+        # The paper's program: Select(Price, BikePrices, Bike=Concat(v1,v2)).
+        assert isinstance(program, Select)
+        assert program.evaluate(("Ducati", "250"), catalog) == "18,000"
+        assert program.evaluate(("Honda", "250"), catalog) == "19,000"
+
+    def test_example8_one_shot_dates(self):
+        from repro.tables.background import background_catalog
+
+        catalog = background_catalog(["Month", "DateOrd"])
+        language = SemanticLanguage(catalog)
+        structure = language.generate(("6-3-2008",), "Jun 3rd, 2008")
+        program = language.best_program(structure)
+        assert program.evaluate(("3-26-2010",), catalog) == "Mar 26th, 2010"
+        assert program.evaluate(("8-1-2009",), catalog) == "Aug 1st, 2009"
+        assert program.evaluate(("9-24-2007",), catalog) == "Sep 24th, 2007"
+
+
+class TestRankingPreferences:
+    def test_lookup_beats_long_constant(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        program = language.best_program(structure)
+        assert not isinstance(program, ConstStr)
+        assert program.evaluate(("c6",), comp_catalog) == "Xerox"
+
+    def test_short_separator_may_stay_constant(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook!")
+        program = language.best_program(structure)
+        # "!" occurs nowhere in inputs/tables: it must be a constant part.
+        assert isinstance(program, Concatenate)
+        assert program.evaluate(("c2",), comp_catalog) == "Google!"
+
+    def test_ranking_weights_are_ablatable(self, comp_catalog):
+        # With constants made free, the degenerate constant program wins --
+        # the ablation knob the benchmarks use.
+        config = SynthesisConfig().with_weights(
+            const_atom_base=0.0, const_atom_per_char=0.0
+        )
+        language = SemanticLanguage(comp_catalog, config)
+        structure = language.generate(("c4",), "Facebook")
+        program = language.best_program(structure)
+        assert program == ConstStr("Facebook")
+
+    def test_extraction_deterministic(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4 c3 c1",), "Facebook Apple Microsoft")
+        assert str(language.best_program(structure)) == str(
+            language.best_program(structure)
+        )
+
+    def test_empty_structure_returns_none(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        first = language.generate(("c4",), "Facebook")
+        second = language.generate(("c4",), "Google")
+        assert language.intersect(first, second) is None

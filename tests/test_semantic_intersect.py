@@ -1,0 +1,135 @@
+"""Unit tests for Intersect_u and its pruning fixpoint (paper §5.3)."""
+
+import pytest
+
+from repro.core.formalism import Synthesize
+from repro.exceptions import NoProgramFoundError
+from repro.semantic.language import SemanticLanguage
+from repro.tables import Catalog, Table
+from repro.tables.background import background_catalog
+
+
+@pytest.fixture()
+def comp_catalog():
+    return Catalog(
+        [
+            Table(
+                "Comp",
+                ["Id", "Name"],
+                [
+                    ("c1", "Microsoft"),
+                    ("c2", "Google"),
+                    ("c3", "Apple"),
+                    ("c4", "Facebook"),
+                    ("c5", "IBM"),
+                    ("c6", "Xerox"),
+                ],
+                keys=[("Id",), ("Name",)],
+            )
+        ]
+    )
+
+
+class TestExample6:
+    def test_two_examples_stay_consistent(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        examples = [
+            (("c4 c3 c1",), "Facebook Apple Microsoft"),
+            (("c2 c5 c6",), "Google IBM Xerox"),
+        ]
+        structure = Synthesize(language.adapter(), examples)
+        program = language.best_program(structure)
+        assert program.evaluate(("c1 c5 c4",), comp_catalog) == "Microsoft IBM Facebook"
+
+    def test_intersection_soundness(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        examples = [
+            (("c4 c3 c1",), "Facebook Apple Microsoft"),
+            (("c2 c5 c6",), "Google IBM Xerox"),
+        ]
+        structure = Synthesize(language.adapter(), examples)
+        for program in language.enumerate_programs(structure, limit=40):
+            for state, output in examples:
+                assert program.evaluate(state, comp_catalog) == output, str(program)
+
+    def test_intersection_reduces_count(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        first = language.generate(("c4 c3 c1",), "Facebook Apple Microsoft")
+        second = language.generate(("c2 c5 c6",), "Google IBM Xerox")
+        merged = language.intersect(first, second)
+        assert merged is not None
+        assert language.count_expressions(merged) < language.count_expressions(first)
+
+
+class TestExample7Time:
+    def test_two_examples_learn_time_format(self):
+        catalog = background_catalog(["Time"])
+        language = SemanticLanguage(catalog)
+        structure = Synthesize(
+            language.adapter(),
+            [(("1800",), "6:00 PM"), (("0730",), "7:30 AM")],
+        )
+        program = language.best_program(structure)
+        assert program.evaluate(("2345",), catalog) == "11:45 PM"
+        assert program.evaluate(("0915",), catalog) == "9:15 AM"
+        assert program.evaluate(("1200",), catalog) == "12:00 PM"
+        assert program.evaluate(("0000",), catalog) == "0:00 AM"
+
+
+class TestPruning:
+    def test_constant_program_dies_across_outputs(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        first = language.generate(("c4",), "Facebook")
+        second = language.generate(("c2",), "Google")
+        merged = language.intersect(first, second)
+        assert merged is not None
+        # The all-constant path cannot survive different outputs; every
+        # remaining program must be input-driven.
+        program = language.best_program(merged)
+        assert program.evaluate(("c5",), comp_catalog) == "IBM"
+
+    def test_empty_intersection_returns_none(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        # Contradiction: same input, different outputs.
+        first = language.generate(("c4",), "Facebook")
+        second = language.generate(("c4",), "Google")
+        assert language.intersect(first, second) is None
+
+    def test_synthesize_raises_on_contradiction(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        with pytest.raises(NoProgramFoundError):
+            Synthesize(
+                language.adapter(),
+                [(("c4",), "Facebook"), (("c4",), "Google")],
+            )
+
+    def test_three_example_fold(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = Synthesize(
+            language.adapter(),
+            [
+                (("c4 c3 c1",), "Facebook Apple Microsoft"),
+                (("c2 c5 c6",), "Google IBM Xerox"),
+                (("c1 c5 c4",), "Microsoft IBM Facebook"),
+            ],
+        )
+        program = language.best_program(structure)
+        assert program.evaluate(("c2 c3 c4",), comp_catalog) == "Google Apple Facebook"
+
+
+class TestPureSyntacticWithinLu:
+    def test_example4_no_tables_needed(self):
+        # Lu subsumes Ls: Example 4 works with an empty-ish catalog.
+        catalog = Catalog(
+            [Table("Dummy", ["a"], [("zzzqqq",)], keys=[("a",)])]
+        )
+        language = SemanticLanguage(catalog)
+        structure = Synthesize(
+            language.adapter(),
+            [
+                (("Alan Turing",), "Turing A"),
+                (("Oliver Heaviside",), "Heaviside O"),
+            ],
+        )
+        program = language.best_program(structure)
+        assert program.evaluate(("Grace Hopper",), catalog) == "Hopper G"

@@ -1,0 +1,90 @@
+"""Unit tests for the Figure 11 metrics on Du."""
+
+import pytest
+
+from repro.semantic.language import SemanticLanguage
+from repro.semantic.measure import count_expressions, dag_size, structure_size
+from repro.tables import Catalog, Table
+
+
+@pytest.fixture()
+def comp_catalog():
+    return Catalog(
+        [
+            Table(
+                "Comp",
+                ["Id", "Name"],
+                [("c1", "Microsoft"), ("c2", "Google"), ("c4", "Facebook")],
+                keys=[("Id",), ("Name",)],
+            )
+        ]
+    )
+
+
+class TestCount:
+    def test_count_is_large(self, comp_catalog):
+        # Figure 11(a): the number of consistent expressions is huge even
+        # for small examples -- every substring decomposition, position
+        # alternative and lookup derivation multiplies in.
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        assert language.count_expressions(structure) > 10**6
+
+    def test_count_grows_with_output_length(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        short = language.generate(("c4",), "Face")
+        long = language.generate(("c4 c1",), "Facebook Microsoft")
+        assert count_expressions(long) > count_expressions(short)
+
+    def test_count_zero_budget_excludes_lookups(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        full = count_expressions(structure)
+        structure.store.depth_limit = 0
+        without_lookups = count_expressions(structure)
+        assert without_lookups < full
+
+    def test_count_deterministic(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        assert count_expressions(structure) == count_expressions(structure)
+
+
+class TestSize:
+    def test_size_polynomial_not_astronomical(self, comp_catalog):
+        # Theorem 3(b): the structure is polynomial even though the count
+        # is exponential; for this tiny example it stays in the thousands.
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        size = structure_size(structure)
+        count = count_expressions(structure)
+        assert size < 50_000
+        assert count > size  # exponential vs polynomial
+
+    def test_size_includes_top_dag(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        assert structure_size(structure) > dag_size(structure.dag) > 0
+
+    def test_shared_predicate_dags_counted_once(self):
+        # Two rows keyed by strings sharing the dag cache entry.
+        table = Table(
+            "T",
+            ["K", "V", "W"],
+            [("ab", "1", "x"), ("ab2", "2", "y")],
+            keys=[("K",)],
+        )
+        language = SemanticLanguage(Catalog([table]))
+        structure = language.generate(("ab",), "1")
+        size_once = structure_size(structure)
+        assert size_once > 0
+
+    def test_size_shrinks_after_intersection(self, comp_catalog):
+        # Figure 12(b): intersection mostly shrinks the structure.
+        language = SemanticLanguage(comp_catalog)
+        first = language.generate(("c4",), "Facebook")
+        second = language.generate(("c2",), "Google")
+        merged = language.intersect(first, second)
+        assert merged is not None
+        assert structure_size(merged) <= structure_size(first) ** 2  # far from quadratic
+        assert structure_size(merged) < structure_size(first) * 4

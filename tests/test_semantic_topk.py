@@ -1,0 +1,88 @@
+"""Unit tests for top-k program extraction (§3.2 top-k view)."""
+
+import pytest
+
+from repro.semantic.extract import top_k_programs
+from repro.semantic.language import SemanticLanguage
+from repro.tables import Catalog, Table
+
+
+@pytest.fixture()
+def comp_catalog():
+    return Catalog(
+        [
+            Table(
+                "Comp",
+                ["Id", "Name"],
+                [
+                    ("c1", "Microsoft"),
+                    ("c2", "Google"),
+                    ("c4", "Facebook"),
+                ],
+                keys=[("Id",), ("Name",)],
+            )
+        ]
+    )
+
+
+class TestTopK:
+    def test_first_equals_best_program(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        ranked = language.top_programs(structure, k=5)
+        assert str(ranked[0][1]) == str(language.best_program(structure))
+
+    def test_costs_nondecreasing(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        ranked = language.top_programs(structure, k=8)
+        costs = [cost for cost, _ in ranked]
+        assert costs == sorted(costs)
+
+    def test_programs_distinct(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        ranked = language.top_programs(structure, k=8)
+        rendered = [str(expr) for _, expr in ranked]
+        assert len(set(rendered)) == len(rendered)
+
+    def test_all_consistent_with_example(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        for _, program in language.top_programs(structure, k=10):
+            assert program.evaluate(("c4",), comp_catalog) == "Facebook", str(program)
+
+    def test_k_zero_and_negative(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        assert top_k_programs(structure, 0) == []
+        assert top_k_programs(structure, -3) == []
+
+    def test_k_larger_than_space_is_fine(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Fa")
+        ranked = language.top_programs(structure, k=10_000)
+        assert 1 <= len(ranked) <= 10_000
+
+    def test_top_k_after_intersection(self, comp_catalog):
+        language = SemanticLanguage(comp_catalog)
+        first = language.generate(("c4",), "Facebook")
+        second = language.generate(("c2",), "Google")
+        merged = language.intersect(first, second)
+        ranked = language.top_programs(merged, k=5)
+        assert ranked
+        for _, program in ranked:
+            assert program.evaluate(("c4",), comp_catalog) == "Facebook"
+            assert program.evaluate(("c2",), comp_catalog) == "Google"
+
+    def test_disagreeing_alternatives_surface(self, comp_catalog):
+        # After one example the top-k must include programs that behave
+        # differently on new inputs (this is what drives the ambiguity
+        # highlighter).
+        language = SemanticLanguage(comp_catalog)
+        structure = language.generate(("c4",), "Facebook")
+        ranked = language.top_programs(structure, k=15)
+        behaviours = {
+            program.evaluate(("c2",), comp_catalog) for _, program in ranked
+        }
+        assert len(behaviours) >= 2

@@ -1,0 +1,148 @@
+"""Unit tests for the Ls concrete AST and its evaluation semantics."""
+
+import pytest
+
+from repro.core.exprs import Var
+from repro.syntactic.ast import Concatenate, ConstStr, CPos, Pos, SubStr, substr2
+from repro.syntactic.regex import EPSILON
+from repro.syntactic.tokens import token_by_name
+
+
+def tok(name):
+    return (token_by_name(name).ident,)
+
+
+class TestVar:
+    def test_evaluates_to_input(self):
+        assert Var(0).evaluate(("a", "b")) == "a"
+        assert Var(1).evaluate(("a", "b")) == "b"
+
+    def test_out_of_range_is_bottom(self):
+        assert Var(2).evaluate(("a",)) is None
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Var(-1)
+
+    def test_str_is_one_based(self):
+        assert str(Var(0)) == "v1"
+
+    def test_equality(self):
+        assert Var(1) == Var(1)
+        assert Var(1) != Var(2)
+        assert hash(Var(1)) == hash(Var(1))
+
+
+class TestCPos:
+    def test_positive(self):
+        assert CPos(0).position_in("abc") == 0
+        assert CPos(3).position_in("abc") == 3
+
+    def test_negative_counts_from_right(self):
+        # Paper: negative k denotes position (l + 1 + k).
+        assert CPos(-1).position_in("abc") == 3
+        assert CPos(-4).position_in("abc") == 0
+
+    def test_out_of_range(self):
+        assert CPos(4).position_in("abc") is None
+        assert CPos(-5).position_in("abc") is None
+
+    def test_paper_example7_minus3(self):
+        # SubStr(v1, -3, -1) on "1800" extracts "00": positions 2..4.
+        assert CPos(-3).position_in("1800") == 2
+        assert CPos(-1).position_in("1800") == 4
+
+
+class TestPos:
+    def test_basic(self):
+        position = Pos(tok("SlashTok"), EPSILON, 1)
+        assert position.position_in("10/12/2010") == 3
+
+    def test_zero_c_rejected(self):
+        with pytest.raises(ValueError):
+            Pos(EPSILON, tok("NumTok"), 0)
+
+    def test_equality_and_hash(self):
+        assert Pos(EPSILON, tok("NumTok"), 1) == Pos(EPSILON, tok("NumTok"), 1)
+        assert Pos(EPSILON, tok("NumTok"), 1) != Pos(EPSILON, tok("NumTok"), 2)
+
+    def test_str_mentions_token(self):
+        assert "NumTok" in str(Pos(EPSILON, tok("NumTok"), 1))
+
+
+class TestSubStr:
+    def test_basic_extraction(self):
+        expr = SubStr(Var(0), CPos(0), CPos(2))
+        assert expr.evaluate(("hello",)) == "he"
+
+    def test_bottom_when_positions_invalid(self):
+        expr = SubStr(Var(0), CPos(4), CPos(2))
+        assert expr.evaluate(("hello",)) is None  # start > end
+
+    def test_bottom_when_pos_fails(self):
+        expr = SubStr(Var(0), Pos(tok("SlashTok"), EPSILON, 1), CPos(-1))
+        assert expr.evaluate(("nada",)) is None
+
+    def test_bottom_propagates_from_source(self):
+        expr = SubStr(Var(5), CPos(0), CPos(1))
+        assert expr.evaluate(("a",)) is None
+
+    def test_paper_example7_hour_extraction(self):
+        # SubStr(v1, pos(StartTok, ε, 1), -3) on "1800" = "18".
+        expr = SubStr(Var(0), Pos(tok("StartTok"), EPSILON, 1), CPos(-3))
+        assert expr.evaluate(("1800",)) == "18"
+        assert expr.evaluate(("730",)) == "7"
+
+    def test_empty_substring_allowed(self):
+        expr = SubStr(Var(0), CPos(1), CPos(1))
+        assert expr.evaluate(("ab",)) == ""
+
+
+class TestSubStr2:
+    def test_paper_example4(self):
+        # "Alan Turing" -> Concatenate(SubStr2(v1, AlphTok, 2), " ",
+        #                              SubStr2(v1, UpperTok, 1)) = "Turing A"
+        expr = Concatenate(
+            [
+                substr2(Var(0), "AlphTok", 2),
+                ConstStr(" "),
+                substr2(Var(0), "UpperTok", 1),
+            ]
+        )
+        assert expr.evaluate(("Alan Turing",)) == "Turing A"
+        assert expr.evaluate(("Oliver Heaviside",)) == "Heaviside O"
+
+    def test_paper_example6_word_extraction(self):
+        assert substr2(Var(0), "AlphTok", 1).evaluate(("c4 c3 c1",)) == "c4"
+        assert substr2(Var(0), "AlphTok", 2).evaluate(("c4 c3 c1",)) == "c3"
+        assert substr2(Var(0), "AlphTok", 3).evaluate(("c4 c3 c1",)) == "c1"
+
+    def test_negative_occurrence(self):
+        assert substr2(Var(0), "AlphTok", -1).evaluate(("c4 c3 c1",)) == "c1"
+
+    def test_missing_occurrence_is_bottom(self):
+        assert substr2(Var(0), "NumTok", 3).evaluate(("only 1 and 2nd",)) is None
+
+
+class TestConcatenate:
+    def test_joins_parts(self):
+        expr = Concatenate([ConstStr("a"), Var(0), ConstStr("c")])
+        assert expr.evaluate(("B",)) == "aBc"
+
+    def test_bottom_propagates(self):
+        expr = Concatenate([ConstStr("a"), SubStr(Var(0), CPos(9), CPos(10))])
+        assert expr.evaluate(("x",)) is None
+
+    def test_requires_parts(self):
+        with pytest.raises(ValueError):
+            Concatenate([])
+
+    def test_size_and_depth(self):
+        expr = Concatenate([ConstStr("a"), SubStr(Var(0), CPos(0), CPos(1))])
+        assert expr.size() == 1 + 1 + (1 + 1)
+        assert expr.depth() == 1
+
+    def test_equality(self):
+        first = Concatenate([ConstStr("a"), Var(0)])
+        second = Concatenate([ConstStr("a"), Var(0)])
+        assert first == second and hash(first) == hash(second)

@@ -1,0 +1,93 @@
+"""Unit tests for GenerateStr_s (dag generation)."""
+
+from repro.config import SynthesisConfig
+from repro.syntactic.dag import ConstAtom, RefAtom, SubStrAtom
+from repro.syntactic.generate import dag_uses_sources, generate_dag
+from repro.syntactic.language import SyntacticLanguage
+
+
+class TestShape:
+    def test_nodes_are_positions(self):
+        dag = generate_dag([(0, "abc")], "xy")
+        assert dag.nodes == (0, 1, 2)
+        assert dag.source == 0 and dag.target == 2
+
+    def test_all_span_edges_present(self):
+        dag = generate_dag([(0, "abc")], "xyz")
+        assert set(dag.edges) == {(i, j) for i in range(3) for j in range(i + 1, 4)}
+
+    def test_every_edge_has_const(self):
+        dag = generate_dag([(0, "abc")], "xyz")
+        for (i, j), options in dag.edges.items():
+            consts = [a for a in options if isinstance(a, ConstAtom)]
+            assert consts == [ConstAtom("xyz"[i:j])]
+
+    def test_empty_output_gives_trivial_dag(self):
+        dag = generate_dag([(0, "abc")], "")
+        assert dag.is_trivial_empty
+
+
+class TestSubstringAtoms:
+    def test_occurrences_found(self):
+        dag = generate_dag([(0, "banana")], "an")
+        atoms = [a for a in dag.edges[(0, 2)] if isinstance(a, SubStrAtom)]
+        assert len(atoms) == 2  # "an" occurs at 1 and 3
+
+    def test_ref_atom_on_exact_match(self):
+        dag = generate_dag([(0, "ab"), (1, "xy")], "ab")
+        refs = [a for a in dag.edges[(0, 2)] if isinstance(a, RefAtom)]
+        assert refs == [RefAtom(0)]
+
+    def test_ref_atoms_disabled_by_config(self):
+        config = SynthesisConfig(include_ref_atoms=False)
+        dag = generate_dag([(0, "ab")], "ab", config)
+        assert not any(isinstance(a, RefAtom) for a in dag.edges[(0, 2)])
+
+    def test_empty_source_skipped(self):
+        dag = generate_dag([(0, "")], "a")
+        assert all(isinstance(a, ConstAtom) for a in dag.edges[(0, 1)])
+
+    def test_multiple_sources(self):
+        dag = generate_dag([(0, "cat"), (1, "cab")], "ca")
+        substr_sources = {
+            a.source for a in dag.edges[(0, 2)] if isinstance(a, SubStrAtom)
+        }
+        assert substr_sources == {0, 1}
+
+
+class TestSoundness:
+    def test_every_enumerated_program_is_consistent(self):
+        # The soundness half of Theorem 4(a) restricted to Ls.
+        language = SyntacticLanguage()
+        state = ("Alan Turing",)
+        output = "Turing A"
+        dag = language.generate(state, output)
+        checked = 0
+        for program in language.enumerate_programs(dag, limit=300):
+            assert program.evaluate(state) == output, str(program)
+            checked += 1
+        assert checked == 300  # plenty of distinct consistent programs
+
+    def test_uses_sources_detection(self):
+        assert dag_uses_sources(generate_dag([(0, "ab")], "ab"))
+        assert not dag_uses_sources(generate_dag([(0, "zz")], "ab"))
+
+
+class TestCounting:
+    def test_count_matches_enumeration_small(self):
+        language = SyntacticLanguage()
+        dag = language.generate(("ab",), "b")
+        count = language.count_expressions(dag)
+        enumerated = list(language.enumerate_programs(dag, limit=100000))
+        assert count == len(enumerated)
+
+    def test_count_grows_with_output_length(self):
+        language = SyntacticLanguage()
+        small = language.count_expressions(language.generate(("ab cd",), "ab"))
+        large = language.count_expressions(language.generate(("ab cd",), "ab cd"))
+        assert large > small
+
+    def test_structure_size_positive(self):
+        language = SyntacticLanguage()
+        dag = language.generate(("ab cd",), "ab")
+        assert language.structure_size(dag) > 0

@@ -1,0 +1,125 @@
+"""Unit tests for generalized position sets."""
+
+from repro.config import RankingWeights
+from repro.syntactic.ast import CPos, Pos
+from repro.syntactic.positions import (
+    TAG_CPOS,
+    TAG_REGEX,
+    best_position_expr,
+    cached_positions,
+    count_position_exprs,
+    enumerate_position_exprs,
+    generalized_positions,
+    intersect_position_sets,
+    position_set_size,
+)
+
+
+class TestGeneration:
+    def test_contains_both_constant_positions(self):
+        entries = generalized_positions("abcd", 1)
+        cpos = {e[1] for e in entries if e[0] == TAG_CPOS}
+        assert cpos == {1, 1 - 5}
+
+    def test_every_entry_evaluates_back_to_position(self):
+        # The defining invariant: generation and evaluation agree.
+        for text in ("c4 c3 c1", "10/12/2010", "$145.67+0.30*145.67", "Alan Turing"):
+            for position in range(len(text) + 1):
+                entries = generalized_positions(text, position)
+                for expr in enumerate_position_exprs(entries):
+                    assert expr.position_in(text) == position, (
+                        f"{expr} on {text!r} expected {position}"
+                    )
+
+    def test_regex_entries_present_at_token_boundary(self):
+        entries = generalized_positions("ab 12", 2)
+        assert any(e[0] == TAG_REGEX for e in entries)
+
+    def test_no_epsilon_epsilon_pair(self):
+        for position in range(6):
+            entries = generalized_positions("ab 12", position)
+            for entry in entries:
+                if entry[0] == TAG_REGEX:
+                    assert not (entry[1] == () and entry[2] == ())
+
+    def test_out_of_range_position_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            generalized_positions("ab", 5)
+
+    def test_cache_returns_same_tuple(self):
+        assert cached_positions("xy 1", 2) is cached_positions("xy 1", 2)
+
+
+class TestIntersection:
+    def test_common_constant_survives(self):
+        first = generalized_positions("abc de", 3)
+        second = generalized_positions("xyz 12", 3)
+        merged = intersect_position_sets(first, second)
+        assert merged is not None
+        assert (TAG_CPOS, 3) in merged
+
+    def test_occurrence_sets_intersect(self):
+        # Position after 1st slash; strings with different slash counts give
+        # different negative occurrence indices, so only c=1 survives.
+        first = generalized_positions("10/12/2010", 3)
+        second = generalized_positions("1/2", 2)
+        merged = intersect_position_sets(first, second)
+        assert merged is not None
+        slash_entries = [
+            e for e in merged
+            if e[0] == TAG_REGEX and e[1] != () and e[2] == ()
+        ]
+        assert any(1 in e[3] for e in slash_entries)
+
+    def test_disjoint_sets_give_none(self):
+        first = ((TAG_CPOS, 1),)
+        second = ((TAG_CPOS, 2),)
+        assert intersect_position_sets(first, second) is None
+
+    def test_intersection_is_sound(self):
+        # Every expression in the intersection evaluates correctly on BOTH.
+        first_text, first_pos = "24 18th", 2
+        second_text, second_pos = "104 12th", 3
+        merged = intersect_position_sets(
+            generalized_positions(first_text, first_pos),
+            generalized_positions(second_text, second_pos),
+        )
+        assert merged is not None
+        for expr in enumerate_position_exprs(merged):
+            assert expr.position_in(first_text) == first_pos
+            assert expr.position_in(second_text) == second_pos
+
+
+class TestMeasures:
+    def test_count_matches_enumeration(self):
+        for text, position in (("c4 c3", 2), ("a-b", 1), ("10/12", 0)):
+            entries = generalized_positions(text, position)
+            assert count_position_exprs(entries) == len(
+                list(enumerate_position_exprs(entries))
+            )
+
+    def test_size_positive(self):
+        assert position_set_size(generalized_positions("ab", 1)) >= 2
+
+
+class TestBest:
+    def test_prefers_regex_over_constant(self):
+        weights = RankingWeights()
+        entries = generalized_positions("c4 c3", 2)  # end of 1st Alph run
+        cost, expr = best_position_expr(entries, weights)
+        assert isinstance(expr, Pos)
+
+    def test_falls_back_to_cpos_when_only_constants(self):
+        weights = RankingWeights()
+        entries = ((TAG_CPOS, 1), (TAG_CPOS, -2))
+        cost, expr = best_position_expr(entries, weights)
+        assert isinstance(expr, CPos)
+
+    def test_deterministic(self):
+        weights = RankingWeights()
+        entries = generalized_positions("10/12/2010", 3)
+        first = best_position_expr(entries, weights)
+        second = best_position_expr(entries, weights)
+        assert str(first[1]) == str(second[1])

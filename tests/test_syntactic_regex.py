@@ -1,0 +1,88 @@
+"""Unit tests for token-sequence regexes and pos() evaluation."""
+
+from repro.syntactic.regex import (
+    EPSILON,
+    evaluate_pos,
+    match_end_positions,
+    match_start_positions,
+    regex_matches,
+    regex_name,
+)
+from repro.syntactic.tokens import token_by_name
+
+
+def tok(name):
+    return (token_by_name(name).ident,)
+
+
+class TestRegexMatches:
+    def test_epsilon_matches_everywhere(self):
+        assert regex_matches(EPSILON, "ab") == [(0, 0), (1, 1), (2, 2)]
+
+    def test_single_token(self):
+        assert regex_matches(tok("NumTok"), "a12b3") == [(1, 3), (4, 5)]
+
+    def test_token_seq_adjacent(self):
+        seq = tok("NumTok") + tok("SlashTok")
+        assert regex_matches(seq, "10/12/2010") == [(0, 3), (3, 6)]
+
+    def test_token_seq_no_match(self):
+        seq = tok("SlashTok") + tok("SlashTok")
+        assert regex_matches(seq, "10/12") == []
+
+    def test_three_token_seq(self):
+        seq = tok("NumTok") + tok("SlashTok") + tok("NumTok")
+        assert regex_matches(seq, "10/12") == [(0, 5)]
+
+    def test_name(self):
+        assert regex_name(EPSILON) == "ε"
+        assert regex_name(tok("NumTok")) == "NumTok"
+        assert "TokenSeq" in regex_name(tok("NumTok") + tok("SlashTok"))
+
+
+class TestBoundarySets:
+    def test_end_positions(self):
+        assert match_end_positions(tok("NumTok"), "a12b3") == {3, 5}
+
+    def test_start_positions(self):
+        assert match_start_positions(tok("NumTok"), "a12b3") == {1, 4}
+
+    def test_epsilon_sets(self):
+        assert match_end_positions(EPSILON, "ab") == {0, 1, 2}
+
+
+class TestEvaluatePos:
+    def test_paper_example1_f5(self):
+        # pos(SlashTok, ε, 1) on "10/12/2010" = 3 (just after the 1st slash).
+        assert evaluate_pos("10/12/2010", tok("SlashTok"), EPSILON, 1) == 3
+
+    def test_end_tok_position(self):
+        assert evaluate_pos("10/12/2010", tok("EndTok"), EPSILON, 1) == 10
+
+    def test_start_tok_position(self):
+        assert evaluate_pos("1800", tok("StartTok"), EPSILON, 1) == 0
+
+    def test_first_occurrence_of_alph_run_boundaries(self):
+        # SubStr2(v, AlphTok, 1) boundaries on "c4 c3 c1".
+        assert evaluate_pos("c4 c3 c1", EPSILON, tok("AlphTok"), 1) == 0
+        assert evaluate_pos("c4 c3 c1", tok("AlphTok"), EPSILON, 1) == 2
+
+    def test_negative_c_counts_from_right(self):
+        assert evaluate_pos("c4 c3 c1", EPSILON, tok("AlphTok"), -1) == 6
+        assert evaluate_pos("c4 c3 c1", tok("AlphTok"), EPSILON, -1) == 8
+
+    def test_out_of_range_returns_none(self):
+        assert evaluate_pos("c4", EPSILON, tok("AlphTok"), 5) is None
+        assert evaluate_pos("c4", EPSILON, tok("AlphTok"), -5) is None
+
+    def test_c_zero_is_undefined(self):
+        assert evaluate_pos("c4", EPSILON, tok("AlphTok"), 0) is None
+
+    def test_no_match_returns_none(self):
+        assert evaluate_pos("abc", tok("SlashTok"), EPSILON, 1) is None
+
+    def test_pair_requires_both_sides(self):
+        # Boundary between digits and a slash: positions 2 and 5 in 10/12/20.
+        assert evaluate_pos("10/12/20", tok("NumTok"), tok("SlashTok"), 1) == 2
+        assert evaluate_pos("10/12/20", tok("NumTok"), tok("SlashTok"), 2) == 5
+        assert evaluate_pos("10/12/20", tok("NumTok"), tok("SlashTok"), 3) is None

@@ -1,0 +1,99 @@
+"""Unit tests for the Ls token alphabet."""
+
+import pytest
+
+from repro.syntactic.tokens import (
+    TOKENS,
+    TokenMatchIndex,
+    match_index,
+    token_by_id,
+    token_by_name,
+    token_matches,
+)
+
+
+class TestRegistry:
+    def test_ids_are_dense_and_stable(self):
+        for ident, token in enumerate(TOKENS):
+            assert token.ident == ident
+            assert token_by_id(ident) is token
+
+    def test_lookup_by_name(self):
+        assert token_by_name("NumTok").pattern == "[0-9]+"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            token_by_name("BogusTok")
+
+    def test_paper_tokens_present(self):
+        for name in ("UpperTok", "NumTok", "AlphTok", "DecNumTok", "SlashTok",
+                     "StartTok", "EndTok"):
+            assert token_by_name(name) is not None
+
+
+class TestClassTokenMatching:
+    def test_alphtok_is_alphanumeric_in_this_paper(self):
+        # §5: "AlphTok matches a nonempty sequence of alphanumeric characters".
+        token = token_by_name("AlphTok")
+        assert token_matches(token, "c4 c3 c1") == [(0, 2), (3, 5), (6, 8)]
+
+    def test_numtok_maximal_runs(self):
+        token = token_by_name("NumTok")
+        assert token_matches(token, "10/12/2010") == [(0, 2), (3, 5), (6, 10)]
+
+    def test_uppertok(self):
+        token = token_by_name("UpperTok")
+        assert token_matches(token, "Alan Turing") == [(0, 1), (5, 6)]
+
+    def test_decnumtok_spans_decimal_point(self):
+        token = token_by_name("DecNumTok")
+        assert token_matches(token, "$145.67+0.30") == [(1, 7), (8, 12)]
+
+    def test_wstok(self):
+        token = token_by_name("WsTok")
+        assert token_matches(token, "a  b c") == [(1, 3), (4, 5)]
+
+    def test_no_match_returns_empty(self):
+        assert token_matches(token_by_name("NumTok"), "abc") == []
+
+
+class TestSpecialTokenMatching:
+    def test_slash_single_chars(self):
+        token = token_by_name("SlashTok")
+        assert token_matches(token, "10/12/2010") == [(2, 3), (5, 6)]
+
+    def test_hyphen(self):
+        token = token_by_name("HyphenTok")
+        assert token_matches(token, "6-3-2008") == [(1, 2), (3, 4)]
+
+    def test_start_end_zero_width(self):
+        assert token_matches(token_by_name("StartTok"), "abc") == [(0, 0)]
+        assert token_matches(token_by_name("EndTok"), "abc") == [(3, 3)]
+
+    def test_start_end_on_empty_string(self):
+        assert token_matches(token_by_name("StartTok"), "") == [(0, 0)]
+        assert token_matches(token_by_name("EndTok"), "") == [(0, 0)]
+
+
+class TestMatchIndex:
+    def test_boundaries(self):
+        index = TokenMatchIndex("c4 c3")
+        alph = token_by_name("AlphTok").ident
+        assert alph in index.tokens_starting_at(0)
+        assert alph in index.tokens_ending_at(2)
+        assert alph in index.tokens_starting_at(3)
+        assert alph in index.tokens_ending_at(5)
+
+    def test_start_end_in_boundaries(self):
+        index = TokenMatchIndex("ab")
+        start = token_by_name("StartTok").ident
+        end = token_by_name("EndTok").ident
+        assert start in index.tokens_ending_at(0)  # zero-width span (0, 0)
+        assert end in index.tokens_starting_at(2)
+
+    def test_cache_returns_same_object(self):
+        assert match_index("hello") is match_index("hello")
+
+    def test_empty_positions(self):
+        index = TokenMatchIndex("ab")
+        assert index.tokens_ending_at(1) == []  # inside an Alph run

@@ -1,0 +1,116 @@
+"""Unit tests for the §6 background-knowledge tables."""
+
+import pytest
+
+from repro.tables.background import (
+    available_background_tables,
+    background_catalog,
+    background_table,
+    currency_table,
+    date_ordinal_table,
+    month_table,
+    phone_isd_table,
+    street_suffix_table,
+    time_table,
+    us_state_table,
+    weekday_table,
+)
+
+
+class TestTimeTable:
+    def test_paper_entries(self):
+        # Paper populates (0,0,AM) ... (11,11,AM), (12,12,PM), (13,1,PM) ... (23,11,PM).
+        table = time_table()
+        assert table.lookup("12Hour", {"24Hour": "0"}) == "0"
+        assert table.lookup("AMPM", {"24Hour": "11"}) == "AM"
+        assert table.lookup("12Hour", {"24Hour": "12"}) == "12"
+        assert table.lookup("AMPM", {"24Hour": "12"}) == "PM"
+        assert table.lookup("12Hour", {"24Hour": "13"}) == "1"
+        assert table.lookup("12Hour", {"24Hour": "23"}) == "11"
+
+    def test_padded_key_for_spot_times(self):
+        table = time_table()
+        assert table.lookup("12Hour", {"24HourPad": "06"}) == "6"
+        assert table.lookup("AMPM", {"24HourPad": "18"}) == "PM"
+
+    def test_row_count(self):
+        assert time_table().num_rows == 24
+
+
+class TestMonthTable:
+    def test_paper_entries(self):
+        table = month_table()
+        assert table.lookup("MW", {"MN": "1"}) == "January"
+        assert table.lookup("MW", {"MN": "12"}) == "December"
+        assert table.lookup("MN", {"MW": "June"}) == "6"
+
+    def test_abbreviations(self):
+        table = month_table()
+        assert table.lookup("MA", {"MN": "6"}) == "Jun"
+        assert table.lookup("MN", {"MA": "Sep"}) == "9"
+
+    def test_both_columns_are_keys(self):
+        keys = month_table().keys
+        assert ("MN",) in keys and ("MW",) in keys
+
+
+class TestDateOrdTable:
+    def test_paper_entries(self):
+        table = date_ordinal_table()
+        assert table.lookup("Ord", {"Num": "1"}) == "st"
+        assert table.lookup("Ord", {"Num": "2"}) == "nd"
+        assert table.lookup("Ord", {"Num": "3"}) == "rd"
+        assert table.lookup("Ord", {"Num": "4"}) == "th"
+        assert table.lookup("Ord", {"Num": "31"}) == "st"
+
+    def test_teens_are_th(self):
+        table = date_ordinal_table()
+        for day in ("11", "12", "13"):
+            assert table.lookup("Ord", {"Num": day}) == "th"
+
+    def test_31_entries(self):
+        assert date_ordinal_table().num_rows == 31
+
+
+class TestOtherTables:
+    def test_weekday(self):
+        table = weekday_table()
+        assert table.lookup("DW", {"DN": "1"}) == "Monday"
+        assert table.lookup("DA", {"DW": "Sunday"}) == "Sun"
+
+    def test_phone_isd_turkey(self):
+        # Paper §6: "90 is the ISD code for Turkey".
+        table = phone_isd_table()
+        assert table.lookup("Country", {"Code": "90"}) == "Turkey"
+        assert table.lookup("Code", {"Country": "India"}) == "91"
+
+    def test_currency(self):
+        table = currency_table()
+        assert table.lookup("Symbol", {"Code": "USD"}) == "$"
+        assert table.lookup("Code", {"CName": "Euro"}) == "EUR"
+
+    def test_us_state(self):
+        table = us_state_table()
+        assert table.lookup("Abbrev", {"State": "Texas"}) == "TX"
+
+    def test_street_suffix(self):
+        table = street_suffix_table()
+        assert table.lookup("Short", {"Long": "Boulevard"}) == "Blvd"
+
+
+class TestCatalogBuilders:
+    def test_all_tables_available(self):
+        names = available_background_tables()
+        assert "Time" in names and "Month" in names and "DateOrd" in names
+
+    def test_background_catalog_default_has_all(self):
+        catalog = background_catalog()
+        assert len(catalog) == len(available_background_tables())
+
+    def test_background_catalog_subset(self):
+        catalog = background_catalog(["Month", "DateOrd"])
+        assert len(catalog) == 2
+
+    def test_unknown_table_name(self):
+        with pytest.raises(KeyError):
+            background_table("Nope")

@@ -1,0 +1,89 @@
+"""Unit tests for Catalog and the value occurrence index."""
+
+import pytest
+
+from repro.exceptions import TableError, UnknownTableError
+from repro.tables import Catalog, Occurrence, Table
+
+
+def small_catalog():
+    markup = Table(
+        "MarkupRec",
+        ["Id", "Name", "Markup"],
+        [
+            ("S30", "Stroller", "30%"),
+            ("B56", "Bib", "45%"),
+            ("D32", "Diapers", "35%"),
+        ],
+        keys=[("Id",), ("Name",)],
+    )
+    cost = Table(
+        "CostRec",
+        ["Id", "Date", "Price"],
+        [
+            ("S30", "12/2010", "$145.67"),
+            ("S30", "11/2010", "$142.38"),
+            ("B56", "12/2010", "$3.56"),
+        ],
+        keys=[("Id", "Date")],
+    )
+    return Catalog([markup, cost])
+
+
+class TestBasics:
+    def test_contains_and_len(self):
+        catalog = small_catalog()
+        assert "MarkupRec" in catalog and "CostRec" in catalog
+        assert len(catalog) == 2
+
+    def test_table_lookup(self):
+        assert small_catalog().table("MarkupRec").name == "MarkupRec"
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(UnknownTableError):
+            small_catalog().table("Nope")
+
+    def test_duplicate_table_rejected(self):
+        catalog = small_catalog()
+        with pytest.raises(TableError):
+            catalog.add(Table("CostRec", ["a"], [("x",)]))
+
+    def test_iteration_preserves_order(self):
+        assert [t.name for t in small_catalog()] == ["MarkupRec", "CostRec"]
+
+    def test_total_entries(self):
+        assert small_catalog().total_entries == 3 * 3 + 3 * 3
+
+    def test_default_depth_bound_is_table_count(self):
+        assert small_catalog().default_depth_bound() == 2
+        assert Catalog().default_depth_bound() == 1
+
+
+class TestValueIndex:
+    def test_occurrences_single(self):
+        occurrences = small_catalog().occurrences_of("Stroller")
+        assert occurrences == [Occurrence("MarkupRec", "Name", 0)]
+
+    def test_occurrences_across_tables(self):
+        occurrences = small_catalog().occurrences_of("S30")
+        tables = {o.table for o in occurrences}
+        assert tables == {"MarkupRec", "CostRec"}
+        assert len(occurrences) == 3
+
+    def test_occurrences_missing_value(self):
+        assert small_catalog().occurrences_of("zzz") == []
+
+    def test_distinct_values_contains_cells(self):
+        values = set(small_catalog().distinct_values())
+        assert {"S30", "$3.56", "12/2010", "Bib"} <= values
+
+
+class TestMerge:
+    def test_merged_with_background(self):
+        from repro.tables.background import background_catalog
+
+        merged = small_catalog().merged_with(background_catalog(["Month"]))
+        assert "Month" in merged
+        assert "MarkupRec" in merged
+        # Original catalogs are untouched.
+        assert "Month" not in small_catalog()

@@ -1,0 +1,48 @@
+"""Unit tests for CSV table IO."""
+
+import pytest
+
+from repro.exceptions import TableError
+from repro.tables.io import (
+    load_table_csv,
+    save_table_csv,
+    table_from_csv_text,
+    table_to_csv_text,
+)
+
+
+class TestCsvText:
+    def test_parse_basic(self):
+        table = table_from_csv_text("T", "a,b\n1,x\n2,y\n")
+        assert table.columns == ("a", "b")
+        assert table.rows == (("1", "x"), ("2", "y"))
+
+    def test_parse_with_keys(self):
+        table = table_from_csv_text("T", "a,b\n1,x\n2,x\n", keys=[("a",)])
+        assert table.keys == (("a",),)
+
+    def test_header_only_rejected(self):
+        with pytest.raises(TableError):
+            table_from_csv_text("T", "a,b\n")
+
+    def test_quoted_cells_with_commas(self):
+        table = table_from_csv_text("T", 'a,b\n"x,y",z\n')
+        assert table.rows == (("x,y", "z"),)
+
+    def test_round_trip(self):
+        table = table_from_csv_text("T", "a,b\n1,x\n2,y\n")
+        assert table_from_csv_text("T", table_to_csv_text(table)) == table
+
+
+class TestCsvFiles:
+    def test_save_and_load(self, tmp_path):
+        table = table_from_csv_text("Prices", "item,price\npen,2\nbook,10\n")
+        path = tmp_path / "Prices.csv"
+        save_table_csv(table, path)
+        loaded = load_table_csv(path)
+        assert loaded == table  # name defaults to the file stem
+
+    def test_load_with_explicit_name(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a\nx\n", encoding="utf-8")
+        assert load_table_csv(path, name="Custom").name == "Custom"

@@ -1,0 +1,65 @@
+"""Unit tests for candidate-key discovery."""
+
+from repro.tables import Table, discover_candidate_keys
+
+
+class TestDiscovery:
+    def test_single_column_key(self):
+        keys = discover_candidate_keys(["a", "b"], [("1", "x"), ("2", "x")])
+        assert keys == (("a",),)
+
+    def test_both_columns_are_keys(self):
+        keys = discover_candidate_keys(["a", "b"], [("1", "x"), ("2", "y")])
+        assert keys == (("a",), ("b",))
+
+    def test_composite_key_when_no_single_key(self):
+        rows = [("1", "x"), ("1", "y"), ("2", "x")]
+        keys = discover_candidate_keys(["a", "b"], rows)
+        assert keys == (("a", "b"),)
+
+    def test_minimality_skips_supersets(self):
+        rows = [("1", "x", "p"), ("2", "y", "p"), ("3", "z", "q")]
+        keys = discover_candidate_keys(["a", "b", "c"], rows)
+        # a and b are single-column keys; (a, c) etc. must not appear.
+        assert ("a",) in keys and ("b",) in keys
+        assert all(len(k) == 1 for k in keys)
+
+    def test_width_cap_falls_back_to_all_columns(self):
+        # No single column or pair is unique; with max_width=2 the fallback
+        # key is the full column set.
+        rows = [
+            ("1", "x", "p"),
+            ("1", "x", "q"),
+            ("1", "y", "p"),
+            ("2", "x", "p"),
+        ]
+        keys = discover_candidate_keys(["a", "b", "c"], rows, max_width=2)
+        assert keys == (("a", "b", "c"),)
+
+    def test_duplicate_rows_still_return_a_key(self):
+        keys = discover_candidate_keys(["a"], [("1",), ("1",)])
+        assert keys == (("a",),)
+
+
+class TestTableIntegration:
+    def test_table_discovers_keys_when_not_declared(self):
+        table = Table(
+            "Sale",
+            ["Addr", "St", "Date", "Price"],
+            [
+                ("24", "18th", "5/21", "110"),
+                ("104", "12th", "5/23", "225"),
+                ("432", "18th", "5/20", "2015"),
+                ("432", "15th", "5/24", "495"),
+            ],
+        )
+        assert ("Addr", "St") in table.keys
+        # Addr alone is not unique, so it must not be a key.
+        assert ("Addr",) not in table.keys
+
+    def test_paper_time_table_keys(self):
+        from repro.tables.background import time_table
+
+        table = time_table()
+        assert ("24Hour",) in table.keys
+        assert ("12Hour", "AMPM") in table.keys

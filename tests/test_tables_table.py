@@ -1,0 +1,139 @@
+"""Unit tests for the Table value object."""
+
+import pytest
+
+from repro.exceptions import KeyConstraintError, TableError, UnknownColumnError
+from repro.tables import Table
+
+
+def make_comp():
+    return Table(
+        "Comp",
+        ["Id", "Name"],
+        [
+            ("c1", "Microsoft"),
+            ("c2", "Google"),
+            ("c3", "Apple"),
+            ("c4", "Facebook"),
+            ("c5", "IBM"),
+            ("c6", "Xerox"),
+        ],
+        keys=[("Id",), ("Name",)],
+    )
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        table = make_comp()
+        assert table.name == "Comp"
+        assert table.columns == ("Id", "Name")
+        assert table.num_rows == 6
+        assert table.num_columns == 2
+
+    def test_rows_are_immutable_tuples(self):
+        table = make_comp()
+        assert isinstance(table.rows, tuple)
+        assert all(isinstance(row, tuple) for row in table.rows)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TableError):
+            Table("", ["a"], [("x",)])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(TableError):
+            Table("T", [], [()])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(TableError):
+            Table("T", ["a", "a"], [("x", "y")])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(TableError):
+            Table("T", ["a", "b"], [("x",)])
+
+    def test_non_string_cell_rejected(self):
+        with pytest.raises(TableError):
+            Table("T", ["a"], [(3,)])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(TableError):
+            Table("T", ["a"], [])
+
+    def test_unknown_key_column_rejected(self):
+        with pytest.raises(UnknownColumnError):
+            Table("T", ["a"], [("x",)], keys=[("b",)])
+
+    def test_non_unique_key_rejected(self):
+        with pytest.raises(KeyConstraintError):
+            Table("T", ["a", "b"], [("x", "1"), ("x", "2")], keys=[("a",)])
+
+    def test_empty_key_list_rejected(self):
+        with pytest.raises(KeyConstraintError):
+            Table("T", ["a"], [("x",)], keys=[])
+
+
+class TestAccess:
+    def test_cell_matches_paper_notation(self):
+        table = make_comp()
+        assert table.cell("Name", 3) == "Facebook"
+        assert table.cell("Id", 0) == "c1"
+
+    def test_cell_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            make_comp().cell("Nope", 0)
+
+    def test_column_values(self):
+        assert make_comp().column_values("Id") == ("c1", "c2", "c3", "c4", "c5", "c6")
+
+    def test_column_position(self):
+        assert make_comp().column_position("Name") == 1
+
+    def test_has_column(self):
+        table = make_comp()
+        assert table.has_column("Id")
+        assert not table.has_column("id")
+
+
+class TestLookupSemantics:
+    def test_unique_match_returns_entry(self):
+        assert make_comp().lookup("Name", {"Id": "c2"}) == "Google"
+
+    def test_no_match_returns_empty_string(self):
+        # Paper §4.1: Select returns the empty string when no row satisfies b.
+        assert make_comp().lookup("Name", {"Id": "c9"}) == ""
+
+    def test_multiple_matches_return_empty_string(self):
+        table = Table("T", ["a", "b"], [("x", "1"), ("x", "2")], keys=[("b",)])
+        assert table.lookup("b", {"a": "x"}) == ""
+
+    def test_find_rows_multi_condition(self):
+        table = Table(
+            "Sale",
+            ["Addr", "St", "Price"],
+            [("24", "18th", "110"), ("432", "18th", "2015"), ("432", "15th", "495")],
+            keys=[("Addr", "St")],
+        )
+        assert table.find_rows({"Addr": "432", "St": "18th"}) == [1]
+        assert table.lookup("Price", {"Addr": "432", "St": "15th"}) == "495"
+
+    def test_row_by_key(self):
+        table = make_comp()
+        assert table.row_by_key(("Id",), ("c3",)) == 2
+        assert table.row_by_key(("Id",), ("zz",)) is None
+
+    def test_row_by_key_requires_declared_key(self):
+        with pytest.raises(KeyConstraintError):
+            make_comp().row_by_key(("Id", "Name"), ("c1", "Microsoft"))
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert make_comp() == make_comp()
+        assert hash(make_comp()) == hash(make_comp())
+
+    def test_inequality_on_rows(self):
+        other = Table("Comp", ["Id", "Name"], [("c1", "Microsoft")], keys=[("Id",)])
+        assert make_comp() != other
+
+    def test_repr_mentions_name(self):
+        assert "Comp" in repr(make_comp())
