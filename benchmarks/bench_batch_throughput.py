@@ -1,0 +1,65 @@
+"""Batch execution throughput: tasks/sec vs. worker count.
+
+``Synthesizer.run_batch`` fans independent tasks out over a thread pool.
+This bench builds a fleet of distinct syntactic learning tasks (two
+examples each, so the version space converges to surname extraction),
+runs the batch at several worker counts, verifies every parallel run
+returns exactly the sequential results, and reports throughput.
+
+CPython's GIL serializes the pure-Python synthesis work, so threads buy
+overlap rather than speedup here; the table makes the scaling behaviour
+(and the overhead of the pool) measurable rather than assumed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from conftest import record_table
+from repro.api import Synthesizer, SynthesisTask
+
+WORKER_COUNTS = (1, 2, 4, 8)
+NUM_TASKS = 32
+
+FIRST = ["Alan", "Grace", "Kurt", "Ada", "Edsger", "Barbara", "Donald", "Frances"]
+LAST = ["Turing", "Hopper", "Godel", "Lovelace", "Dijkstra", "Liskov", "Knuth", "Allen"]
+
+
+def make_tasks(count: int) -> List[SynthesisTask]:
+    tasks = []
+    for index in range(count):
+        a, b = FIRST[index % len(FIRST)], LAST[index % len(LAST)]
+        c, d = FIRST[(index + 3) % len(FIRST)], LAST[(index + 5) % len(LAST)]
+        tasks.append(
+            SynthesisTask(
+                examples=(
+                    ((f"{a}{index} {b}{index}",), f"{b}{index}"),
+                    ((f"{c} {d}",), d),
+                ),
+                name=f"surname-{index}",
+            )
+        )
+    return tasks
+
+
+def test_batch_throughput(benchmark):
+    engine = Synthesizer(language="syntactic")
+    tasks = make_tasks(NUM_TASKS)
+    sequential = engine.run_batch(tasks, workers=None)
+    expected = [result.program.source() for result in sequential]
+
+    lines = [f"{'workers':>8} {'seconds':>8} {'tasks/sec':>10}"]
+    for workers in WORKER_COUNTS:
+        started = time.perf_counter()
+        results = engine.run_batch(tasks, workers=workers)
+        elapsed = time.perf_counter() - started
+        assert [result.program.source() for result in results] == expected
+        lines.append(f"{workers:8d} {elapsed:8.3f} {NUM_TASKS / elapsed:10.1f}")
+    record_table(
+        f"Batch throughput -- {NUM_TASKS} syntactic tasks via run_batch", lines
+    )
+
+    benchmark.pedantic(
+        engine.run_batch, args=(tasks,), kwargs={"workers": 4}, rounds=1, iterations=1
+    )

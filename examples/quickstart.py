@@ -6,10 +6,15 @@ company codes ("c4 c3 c1") that should be expanded into company names
 using a lookup table.  One input-output example is enough -- the ranking
 of §5.4 picks the generalizing lookup program over the constant one.
 
+The `Synthesizer` engine returns a structured result: ranked candidate
+programs with scores, the Figure 11 version-space metrics, timing and an
+ambiguity flag.  The learned program serializes to JSON, so it can be
+cached and applied later with zero synthesis cost.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import Catalog, SynthesisSession, Table
+from repro import Catalog, Program, Synthesizer, Table
 
 
 def main() -> None:
@@ -28,12 +33,15 @@ def main() -> None:
         keys=[("Id",), ("Name",)],
     )
 
-    session = SynthesisSession(Catalog([comp]))
+    catalog = Catalog([comp])
+    engine = Synthesizer(catalog)
 
     # One example expresses the intent.
-    session.add_example(("c4 c3 c1",), "Facebook Apple Microsoft")
+    result = engine.synthesize(
+        [(("c4 c3 c1",), "Facebook Apple Microsoft")], k=3
+    )
 
-    program = session.learn()
+    program = result.program
     print("Learned program:")
     print(" ", program.source())
     print()
@@ -41,19 +49,34 @@ def main() -> None:
     print(" ", program.describe())
     print()
 
+    print("Top-ranked candidates (lower score = preferred):")
+    for candidate in result.programs:
+        print(f"  rank {candidate.rank}  score {candidate.score:7.1f}  "
+              f"[{candidate.provenance}]")
+    print()
+
     # Fill in the rest of the column.
     pending = [("c2 c5 c6",), ("c1 c5 c4",), ("c2 c3 c4",)]
     print("Applying to the remaining rows:")
-    for row, result in zip(pending, session.apply(pending)):
-        print(f"  {row[0]!r:14} -> {result!r}")
+    for row, value in zip(pending, result.fill(pending)):
+        print(f"  {row[0]!r:14} -> {value!r}")
 
     # How big is the space of consistent programs it chose from?
-    from repro.benchsuite.runner import approx_log10
+    from repro.api.result import count_log10
 
     print()
     print(f"Consistent programs represented: about 10^"
-          f"{approx_log10(session.consistent_count()):.0f}")
-    print(f"Version-space structure size:    {session.structure_size()} units")
+          f"{count_log10(result.consistent_count):.0f}")
+    print(f"Version-space structure size:    {result.structure_size} units")
+    print(f"Learned in:                      {result.elapsed_seconds * 1000:.0f} ms")
+    print(f"Still ambiguous:                 {result.ambiguous}")
+
+    # Serialize the program, reload it, and serve without re-synthesis.
+    payload = program.to_json()
+    served = Program.from_json(payload, catalog=catalog)
+    print()
+    print("Round-tripped through JSON:")
+    print(f"  {'c6 c2 c5'!r:14} -> {served(('c6 c2 c5',))!r}")
 
 
 if __name__ == "__main__":

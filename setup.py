@@ -1,0 +1,9 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so ``pip install -e . --no-use-pep517`` works in offline
+environments whose setuptools predates PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -3,49 +3,86 @@ Examples* (Singh & Gulwani, VLDB 2012).
 
 Public API quick reference::
 
-    from repro import Table, Catalog, SynthesisSession, synthesize
+    from repro import Catalog, Synthesizer, Table
 
     catalog = Catalog([Table("Comp", ["Id", "Name"], rows, keys=[("Id",)])])
-    program = synthesize([(("c4 c3 c1",), "Facebook Apple Microsoft")],
-                         catalog=catalog)
-    program(("c2 c5 c6",))   # -> "Google IBM Xerox"
+    engine = Synthesizer(catalog)
 
-Sub-packages: :mod:`repro.tables` (relational substrate, §4/§6),
-:mod:`repro.syntactic` (Ls, §5), :mod:`repro.lookup` (Lt, §4),
-:mod:`repro.semantic` (Lu, §5), :mod:`repro.engine` (interaction model,
-§3.2), :mod:`repro.benchsuite` (the 50-problem evaluation, §7).
+    result = engine.synthesize([(("c4 c3 c1",), "Facebook Apple Microsoft")])
+    result.program(("c2 c5 c6",))        # -> "Google IBM Xerox"
+    result.programs                      # ranked (score, Program) candidates
+    result.consistent_count              # Figure 11(a) metric
+    result.ambiguous                     # more than one consistent program?
+
+    payload = result.program.to_dict()   # serialize: cache / serve later
+    program = Program.from_dict(payload, catalog=catalog)
+
+    results = engine.run_batch(tasks, workers=4)   # many independent tasks
+
+    session = SynthesisSession(catalog)  # example-at-a-time interaction
+    session.add_example(("c4",), "Facebook"); session.learn()
+
+Sub-packages: :mod:`repro.api` (engine API: backends, results, batch),
+:mod:`repro.tables` (relational substrate, §4/§6), :mod:`repro.syntactic`
+(Ls, §5), :mod:`repro.lookup` (Lt, §4), :mod:`repro.semantic` (Lu, §5),
+:mod:`repro.engine` (interaction model, §3.2), :mod:`repro.benchsuite`
+(the 50-problem evaluation, §7).
 """
 
+from repro.api import (
+    LanguageBackend,
+    RankedProgram,
+    SynthesisResult,
+    SynthesisTask,
+    Synthesizer,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from repro.config import DEFAULT_CONFIG, RankingWeights, SynthesisConfig
 from repro.engine import Program, SynthesisSession, paraphrase, synthesize
 from repro.exceptions import (
     InconsistentExampleError,
+    NoExamplesError,
     NoProgramFoundError,
     ReproError,
+    SerializationError,
     SynthesisError,
     TableError,
+    UnknownBackendError,
 )
 from repro.tables import Catalog, Table
 from repro.tables.background import background_catalog, background_table
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Catalog",
     "DEFAULT_CONFIG",
     "InconsistentExampleError",
+    "LanguageBackend",
+    "NoExamplesError",
     "NoProgramFoundError",
     "Program",
+    "RankedProgram",
     "RankingWeights",
     "ReproError",
+    "SerializationError",
     "SynthesisConfig",
+    "SynthesisResult",
     "SynthesisSession",
+    "SynthesisTask",
     "SynthesisError",
+    "Synthesizer",
     "Table",
     "TableError",
+    "UnknownBackendError",
+    "available_backends",
     "background_catalog",
     "background_table",
+    "create_backend",
     "paraphrase",
+    "register_backend",
     "synthesize",
     "__version__",
 ]

@@ -1,0 +1,45 @@
+"""Public engine API: pluggable backends, ranked results, batch execution.
+
+The front door for programmatic users::
+
+    from repro.api import Synthesizer
+
+    engine = Synthesizer(catalog, background=["Month"])
+    result = engine.synthesize([(("6-3-2008",), "Jun 3rd, 2008")])
+    result.program(("9-24-2007",))        # -> "Sep 24th, 2007"
+    payload = result.program.to_dict()    # cache it; apply later with
+                                          # Program.from_dict(payload, catalog)
+
+Modules: :mod:`repro.api.registry` (the :class:`LanguageBackend` protocol
+and :func:`register_backend`), :mod:`repro.api.engine` (the
+:class:`Synthesizer`), :mod:`repro.api.result` (structured results),
+:mod:`repro.api.serialize` (the program payload codec).
+"""
+
+from repro.api.engine import Synthesizer, score_expression
+from repro.api.registry import (
+    LanguageBackend,
+    available_backends,
+    backend_class,
+    create_backend,
+    register_backend,
+    resolve_backend_name,
+)
+from repro.api.result import RankedProgram, SynthesisResult, SynthesisTask
+from repro.api.serialize import expression_from_dict, expression_to_dict
+
+__all__ = [
+    "LanguageBackend",
+    "RankedProgram",
+    "SynthesisResult",
+    "SynthesisTask",
+    "Synthesizer",
+    "available_backends",
+    "backend_class",
+    "create_backend",
+    "expression_from_dict",
+    "expression_to_dict",
+    "register_backend",
+    "resolve_backend_name",
+    "score_expression",
+]

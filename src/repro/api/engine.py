@@ -1,0 +1,261 @@
+"""The synthesizer engine: pluggable backends, ranked results, batching.
+
+:class:`Synthesizer` is the one-stop front end over the paper's machinery:
+
+* construction resolves a language *backend* through the registry
+  (:mod:`repro.api.registry`) instead of hard-coding the three languages,
+* :meth:`Synthesizer.synthesize` runs §3.1's Synthesize over a task and
+  returns a :class:`~repro.api.result.SynthesisResult` with ranked
+  candidates, version-space metrics, timing and ambiguity flags,
+* :meth:`Synthesizer.run_batch` fans many independent tasks out over a
+  thread pool, preserving input order.
+
+The interactive :class:`~repro.engine.session.SynthesisSession` remains
+for example-at-a-time workflows; it now dispatches through the same
+registry.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.api.registry import LanguageBackend, create_backend, resolve_backend_name
+from repro.api.result import (
+    PROVENANCE_BEST,
+    PROVENANCE_ENUMERATED,
+    PROVENANCE_TOP_K,
+    RankedProgram,
+    SynthesisResult,
+    SynthesisTask,
+    as_task,
+)
+from repro.config import DEFAULT_CONFIG, RankingWeights, SynthesisConfig
+from repro.core.base import Expression
+from repro.core.exprs import Var
+from repro.core.formalism import _check_examples, synthesize_incremental
+from repro.engine.program import Program
+from repro.exceptions import NoExamplesError, NoProgramFoundError
+from repro.lookup.ast import Select
+from repro.lookup.extract import expression_tables
+from repro.syntactic.ast import Concatenate, ConstStr, SubStr
+from repro.syntactic.positions import position_expr_cost
+from repro.tables.background import background_catalog
+from repro.tables.catalog import Catalog
+
+TaskLike = Union[SynthesisTask, Sequence[Tuple[Sequence[str], str]]]
+
+
+# -- shared cost model over concrete expressions -----------------------------
+def _select_cost(expr: Select, weights: RankingWeights) -> float:
+    total = weights.select_base
+    for _, sub in expr.predicates:
+        if isinstance(sub, ConstStr):
+            total += weights.const_predicate
+            continue
+        if isinstance(sub, (Var, Select)):
+            cost = weights.node_predicate + _source_cost(sub, weights)
+        else:  # dag-valued predicate: a full syntactic expression
+            cost = score_expression(sub, weights)
+        if expr.table in expression_tables(sub):
+            cost += weights.self_join_penalty
+        total += cost
+    return total
+
+
+def _source_cost(expr: Expression, weights: RankingWeights) -> float:
+    """Cost of an ``e_t`` source (input variable or lookup expression)."""
+    if isinstance(expr, Var):
+        return weights.var_expr
+    if isinstance(expr, Select):
+        return _select_cost(expr, weights)
+    return score_expression(expr, weights)
+
+
+def _atom_cost(expr: Expression, weights: RankingWeights) -> float:
+    if isinstance(expr, ConstStr):
+        return weights.const_atom_base + weights.const_atom_per_char * len(expr.text)
+    if isinstance(expr, SubStr):
+        return (
+            weights.substr_atom
+            + _source_cost(expr.source, weights)
+            + position_expr_cost(expr.p1, weights)
+            + position_expr_cost(expr.p2, weights)
+        )
+    return weights.ref_atom + _source_cost(expr, weights)
+
+
+def score_expression(
+    expr: Expression, weights: RankingWeights = DEFAULT_CONFIG.weights
+) -> float:
+    """Cost of a concrete expression under the §4.4/§5.4 ranking weights.
+
+    Mirrors the compositional model the extractors use (lower = better),
+    so candidates obtained by enumeration can be ranked on the same scale
+    as the languages' own best-path extraction.
+    """
+    if isinstance(expr, Concatenate):
+        return sum(weights.edge_base + _atom_cost(part, weights) for part in expr.parts)
+    return weights.edge_base + _atom_cost(expr, weights)
+
+
+# -- the engine ---------------------------------------------------------------
+class Synthesizer:
+    """Learn string transformations against a fixed catalog and backend.
+
+    Args:
+        catalog: the user's spreadsheet tables (``None`` for purely
+            syntactic work).
+        language: a registered backend name or alias -- ``"semantic"``/
+            ``"Lu"`` (default), ``"lookup"``/``"Lt"``, ``"syntactic"``/
+            ``"Ls"``, or anything added via
+            :func:`repro.api.registry.register_backend`.
+        background: §6 background table names to merge (or ``"all"``).
+        config: synthesis/ranking knobs.
+
+    >>> engine = Synthesizer(catalog)                                # doctest: +SKIP
+    >>> result = engine.synthesize([(("c4",), "Facebook")])          # doctest: +SKIP
+    >>> result.program(("c2",)), result.ambiguous                    # doctest: +SKIP
+    ('Google', True)
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        language: str = "semantic",
+        background: Union[None, str, Iterable[str]] = None,
+        config: SynthesisConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.language = resolve_backend_name(language)
+        merged = Catalog(catalog.tables() if catalog is not None else [])
+        if background is not None:
+            names = None if background == "all" else list(background)
+            merged = merged.merged_with(background_catalog(names))
+        self.catalog = merged
+        self.config = config
+        self._backend: LanguageBackend = create_backend(
+            self.language, self.catalog, config
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> LanguageBackend:
+        """The resolved language backend (adapter + ranking + measures)."""
+        return self._backend
+
+    def _program_catalog(self) -> Optional[Catalog]:
+        if getattr(self._backend, "requires_catalog", True):
+            return self.catalog
+        return None
+
+    def _wrap(self, expr: Expression, num_inputs: int) -> Program:
+        return Program(expr, self._program_catalog(), self.language, num_inputs)
+
+    # ------------------------------------------------------------------
+    def synthesize(self, task: TaskLike, k: int = 5) -> SynthesisResult:
+        """Solve one task: ranked programs + metrics + timing.
+
+        Args:
+            task: a :class:`SynthesisTask` or raw ``(inputs, output)`` pairs.
+            k: how many ranked candidates to return (at least 1).
+
+        Raises:
+            NoExamplesError: the task has no examples.
+            NoProgramFoundError: no expression fits all examples.
+            InconsistentExampleError: malformed examples (mixed arity...).
+        """
+        task = as_task(task)
+        if not task.examples:
+            raise NoExamplesError()
+        _check_examples(task.examples)
+        started = time.perf_counter()
+        adapter = self._backend.adapter()
+        structure = None
+        for example in task.examples:
+            structure = synthesize_incremental(adapter, structure, example)
+        candidates = self._ranked_candidates(structure, task.num_inputs, max(1, k))
+        if not candidates:
+            raise NoProgramFoundError(
+                f"{adapter.name}: the version space is empty"
+            )
+        elapsed = time.perf_counter() - started
+        return SynthesisResult(
+            task=task,
+            language=self.language,
+            programs=tuple(candidates),
+            consistent_count=self._backend.count_expressions(structure),
+            structure_size=self._backend.structure_size(structure),
+            elapsed_seconds=elapsed,
+        )
+
+    def _ranked_candidates(
+        self, structure, num_inputs: int, k: int
+    ) -> List[RankedProgram]:
+        """Best program first, then up to ``k - 1`` runners-up by cost."""
+        weights = self.config.weights
+        seen = set()
+        ordered: List[Tuple[float, str, Expression, str]] = []
+
+        def push(score: float, expr: Expression, provenance: str) -> None:
+            key = str(expr)
+            if key in seen:
+                return
+            seen.add(key)
+            ordered.append((score, key, expr, provenance))
+
+        best = self._backend.best_program(structure)
+        if best is None:
+            return []
+        push(score_expression(best, weights), best, PROVENANCE_BEST)
+        if hasattr(self._backend, "top_programs"):
+            for score, expr in self._backend.top_programs(structure, k=k):
+                push(score, expr, PROVENANCE_TOP_K)
+        if len(ordered) < k:
+            for expr in self._backend.enumerate_programs(structure, limit=k * 4):
+                if len(ordered) >= k * 2:
+                    break
+                push(score_expression(expr, weights), expr, PROVENANCE_ENUMERATED)
+        head, tail = ordered[0], sorted(ordered[1:], key=lambda item: item[:2])
+        ranked = [head] + tail[: k - 1]
+        return [
+            RankedProgram(
+                rank=rank,
+                score=score,
+                program=self._wrap(expr, num_inputs),
+                provenance=provenance,
+            )
+            for rank, (score, _, expr, provenance) in enumerate(ranked, start=1)
+        ]
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        tasks: Sequence[TaskLike],
+        workers: Optional[int] = None,
+        k: int = 5,
+        return_errors: bool = False,
+    ) -> List[Union[SynthesisResult, Exception]]:
+        """Solve many independent tasks, preserving input order.
+
+        Args:
+            workers: thread-pool size; ``None`` or ``<= 1`` runs
+                sequentially.  Threads share the backend, whose catalog and
+                config are immutable, so results equal the sequential run.
+            return_errors: when true, a failing task yields its exception
+                in its slot instead of aborting the whole batch.
+        """
+        normalized = [as_task(task) for task in tasks]
+
+        def solve(task: SynthesisTask) -> Union[SynthesisResult, Exception]:
+            try:
+                return self.synthesize(task, k=k)
+            except Exception as error:  # noqa: BLE001 -- relayed to caller
+                if return_errors:
+                    return error
+                raise
+
+        if workers is None or workers <= 1:
+            return [solve(task) for task in normalized]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(solve, normalized))

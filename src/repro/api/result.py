@@ -1,0 +1,178 @@
+"""Structured synthesis inputs and outputs for the engine API.
+
+A :class:`SynthesisTask` is one independent learning problem (its
+examples); a :class:`SynthesisResult` is everything a caller needs to
+serve the answer: ranked candidate programs with ranking provenance,
+the Figure 11 version-space metrics, wall-clock timing and an ambiguity
+flag -- so nothing has to be recomputed (or re-synthesized) downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log10
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.formalism import Example
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.program import Program
+
+#: How a candidate earned its score (the answer-provenance of the ranking).
+PROVENANCE_BEST = "extract-best"  # the language's own best-path extraction
+PROVENANCE_TOP_K = "top-k"  # the language's ranked top-k extraction
+PROVENANCE_ENUMERATED = "enumerated"  # enumerated, scored by the shared cost model
+
+
+def count_log10(value: int) -> float:
+    """log10 of a (possibly astronomically large) expression count."""
+    if value <= 0:
+        return float("-inf")
+    if value.bit_length() <= 900:
+        return log10(value)
+    return value.bit_length() * 0.30102999566398120
+
+
+def as_task(task: "SynthesisTask | Sequence[Tuple[Sequence[str], str]]") -> "SynthesisTask":
+    """Coerce raw ``(inputs, output)`` pairs into a :class:`SynthesisTask`."""
+    if isinstance(task, SynthesisTask):
+        return task
+    return SynthesisTask(examples=tuple(task))
+
+
+@dataclass(frozen=True)
+class SynthesisTask:
+    """One independent synthesis problem: its examples, optionally named."""
+
+    examples: Tuple[Example, ...]
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        normalized = tuple(
+            (tuple(inputs), output) for inputs, output in self.examples
+        )
+        object.__setattr__(self, "examples", normalized)
+
+    @property
+    def num_inputs(self) -> int:
+        if not self.examples:
+            return 0
+        return len(self.examples[0][0])
+
+
+@dataclass(frozen=True)
+class RankedProgram:
+    """One candidate with its rank, cost score and ranking provenance.
+
+    ``score`` is the cost under :class:`repro.config.RankingWeights` --
+    lower is better, rank 1 is the program :meth:`SynthesisResult.program`
+    returns.
+    """
+
+    rank: int
+    score: float
+    program: "Program"
+    provenance: str = PROVENANCE_ENUMERATED
+
+    def __iter__(self):
+        """Unpack as ``(score, program)`` for tuple-style consumers."""
+        yield self.score
+        yield self.program
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Everything :meth:`repro.api.Synthesizer.synthesize` learned.
+
+    Attributes:
+        task: the task that was solved.
+        language: canonical backend name ("semantic", "lookup", "syntactic").
+        programs: ranked candidates, best first (never empty).
+        consistent_count: number of consistent expressions (Figure 11(a)).
+        structure_size: version-space structure size (Figure 11(b)).
+        elapsed_seconds: wall-clock time of the synthesize call.
+    """
+
+    task: SynthesisTask
+    language: str
+    programs: Tuple[RankedProgram, ...]
+    consistent_count: int
+    structure_size: int
+    elapsed_seconds: float
+
+    # ------------------------------------------------------------------
+    @property
+    def best(self) -> RankedProgram:
+        """The rank-1 candidate."""
+        return self.programs[0]
+
+    @property
+    def program(self) -> "Program":
+        """The top-ranked program (what ``SynthesisSession.learn`` returned)."""
+        return self.programs[0].program
+
+    @property
+    def ambiguous(self) -> bool:
+        """More than one expression is still consistent with the examples.
+
+        When true, §3.2's interaction model suggests showing the user a
+        distinguishing input (see :meth:`ambiguous_rows`).
+        """
+        return self.consistent_count > 1
+
+    # ------------------------------------------------------------------
+    def fill(self, rows: Sequence[Sequence[str]]) -> List[Optional[str]]:
+        """Run the top-ranked program over ``rows``."""
+        return self.program.fill(rows)
+
+    def ambiguous_rows(
+        self, rows: Sequence[Sequence[str]]
+    ) -> List[Tuple[Tuple[str, ...], List[str]]]:
+        """Rows on which the ranked candidates disagree (§3.2's highlight).
+
+        Returns the rows with at least two distinct defined outputs among
+        ``self.programs``, together with those outputs.
+        """
+        flagged: List[Tuple[Tuple[str, ...], List[str]]] = []
+        for row in rows:
+            state = tuple(row)
+            outputs: List[str] = []
+            seen: Set[str] = set()
+            for candidate in self.programs:
+                value = candidate.program.run(state)
+                if value is not None and value not in seen:
+                    seen.add(value)
+                    outputs.append(value)
+            if len(outputs) >= 2:
+                flagged.append((state, outputs))
+        return flagged
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary: serialized candidates plus the metrics.
+
+        ``consistent_count`` can exceed 10^1000 (Figure 11(a)); the exact
+        integer is emitted only when it is JSON-number safe, with a log10
+        rendition alongside for the astronomical cases.
+        """
+        exact = self.consistent_count
+        return {
+            "task": {"name": self.task.name, "examples": [
+                [list(inputs), output] for inputs, output in self.task.examples
+            ]},
+            "language": self.language,
+            "programs": [
+                {
+                    "rank": candidate.rank,
+                    "score": candidate.score,
+                    "provenance": candidate.provenance,
+                    "program": candidate.program.to_dict(),
+                }
+                for candidate in self.programs
+            ],
+            "consistent_count": exact if exact.bit_length() <= 53 else None,
+            "consistent_count_log10": round(count_log10(exact), 3),
+            "structure_size": self.structure_size,
+            "elapsed_seconds": self.elapsed_seconds,
+            "ambiguous": self.ambiguous,
+        }

@@ -1,0 +1,136 @@
+"""JSON-friendly (de)serialization of learned programs.
+
+Every expression type of the three languages round-trips through plain
+dicts: ``Var``/``ConstStr``/``SubStr``/``Concatenate`` (Ls, §5), ``Select``
+(Lt, §4.1) and their Lu compositions (Select sources inside SubStr,
+expression-valued predicates).  Position regexes are stored as token
+*names* (``"NumTok"``), not integer ids, so payloads survive changes to the
+token table's ordering.
+
+The dict format is the cache/serving artifact: learn once, persist the
+program, and apply it at serve time with zero synthesis cost (see
+``Program.to_dict`` / ``Program.from_dict``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.base import Expression
+from repro.core.exprs import Var
+from repro.exceptions import SerializationError
+from repro.lookup.ast import Select
+from repro.syntactic.ast import Concatenate, ConstStr, CPos, Pos, Position, SubStr
+from repro.syntactic.regex import Regex
+from repro.syntactic.tokens import token_by_id, token_by_name
+
+#: Version stamp of the payload layout produced by this module.
+SCHEMA_VERSION = 1
+
+
+def regex_to_names(regex: Regex) -> List[str]:
+    """Token-id tuple -> list of stable token names (``[]`` is ε)."""
+    return [token_by_id(ident).name for ident in regex]
+
+
+def names_to_regex(names: Any) -> Regex:
+    """List of token names -> token-id tuple.
+
+    Raises:
+        SerializationError: on an unknown token name.
+    """
+    try:
+        return tuple(token_by_name(name).ident for name in names)
+    except KeyError as error:
+        raise SerializationError(str(error)) from None
+
+
+def position_to_dict(position: Position) -> Dict[str, Any]:
+    if isinstance(position, CPos):
+        return {"kind": "cpos", "k": position.k}
+    if isinstance(position, Pos):
+        return {
+            "kind": "pos",
+            "r1": regex_to_names(position.r1),
+            "r2": regex_to_names(position.r2),
+            "c": position.c,
+        }
+    raise SerializationError(f"cannot serialize position {position!r}")
+
+
+def position_from_dict(data: Dict[str, Any]) -> Position:
+    kind = data.get("kind")
+    if kind == "cpos":
+        return CPos(int(data["k"]))
+    if kind == "pos":
+        return Pos(names_to_regex(data["r1"]), names_to_regex(data["r2"]), int(data["c"]))
+    raise SerializationError(f"unknown position kind {kind!r}")
+
+
+def expression_to_dict(expr: Expression) -> Dict[str, Any]:
+    """Recursively encode ``expr`` as a JSON-friendly dict."""
+    if isinstance(expr, Var):
+        return {"kind": "var", "index": expr.index}
+    if isinstance(expr, ConstStr):
+        return {"kind": "const", "text": expr.text}
+    if isinstance(expr, SubStr):
+        return {
+            "kind": "substr",
+            "source": expression_to_dict(expr.source),
+            "p1": position_to_dict(expr.p1),
+            "p2": position_to_dict(expr.p2),
+        }
+    if isinstance(expr, Concatenate):
+        return {
+            "kind": "concat",
+            "parts": [expression_to_dict(part) for part in expr.parts],
+        }
+    if isinstance(expr, Select):
+        return {
+            "kind": "select",
+            "column": expr.column,
+            "table": expr.table,
+            "predicates": [
+                {"column": key_column, "value": expression_to_dict(sub)}
+                for key_column, sub in expr.predicates
+            ],
+        }
+    raise SerializationError(f"cannot serialize expression type {type(expr).__name__}")
+
+
+def expression_from_dict(data: Any) -> Expression:
+    """Rebuild the expression encoded by :func:`expression_to_dict`.
+
+    Raises:
+        SerializationError: on a malformed or unknown payload.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError(f"expected an expression dict, got {type(data).__name__}")
+    kind = data.get("kind")
+    try:
+        if kind == "var":
+            return Var(int(data["index"]))
+        if kind == "const":
+            return ConstStr(str(data["text"]))
+        if kind == "substr":
+            return SubStr(
+                expression_from_dict(data["source"]),
+                position_from_dict(data["p1"]),
+                position_from_dict(data["p2"]),
+            )
+        if kind == "concat":
+            return Concatenate([expression_from_dict(part) for part in data["parts"]])
+        if kind == "select":
+            return Select(
+                str(data["column"]),
+                str(data["table"]),
+                [
+                    (str(pred["column"]), expression_from_dict(pred["value"]))
+                    for pred in data["predicates"]
+                ],
+            )
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"malformed {kind!r} payload: {error}") from None
+    raise SerializationError(f"unknown expression kind {kind!r}")

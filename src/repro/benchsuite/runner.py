@@ -15,21 +15,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from math import log10
 from typing import List, Optional, Tuple
 
+from repro.api.result import count_log10 as approx_log10  # re-export, old name
 from repro.benchsuite.model import Benchmark
 from repro.config import DEFAULT_CONFIG, SynthesisConfig
 from repro.exceptions import SynthesisError
-
-
-def approx_log10(value: int) -> float:
-    """log10 of a (possibly astronomically large) integer count."""
-    if value <= 0:
-        return float("-inf")
-    if value.bit_length() <= 900:
-        return log10(value)
-    return value.bit_length() * 0.30102999566398120
 
 
 @dataclass

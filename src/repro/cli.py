@@ -1,38 +1,45 @@
 """Command-line interface: the Excel add-in workflow for the terminal.
 
-Usage::
+Subcommand usage::
 
-    python -m repro --table Comp.csv --examples examples.csv [--fill pending.csv]
+    repro learn --table Comp.csv --examples examples.csv \\
+                [--fill pending.csv] [--save program.json] [--top 3]
+    repro fill  --program program.json --rows pending.csv [--table Comp.csv]
 
-``examples.csv`` holds one example per row: all columns but the last are
-inputs, the last is the output.  ``--fill`` rows have inputs only; the
-learned program's outputs are printed as CSV.  ``--language`` selects
-Lu (default), Lt or Ls; ``--background`` merges §6 tables by name.
+``learn`` synthesizes from ``examples.csv`` (one example per row: all
+columns but the last are inputs, the last is the output), optionally
+fills pending rows, prints the top-k ranked candidates with ``--top``,
+and persists the learned program as JSON with ``--save``.  ``fill``
+applies a previously saved program with zero synthesis cost -- the
+cache-then-serve workflow.
+
+The original flag-only invocation (``repro --examples ... [--fill ...]``)
+still works and behaves like ``learn``.  ``--language`` selects a
+registered backend (Lu default, Lt, Ls or a plugin); ``--background``
+merges §6 tables by name.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.engine.session import SynthesisSession
+from repro.api.engine import Synthesizer
+from repro.api.registry import available_backends
+from repro.engine.program import Program
 from repro.exceptions import ReproError
+from repro.tables.background import background_catalog
 from repro.tables.catalog import Catalog
 from repro.tables.io import load_table_csv
 
-LANGUAGE_BY_FLAG = {"semantic": "semantic", "lookup": "lookup", "syntactic": "syntactic",
-                    "Lu": "semantic", "Lt": "lookup", "Ls": "syntactic"}
+SUBCOMMANDS = ("learn", "fill")
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Learn semantic string transformations from examples "
-        "(Singh & Gulwani, VLDB 2012).",
-    )
+def _add_catalog_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--table",
         action="append",
@@ -40,6 +47,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CSV",
         help="lookup table CSV (first row = header; repeatable)",
     )
+    parser.add_argument(
+        "--background",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="background table to merge (e.g. Month, Time; repeatable)",
+    )
+
+
+def build_learn_parser(prog: str = "repro learn") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Learn semantic string transformations from examples "
+        "(Singh & Gulwani, VLDB 2012).",
+    )
+    _add_catalog_options(parser)
     parser.add_argument(
         "--examples",
         required=True,
@@ -54,22 +77,56 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--language",
         default="semantic",
-        choices=sorted(LANGUAGE_BY_FLAG),
-        help="transformation language (default: semantic / Lu)",
-    )
-    parser.add_argument(
-        "--background",
-        action="append",
-        default=[],
         metavar="NAME",
-        help="background table to merge (e.g. Month, Time; repeatable)",
+        help="transformation language: any registered backend name or "
+        f"alias ({', '.join(available_backends())}, Lu, Lt, Ls; "
+        "default: semantic)",
     )
     parser.add_argument(
         "--describe",
         action="store_true",
         help="also print the natural-language paraphrase",
     )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=1,
+        metavar="K",
+        help="print the K best-ranked candidate programs with scores",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="JSON",
+        help="write the learned program as a JSON artifact (see 'repro fill')",
+    )
     return parser
+
+
+def build_fill_parser(prog: str = "repro fill") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Apply a saved program to rows of inputs "
+        "(no synthesis -- serve from the cached artifact).",
+    )
+    _add_catalog_options(parser)
+    parser.add_argument(
+        "--program",
+        required=True,
+        metavar="JSON",
+        help="program artifact written by 'repro learn --save'",
+    )
+    parser.add_argument(
+        "--rows",
+        required=True,
+        metavar="CSV",
+        help="rows of inputs to fill",
+    )
+    return parser
+
+
+#: Backward-compatible alias: the historical single-command parser.
+def build_parser() -> argparse.ArgumentParser:
+    return build_learn_parser(prog="repro")
 
 
 def _read_rows(path: str) -> List[List[str]]:
@@ -77,36 +134,84 @@ def _read_rows(path: str) -> List[List[str]]:
         return [row for row in csv.reader(handle) if row]
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _load_catalog(args: argparse.Namespace) -> Catalog:
+    return Catalog([load_table_csv(Path(path)) for path in args.table])
+
+
+def _fill_and_print(program: Program, rows: List[List[str]]) -> None:
+    """Write ``row + [output]`` CSV lines; arity errors become ReproError."""
+    writer = csv.writer(sys.stdout, lineterminator="\n")
+    for index, row in enumerate(rows, start=1):
+        try:
+            result = program.run(tuple(row))
+        except ValueError as error:
+            raise ReproError(f"fill row {index}: {error}") from None
+        writer.writerow(row + [result if result is not None else ""])
+
+
+def _cmd_learn(argv: Sequence[str], prog: str = "repro learn") -> int:
+    args = build_learn_parser(prog=prog).parse_args(argv)
     try:
-        catalog = Catalog([load_table_csv(Path(path)) for path in args.table])
-        session = SynthesisSession(
-            catalog=catalog,
-            language=LANGUAGE_BY_FLAG[args.language],
+        engine = Synthesizer(
+            catalog=_load_catalog(args),
+            language=args.language,
             background=args.background or None,
         )
+        examples = []
         for row in _read_rows(args.examples):
             if len(row) < 2:
                 raise ReproError(
                     f"example row needs >= 2 columns (inputs..., output): {row}"
                 )
-            session.add_example(tuple(row[:-1]), row[-1])
-        program = session.learn()
-    except ReproError as error:
+            examples.append((tuple(row[:-1]), row[-1]))
+        result = engine.synthesize(examples, k=max(1, args.top))
+        program = result.program
+
+        print(f"program: {program.source()}")
+        if args.describe:
+            print(f"meaning: {program.describe()}")
+        if args.top > 1:
+            for candidate in result.programs:
+                print(
+                    f"rank {candidate.rank}: score={candidate.score:.1f} "
+                    f"[{candidate.provenance}] {candidate.program.source()}"
+                )
+        if args.save:
+            Path(args.save).write_text(
+                program.to_json(indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"saved: {args.save}", file=sys.stderr)
+        if args.fill:
+            _fill_and_print(program, _read_rows(args.fill))
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-
-    print(f"program: {program.source()}")
-    if args.describe:
-        print(f"meaning: {program.describe()}")
-
-    if args.fill:
-        writer = csv.writer(sys.stdout, lineterminator="\n")
-        for row in _read_rows(args.fill):
-            result = program.run(tuple(row))
-            writer.writerow(row + [result if result is not None else ""])
     return 0
+
+
+def _cmd_fill(argv: Sequence[str]) -> int:
+    args = build_fill_parser().parse_args(argv)
+    try:
+        catalog = _load_catalog(args)
+        if args.background:
+            catalog = catalog.merged_with(background_catalog(args.background))
+        text = Path(args.program).read_text(encoding="utf-8")
+        program = Program.from_json(text, catalog=catalog)
+        _fill_and_print(program, _read_rows(args.rows))
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "learn":
+        return _cmd_learn(argv[1:])
+    if argv and argv[0] == "fill":
+        return _cmd_fill(argv[1:])
+    # Historical flag-only invocation: behave exactly like `learn`.
+    return _cmd_learn(argv, prog="repro")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -5,6 +5,10 @@ supplies input-output examples one at a time; the engine maintains the
 version space incrementally, exposes the top-ranked program, fills in the
 remaining rows, and highlights inputs on which the surviving consistent
 programs still disagree so the user knows where to look.
+
+For one-shot and batch workloads prefer :class:`repro.api.Synthesizer`,
+which returns ranked candidates, metrics and timing in one structured
+result; the session here remains the interactive front end.
 """
 
 from repro.engine.program import Program

@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.base import Expression, InputState
+from repro.exceptions import SerializationError
 from repro.tables.catalog import Catalog
+
+#: ``format`` tag stamped into serialized program payloads.
+PROGRAM_FORMAT = "repro/program"
+
+
+def _language_uses_catalog(language: str) -> bool:
+    """Whether programs of this backend evaluate against a catalog.
+
+    Asks the registry (so plugin backends round-trip correctly); an
+    unregistered language defaults to catalog-backed, the safe choice.
+    """
+    from repro.api.registry import backend_class
+    from repro.exceptions import UnknownBackendError
+
+    try:
+        return bool(getattr(backend_class(language), "requires_catalog", True))
+    except UnknownBackendError:
+        return True
 
 
 class Program:
@@ -48,6 +68,67 @@ class Program:
     ) -> bool:
         """Does this program reproduce every given example?"""
         return all(self.run(state) == output for state, output in examples)
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly payload for caching/serving (no catalog inside).
+
+        The catalog is intentionally not embedded -- it is the serving
+        environment's data; pass it back to :meth:`from_dict`.
+        """
+        from repro.api.serialize import SCHEMA_VERSION, expression_to_dict
+
+        return {
+            "format": PROGRAM_FORMAT,
+            "version": SCHEMA_VERSION,
+            "language": self.language,
+            "num_inputs": self.num_inputs,
+            "source": self.source(),
+            "expr": expression_to_dict(self.expr),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, Any], catalog: Optional[Catalog] = None
+    ) -> "Program":
+        """Rebuild a program serialized with :meth:`to_dict`.
+
+        ``catalog`` supplies the lookup tables at apply time; it may be
+        ``None`` for purely syntactic programs.
+        """
+        from repro.api.serialize import SCHEMA_VERSION, expression_from_dict
+
+        if not isinstance(data, dict) or data.get("format") != PROGRAM_FORMAT:
+            raise SerializationError(
+                f"not a serialized program (expected format {PROGRAM_FORMAT!r})"
+            )
+        version = data.get("version")
+        if version != SCHEMA_VERSION:
+            raise SerializationError(
+                f"unsupported program payload version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        try:
+            language = str(data["language"])
+            num_inputs = int(data["num_inputs"])
+            expr = expression_from_dict(data["expr"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise SerializationError(f"malformed program payload: {error}") from None
+        return cls(expr, catalog if _language_uses_catalog(language) else None,
+                   language, num_inputs)
+
+    def to_json(self, **kwargs) -> str:
+        """:meth:`to_dict` rendered as a JSON string."""
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str, catalog: Optional[Catalog] = None) -> "Program":
+        """Inverse of :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SerializationError(f"invalid JSON: {error}") from None
+        return cls.from_dict(data, catalog=catalog)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

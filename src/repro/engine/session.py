@@ -11,24 +11,31 @@ of §3.1), and exposes:
   surviving consistent programs,
 * :meth:`consistent_count` / :meth:`structure_size` -- the Figure 11
   metrics for the current version space.
+
+.. deprecated:: 1.1
+    For one-shot and batch workloads prefer the richer
+    :class:`repro.api.Synthesizer`, which returns a structured
+    :class:`~repro.api.result.SynthesisResult` (ranked candidates,
+    metrics, timing).  ``SynthesisSession`` stays for example-at-a-time
+    interaction and now dispatches through the same backend registry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.api.registry import create_backend, resolve_backend_name
 from repro.config import DEFAULT_CONFIG, SynthesisConfig
 from repro.core.base import InputState
 from repro.core.formalism import Example, synthesize_incremental
 from repro.engine.program import Program
-from repro.exceptions import InconsistentExampleError, SynthesisError
-from repro.lookup.language import LookupLanguage
-from repro.semantic.language import SemanticLanguage
-from repro.syntactic.language import SyntacticLanguage
+from repro.exceptions import (
+    InconsistentExampleError,
+    NoExamplesError,
+    SynthesisError,
+)
 from repro.tables.background import background_catalog
 from repro.tables.catalog import Catalog
-
-LANGUAGES = ("semantic", "lookup", "syntactic")
 
 
 class SynthesisSession:
@@ -37,8 +44,9 @@ class SynthesisSession:
     Args:
         catalog: the user's spreadsheet tables (may be ``None`` for purely
             syntactic sessions).
-        language: ``"semantic"`` (Lu, default), ``"lookup"`` (Lt) or
-            ``"syntactic"`` (Ls).
+        language: a registered backend name or alias: ``"semantic"``/``"Lu"``
+            (default), ``"lookup"``/``"Lt"``, ``"syntactic"``/``"Ls"``, or
+            any backend added via :func:`repro.api.register_backend`.
         background: names of §6 background tables to merge into the
             catalog (e.g. ``["Month", "DateOrd"]``), or ``"all"``.
         config: synthesis/ranking knobs.
@@ -56,21 +64,14 @@ class SynthesisSession:
         background: Union[None, str, Iterable[str]] = None,
         config: SynthesisConfig = DEFAULT_CONFIG,
     ) -> None:
-        if language not in LANGUAGES:
-            raise ValueError(f"language must be one of {LANGUAGES}, got {language!r}")
         merged = Catalog(catalog.tables() if catalog is not None else [])
         if background is not None:
             names = None if background == "all" else list(background)
             merged = merged.merged_with(background_catalog(names))
         self.catalog = merged
-        self.language_name = language
+        self.language_name = resolve_backend_name(language)
         self.config = config
-        if language == "semantic":
-            self._language = SemanticLanguage(self.catalog, config)
-        elif language == "lookup":
-            self._language = LookupLanguage(self.catalog, config)
-        else:
-            self._language = SyntacticLanguage(config)
+        self._language = create_backend(self.language_name, self.catalog, config)
         self._adapter = self._language.adapter()
         self.examples: List[Example] = []
         self._structure = None
@@ -102,18 +103,28 @@ class SynthesisSession:
     # ------------------------------------------------------------------
     @property
     def structure(self):
-        """The current version-space data structure (D_t/D_s/D_u)."""
+        """The current version-space data structure (D_t/D_s/D_u).
+
+        Raises:
+            NoExamplesError: before the first :meth:`add_example` call.
+        """
         if self._structure is None:
-            raise SynthesisError("no examples given yet")
+            raise NoExamplesError()
         return self._structure
+
+    def _program_catalog(self) -> Optional[Catalog]:
+        if getattr(self._language, "requires_catalog", True):
+            return self.catalog
+        return None
 
     def learn(self) -> Program:
         """The top-ranked program consistent with all examples so far."""
         expr = self._language.best_program(self.structure)
         if expr is None:
             raise SynthesisError("the version space is empty")
-        catalog = None if self.language_name == "syntactic" else self.catalog
-        return Program(expr, catalog, self.language_name, self.num_inputs or 0)
+        return Program(
+            expr, self._program_catalog(), self.language_name, self.num_inputs or 0
+        )
 
     def consistent_programs(self, limit: int = 25) -> List[Program]:
         """A sample of consistent programs (top-ranked first, then others).
@@ -122,7 +133,7 @@ class SynthesisSession:
         (§3.2's "top-k transformations can be shown"), topped up with
         enumerated programs; the other languages use best + enumeration.
         """
-        catalog = None if self.language_name == "syntactic" else self.catalog
+        catalog = self._program_catalog()
         seen: Set[str] = set()
         programs: List[Program] = []
 
@@ -211,10 +222,16 @@ def synthesize(
     background: Union[None, str, Iterable[str]] = None,
     config: SynthesisConfig = DEFAULT_CONFIG,
 ) -> Program:
-    """One-shot functional API: learn the top program from ``examples``."""
-    session = SynthesisSession(
+    """One-shot functional API: learn the top program from ``examples``.
+
+    .. deprecated:: 1.1
+        Thin wrapper over :meth:`repro.api.Synthesizer.synthesize`, kept
+        for compatibility; the new call returns ranked candidates and
+        metrics instead of a bare top-1 program.
+    """
+    from repro.api.engine import Synthesizer
+
+    engine = Synthesizer(
         catalog=catalog, language=language, background=background, config=config
     )
-    for inputs, output in examples:
-        session.add_example(tuple(inputs), output)
-    return session.learn()
+    return engine.synthesize(examples, k=1).program

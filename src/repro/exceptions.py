@@ -47,3 +47,44 @@ class NoProgramFoundError(SynthesisError):
 
 class InconsistentExampleError(SynthesisError):
     """An example is malformed (wrong arity, non-string values...)."""
+
+
+class NoExamplesError(SynthesisError):
+    """Synthesis was requested before any input-output example was given.
+
+    Raised by :meth:`repro.api.Synthesizer.synthesize` on an empty task and
+    by :meth:`repro.engine.session.SynthesisSession.learn` before the first
+    :meth:`add_example` call.
+    """
+
+    def __init__(self, message: "str | None" = None) -> None:
+        super().__init__(
+            message
+            or "no examples given: provide at least one (inputs, output) "
+            "example before synthesizing"
+        )
+
+
+class UnknownBackendError(ReproError, ValueError):
+    """A language backend name is not in the registry.
+
+    Also a ``ValueError`` for backward compatibility with callers that
+    guarded ``SynthesisSession(language=...)`` with ``except ValueError``.
+    """
+
+    def __init__(self, name: str, available: "tuple | list" = ()) -> None:
+        super().__init__(
+            f"unknown language backend {name!r}; "
+            f"available: {', '.join(sorted(available))}"
+        )
+        self.name = name
+        self.available = tuple(available)
+
+    def __reduce__(self):
+        # BaseException pickling replays args (the formatted message);
+        # rebuild from the structured fields instead.
+        return (type(self), (self.name, self.available))
+
+
+class SerializationError(ReproError):
+    """A serialized program payload is malformed or unsupported."""

@@ -23,7 +23,11 @@ from repro.semantic.dstruct import SemanticStructure
 from repro.syntactic.ast import ConstStr, SubStr
 from repro.syntactic.dag import Atom, ConstAtom, Dag, RefAtom, SubStrAtom
 from repro.syntactic.language import assemble_concatenation
-from repro.syntactic.positions import best_position_expr, enumerate_position_exprs
+from repro.syntactic.positions import (
+    best_position_expr,
+    enumerate_position_exprs,
+    position_expr_cost as _position_cost,
+)
 
 
 class SemanticExtractor:
@@ -183,14 +187,6 @@ def top_k_programs(
     return results
 
 
-def _position_cost(position, weights) -> float:
-    from repro.syntactic.ast import CPos
-
-    if isinstance(position, CPos):
-        return weights.cpos_entry
-    return weights.regex_entry + weights.regex_token * (
-        len(position.r1) + len(position.r2)
-    )
 
 
 def enumerate_programs(

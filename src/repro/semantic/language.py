@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from repro.api.registry import register_backend
 from repro.config import DEFAULT_CONFIG, SynthesisConfig
 from repro.core.base import Expression, InputState
 from repro.core.formalism import LanguageAdapter
@@ -15,10 +16,12 @@ from repro.semantic.measure import count_expressions, structure_size
 from repro.tables.catalog import Catalog
 
 
+@register_backend("semantic", "Lu")
 class SemanticLanguage:
     """GenerateStr/Intersect plus measures for the semantic language Lu."""
 
     name = "Lu"
+    requires_catalog = True
 
     def __init__(
         self, catalog: Catalog, config: SynthesisConfig = DEFAULT_CONFIG

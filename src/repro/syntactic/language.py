@@ -11,6 +11,7 @@ from __future__ import annotations
 from itertools import product as cartesian_product
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.api.registry import register_backend
 from repro.config import DEFAULT_CONFIG, SynthesisConfig
 from repro.core.base import Expression, InputState
 from repro.core.exprs import Var
@@ -36,10 +37,12 @@ def assemble_concatenation(parts: Sequence[Expression]) -> Expression:
     return Concatenate(parts)
 
 
+@register_backend("syntactic", "Ls")
 class SyntacticLanguage:
     """GenerateStr/Intersect plus measures for pure Ls."""
 
     name = "Ls"
+    requires_catalog = False
 
     def __init__(self, config: SynthesisConfig = DEFAULT_CONFIG) -> None:
         self.config = config

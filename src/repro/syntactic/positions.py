@@ -138,6 +138,20 @@ def enumerate_position_exprs(entries: PosSet) -> Iterator[Position]:
                 yield Pos(entry[1], entry[2], c)
 
 
+def position_expr_cost(position: Position, weights: RankingWeights) -> float:
+    """Cost of one concrete position expression under the ranking weights.
+
+    The single source of truth for this term of the cost model -- shared
+    by best-path extraction, top-k extraction and the engine's candidate
+    scoring, which must all rank on the same scale.
+    """
+    if isinstance(position, CPos):
+        return weights.cpos_entry
+    return weights.regex_entry + weights.regex_token * (
+        len(position.r1) + len(position.r2)
+    )
+
+
 def best_position_expr(
     entries: PosSet, weights: RankingWeights
 ) -> Tuple[float, Position]:

@@ -1,0 +1,98 @@
+"""Unit tests for the language-backend registry (repro.api.registry)."""
+
+import pytest
+
+from repro import Catalog, ReproError, Synthesizer, Table, UnknownBackendError
+from repro.api.registry import (
+    available_backends,
+    backend_class,
+    create_backend,
+    register_backend,
+    resolve_backend_name,
+)
+from repro.lookup.language import LookupLanguage
+from repro.semantic.language import SemanticLanguage
+from repro.syntactic.language import SyntacticLanguage
+
+
+class TestResolution:
+    def test_builtins_registered(self):
+        assert available_backends() == ("lookup", "semantic", "syntactic")
+
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [
+            ("semantic", "semantic"),
+            ("Lu", "semantic"),
+            ("lu", "semantic"),
+            ("lookup", "lookup"),
+            ("Lt", "lookup"),
+            ("syntactic", "syntactic"),
+            ("LS", "syntactic"),
+        ],
+    )
+    def test_aliases_resolve(self, alias, canonical):
+        assert resolve_backend_name(alias) == canonical
+
+    def test_backend_classes(self):
+        assert backend_class("Lu") is SemanticLanguage
+        assert backend_class("lookup") is LookupLanguage
+        assert backend_class("Ls") is SyntacticLanguage
+
+    def test_unknown_backend(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            resolve_backend_name("prolog")
+        assert "prolog" in str(excinfo.value)
+        assert "semantic" in str(excinfo.value)
+
+    def test_unknown_backend_pickles(self):
+        # Exceptions cross process/copy boundaries in batch workflows.
+        import pickle
+
+        error = pickle.loads(pickle.dumps(UnknownBackendError("prolog", ("semantic",))))
+        assert error.name == "prolog"
+        assert "prolog" in str(error)
+
+    def test_unknown_backend_is_value_and_repro_error(self):
+        # Compatibility: callers historically caught ValueError.
+        with pytest.raises(ValueError):
+            resolve_backend_name("prolog")
+        with pytest.raises(ReproError):
+            resolve_backend_name("prolog")
+
+
+class TestCreation:
+    def test_create_syntactic_needs_no_catalog(self):
+        backend = create_backend("syntactic")
+        assert backend.requires_catalog is False
+        assert backend.name == "Ls"
+
+    def test_create_catalog_backends_default_to_empty_catalog(self):
+        backend = create_backend("semantic")
+        assert backend.catalog.tables() == []
+
+    def test_create_with_catalog(self):
+        catalog = Catalog([Table("T", ["A", "B"], [("1", "x")], keys=[("A",)])])
+        backend = create_backend("Lt", catalog)
+        assert backend.catalog is catalog
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("semantic")(SemanticLanguage)
+
+
+class TestPluggability:
+    def test_custom_backend_via_synthesizer(self):
+        # A plugin language: Ls under a new name, discovered by the engine
+        # purely through the registry (no engine changes needed).
+        if "test-echo" not in available_backends():
+
+            @register_backend("test-echo", "Le")
+            class EchoLanguage(SyntacticLanguage):
+                name = "Le"
+
+        engine = Synthesizer(language="Le")
+        result = engine.synthesize([(("Alan Turing",), "Turing"),
+                                    (("Grace Hopper",), "Hopper")])
+        assert result.language == "test-echo"
+        assert result.program(("Kurt Godel",)) == "Godel"

@@ -1,0 +1,174 @@
+"""Serialization round-trips for learned programs (repro.api.serialize)."""
+
+import json
+
+import pytest
+
+from repro import Catalog, Program, SerializationError, Synthesizer, Table
+from repro.api.serialize import (
+    expression_from_dict,
+    expression_to_dict,
+    names_to_regex,
+    regex_to_names,
+)
+from repro.core.exprs import Var
+from repro.lookup.ast import Select
+from repro.syntactic.ast import Concatenate, ConstStr, CPos, Pos, SubStr, substr2
+
+
+@pytest.fixture()
+def comp_catalog():
+    return Catalog(
+        [
+            Table(
+                "Comp",
+                ["Id", "Name"],
+                [
+                    ("c1", "Microsoft"),
+                    ("c2", "Google"),
+                    ("c3", "Apple"),
+                    ("c4", "Facebook"),
+                    ("c5", "IBM"),
+                    ("c6", "Xerox"),
+                ],
+                keys=[("Id",), ("Name",)],
+            )
+        ]
+    )
+
+
+def roundtrip_expr(expr):
+    data = expression_to_dict(expr)
+    json.dumps(data)  # must be JSON-serializable as-is
+    return expression_from_dict(data)
+
+
+class TestExpressionCodec:
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            Var(0),
+            Var(2),
+            ConstStr(""),
+            ConstStr("Jun 3rd, 2008"),
+            SubStr(Var(0), CPos(0), CPos(-1)),
+            substr2(Var(1), "NumTok", 2),
+            Concatenate([ConstStr("("), Var(0), ConstStr(")")]),
+            Select("Name", "Comp", [("Id", Var(0))]),
+            Select("Name", "Comp", [("Id", ConstStr("c4"))]),
+            # Lu compositions: lookup inside substring, expression predicate.
+            SubStr(Select("Name", "Comp", [("Id", Var(0))]), CPos(0), CPos(3)),
+            Select(
+                "Name",
+                "Comp",
+                [("Id", substr2(Var(0), "AlphTok", 1)), ("Name", Var(1))],
+            ),
+        ],
+    )
+    def test_roundtrip_structural_equality(self, expr):
+        rebuilt = roundtrip_expr(expr)
+        assert rebuilt == expr
+        assert str(rebuilt) == str(expr)
+
+    def test_pos_regex_roundtrips_by_name(self):
+        pos = Pos(names_to_regex(["AlphTok"]), names_to_regex(["WsTok", "NumTok"]), -2)
+        data = expression_to_dict(SubStr(Var(0), pos, CPos(-1)))
+        assert data["p1"]["r1"] == ["AlphTok"]
+        assert data["p1"]["r2"] == ["WsTok", "NumTok"]
+        assert expression_from_dict(data) == SubStr(Var(0), pos, CPos(-1))
+
+    def test_regex_name_helpers(self):
+        assert regex_to_names(()) == []
+        assert names_to_regex(regex_to_names(names_to_regex(["NumTok"]))) == \
+            names_to_regex(["NumTok"])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            expression_from_dict({"kind": "lambda"})
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(SerializationError):
+            names_to_regex(["NoSuchTok"])
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SerializationError):
+            expression_from_dict(["var", 0])
+
+
+class TestProgramPayload:
+    def test_learned_semantic_program_roundtrip(self, comp_catalog):
+        engine = Synthesizer(comp_catalog)
+        result = engine.synthesize([(("c4 c3 c1",), "Facebook Apple Microsoft")])
+        payload = result.program.to_dict()
+        assert payload["format"] == "repro/program"
+        assert payload["language"] == "semantic"
+        served = Program.from_dict(payload, catalog=comp_catalog)
+        rows = [("c2 c5 c6",), ("c1 c5 c4",)]
+        assert served.fill(rows) == result.program.fill(rows)
+        assert served.source() == result.program.source()
+
+    def test_learned_lookup_program_roundtrip(self, comp_catalog):
+        engine = Synthesizer(comp_catalog, language="lookup")
+        result = engine.synthesize([(("c4",), "Facebook")])
+        served = Program.from_json(result.program.to_json(), catalog=comp_catalog)
+        assert served(("c5",)) == "IBM"
+
+    def test_learned_syntactic_program_roundtrip(self):
+        engine = Synthesizer(language="syntactic")
+        result = engine.synthesize(
+            [(("Alan Turing",), "Turing"), (("Grace Hopper",), "Hopper")]
+        )
+        served = Program.from_json(result.program.to_json())
+        assert served(("Kurt Godel",)) == "Godel"
+
+    def test_background_table_program_roundtrip(self):
+        engine = Synthesizer(background=["Month", "DateOrd"])
+        result = engine.synthesize([(("6-3-2008",), "Jun 3rd, 2008")])
+        served = Program.from_json(result.program.to_json(), catalog=engine.catalog)
+        assert served(("9-24-2007",)) == "Sep 24th, 2007"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SerializationError):
+            Program.from_dict({"format": "pickle", "version": 1})
+
+    def test_bad_version_rejected(self, comp_catalog):
+        engine = Synthesizer(comp_catalog, language="lookup")
+        payload = engine.synthesize([(("c4",), "Facebook")]).program.to_dict()
+        payload["version"] = 99
+        with pytest.raises(SerializationError):
+            Program.from_dict(payload)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(SerializationError):
+            Program.from_json("{not json")
+
+
+class TestBenchsuiteRoundtrip:
+    """Acceptance check: reconstructed programs behave identically on
+    benchsuite problems from both language classes."""
+
+    @pytest.mark.parametrize("language", ["semantic", "lookup", "syntactic"])
+    def test_roundtrip_identical_outputs(self, language):
+        from repro.benchsuite import all_benchmarks
+
+        benches = [
+            bench
+            for bench in all_benchmarks()
+            if language != "lookup" or bench.language_class == "Lt"
+        ][:3]
+        for bench in benches:
+            engine = Synthesizer(
+                catalog=Catalog(bench.tables),
+                language=language,
+                background=bench.background or None,
+            )
+            examples = list(bench.rows[:2])
+            try:
+                result = engine.synthesize(examples)
+            except Exception:
+                # Not every benchmark is solvable in every language from
+                # two examples; round-tripping only needs the solvable ones.
+                continue
+            served = Program.from_dict(result.program.to_dict(), catalog=engine.catalog)
+            rows = [inputs for inputs, _ in bench.rows]
+            assert served.fill(rows) == result.program.fill(rows)

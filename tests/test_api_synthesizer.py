@@ -1,0 +1,182 @@
+"""Unit tests for the Synthesizer engine API (repro.api.engine)."""
+
+import pytest
+
+from repro import (
+    Catalog,
+    NoExamplesError,
+    NoProgramFoundError,
+    SynthesisSession,
+    SynthesisTask,
+    Synthesizer,
+    Table,
+)
+from repro.api.result import PROVENANCE_BEST
+from repro.exceptions import InconsistentExampleError
+
+
+@pytest.fixture()
+def comp_catalog():
+    return Catalog(
+        [
+            Table(
+                "Comp",
+                ["Id", "Name"],
+                [
+                    ("c1", "Microsoft"),
+                    ("c2", "Google"),
+                    ("c3", "Apple"),
+                    ("c4", "Facebook"),
+                    ("c5", "IBM"),
+                    ("c6", "Xerox"),
+                ],
+                keys=[("Id",), ("Name",)],
+            )
+        ]
+    )
+
+
+EXAMPLE = (("c4 c3 c1",), "Facebook Apple Microsoft")
+
+
+class TestSynthesize:
+    def test_returns_ranked_result(self, comp_catalog):
+        result = Synthesizer(comp_catalog).synthesize([EXAMPLE], k=3)
+        assert result.language == "semantic"
+        assert result.best.rank == 1
+        assert result.best.provenance == PROVENANCE_BEST
+        assert 1 <= len(result.programs) <= 3
+        assert [p.rank for p in result.programs] == list(
+            range(1, len(result.programs) + 1)
+        )
+        # Runners-up are ordered by ascending cost.
+        tail_scores = [p.score for p in result.programs[1:]]
+        assert tail_scores == sorted(tail_scores)
+        assert result.program(("c2 c5 c6",)) == "Google IBM Xerox"
+
+    def test_matches_session_learn(self, comp_catalog):
+        result = Synthesizer(comp_catalog).synthesize([EXAMPLE])
+        session = SynthesisSession(comp_catalog)
+        session.add_example(*EXAMPLE)
+        assert result.program.source() == session.learn().source()
+        assert result.consistent_count == session.consistent_count()
+        assert result.structure_size == session.structure_size()
+
+    def test_metrics_and_flags(self, comp_catalog):
+        result = Synthesizer(comp_catalog).synthesize([EXAMPLE])
+        assert result.consistent_count > 1
+        assert result.structure_size > 10
+        assert result.elapsed_seconds >= 0
+        assert result.ambiguous is True
+
+    def test_no_examples_raises_dedicated_error(self, comp_catalog):
+        with pytest.raises(NoExamplesError) as excinfo:
+            Synthesizer(comp_catalog).synthesize([])
+        assert "no examples given" in str(excinfo.value)
+        assert "add_example" not in str(excinfo.value)  # API-boundary wording
+
+    def test_contradiction_raises(self):
+        engine = Synthesizer(language="syntactic")
+        with pytest.raises(NoProgramFoundError):
+            engine.synthesize([(("a",), "x"), (("a",), "y")])
+
+    def test_mixed_arity_rejected(self, comp_catalog):
+        with pytest.raises(InconsistentExampleError):
+            Synthesizer(comp_catalog).synthesize(
+                [(("c4",), "Facebook"), (("c4", "c1"), "x")]
+            )
+
+    def test_task_object_and_fill(self, comp_catalog):
+        task = SynthesisTask(examples=(EXAMPLE,), name="expand-codes")
+        result = Synthesizer(comp_catalog).synthesize(task)
+        assert result.task.name == "expand-codes"
+        assert result.task.num_inputs == 1
+        assert result.fill([("c2 c5 c6",)]) == ["Google IBM Xerox"]
+
+    def test_ranked_programs_unpack_as_pairs(self, comp_catalog):
+        result = Synthesizer(comp_catalog).synthesize([EXAMPLE], k=2)
+        for score, program in result.programs:
+            assert isinstance(score, float)
+            assert program.run(("c4 c3 c1",)) == "Facebook Apple Microsoft"
+
+    def test_ambiguous_rows_flags_disagreement(self, comp_catalog):
+        # After one lookup example the candidate set still contains the
+        # constant-key program Select(Name, Comp, Id = "c4"), which
+        # disagrees with the generalizing one on a fresh input.
+        result = Synthesizer(comp_catalog, language="lookup").synthesize(
+            [(("c4",), "Facebook")], k=8
+        )
+        flagged = result.ambiguous_rows([("c2",), ("c4",)])
+        flagged_inputs = {state for state, _ in flagged}
+        assert ("c2",) in flagged_inputs
+        assert ("c4",) not in flagged_inputs
+
+    def test_result_to_dict_is_json_friendly(self, comp_catalog):
+        import json
+
+        result = Synthesizer(comp_catalog).synthesize([EXAMPLE], k=2)
+        payload = result.to_dict()
+        json.dumps(payload)
+        assert payload["language"] == "semantic"
+        assert payload["ambiguous"] is True
+        assert payload["programs"][0]["rank"] == 1
+        # The exact count here is astronomically large: elided from JSON,
+        # represented by its log10 instead.
+        assert payload["consistent_count_log10"] > 3
+
+
+class TestRunBatch:
+    def make_tasks(self):
+        return [
+            SynthesisTask(examples=((("c4",), "Facebook"),), name="one"),
+            SynthesisTask(examples=((("c2 c5",), "Google IBM"),), name="two"),
+            [(("c1 c3 c6",), "Microsoft Apple Xerox")],
+        ]
+
+    def test_batch_equals_sequential(self, comp_catalog):
+        engine = Synthesizer(comp_catalog)
+        tasks = self.make_tasks()
+        sequential = engine.run_batch(tasks, workers=None)
+        parallel = engine.run_batch(tasks, workers=4)
+        assert len(parallel) == len(tasks)
+        for seq, par in zip(sequential, parallel):
+            assert par.program.source() == seq.program.source()
+            assert par.consistent_count == seq.consistent_count
+            assert par.structure_size == seq.structure_size
+            assert [p.score for p in par.programs] == [p.score for p in seq.programs]
+
+    def test_batch_preserves_order(self, comp_catalog):
+        engine = Synthesizer(comp_catalog)
+        results = engine.run_batch(self.make_tasks(), workers=2)
+        assert results[0].task.name == "one"
+        assert results[1].task.name == "two"
+        assert results[2].program(("c2 c5 c4",)) == "Google IBM Facebook"
+
+    def test_batch_error_propagates_by_default(self):
+        engine = Synthesizer(language="syntactic")
+        tasks = [[(("a",), "x"), (("a",), "y")]]
+        with pytest.raises(NoProgramFoundError):
+            engine.run_batch(tasks, workers=2)
+
+    def test_batch_return_errors_keeps_slots(self):
+        engine = Synthesizer(language="syntactic")
+        tasks = [
+            [(("Alan Turing",), "Turing"), (("Grace Hopper",), "Hopper")],
+            [(("a",), "x"), (("a",), "y")],
+            [],
+        ]
+        results = engine.run_batch(tasks, workers=2, return_errors=True)
+        assert results[0].program(("Kurt Godel",)) == "Godel"
+        assert isinstance(results[1], NoProgramFoundError)
+        assert isinstance(results[2], NoExamplesError)
+
+
+class TestSessionCompat:
+    def test_session_zero_examples_error(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        with pytest.raises(NoExamplesError):
+            session.learn()
+
+    def test_session_alias_language(self, comp_catalog):
+        session = SynthesisSession(comp_catalog, language="Lu")
+        assert session.language_name == "semantic"

@@ -82,3 +82,134 @@ class TestCli:
             ]
         )
         assert code == 0
+
+    def test_unknown_language_lists_backends(self, workdir, capsys):
+        code = main(
+            [
+                "--examples", str(workdir / "examples.csv"),
+                "--language", "prolog",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+        assert "semantic" in captured.err
+
+    def test_fill_row_wrong_arity_exits_cleanly(self, workdir, capsys):
+        # A pending row with two columns against a one-input program used
+        # to escape as an uncaught ValueError from Program.run.
+        (workdir / "bad.csv").write_text("c2 c3 c1,extra\n", encoding="utf-8")
+        code = main(
+            [
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--fill", str(workdir / "bad.csv"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error: fill row 1" in captured.err
+
+
+class TestSubcommands:
+    def test_learn_subcommand(self, workdir, capsys):
+        code = main(
+            [
+                "learn",
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--fill", str(workdir / "pending.csv"),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "program: " in output
+        assert "Google Apple Microsoft" in output
+
+    def test_learn_top_k(self, workdir, capsys):
+        code = main(
+            [
+                "learn",
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--top", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "rank 1: score=" in output
+        assert "rank 2: score=" in output
+
+    def test_learn_save_then_fill(self, workdir, capsys):
+        artifact = workdir / "program.json"
+        code = main(
+            [
+                "learn",
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--save", str(artifact),
+            ]
+        )
+        assert code == 0
+        assert artifact.exists()
+        capsys.readouterr()
+
+        # Serve from the artifact: no examples, no synthesis.
+        code = main(
+            [
+                "fill",
+                "--program", str(artifact),
+                "--table", str(workdir / "Comp.csv"),
+                "--rows", str(workdir / "pending.csv"),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Google Apple Microsoft" in output
+        assert "Microsoft Facebook Google" in output
+
+    def test_fill_missing_artifact(self, workdir, capsys):
+        code = main(
+            [
+                "fill",
+                "--program", str(workdir / "nope.json"),
+                "--rows", str(workdir / "pending.csv"),
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_fill_corrupt_artifact(self, workdir, capsys):
+        (workdir / "bad.json").write_text("{not json", encoding="utf-8")
+        code = main(
+            [
+                "fill",
+                "--program", str(workdir / "bad.json"),
+                "--rows", str(workdir / "pending.csv"),
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_fill_wrong_arity_row(self, workdir, capsys):
+        artifact = workdir / "program.json"
+        main(
+            [
+                "learn",
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--save", str(artifact),
+            ]
+        )
+        capsys.readouterr()
+        (workdir / "bad.csv").write_text("c2 c3 c1,extra\n", encoding="utf-8")
+        code = main(
+            [
+                "fill",
+                "--program", str(artifact),
+                "--table", str(workdir / "Comp.csv"),
+                "--rows", str(workdir / "bad.csv"),
+            ]
+        )
+        assert code == 1
+        assert "error: fill row 1" in capsys.readouterr().err
