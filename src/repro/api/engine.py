@@ -132,6 +132,7 @@ class Synthesizer:
         if background is not None:
             names = None if background == "all" else list(background)
             merged = merged.merged_with(background_catalog(names))
+        merged.use_table_index = config.use_table_index
         self.catalog = merged
         self.config = config
         self._backend: LanguageBackend = create_backend(

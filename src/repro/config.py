@@ -66,7 +66,28 @@ class SynthesisConfig:
         include_ref_atoms: include whole-string node references ``e_t`` as
             atomic expressions (the `f_s := e_t` production); disabling is
             an ablation only.
+        use_substring_index: answer the §5.3 substring-overlap trigger with
+            the catalog's Aho-Corasick/q-gram index instead of pairwise
+            ``in`` scans over every untriggered entry.  False selects the
+            naive scan -- the equivalence oracle for the index.
+        use_occurrence_index: drive ``generate_dag``'s substring loop from a
+            per-source occurrence index instead of repeated ``str.find``
+            scans.  False selects the naive scan.
+        use_table_index: serve ``Table.find_rows``/``Table.lookup`` from the
+            per-column value -> rows inverted index instead of full row
+            scans.  False selects the naive scan.  ``Synthesizer`` and
+            ``SynthesisSession`` stamp this onto their catalog
+            (``Catalog.use_table_index``), which ``Select`` evaluation
+            consults at serve time.
+        use_worklist_pruning: compute the emptiness fixpoint of Intersect
+            with a dependency-driven worklist instead of repeated full-node
+            sweeps.  False selects the naive sweeps.
         weights: the ranking cost model.
+
+    The four ``use_*_index``/``use_worklist_pruning`` flags never change
+    *what* is synthesized -- both paths are required to produce identical
+    structures and results (tests/test_indexing_equivalence.py) -- only how
+    fast; they exist as equivalence oracles and for the perf benchmarks.
     """
 
     max_tokenseq_len: int = 1
@@ -75,11 +96,25 @@ class SynthesisConfig:
     min_overlap_len: int = 1
     relaxed_reachability: bool = True
     include_ref_atoms: bool = True
+    use_substring_index: bool = True
+    use_occurrence_index: bool = True
+    use_table_index: bool = True
+    use_worklist_pruning: bool = True
     weights: RankingWeights = field(default_factory=RankingWeights)
 
     def with_weights(self, **kwargs) -> "SynthesisConfig":
         """A copy of this config with some ranking weights replaced."""
         return replace(self, weights=replace(self.weights, **kwargs))
+
+    def without_indexes(self) -> "SynthesisConfig":
+        """A copy running every hot path naively (the equivalence oracle)."""
+        return replace(
+            self,
+            use_substring_index=False,
+            use_occurrence_index=False,
+            use_table_index=False,
+            use_worklist_pruning=False,
+        )
 
 
 DEFAULT_CONFIG = SynthesisConfig()

@@ -68,6 +68,7 @@ class SynthesisSession:
         if background is not None:
             names = None if background == "all" else list(background)
             merged = merged.merged_with(background_catalog(names))
+        merged.use_table_index = config.use_table_index
         self.catalog = merged
         self.language_name = resolve_backend_name(language)
         self.config = config

@@ -52,7 +52,7 @@ class Select(Expression):
             if value is None:
                 return ""  # an undefined key behaves like "no row matches"
             conditions[key_column] = value
-        return table.lookup(self.column, conditions)
+        return table.lookup(self.column, conditions, use_index=catalog.use_table_index)
 
     def _key(self) -> tuple:
         return (self.column, self.table, self.predicates)

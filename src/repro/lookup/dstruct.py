@@ -19,8 +19,9 @@ Intersect/measure code is shared.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.syntactic.dag import Dag
 
@@ -207,3 +208,46 @@ class NodeStore:
             f"NodeStore(nodes={len(self.vals)}, target={self.target}, "
             f"entries={sum(len(p) for p in self.progs)})"
         )
+
+
+def emptiness_fixpoint(
+    store: NodeStore, node_valid: Callable[[int, Set[int]], bool]
+) -> Set[int]:
+    """Dependency-driven least fixpoint of "node denotes an expression".
+
+    ``node_valid(node, valid)`` must be monotone in ``valid`` (more valid
+    dependencies can only make a node valid).  Instead of sweeping every
+    node until nothing changes -- O(nodes) sweeps of O(nodes) checks in
+    the worst case -- each node is rechecked only when one of the nodes
+    its predicates reference (``reference_edges``) becomes valid, so total
+    work is bounded by the number of dependency edges.
+
+    Shared by ``Intersect_t`` and ``Intersect_u`` emptiness pruning; the
+    naive sweeps remain available behind ``use_worklist_pruning=False``
+    as the equivalence oracle.
+    """
+    valid: Set[int] = set()
+    dependents: Dict[int, List[int]] = {}
+    unresolved: List[int] = []
+    for node in range(len(store.vals)):
+        entries = store.progs[node]
+        if any(isinstance(entry, VarEntry) for entry in entries):
+            valid.add(node)
+        elif entries:
+            unresolved.append(node)
+            for dependency in set(store.reference_edges(node)):
+                dependents.setdefault(dependency, []).append(node)
+    queue: deque = deque(valid)
+    # Nodes needing no valid dependency (constant predicates, const-only
+    # dag paths) seed the propagation alongside the variable nodes.
+    for node in unresolved:
+        if node not in valid and node_valid(node, valid):
+            valid.add(node)
+            queue.append(node)
+    while queue:
+        ready = queue.popleft()
+        for node in dependents.get(ready, ()):
+            if node not in valid and node_valid(node, valid):
+                valid.add(node)
+                queue.append(node)
+    return valid

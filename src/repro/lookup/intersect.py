@@ -20,16 +20,22 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.config import DEFAULT_CONFIG, SynthesisConfig
 from repro.lookup.dstruct import (
     GenPredicate,
     GenSelect,
     NodeStore,
     RowCondition,
     VarEntry,
+    emptiness_fixpoint,
 )
 
 
-def intersect_lookup(first: NodeStore, second: NodeStore) -> Optional[NodeStore]:
+def intersect_lookup(
+    first: NodeStore,
+    second: NodeStore,
+    config: SynthesisConfig = DEFAULT_CONFIG,
+) -> Optional[NodeStore]:
     """The paper's Intersect_t; ``None`` when no common expression exists."""
     if first.target is None or second.target is None:
         return None
@@ -97,16 +103,33 @@ def intersect_lookup(first: NodeStore, second: NodeStore) -> Optional[NodeStore]
         return outcome
 
     result.target = intersect_nodes(first.target, second.target)
-    return prune_store(result)
+    return prune_store(result, use_worklist=config.use_worklist_pruning)
 
 
-def valid_nodes_fixpoint(store: NodeStore) -> Set[int]:
+def valid_nodes_fixpoint(store: NodeStore, use_worklist: bool = True) -> Set[int]:
     """Least fixpoint of "node denotes at least one concrete expression".
 
     A VarEntry makes a node valid outright; a GenSelect is valid when some
     candidate key has every predicate satisfiable given the current valid
     set (constants always satisfy; node references need a valid node).
+    The default dependency-driven worklist rechecks a node only when a
+    referenced node becomes valid; ``use_worklist=False`` runs the
+    original repeated full-node sweeps (the equivalence oracle).
     """
+    if not use_worklist:
+        return valid_nodes_fixpoint_naive(store)
+
+    def node_valid(node: int, valid: Set[int]) -> bool:
+        return any(
+            isinstance(entry, GenSelect) and _select_valid(entry, valid)
+            for entry in store.progs[node]
+        )
+
+    return emptiness_fixpoint(store, node_valid)
+
+
+def valid_nodes_fixpoint_naive(store: NodeStore) -> Set[int]:
+    """The original full-sweep fixpoint (kept as the worklist's oracle)."""
     valid: Set[int] = set()
     changed = True
     while changed:
@@ -145,7 +168,7 @@ def _select_valid(entry: GenSelect, valid: Set[int]) -> bool:
     return False
 
 
-def prune_store(store: NodeStore) -> Optional[NodeStore]:
+def prune_store(store: NodeStore, use_worklist: bool = True) -> Optional[NodeStore]:
     """Drop empty nodes/entries/keys and restrict to the target component.
 
     Rewrites the store in place (conditions are rebuilt without invalid
@@ -153,7 +176,7 @@ def prune_store(store: NodeStore) -> Optional[NodeStore]:
     """
     if store.target is None:
         return None
-    valid = valid_nodes_fixpoint(store)
+    valid = valid_nodes_fixpoint(store, use_worklist=use_worklist)
     if store.target not in valid:
         return None
     for node in range(len(store.vals)):

@@ -73,26 +73,53 @@ def generate_semantic(
 
     # Phase 1: relaxed reachability.  ``untriggered`` tracks entry values
     # not yet matched; each step tests them against the new frontier only.
+    # Both trigger paths emit newly triggered values in catalog insertion
+    # order -- iterating a *set* here once made node ids (and ranking
+    # tie-breaks) depend on PYTHONHASHSEED.
     matched_columns: Dict[RowKey, Set[str]] = {}
     attached: Set[Tuple[str, str, int]] = set()
     pending_selects: List[Tuple[int, str, str, int]] = []
-    untriggered: Set[str] = {value for value in catalog.distinct_values() if value}
+    use_index = config.use_substring_index
+    if use_index:
+        index = catalog.substring_index()
+        untriggered_ids: Set[int] = set(range(len(index)))
+    else:
+        # Insertion-ordered dict-as-set: deletion keeps the stable order.
+        untriggered: Dict[str, None] = {
+            value: None for value in catalog.distinct_values() if value
+        }
 
     step = 0
     while frontier and step < depth_bound and len(store) < config.max_reachable_nodes:
         step += 1
         frontier_values = [store.vals[node] for node in frontier if store.vals[node]]
         newly_triggered: List[str] = []
-        for entry_value in untriggered:
+        if use_index:
+            triggered_ids: Set[int] = set()
             for reachable in frontier_values:
                 if config.relaxed_reachability:
-                    hit = _overlaps(entry_value, reachable, config.min_overlap_len)
+                    hits = index.overlapping(reachable, config.min_overlap_len)
                 else:
-                    hit = entry_value == reachable
-                if hit:
-                    newly_triggered.append(entry_value)
-                    break
-        untriggered.difference_update(newly_triggered)
+                    equal = index.id_of(reachable)
+                    hits = () if equal is None else (equal,)
+                for value_id in hits:
+                    if value_id in untriggered_ids:
+                        triggered_ids.add(value_id)
+            untriggered_ids.difference_update(triggered_ids)
+            # Sorted ids = catalog insertion order, matching the naive scan.
+            newly_triggered = [index.values[i] for i in sorted(triggered_ids)]
+        else:
+            for entry_value in untriggered:
+                for reachable in frontier_values:
+                    if config.relaxed_reachability:
+                        hit = _overlaps(entry_value, reachable, config.min_overlap_len)
+                    else:
+                        hit = entry_value == reachable
+                    if hit:
+                        newly_triggered.append(entry_value)
+                        break
+            for entry_value in newly_triggered:
+                del untriggered[entry_value]
 
         affected_rows: List[RowKey] = []
         for entry_value in newly_triggered:

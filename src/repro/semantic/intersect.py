@@ -20,12 +20,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.config import DEFAULT_CONFIG, SynthesisConfig
 from repro.lookup.dstruct import (
     GenPredicate,
     GenSelect,
     NodeStore,
     RowCondition,
     VarEntry,
+    emptiness_fixpoint,
 )
 from repro.semantic.dstruct import SemanticStructure
 from repro.syntactic.dag import Atom, ConstAtom, Dag, RefAtom, SubStrAtom
@@ -33,7 +35,9 @@ from repro.syntactic.intersect import intersect_dags
 
 
 def intersect_semantic(
-    first: SemanticStructure, second: SemanticStructure
+    first: SemanticStructure,
+    second: SemanticStructure,
+    config: SynthesisConfig = DEFAULT_CONFIG,
 ) -> Optional[SemanticStructure]:
     """The paper's Intersect_u; ``None`` when no common program exists."""
     result = NodeStore(
@@ -116,7 +120,7 @@ def intersect_semantic(
         result.progs[node] = entries
 
     structure = SemanticStructure(store=result, dag=top_dag)
-    return prune_semantic(structure)
+    return prune_semantic(structure, config)
 
 
 # ----------------------------------------------------------------------
@@ -162,8 +166,27 @@ def _select_valid(entry: GenSelect, valid: Set[int]) -> bool:
     return False
 
 
-def valid_nodes_fixpoint(store: NodeStore) -> Set[int]:
-    """Least fixpoint of "node denotes at least one concrete expression"."""
+def valid_nodes_fixpoint(store: NodeStore, use_worklist: bool = True) -> Set[int]:
+    """Least fixpoint of "node denotes at least one concrete expression".
+
+    The default dependency-driven worklist rechecks a node only when one
+    of its referenced nodes becomes valid; ``use_worklist=False`` runs the
+    original repeated full-node sweeps (the equivalence oracle).
+    """
+    if not use_worklist:
+        return valid_nodes_fixpoint_naive(store)
+
+    def node_valid(node: int, valid: Set[int]) -> bool:
+        return any(
+            isinstance(entry, GenSelect) and _select_valid(entry, valid)
+            for entry in store.progs[node]
+        )
+
+    return emptiness_fixpoint(store, node_valid)
+
+
+def valid_nodes_fixpoint_naive(store: NodeStore) -> Set[int]:
+    """The original full-sweep fixpoint (kept as the worklist's oracle)."""
     valid: Set[int] = set()
     changed = True
     while changed:
@@ -179,10 +202,12 @@ def valid_nodes_fixpoint(store: NodeStore) -> Set[int]:
     return valid
 
 
-def prune_semantic(structure: SemanticStructure) -> Optional[SemanticStructure]:
+def prune_semantic(
+    structure: SemanticStructure, config: SynthesisConfig = DEFAULT_CONFIG
+) -> Optional[SemanticStructure]:
     """Rewrite Du dropping everything empty; ``None`` if no program remains."""
     store = structure.store
-    valid = valid_nodes_fixpoint(store)
+    valid = valid_nodes_fixpoint(store, use_worklist=config.use_worklist_pruning)
 
     def atom_alive(atom: Atom) -> bool:
         return _atom_valid(atom, valid)

@@ -27,6 +27,46 @@ from repro.syntactic.positions import cached_positions
 
 Source = Tuple[int, str]  # (source id, source value)
 
+#: Occurrence index: ``index[i][L]`` lists ``(source_id, start)`` for every
+#: occurrence ``value[start:start+L] == output[i:i+L]``, in source order
+#: then ascending start -- the exact order the naive find-loop emits.
+OccurrenceIndex = List[Dict[int, List[Tuple[int, int]]]]
+
+
+def _build_occurrence_index(
+    sources: Sequence[Source], output: str
+) -> OccurrenceIndex:
+    """All substring occurrences of ``output`` in every source, in one pass.
+
+    Per source a match-extension DP (``match(i, s) = longest common prefix
+    of output[i:] and value[s:]``, computed right-to-left from the
+    character positions of the source) replaces the O(n^2) repeated
+    ``str.find`` scans; each occurrence is recorded once per length, so
+    total work and memory track the number of SubStr atoms the dag holds
+    anyway.
+    """
+    length = len(output)
+    index: OccurrenceIndex = [{} for _ in range(length)]
+    for source_id, value in sources:
+        if not value:
+            continue
+        starts_by_char: Dict[str, List[int]] = {}
+        for start, char in enumerate(value):
+            starts_by_char.setdefault(char, []).append(start)
+        next_match: Dict[int, int] = {}
+        for i in range(length - 1, -1, -1):
+            current: Dict[int, int] = {}
+            starts = starts_by_char.get(output[i])
+            if starts:
+                for start in starts:
+                    current[start] = next_match.get(start + 1, 0) + 1
+                bucket = index[i]
+                for start, run in current.items():
+                    for width in range(1, run + 1):
+                        bucket.setdefault(width, []).append((source_id, start))
+            next_match = current
+    return index
+
 
 def generate_dag(
     sources: Sequence[Source],
@@ -39,6 +79,8 @@ def generate_dag(
         # Degenerate case: the empty output is representable only by the
         # empty concatenation (treated as ConstStr("") downstream).
         return Dag((0,), 0, 0, {})
+    if config.use_occurrence_index:
+        return _generate_dag_indexed(sources, output, config)
     max_seq = config.max_tokenseq_len
     edges: Dict[Edge, List[Atom]] = {}
     for i in range(length):
@@ -61,6 +103,43 @@ def generate_dag(
                             )
                         )
                         start = value.find(substring, start + 1)
+            edges[(i, j)] = atoms
+    return Dag(tuple(range(length + 1)), 0, length, edges)
+
+
+def _generate_dag_indexed(
+    sources: Sequence[Source], output: str, config: SynthesisConfig
+) -> Dag:
+    """``generate_dag`` served from the occurrence index.
+
+    Each edge (i, j) reads its occurrences with one dict access instead of
+    scanning every source with ``str.find``; a whole-source occurrence
+    (start 0, full length) doubles as the RefAtom trigger, so atom order
+    matches the naive loop exactly (verified by the equivalence tests).
+    """
+    length = len(output)
+    max_seq = config.max_tokenseq_len
+    include_refs = config.include_ref_atoms
+    values = dict(sources)
+    lengths = {source_id: len(value) for source_id, value in sources}
+    occurrences = _build_occurrence_index(sources, output)
+    edges: Dict[Edge, List[Atom]] = {}
+    for i in range(length):
+        bucket = occurrences[i]
+        for j in range(i + 1, length + 1):
+            atoms: List[Atom] = [ConstAtom(output[i:j])]
+            width = j - i
+            for source_id, start in bucket.get(width, ()):
+                value = values[source_id]
+                if include_refs and start == 0 and lengths[source_id] == width:
+                    atoms.append(RefAtom(source_id))
+                atoms.append(
+                    SubStrAtom(
+                        source_id,
+                        cached_positions(value, start, max_seq),
+                        cached_positions(value, start + width, max_seq),
+                    )
+                )
             edges[(i, j)] = atoms
     return Dag(tuple(range(length + 1)), 0, length, edges)
 

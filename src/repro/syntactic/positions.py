@@ -68,6 +68,7 @@ def generalized_positions(text: str, position: int, max_tokenseq_len: int = 1) -
 
 _GP_CACHE: dict = {}
 _GP_CACHE_LIMIT = 65536
+_GP_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def cached_positions(text: str, position: int, max_tokenseq_len: int = 1) -> PosSet:
@@ -75,11 +76,34 @@ def cached_positions(text: str, position: int, max_tokenseq_len: int = 1) -> Pos
     key = (text, position, max_tokenseq_len)
     cached = _GP_CACHE.get(key)
     if cached is None:
+        _GP_STATS["misses"] += 1
         if len(_GP_CACHE) >= _GP_CACHE_LIMIT:
             _GP_CACHE.clear()
+            _GP_STATS["evictions"] += 1
         cached = generalized_positions(text, position, max_tokenseq_len)
         _GP_CACHE[key] = cached
+    else:
+        _GP_STATS["hits"] += 1
     return cached
+
+
+def position_cache_stats() -> dict:
+    """Hit/miss/eviction counters of the position-set cache.
+
+    The benchmarks report these to quantify how much of GenerateStr's
+    position work is reuse (``bench_indexing.py``).
+    """
+    stats = dict(_GP_STATS)
+    total = stats["hits"] + stats["misses"]
+    stats["hit_rate"] = stats["hits"] / total if total else 0.0
+    stats["entries"] = len(_GP_CACHE)
+    return stats
+
+
+def reset_position_cache_stats() -> None:
+    """Zero the counters (the cache itself is kept)."""
+    for key in _GP_STATS:
+        _GP_STATS[key] = 0
 
 
 def intersect_position_sets(first: PosSet, second: PosSet) -> Optional[PosSet]:

@@ -16,6 +16,13 @@ hard-coded background-knowledge tables.  This package provides:
 
 from repro.tables.catalog import Catalog, Occurrence
 from repro.tables.keys import discover_candidate_keys
+from repro.tables.substring_index import SubstringIndex
 from repro.tables.table import Table
 
-__all__ = ["Catalog", "Occurrence", "Table", "discover_candidate_keys"]
+__all__ = [
+    "Catalog",
+    "Occurrence",
+    "SubstringIndex",
+    "Table",
+    "discover_candidate_keys",
+]

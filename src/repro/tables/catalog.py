@@ -14,7 +14,11 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import TableError, UnknownTableError
+from repro.tables.substring_index import SubstringIndex
 from repro.tables.table import Table
+
+#: Cached empty result for values with no occurrences.
+_NO_OCCURRENCES: Tuple["Occurrence", ...] = ()
 
 
 @dataclass(frozen=True)
@@ -31,13 +35,21 @@ class Catalog:
 
     >>> catalog = Catalog([Table("T", ["a", "b"], [("1", "x")])])
     >>> catalog.occurrences_of("x")
-    [Occurrence(table='T', column='b', row=0)]
+    (Occurrence(table='T', column='b', row=0),)
     """
 
     def __init__(self, tables: Iterable[Table] = ()) -> None:
         self._tables: Dict[str, Table] = {}
         self._order: List[str] = []
         self._value_index: Dict[str, List[Occurrence]] = {}
+        self._occurrence_cache: Dict[str, Tuple[Occurrence, ...]] = {}
+        self._distinct_cache: Optional[Tuple[str, ...]] = None
+        self._substring_index: Optional[SubstringIndex] = None
+        #: Serve ``Select`` evaluations against this catalog from the
+        #: tables' inverted value indexes.  ``Synthesizer`` sets it from
+        #: ``SynthesisConfig.use_table_index``; False selects the naive
+        #: row scans (the equivalence oracle).
+        self.use_table_index: bool = True
         for table in tables:
             self.add(table)
 
@@ -52,6 +64,10 @@ class Catalog:
                 self._value_index.setdefault(value, []).append(
                     Occurrence(table.name, column, row_number)
                 )
+        # New cells invalidate every derived view of the value index.
+        self._occurrence_cache.clear()
+        self._distinct_cache = None
+        self._substring_index = None
 
     def extend(self, tables: Iterable[Table]) -> "Catalog":
         for table in tables:
@@ -87,13 +103,44 @@ class Catalog:
         return list(self._order)
 
     # ------------------------------------------------------------------
-    def occurrences_of(self, value: str) -> List[Occurrence]:
-        """All (table, column, row) cells whose content equals ``value``."""
-        return list(self._value_index.get(value, ()))
+    def occurrences_of(self, value: str) -> Tuple[Occurrence, ...]:
+        """All (table, column, row) cells whose content equals ``value``.
 
-    def distinct_values(self) -> List[str]:
-        """All distinct cell values across the catalog."""
-        return list(self._value_index.keys())
+        The returned tuple is cached -- the reachability loops call this
+        once per frontier value per step, and copying the posting list
+        each time showed up in profiles.  Do not mutate.
+        """
+        cached = self._occurrence_cache.get(value)
+        if cached is None:
+            occurrences = self._value_index.get(value)
+            if occurrences is None:
+                return _NO_OCCURRENCES
+            cached = tuple(occurrences)
+            self._occurrence_cache[value] = cached
+        return cached
+
+    def distinct_values(self) -> Tuple[str, ...]:
+        """All distinct cell values across the catalog, in insertion order.
+
+        Cached tuple -- do not mutate.  Insertion order (table order, then
+        row-major within each table) is the deterministic scan order both
+        reachability trigger paths reproduce.
+        """
+        if self._distinct_cache is None:
+            self._distinct_cache = tuple(self._value_index.keys())
+        return self._distinct_cache
+
+    def substring_index(self) -> SubstringIndex:
+        """The substring-trigger index over all distinct non-empty values.
+
+        Built lazily on first use (and again after :meth:`add`); value ids
+        follow :meth:`distinct_values` order with empty cells skipped.
+        """
+        if self._substring_index is None:
+            self._substring_index = SubstringIndex(
+                [value for value in self.distinct_values() if value]
+            )
+        return self._substring_index
 
     @property
     def total_entries(self) -> int:

@@ -1,0 +1,192 @@
+"""Substring-trigger index over the catalog's distinct cell values.
+
+``GenerateStr'_t``'s relaxed-reachability trigger (§5.3) asks, for every
+newly reachable string ``x``, which table entries ``v`` *overlap* it:
+``v == x``, ``v`` a substring of ``x``, or ``x`` a substring of ``v``.
+The naive answer rescans every untriggered entry per frontier string --
+O(|distinct values| x |frontier|) pairwise ``in`` checks per reachability
+step.  This module answers the same question from two purpose-built
+indexes over the distinct values:
+
+* **entries contained in x** -- an Aho-Corasick automaton over all values;
+  one scan of ``x`` reports every value occurring inside it in
+  O(|x| + matches),
+* **entries containing x** -- a q-gram inverted index (grams of length
+  1..Q): the rarest gram of ``x`` yields a candidate posting list that is
+  then verified with one ``in`` check per candidate, so the cost tracks
+  the (inherently output-sized) answer instead of the whole catalog,
+* **entries equal to x** -- a plain hash lookup (kept separate because the
+  containment directions apply ``min_overlap_len`` while equality does
+  not).
+
+The index is immutable once built; :meth:`Catalog.substring_index` builds
+it lazily and rebuilds after ``Catalog.add``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Longest gram length indexed for the "entries containing x" direction.
+#: Queries shorter than ``MAX_GRAM`` use grams of their own length; longer
+#: queries use any of their length-``MAX_GRAM`` grams.
+MAX_GRAM = 3
+
+
+class _AhoCorasick:
+    """Dict-based Aho-Corasick automaton reporting pattern *ids*.
+
+    Patterns are the indexed values; :meth:`matches` returns the set of
+    ids of every pattern occurring in the text (including the text
+    itself when it is a pattern).
+    """
+
+    __slots__ = ("_goto", "_fail", "_out")
+
+    def __init__(self, patterns: Sequence[str]) -> None:
+        goto: List[Dict[str, int]] = [{}]
+        out: List[List[int]] = [[]]
+        for pattern_id, pattern in enumerate(patterns):
+            node = 0
+            for char in pattern:
+                nxt = goto[node].get(char)
+                if nxt is None:
+                    nxt = len(goto)
+                    goto[node][char] = nxt
+                    goto.append({})
+                    out.append([])
+                node = nxt
+            out[node].append(pattern_id)
+
+        fail = [0] * len(goto)
+        queue: deque = deque(goto[0].values())
+        while queue:
+            node = queue.popleft()
+            for char, nxt in goto[node].items():
+                queue.append(nxt)
+                state = fail[node]
+                while state and char not in goto[state]:
+                    state = fail[state]
+                fallback = goto[state].get(char, 0)
+                fail[nxt] = fallback if fallback != nxt else 0
+                if out[fail[nxt]]:
+                    out[nxt].extend(out[fail[nxt]])
+        self._goto = goto
+        self._fail = fail
+        self._out = out
+
+    def matches(self, text: str) -> Set[int]:
+        """Ids of every pattern occurring (anywhere) in ``text``."""
+        goto, fail, out = self._goto, self._fail, self._out
+        node = 0
+        found: Set[int] = set()
+        for char in text:
+            while node and char not in goto[node]:
+                node = fail[node]
+            node = goto[node].get(char, 0)
+            if out[node]:
+                found.update(out[node])
+        return found
+
+
+class SubstringIndex:
+    """Overlap queries over a fixed sequence of distinct non-empty values.
+
+    Value *ids* are positions into :attr:`values`; since the catalog hands
+    its values over in insertion order, sorted ids reproduce the catalog's
+    deterministic scan order -- which the semantic generator relies on to
+    match the naive path exactly.
+    """
+
+    __slots__ = ("values", "_id_of", "_lengths", "_automaton", "_grams")
+
+    def __init__(self, values: Sequence[str]) -> None:
+        self.values: Tuple[str, ...] = tuple(values)
+        self._id_of: Dict[str, int] = {}
+        for value_id, value in enumerate(self.values):
+            if not value:
+                raise ValueError("SubstringIndex values must be non-empty")
+            if value in self._id_of:
+                raise ValueError(f"duplicate value {value!r}")
+            self._id_of[value] = value_id
+        self._lengths: Tuple[int, ...] = tuple(len(v) for v in self.values)
+        # The containment matchers are the expensive part and only the
+        # relaxed trigger needs them; equality-only configs get away with
+        # the id map above, so defer building until the first containment
+        # query (build()).
+        self._automaton: Optional[_AhoCorasick] = None
+        self._grams: Optional[Dict[str, List[int]]] = None
+
+    def build(self) -> "SubstringIndex":
+        """Force-build the containment matchers (lazy otherwise)."""
+        if self._automaton is None:
+            self._automaton = _AhoCorasick(self.values)
+            # Gram -> posting list of value ids (ascending; one entry per
+            # value even when the gram repeats inside it).
+            grams: Dict[str, List[int]] = {}
+            for value_id, value in enumerate(self.values):
+                seen: Set[str] = set()
+                for width in range(1, min(MAX_GRAM, len(value)) + 1):
+                    for start in range(len(value) - width + 1):
+                        gram = value[start : start + width]
+                        if gram not in seen:
+                            seen.add(gram)
+                            grams.setdefault(gram, []).append(value_id)
+            self._grams = grams
+        return self
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def id_of(self, value: str) -> Optional[int]:
+        """Id of the value equal to ``value``, or ``None``."""
+        return self._id_of.get(value)
+
+    def contained_in(self, text: str) -> Set[int]:
+        """Ids of values occurring as substrings of ``text`` (equality too)."""
+        return self.build()._automaton.matches(text)
+
+    def containing(self, text: str) -> List[int]:
+        """Ids of values having ``text`` as a substring, ascending.
+
+        Candidates come from the posting list of the rarest gram of
+        ``text`` (length ``min(len(text), MAX_GRAM)``) and are verified
+        with a real ``in`` check, so false positives never escape.
+        """
+        if not text:
+            return []
+        grams = self.build()._grams
+        width = min(len(text), MAX_GRAM)
+        best: Optional[List[int]] = None
+        for start in range(len(text) - width + 1):
+            posting = grams.get(text[start : start + width])
+            if posting is None:
+                return []  # some gram of text occurs in no value at all
+            if best is None or len(posting) < len(best):
+                best = posting
+        assert best is not None
+        values = self.values
+        return [value_id for value_id in best if text in values[value_id]]
+
+    def overlapping(self, text: str, min_len: int = 1) -> List[int]:
+        """Ids of values overlapping ``text`` per the §5.3 trigger, sorted.
+
+        A value ``v`` overlaps when ``v == text``, or ``v in text`` with
+        ``len(v) >= min_len``, or ``text in v`` with ``len(text) >= min_len``
+        -- exactly ``repro.semantic.generate._overlaps``.
+        """
+        if not text:
+            return []
+        lengths = self._lengths
+        hits: Set[int] = set()
+        for value_id in self.contained_in(text):
+            if lengths[value_id] >= min_len:
+                hits.add(value_id)
+        if len(text) >= min_len:
+            hits.update(self.containing(text))
+        equal = self._id_of.get(text)
+        if equal is not None:
+            hits.add(equal)
+        return sorted(hits)

@@ -43,6 +43,7 @@ class Table:
         "keys",
         "_column_index",
         "_key_row_index",
+        "_value_rows",
     )
 
     def __init__(
@@ -103,6 +104,11 @@ class Table:
                 raise KeyConstraintError(f"table {name!r}: empty candidate key list")
             self.keys = tuple(validated)
 
+        # Per-column value -> row-number inverted index; built lazily on the
+        # first find_rows/lookup (the serve-time hot path), never mutated
+        # afterwards -- the table is immutable.
+        self._value_rows: Optional[Dict[str, Dict[str, Tuple[int, ...]]]] = None
+
         # Precompute key-tuple -> row index for every candidate key; used by
         # both evaluation and condition construction.
         self._key_row_index: Dict[CandidateKey, Dict[Tuple[str, ...], int]] = {}
@@ -161,8 +167,60 @@ class Table:
             )
         return index.get(values)
 
-    def find_rows(self, conditions: Dict[str, str]) -> List[int]:
-        """All row indices whose cells match every ``column: value`` pair."""
+    def _ensure_value_rows(self) -> Dict[str, Dict[str, Tuple[int, ...]]]:
+        if self._value_rows is None:
+            index: Dict[str, Dict[str, List[int]]] = {c: {} for c in self.columns}
+            for row_number, row in enumerate(self.rows):
+                for column, value in zip(self.columns, row):
+                    index[column].setdefault(value, []).append(row_number)
+            self._value_rows = {
+                column: {value: tuple(rows) for value, rows in postings.items()}
+                for column, postings in index.items()
+            }
+        return self._value_rows
+
+    def value_rows(self, column: str, value: str) -> Tuple[int, ...]:
+        """Row numbers whose ``column`` cell equals ``value`` (ascending)."""
+        self.column_position(column)  # raises UnknownColumnError
+        return self._ensure_value_rows()[column].get(value, ())
+
+    def find_rows(
+        self, conditions: Dict[str, str], use_index: bool = True
+    ) -> List[int]:
+        """All row indices whose cells match every ``column: value`` pair.
+
+        Served from the per-column inverted index: the shortest posting
+        list is filtered through the others, so a single-key lookup is one
+        dict access instead of a full row scan.  ``use_index=False`` runs
+        the naive scan (the equivalence oracle, see ``SynthesisConfig``).
+        """
+        if not use_index:
+            return self.find_rows_naive(conditions)
+        for column in conditions:
+            self.column_position(column)  # raises UnknownColumnError, like
+            # the naive scan does, before any empty-posting early return
+        if not conditions:
+            return list(range(len(self.rows)))
+        index = self._ensure_value_rows()
+        postings: List[Tuple[int, ...]] = []
+        for column, value in conditions.items():
+            rows = index[column].get(value)
+            if not rows:
+                return []
+            postings.append(rows)
+        postings.sort(key=len)
+        smallest = postings[0]
+        if len(postings) == 1:
+            return list(smallest)
+        others = [set(rows) for rows in postings[1:]]
+        return [
+            row_number
+            for row_number in smallest
+            if all(row_number in other for other in others)
+        ]
+
+    def find_rows_naive(self, conditions: Dict[str, str]) -> List[int]:
+        """The full-scan ``find_rows`` (kept as the index's oracle)."""
         positions = [(self.column_position(c), v) for c, v in conditions.items()]
         return [
             row_number
@@ -170,13 +228,15 @@ class Table:
             if all(row[position] == value for position, value in positions)
         ]
 
-    def lookup(self, column: str, conditions: Dict[str, str]) -> str:
+    def lookup(
+        self, column: str, conditions: Dict[str, str], use_index: bool = True
+    ) -> str:
         """Evaluate a concrete lookup: the paper's Select semantics.
 
         Returns ``T[column, r]`` when exactly one row ``r`` matches
         ``conditions``, and the empty string otherwise (paper §4.1).
         """
-        matches = self.find_rows(conditions)
+        matches = self.find_rows(conditions, use_index=use_index)
         if len(matches) == 1:
             return self.cell(column, matches[0])
         return ""

@@ -1,0 +1,322 @@
+"""Indexed hot paths vs naive oracles: identical structures and outputs.
+
+Every ``use_*`` flag of :class:`SynthesisConfig` switches a hot path
+between a purpose-built index and the original naive scan.  The flags
+must never change *what* is computed: these tests pin indexed and naive
+paths to byte-identical version-space structures, lookups and synthesis
+results -- on randomized inputs (hypothesis) and on every benchsuite
+problem.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Synthesizer
+from repro.benchsuite import all_benchmarks
+from repro.config import DEFAULT_CONFIG
+from repro.lookup.dstruct import GenSelect, VarEntry
+from repro.lookup.generate import generate_lookup
+from repro.lookup.intersect import (
+    intersect_lookup,
+    valid_nodes_fixpoint as lookup_fixpoint,
+    valid_nodes_fixpoint_naive as lookup_fixpoint_naive,
+)
+from repro.semantic.generate import generate_semantic
+from repro.semantic.intersect import (
+    intersect_semantic,
+    valid_nodes_fixpoint as semantic_fixpoint,
+    valid_nodes_fixpoint_naive as semantic_fixpoint_naive,
+)
+from repro.syntactic.generate import generate_dag
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+INDEXED = DEFAULT_CONFIG
+NAIVE = DEFAULT_CONFIG.without_indexes()
+
+
+# -- structural keys (dags/conditions have no __eq__ across objects) --------
+def dag_key(dag):
+    if dag is None:
+        return None
+    return (
+        dag.nodes,
+        dag.source,
+        dag.target,
+        tuple(sorted((edge, tuple(atoms)) for edge, atoms in dag.edges.items())),
+    )
+
+
+def entry_key(entry):
+    if isinstance(entry, VarEntry):
+        return ("var", entry.index)
+    assert isinstance(entry, GenSelect)
+    return (
+        "select",
+        entry.column,
+        entry.table,
+        entry.cond.table,
+        entry.cond.row,
+        tuple(
+            tuple(
+                (p.column, p.constant, p.node, dag_key(p.dag))
+                for p in predicates
+            )
+            for predicates in entry.cond.keys
+        ),
+    )
+
+
+def store_key(store):
+    return (
+        tuple(store.vals),
+        tuple(store.depths),
+        store.target,
+        tuple(tuple(entry_key(e) for e in progs) for progs in store.progs),
+    )
+
+
+def structure_key(structure):
+    return (store_key(structure.store), dag_key(structure.dag))
+
+
+# -- randomized inputs -------------------------------------------------------
+ALPHABET = "ab1-"
+cells = st.text(alphabet=ALPHABET, min_size=0, max_size=6)
+
+
+@st.composite
+def catalogs(draw):
+    """1-2 small tables with a guaranteed unique Id key column."""
+    tables = []
+    for t in range(draw(st.integers(min_value=1, max_value=2))):
+        n_rows = draw(st.integers(min_value=1, max_value=5))
+        rows = [
+            (f"k{t}{r}", draw(cells), draw(cells))
+            for r in range(n_rows)
+        ]
+        tables.append(Table(f"T{t}", ["Id", "A", "B"], rows, keys=[("Id",)]))
+    return Catalog(tables)
+
+
+@st.composite
+def tasks(draw):
+    catalog = draw(catalogs())
+    table = catalog.tables()[0]
+    # Bias inputs toward strings overlapping real cells so reachability
+    # actually fires; outputs toward reachable cells.
+    row = table.rows[draw(st.integers(min_value=0, max_value=table.num_rows - 1))]
+    state = (draw(cells) + row[0] + draw(cells),)
+    output = row[draw(st.integers(min_value=0, max_value=2))] or "x"
+    return catalog, state, output
+
+
+class TestGenerateSemanticEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(task=tasks())
+    def test_identical_structures(self, task):
+        catalog, state, output = task
+        indexed = generate_semantic(catalog, state, output, INDEXED)
+        naive = generate_semantic(catalog, state, output, NAIVE)
+        assert structure_key(indexed) == structure_key(naive)
+
+    @settings(max_examples=30, deadline=None)
+    @given(task=tasks())
+    def test_identical_structures_equality_trigger(self, task):
+        from dataclasses import replace
+
+        catalog, state, output = task
+        indexed = generate_semantic(
+            catalog, state, output, replace(INDEXED, relaxed_reachability=False)
+        )
+        naive = generate_semantic(
+            catalog, state, output, replace(NAIVE, relaxed_reachability=False)
+        )
+        assert structure_key(indexed) == structure_key(naive)
+
+
+class TestGenerateLookupEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(task=tasks())
+    def test_identical_stores(self, task):
+        catalog, state, output = task
+        # generate_lookup has no indexed/naive split of its own, but it
+        # consumes the catalog's cached occurrence tuples; pin it anyway.
+        indexed = generate_lookup(catalog, state, output, INDEXED)
+        naive = generate_lookup(catalog, state, output, NAIVE)
+        assert store_key(indexed) == store_key(naive)
+
+
+class TestGenerateDagEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        sources=st.lists(
+            st.text(alphabet=ALPHABET, max_size=8), min_size=0, max_size=4
+        ),
+        output=st.text(alphabet=ALPHABET, min_size=0, max_size=8),
+    )
+    def test_identical_dags(self, sources, output):
+        numbered = list(enumerate(sources))
+        indexed = generate_dag(numbered, output, INDEXED)
+        naive = generate_dag(numbered, output, NAIVE)
+        assert dag_key(indexed) == dag_key(naive)
+        # Atom order inside each edge must match too (dag_key sorts edges
+        # but keeps each option list in emission order).
+        assert list(indexed.edges.keys()) == list(naive.edges.keys())
+
+    def test_ref_atom_ablation_respected(self):
+        from dataclasses import replace
+
+        numbered = [(0, "ab")]
+        indexed = generate_dag(numbered, "ab", replace(INDEXED, include_ref_atoms=False))
+        naive = generate_dag(numbered, "ab", replace(NAIVE, include_ref_atoms=False))
+        assert dag_key(indexed) == dag_key(naive)
+
+
+class TestTableIndexEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        cell_rows=st.lists(
+            st.tuples(cells, cells, cells), min_size=1, max_size=12
+        ),
+        query=st.tuples(cells, cells),
+        data=st.data(),
+    )
+    def test_find_rows_and_lookup_match_naive(self, cell_rows, query, data):
+        rows = [(f"id{i}",) + row for i, row in enumerate(cell_rows)]
+        table = Table("T", ["Id", "A", "B", "C"], rows, keys=[("Id",)])
+        # Mix real cell values into the query half the time.
+        conditions = {"A": query[0], "B": query[1]}
+        if data.draw(st.booleans()):
+            row = rows[data.draw(st.integers(0, len(rows) - 1))]
+            conditions = {"A": row[1], "B": row[2]}
+        assert table.find_rows(conditions) == table.find_rows_naive(conditions)
+        assert table.lookup("C", conditions) == table.lookup(
+            "C", conditions, use_index=False
+        )
+
+    def test_empty_conditions_match(self):
+        table = Table("T", ["A"], [("x",), ("y",)], keys=[("A",)])
+        assert table.find_rows({}) == table.find_rows_naive({})
+
+    def test_single_key_lookup_uses_posting(self):
+        table = Table("T", ["Id", "V"], [("a", "1"), ("b", "2")], keys=[("Id",)])
+        assert table.value_rows("Id", "b") == (1,)
+        assert table.value_rows("Id", "zz") == ()
+        assert table.lookup("V", {"Id": "b"}) == "2"
+
+    def test_unknown_column_raises_like_naive(self):
+        from repro.exceptions import UnknownColumnError
+
+        table = Table("T", ["Id", "V"], [("a", "1"), ("b", "2")], keys=[("Id",)])
+        # Even when another condition's posting is empty (which would
+        # short-circuit to []), the unknown column must raise, matching
+        # the naive scan's contract.
+        for conditions in (
+            {"Id": "missing-value", "Nope": "x"},
+            {"Nope": "x", "Id": "missing-value"},
+        ):
+            with pytest.raises(UnknownColumnError):
+                table.find_rows(conditions)
+            with pytest.raises(UnknownColumnError):
+                table.find_rows_naive(conditions)
+
+
+class TestUseTableIndexWiring:
+    """SynthesisConfig.use_table_index reaches Select evaluation."""
+
+    def _catalog(self):
+        return Catalog(
+            [Table("T", ["Id", "V"], [("a", "1"), ("b", "2")], keys=[("Id",)])]
+        )
+
+    def test_synthesizer_stamps_catalog(self):
+        assert Synthesizer(self._catalog()).catalog.use_table_index is True
+        naive = Synthesizer(self._catalog(), config=NAIVE)
+        assert naive.catalog.use_table_index is False
+
+    def test_session_stamps_catalog(self):
+        from repro.engine.session import SynthesisSession
+
+        session = SynthesisSession(self._catalog(), config=NAIVE)
+        assert session.catalog.use_table_index is False
+
+    def test_select_evaluation_honors_flag(self, monkeypatch):
+        from repro.core.exprs import Var
+        from repro.lookup.ast import Select
+
+        seen = []
+        original = Table.find_rows
+
+        def spy(self, conditions, use_index=True):
+            seen.append(use_index)
+            return original(self, conditions, use_index=use_index)
+
+        monkeypatch.setattr(Table, "find_rows", spy)
+        select = Select("V", "T", [("Id", Var(0))])
+        for flag in (True, False):
+            catalog = self._catalog()
+            catalog.use_table_index = flag
+            assert select.evaluate(("b",), catalog) == "2"
+            assert seen[-1] is flag
+
+
+class TestFixpointEquivalence:
+    def _stores(self, task):
+        catalog, state, output = task
+        first = generate_semantic(catalog, state, output, INDEXED)
+        second = generate_semantic(catalog, (state[0] + "-",), output, INDEXED)
+        return first, second
+
+    @settings(max_examples=30, deadline=None)
+    @given(task=tasks())
+    def test_semantic_worklist_matches_sweeps(self, task):
+        first, second = self._stores(task)
+        merged = intersect_semantic(first, second, INDEXED)
+        if merged is None:
+            return
+        store = merged.store
+        assert semantic_fixpoint(store) == semantic_fixpoint_naive(store)
+
+    @settings(max_examples=30, deadline=None)
+    @given(task=tasks())
+    def test_lookup_worklist_matches_sweeps(self, task):
+        catalog, state, output = task
+        first = generate_lookup(catalog, state, output, INDEXED)
+        second = generate_lookup(catalog, (state[0] + "-",), output, INDEXED)
+        if first.target is None or second.target is None:
+            return
+        merged = intersect_lookup(first, second, INDEXED)
+        if merged is None:
+            return
+        assert lookup_fixpoint(merged) == lookup_fixpoint_naive(merged)
+
+    @settings(max_examples=30, deadline=None)
+    @given(task=tasks())
+    def test_intersection_identical_under_both_pruners(self, task):
+        first_i, second_i = self._stores(task)
+        first_n, second_n = self._stores(task)
+        merged_indexed = intersect_semantic(first_i, second_i, INDEXED)
+        merged_naive = intersect_semantic(first_n, second_n, NAIVE)
+        if merged_indexed is None or merged_naive is None:
+            assert merged_indexed is None and merged_naive is None
+            return
+        assert structure_key(merged_indexed) == structure_key(merged_naive)
+
+
+@pytest.mark.parametrize(
+    "bench", all_benchmarks(), ids=lambda bench: bench.name
+)
+def test_benchsuite_problem_equivalence(bench):
+    """Indexed and naive synthesis agree on every benchsuite problem."""
+    catalog = bench.catalog()
+    examples = list(bench.rows[:2])
+    indexed = Synthesizer(catalog, config=INDEXED).synthesize(examples, k=3)
+    naive = Synthesizer(catalog, config=NAIVE).synthesize(examples, k=3)
+    assert str(indexed.program) == str(naive.program)
+    assert indexed.consistent_count == naive.consistent_count
+    assert indexed.structure_size == naive.structure_size
+    assert [(c.rank, c.score, str(c.program)) for c in indexed.programs] == [
+        (c.rank, c.score, str(c.program)) for c in naive.programs
+    ]

@@ -62,7 +62,7 @@ class TestBasics:
 class TestValueIndex:
     def test_occurrences_single(self):
         occurrences = small_catalog().occurrences_of("Stroller")
-        assert occurrences == [Occurrence("MarkupRec", "Name", 0)]
+        assert occurrences == (Occurrence("MarkupRec", "Name", 0),)
 
     def test_occurrences_across_tables(self):
         occurrences = small_catalog().occurrences_of("S30")
@@ -71,11 +71,46 @@ class TestValueIndex:
         assert len(occurrences) == 3
 
     def test_occurrences_missing_value(self):
-        assert small_catalog().occurrences_of("zzz") == []
+        assert small_catalog().occurrences_of("zzz") == ()
+
+    def test_occurrences_cached(self):
+        catalog = small_catalog()
+        assert catalog.occurrences_of("S30") is catalog.occurrences_of("S30")
 
     def test_distinct_values_contains_cells(self):
         values = set(small_catalog().distinct_values())
         assert {"S30", "$3.56", "12/2010", "Bib"} <= values
+
+    def test_distinct_values_cached_and_invalidated(self):
+        catalog = small_catalog()
+        first = catalog.distinct_values()
+        assert catalog.distinct_values() is first
+        catalog.add(Table("Extra", ["a"], [("brand-new",)]))
+        assert "brand-new" in catalog.distinct_values()
+        assert catalog.occurrences_of("brand-new") == (
+            Occurrence("Extra", "a", 0),
+        )
+
+
+class TestSubstringIndex:
+    def test_lazy_and_cached(self):
+        catalog = small_catalog()
+        index = catalog.substring_index()
+        assert catalog.substring_index() is index
+
+    def test_rebuilt_after_add(self):
+        catalog = small_catalog()
+        index = catalog.substring_index()
+        catalog.add(Table("Extra", ["a"], [("brand-new",)]))
+        rebuilt = catalog.substring_index()
+        assert rebuilt is not index
+        assert rebuilt.id_of("brand-new") is not None
+
+    def test_ids_follow_distinct_value_order(self):
+        catalog = small_catalog()
+        index = catalog.substring_index()
+        non_empty = [v for v in catalog.distinct_values() if v]
+        assert list(index.values) == non_empty
 
 
 class TestMerge:
