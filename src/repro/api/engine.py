@@ -17,9 +17,10 @@ registry.
 
 from __future__ import annotations
 
+import pickle
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.api.registry import LanguageBackend, create_backend, resolve_backend_name
 from repro.api.result import (
@@ -34,9 +35,13 @@ from repro.api.result import (
 from repro.config import DEFAULT_CONFIG, RankingWeights, SynthesisConfig
 from repro.core.base import Expression
 from repro.core.exprs import Var
-from repro.core.formalism import _check_examples, synthesize_incremental
+from repro.core.formalism import (
+    _check_examples,
+    fold_structures,
+    generate_structures,
+)
 from repro.engine.program import Program
-from repro.exceptions import NoExamplesError, NoProgramFoundError
+from repro.exceptions import NoExamplesError, NoProgramFoundError, SynthesisError
 from repro.lookup.ast import Select
 from repro.lookup.extract import expression_tables
 from repro.syntactic.ast import Concatenate, ConstStr, SubStr
@@ -135,6 +140,7 @@ class Synthesizer:
         merged.use_table_index = config.use_table_index
         self.catalog = merged
         self.config = config
+        self._catalog_picklable: Optional[bool] = None
         self._backend: LanguageBackend = create_backend(
             self.language, self.catalog, config
         )
@@ -172,22 +178,37 @@ class Synthesizer:
         _check_examples(task.examples)
         started = time.perf_counter()
         adapter = self._backend.adapter()
-        structure = None
-        for example in task.examples:
-            structure = synthesize_incremental(adapter, structure, example)
+        # Generate every example's structure up front (any inconsistent
+        # example fails before intersection work is spent), then intersect
+        # smallest-structure-first: each product is bounded by its operand
+        # sizes, so folding the small structures early keeps the running
+        # structure small for the expensive steps.
+        structures = generate_structures(adapter, task.examples)
+        generated = time.perf_counter()
+        structure = fold_structures(
+            adapter, structures, structure_size=self._backend.structure_size
+        )
+        intersected = time.perf_counter()
         candidates = self._ranked_candidates(structure, task.num_inputs, max(1, k))
         if not candidates:
             raise NoProgramFoundError(
                 f"{adapter.name}: the version space is empty"
             )
-        elapsed = time.perf_counter() - started
+        consistent_count = self._backend.count_expressions(structure)
+        structure_size = self._backend.structure_size(structure)
+        finished = time.perf_counter()
         return SynthesisResult(
             task=task,
             language=self.language,
             programs=tuple(candidates),
-            consistent_count=self._backend.count_expressions(structure),
-            structure_size=self._backend.structure_size(structure),
-            elapsed_seconds=elapsed,
+            consistent_count=consistent_count,
+            structure_size=structure_size,
+            elapsed_seconds=finished - started,
+            phase_seconds={
+                "generate": generated - started,
+                "intersect": intersected - generated,
+                "rank": finished - intersected,
+            },
         )
 
     def _ranked_candidates(
@@ -236,16 +257,29 @@ class Synthesizer:
         workers: Optional[int] = None,
         k: int = 5,
         return_errors: bool = False,
+        executor: str = "thread",
     ) -> List[Union[SynthesisResult, Exception]]:
         """Solve many independent tasks, preserving input order.
 
         Args:
-            workers: thread-pool size; ``None`` or ``<= 1`` runs
-                sequentially.  Threads share the backend, whose catalog and
-                config are immutable, so results equal the sequential run.
+            workers: pool size; ``None`` or ``<= 1`` runs sequentially.
+            k: ranked candidates per task.
             return_errors: when true, a failing task yields its exception
                 in its slot instead of aborting the whole batch.
+            executor: ``"thread"`` (default) shares the backend across a
+                thread pool -- safe because catalog and config are
+                immutable, but GIL-bound for this pure-Python workload.
+                ``"process"`` fans out over a ``ProcessPoolExecutor``: the
+                catalog/language/config are pickled **once per worker**
+                (the pool initializer builds a per-worker ``Synthesizer``),
+                each task ships only its examples, and results return as
+                catalog-free program payloads rebuilt against this
+                engine's catalog -- so results are identical to and
+                ordered like the sequential run.  Falls back to threads
+                when the catalog or tasks are not picklable.
         """
+        if executor not in ("thread", "process"):
+            raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
         normalized = [as_task(task) for task in tasks]
 
         def solve(task: SynthesisTask) -> Union[SynthesisResult, Exception]:
@@ -258,5 +292,135 @@ class Synthesizer:
 
         if workers is None or workers <= 1:
             return [solve(task) for task in normalized]
+        if executor == "process" and self._batch_is_picklable(normalized):
+            results = self._run_batch_processes(normalized, workers, k, return_errors)
+            if results is not None:
+                return results
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(solve, normalized))
+
+    # -- the process-pool path -------------------------------------------
+    def _batch_is_picklable(self, tasks: Sequence[SynthesisTask]) -> bool:
+        """Can the catalog/config/tasks cross a process boundary?
+
+        The (potentially large) catalog probe is computed once per engine
+        and cached -- repeated ``run_batch`` calls on the same engine only
+        re-probe the (small, string-only) tasks.
+        """
+        if self._catalog_picklable is None:
+            try:
+                pickle.dumps((self.catalog, self.language, self.config))
+                self._catalog_picklable = True
+            except Exception:  # noqa: BLE001 -- any failure means "use threads"
+                self._catalog_picklable = False
+        if not self._catalog_picklable:
+            return False
+        try:
+            pickle.dumps(tasks)
+            return True
+        except Exception:  # noqa: BLE001 -- any failure means "use threads"
+            return False
+
+    def _run_batch_processes(
+        self,
+        tasks: Sequence[SynthesisTask],
+        workers: int,
+        k: int,
+        return_errors: bool,
+    ) -> Optional[List[Union[SynthesisResult, Exception]]]:
+        """One process per worker; ``None`` when the pool itself is unusable.
+
+        A broken pool (e.g. the initializer cannot rebuild the backend in a
+        spawned child -- a custom ``register_backend`` class exists in the
+        parent only) is an environment problem, not a task error, so the
+        caller falls back to threads instead of aborting the batch.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_process_worker,
+                initargs=(self.catalog, self.language, self.config),
+            ) as pool:
+                replies = list(
+                    pool.map(
+                        _solve_in_worker,
+                        [(task, k, return_errors) for task in tasks],
+                    )
+                )
+        except BrokenProcessPool:
+            return None
+        results: List[Union[SynthesisResult, Exception]] = []
+        for kind, value in replies:
+            if kind == "error":
+                results.append(value)
+            else:
+                results.append(self._result_from_payload(value))
+        return results
+
+    def _result_from_payload(self, payload: Dict[str, Any]) -> SynthesisResult:
+        """Rebuild a worker's catalog-free result against this catalog."""
+        programs = tuple(
+            RankedProgram(
+                rank=rank,
+                score=score,
+                program=Program.from_dict(data, catalog=self.catalog),
+                provenance=provenance,
+            )
+            for rank, score, provenance, data in payload["programs"]
+        )
+        return SynthesisResult(
+            task=payload["task"],
+            language=payload["language"],
+            programs=programs,
+            consistent_count=payload["consistent_count"],
+            structure_size=payload["structure_size"],
+            elapsed_seconds=payload["elapsed_seconds"],
+            phase_seconds=payload["phase_seconds"],
+        )
+
+
+# -- process-pool worker plumbing (module level: must be picklable) -----------
+_WORKER_ENGINE: Optional[Synthesizer] = None
+
+
+def _init_process_worker(catalog, language: str, config: SynthesisConfig) -> None:
+    """Pool initializer: one engine per worker, catalog pickled once."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = Synthesizer(catalog=catalog, language=language, config=config)
+
+
+def _result_to_payload(result: SynthesisResult) -> Dict[str, Any]:
+    """A catalog-free wire form of a result (programs via ``to_dict``)."""
+    return {
+        "task": result.task,
+        "language": result.language,
+        "programs": [
+            (c.rank, c.score, c.provenance, c.program.to_dict())
+            for c in result.programs
+        ],
+        "consistent_count": result.consistent_count,
+        "structure_size": result.structure_size,
+        "elapsed_seconds": result.elapsed_seconds,
+        "phase_seconds": result.phase_seconds,
+    }
+
+
+def _solve_in_worker(job: Tuple[SynthesisTask, int, bool]):
+    """Solve one task on the per-worker engine (see ``_init_process_worker``)."""
+    task, k, return_errors = job
+    assert _WORKER_ENGINE is not None, "process pool initializer did not run"
+    try:
+        return ("ok", _result_to_payload(_WORKER_ENGINE.synthesize(task, k=k)))
+    except Exception as error:  # noqa: BLE001 -- relayed to the parent
+        if return_errors:
+            try:
+                pickle.dumps(error)
+            except Exception:  # noqa: BLE001 -- keep the slot, not the batch
+                # An unpicklable exception (open handle, lock...) must not
+                # abort the whole batch like it would on the return trip;
+                # ship a picklable stand-in preserving the repr.
+                error = SynthesisError(f"unpicklable worker error: {error!r}")
+            return ("error", error)
+        raise

@@ -91,6 +91,10 @@ class SynthesisResult:
         consistent_count: number of consistent expressions (Figure 11(a)).
         structure_size: version-space structure size (Figure 11(b)).
         elapsed_seconds: wall-clock time of the synthesize call.
+        phase_seconds: wall-clock per phase -- ``"generate"`` (GenerateStr
+            over every example), ``"intersect"`` (the smallest-first fold)
+            and ``"rank"`` (candidate extraction plus the Figure 11
+            metrics).  ``repro learn --profile`` prints it.
     """
 
     task: SynthesisTask
@@ -99,6 +103,7 @@ class SynthesisResult:
     consistent_count: int
     structure_size: int
     elapsed_seconds: float
+    phase_seconds: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -174,5 +179,6 @@ class SynthesisResult:
             "consistent_count_log10": round(count_log10(exact), 3),
             "structure_size": self.structure_size,
             "elapsed_seconds": self.elapsed_seconds,
+            "phase_seconds": self.phase_seconds,
             "ambiguous": self.ambiguous,
         }

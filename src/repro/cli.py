@@ -99,6 +99,11 @@ def build_learn_parser(prog: str = "repro learn") -> argparse.ArgumentParser:
         metavar="JSON",
         help="write the learned program as a JSON artifact (see 'repro fill')",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase wall-clock (generate / intersect / rank) to stderr",
+    )
     return parser
 
 
@@ -167,6 +172,16 @@ def _cmd_learn(argv: Sequence[str], prog: str = "repro learn") -> int:
         result = engine.synthesize(examples, k=max(1, args.top))
         program = result.program
 
+        if args.profile:
+            phases = result.phase_seconds or {}
+            rendered = " | ".join(
+                f"{phase} {phases.get(phase, 0.0):.4f}s"
+                for phase in ("generate", "intersect", "rank")
+            )
+            print(
+                f"profile: {rendered} | total {result.elapsed_seconds:.4f}s",
+                file=sys.stderr,
+            )
         print(f"program: {program.source()}")
         if args.describe:
             print(f"meaning: {program.describe()}")

@@ -82,12 +82,26 @@ class SynthesisConfig:
         use_worklist_pruning: compute the emptiness fixpoint of Intersect
             with a dependency-driven worklist instead of repeated full-node
             sweeps.  False selects the naive sweeps.
+        use_lazy_intersection: build the ``intersect_dags`` product with a
+            structural forward-BFS plus a co-reachability sweep *before*
+            any atom intersection is attempted, so atoms are only merged
+            on edges that can sit on a start→accept path.  False selects
+            the original eager product (atom intersection on every
+            forward-reachable edge) -- the equivalence oracle.
+        use_intersection_cache: serve ``intersect_position_sets`` from the
+            interned position-set memo (hit/miss/eviction stats via
+            ``repro.syntactic.positions.intersection_cache_stats``), so
+            recurring pairs across edges, examples and ``Synthesizer``
+            calls are intersected once.  False recomputes every pair --
+            the equivalence oracle.
         weights: the ranking cost model.
 
-    The four ``use_*_index``/``use_worklist_pruning`` flags never change
-    *what* is synthesized -- both paths are required to produce identical
-    structures and results (tests/test_indexing_equivalence.py) -- only how
-    fast; they exist as equivalence oracles and for the perf benchmarks.
+    The ``use_*_index``/``use_worklist_pruning``/``use_lazy_intersection``/
+    ``use_intersection_cache`` flags never change *what* is synthesized --
+    both paths are required to produce identical structures and results
+    (tests/test_indexing_equivalence.py,
+    tests/test_lazy_intersection_equivalence.py) -- only how fast; they
+    exist as equivalence oracles and for the perf benchmarks.
     """
 
     max_tokenseq_len: int = 1
@@ -100,6 +114,8 @@ class SynthesisConfig:
     use_occurrence_index: bool = True
     use_table_index: bool = True
     use_worklist_pruning: bool = True
+    use_lazy_intersection: bool = True
+    use_intersection_cache: bool = True
     weights: RankingWeights = field(default_factory=RankingWeights)
 
     def with_weights(self, **kwargs) -> "SynthesisConfig":
@@ -114,6 +130,8 @@ class SynthesisConfig:
             use_occurrence_index=False,
             use_table_index=False,
             use_worklist_pruning=False,
+            use_lazy_intersection=False,
+            use_intersection_cache=False,
         )
 
 

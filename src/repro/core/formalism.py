@@ -17,7 +17,7 @@ languages uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generic, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.base import InputState
 from repro.exceptions import InconsistentExampleError, NoProgramFoundError
@@ -88,6 +88,62 @@ def Synthesize(adapter: LanguageAdapter[D], examples: Sequence[Example]) -> D:
             )
         structure = merged
     return structure
+
+
+def generate_structures(
+    adapter: LanguageAdapter[D], examples: Sequence[Example]
+) -> List[D]:
+    """GenerateStr for every example (the first half of Synthesize).
+
+    Raises:
+        NoProgramFoundError: some example has no consistent expression --
+            detected before any intersection work is spent (the early-empty
+            bailout of the batched learning loop).
+    """
+    structures: List[D] = []
+    for index, (state, output) in enumerate(examples, start=1):
+        fresh = adapter.generate(state, output)
+        if fresh is None or adapter.is_empty(fresh):
+            raise NoProgramFoundError(
+                f"{adapter.name}: no expression is consistent with example {index}"
+            )
+        structures.append(fresh)
+    return structures
+
+
+def fold_structures(
+    adapter: LanguageAdapter[D],
+    structures: Sequence[D],
+    structure_size: Optional[Callable[[D], int]] = None,
+) -> D:
+    """Fold Intersect over per-example structures, smallest first.
+
+    With ``structure_size`` and three or more structures, intersection runs
+    smallest-structure-first instead of arrival order: the product cost of
+    each step is bounded by the operand sizes, and a small early operand
+    shrinks the running structure for every later step (and surfaces an
+    empty intersection after the cheapest possible work).  The resulting
+    version space denotes the same set of programs regardless of order --
+    the structures are isomorphic, with identical Figure 11 measures and
+    extracted programs (tests/test_lazy_intersection_equivalence.py).
+
+    Raises:
+        NoProgramFoundError: the intersection became empty.
+    """
+    if not structures:
+        raise NoProgramFoundError(f"{adapter.name}: nothing to intersect")
+    ordered = list(structures)
+    if structure_size is not None and len(ordered) > 2:
+        ordered.sort(key=structure_size)  # stable: arrival order breaks ties
+    merged = ordered[0]
+    for fresh in ordered[1:]:
+        result = adapter.intersect(merged, fresh)
+        if result is None or adapter.is_empty(result):
+            raise NoProgramFoundError(
+                f"{adapter.name}: the examples have no common expression"
+            )
+        merged = result
+    return merged
 
 
 def synthesize_incremental(

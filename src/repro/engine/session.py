@@ -27,7 +27,12 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 from repro.api.registry import create_backend, resolve_backend_name
 from repro.config import DEFAULT_CONFIG, SynthesisConfig
 from repro.core.base import InputState
-from repro.core.formalism import Example, synthesize_incremental
+from repro.core.formalism import (
+    Example,
+    fold_structures,
+    generate_structures,
+    synthesize_incremental,
+)
 from repro.engine.program import Program
 from repro.exceptions import (
     InconsistentExampleError,
@@ -95,6 +100,39 @@ class SynthesisSession:
             self._adapter, self._structure, (state, output)
         )
         self.examples.append((state, output))
+
+    def add_examples(self, examples: Sequence[Tuple[Sequence[str], str]]) -> None:
+        """Fold a batch of examples, intersecting smallest-structure-first.
+
+        Equivalent to calling :meth:`add_example` for each pair -- the
+        version space denotes the same program set -- but the per-example
+        structures are generated up front and intersected smallest first
+        with an early-empty bailout, which is how the batched
+        :meth:`repro.api.Synthesizer.synthesize` loop runs (the product
+        cost of each intersection is bounded by its operand sizes).  On
+        failure the session is left unchanged.
+        """
+        pairs: List[Example] = [
+            (tuple(inputs), output) for inputs, output in examples
+        ]
+        if not pairs:
+            return
+        arity = self.num_inputs if self.num_inputs is not None else len(pairs[0][0])
+        for state, _ in pairs:
+            if len(state) != arity:
+                raise InconsistentExampleError(
+                    f"expected {arity} inputs, got {len(state)}"
+                )
+        structures = generate_structures(self._adapter, pairs)
+        if self._structure is not None:
+            structures.append(self._structure)
+        merged = fold_structures(
+            self._adapter,
+            structures,
+            structure_size=self._language.structure_size,
+        )
+        self._structure = merged
+        self.examples.extend(pairs)
 
     def reset(self) -> None:
         """Forget all examples (start a new task on the same catalog)."""

@@ -174,6 +174,21 @@ class NodeStore:
                     stack.append(successor)
         return seen
 
+    def restrict_to(self, roots: Iterable[int]) -> Set[int]:
+        """Empty the Progs of nodes unreachable from ``roots``; return alive.
+
+        The target-component sweep shared by ``prune_store`` and
+        ``prune_semantic``: counting and extraction are root-rooted, so
+        unreachable nodes are invisible -- emptying them keeps the
+        Figure 11(b) size a property of the denoted program set rather
+        than of construction order.
+        """
+        alive = self.reachable_from(roots)
+        for node in range(len(self.vals)):
+            if node not in alive:
+                self.progs[node] = []
+        return alive
+
     def topological_order(self, alive: Optional[Set[int]] = None) -> Optional[List[int]]:
         """Topological order of the node-reference graph, or ``None`` if cyclic.
 

@@ -207,4 +207,8 @@ def prune_store(store: NodeStore, use_worklist: bool = True) -> Optional[NodeSto
                 entry.cond = RowCondition(entry.cond.table, entry.cond.row, kept_keys)
                 kept_entries.append(entry)
         store.progs[node] = kept_entries
+
+    # Restrict to the target component: dropping invalid keys can strand
+    # valid nodes no surviving predicate references.
+    store.restrict_to([store.target])
     return store

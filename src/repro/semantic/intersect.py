@@ -62,7 +62,13 @@ def intersect_semantic(
         key = (id(d1), id(d2))
         if key in dag_memo:
             return dag_memo[key]
-        merged = intersect_dags(d1, d2, merge_source)
+        merged = intersect_dags(
+            d1,
+            d2,
+            merge_source,
+            lazy=config.use_lazy_intersection,
+            use_cache=config.use_intersection_cache,
+        )
         dag_memo[key] = merged
         return merged
 
@@ -95,7 +101,13 @@ def intersect_semantic(
 
     # Top-level dag product seeds the worklist with the node pairs its
     # surviving atoms reference.
-    top_dag = intersect_dags(first.dag, second.dag, merge_source)
+    top_dag = intersect_dags(
+        first.dag,
+        second.dag,
+        merge_source,
+        lazy=config.use_lazy_intersection,
+        use_cache=config.use_intersection_cache,
+    )
     if top_dag is None:
         return None
 
@@ -253,4 +265,18 @@ def prune_semantic(
     top = structure.dag.pruned(atom_alive)
     if top is None:
         return None
+
+    # Garbage-collect nodes unreachable from the surviving top dag: the
+    # eager product allocates nodes for edges that never make it onto a
+    # start→accept path (the lazy product skips them up front), and the
+    # validity rewrite can strand valid nodes whose only referents were
+    # dropped.  Emptying them makes the structure identical under both
+    # product strategies.
+    roots = {
+        atom.source
+        for options in top.edges.values()
+        for atom in options
+        if not isinstance(atom, ConstAtom)
+    }
+    store.restrict_to(roots)
     return SemanticStructure(store=store, dag=top)

@@ -38,6 +38,32 @@ from repro.syntactic.positions import PosSet
 Edge = Tuple[int, int]
 
 
+class ContentKey:
+    """A structural dag key with its hash computed once.
+
+    Plain tuples recompute their hash on every dict lookup, which for a
+    large running dag would cost as much as the work the memo avoids.
+    Built fresh per use (see ``repro.syntactic.intersect``): ``Dag.edges``
+    is publicly mutable, so caching the key on the dag would risk serving
+    a stale identity to the global intersection memo.
+    """
+
+    __slots__ = ("key", "_hash")
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+        self._hash = hash(key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ContentKey) and self.key == other.key
+
+    def __repr__(self) -> str:  # pragma: no cover -- debugging aid
+        return f"ContentKey(hash={self._hash})"
+
+
 @dataclass(frozen=True)
 class ConstAtom:
     """The ``ConstStr(text)`` atomic expression."""
@@ -72,7 +98,7 @@ class Dag:
     orderable; generated dags use string positions ``0..l`` directly.
     """
 
-    __slots__ = ("nodes", "source", "target", "edges", "_out")
+    __slots__ = ("nodes", "source", "target", "edges", "_out", "_topo", "_cache_edges")
 
     def __init__(
         self,
@@ -86,6 +112,8 @@ class Dag:
         self.target = target
         self.edges: Dict[Edge, List[Atom]] = edges
         self._out: Optional[Dict[int, List[int]]] = None
+        self._topo: Optional[List[int]] = None
+        self._cache_edges: int = -1
 
     # ------------------------------------------------------------------
     @property
@@ -93,8 +121,24 @@ class Dag:
         """True for the degenerate dag of the empty output string."""
         return self.source == self.target
 
+    def invalidate_caches(self) -> None:
+        """Drop the memoized adjacency/topological order.
+
+        Called automatically when the edge *count* changes; mutations that
+        keep the count (swapping an edge) must call this explicitly.
+        """
+        self._out = None
+        self._topo = None
+        self._cache_edges = -1
+
+    def _check_caches(self) -> None:
+        if self._cache_edges != len(self.edges):
+            self.invalidate_caches()
+            self._cache_edges = len(self.edges)
+
     def out_neighbors(self) -> Dict[int, List[int]]:
         """Adjacency map node -> successor nodes (cached)."""
+        self._check_caches()
         if self._out is None:
             out: Dict[int, List[int]] = {node: [] for node in self.nodes}
             for (i, j) in self.edges:
@@ -105,7 +149,10 @@ class Dag:
         return self._out
 
     def topological_order(self) -> List[int]:
-        """Kahn topological order of the nodes (edges always go forward)."""
+        """Kahn topological order of the nodes (cached; edges go forward)."""
+        self._check_caches()
+        if self._topo is not None:
+            return self._topo
         indegree: Dict[int, int] = {node: 0 for node in self.nodes}
         for (_, j) in self.edges:
             indegree[j] += 1
@@ -121,6 +168,7 @@ class Dag:
                     ready.append(successor)
         if len(order) != len(self.nodes):
             raise ValueError("dag contains a cycle")
+        self._topo = order
         return order
 
     def has_path(self) -> bool:
@@ -152,11 +200,12 @@ class Dag:
             return 1
         ways: Dict[int, int] = {node: 0 for node in self.nodes}
         ways[self.target] = 1
+        out = self.out_neighbors()
         for node in reversed(self.topological_order()):
             if node == self.target:
                 continue
             total = 0
-            for successor in self.out_neighbors()[node]:
+            for successor in out[node]:
                 options = self.edges.get((node, successor))
                 if not options:
                     continue
@@ -186,11 +235,12 @@ class Dag:
         if self.is_trivial_empty:
             return (0.0, [])
         best: Dict[int, Tuple[float, List[object]]] = {self.target: (0.0, [])}
+        out = self.out_neighbors()
         for node in reversed(self.topological_order()):
             if node == self.target:
                 continue
             champion: Optional[Tuple[float, List[object]]] = None
-            for successor in self.out_neighbors()[node]:
+            for successor in out[node]:
                 tail = best.get(successor)
                 if tail is None:
                     continue

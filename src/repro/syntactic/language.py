@@ -53,7 +53,13 @@ class SyntacticLanguage:
         return generate_dag(sources, output, self.config)
 
     def intersect(self, first: Dag, second: Dag) -> Optional[Dag]:
-        return intersect_dags(first, second, equal_source_merge)
+        return intersect_dags(
+            first,
+            second,
+            equal_source_merge,
+            lazy=self.config.use_lazy_intersection,
+            use_cache=self.config.use_intersection_cache,
+        )
 
     def is_empty(self, dag: Dag) -> bool:
         return not dag.has_path()

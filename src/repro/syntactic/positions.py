@@ -16,6 +16,7 @@ and would only inflate the expression counts of Figure 11(a).
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections import OrderedDict
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.config import RankingWeights
@@ -66,37 +67,59 @@ def generalized_positions(text: str, position: int, max_tokenseq_len: int = 1) -
     return tuple(entries)
 
 
-_GP_CACHE: dict = {}
+_GP_CACHE: "OrderedDict[tuple, PosSet]" = OrderedDict()
 _GP_CACHE_LIMIT = 65536
 _GP_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def cached_positions(text: str, position: int, max_tokenseq_len: int = 1) -> PosSet:
-    """Memoized :func:`generalized_positions` (hot path of GenerateStr)."""
+    """Memoized :func:`generalized_positions` (hot path of GenerateStr).
+
+    The memo is a true LRU: at :data:`_GP_CACHE_LIMIT` entries the least
+    recently used entry is evicted (it used to clear wholesale), so a long
+    ``run_batch`` over many catalogs holds memory at the bound without
+    losing its hot entries.
+
+    Thread safety (``run_batch``'s thread executor calls this
+    concurrently): keys are C-comparable tuples, so each OrderedDict
+    operation is GIL-atomic; the only race is a concurrent eviction
+    between ``get`` and ``move_to_end``/``popitem``, absorbed by the
+    ``except KeyError`` guards -- no lock on this hot path.  A duplicate
+    miss-side compute is collapsed onto one canonical object by
+    interning.
+    """
     key = (text, position, max_tokenseq_len)
     cached = _GP_CACHE.get(key)
-    if cached is None:
-        _GP_STATS["misses"] += 1
-        if len(_GP_CACHE) >= _GP_CACHE_LIMIT:
-            _GP_CACHE.clear()
-            _GP_STATS["evictions"] += 1
-        cached = generalized_positions(text, position, max_tokenseq_len)
-        _GP_CACHE[key] = cached
-    else:
+    if cached is not None:
         _GP_STATS["hits"] += 1
+        try:
+            _GP_CACHE.move_to_end(key)
+        except KeyError:  # evicted by a concurrent miss: recency update moot
+            pass
+        return cached
+    _GP_STATS["misses"] += 1
+    cached = intern_pos_set(generalized_positions(text, position, max_tokenseq_len))
+    while len(_GP_CACHE) >= _GP_CACHE_LIMIT:
+        try:
+            _GP_CACHE.popitem(last=False)
+            _GP_STATS["evictions"] += 1
+        except KeyError:  # another thread drained it first
+            break
+    _GP_CACHE[key] = cached
     return cached
 
 
 def position_cache_stats() -> dict:
-    """Hit/miss/eviction counters of the position-set cache.
+    """Hit/miss/eviction/size counters of the position-set cache.
 
     The benchmarks report these to quantify how much of GenerateStr's
     position work is reuse (``bench_indexing.py``).
     """
     stats = dict(_GP_STATS)
+    stats["entries"] = len(_GP_CACHE)
     total = stats["hits"] + stats["misses"]
     stats["hit_rate"] = stats["hits"] / total if total else 0.0
-    stats["entries"] = len(_GP_CACHE)
+    stats["limit"] = _GP_CACHE_LIMIT
     return stats
 
 
@@ -104,6 +127,112 @@ def reset_position_cache_stats() -> None:
     """Zero the counters (the cache itself is kept)."""
     for key in _GP_STATS:
         _GP_STATS[key] = 0
+
+
+# ----------------------------------------------------------------------
+# Interning and the memoized intersection (``use_intersection_cache``).
+#
+# Position sets are the hottest objects of the intersect side: in a product
+# of two dags, the pair (p̃ of node i, p̃ of node k) is re-intersected on
+# every product edge leaving (i, k) -- O(n²) repeats of the same pairwise
+# work.  Generated sets are shared per (text, position) by ``_GP_CACHE``
+# and intersection *results* are interned below, so object identity is a
+# sound memo key across edges, examples and Synthesizer calls.  Memo
+# entries keep strong references to their key sets, which pins their ids
+# for the lifetime of the entry (an id-keyed cache is only sound while the
+# keyed objects cannot be garbage collected and their ids recycled).
+# ----------------------------------------------------------------------
+
+_POS_INTERN: "OrderedDict[PosSet, PosSet]" = OrderedDict()
+_POS_INTERN_LIMIT = 65536
+
+_ISECT_CACHE: "OrderedDict[Tuple[int, int], Tuple[PosSet, PosSet, Optional[PosSet]]]" = (
+    OrderedDict()
+)
+_ISECT_CACHE_LIMIT = 131072
+_ISECT_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def intern_pos_set(entries: PosSet) -> PosSet:
+    """The canonical instance of ``entries`` (hash-consing for PosSets).
+
+    Lock-free like :func:`cached_positions`: position sets are tuples of
+    C-comparable values, so each dict operation is GIL-atomic and the
+    eviction race is absorbed defensively.  Two racing interns of equal
+    sets may both return their own instance once; both are valid
+    canonical representatives and later calls converge.
+    """
+    canonical = _POS_INTERN.get(entries)
+    if canonical is not None:
+        try:
+            _POS_INTERN.move_to_end(entries)
+        except KeyError:
+            pass
+        return canonical
+    while len(_POS_INTERN) >= _POS_INTERN_LIMIT:
+        try:
+            _POS_INTERN.popitem(last=False)
+        except KeyError:
+            break
+    _POS_INTERN[entries] = entries
+    return entries
+
+
+def intersect_position_sets_cached(
+    first: PosSet, second: PosSet
+) -> Optional[PosSet]:
+    """Memoized :func:`intersect_position_sets` keyed on object identity.
+
+    Results are interned so chained intersections converge onto shared
+    instances and keep hitting.  The memo is LRU-bounded; entries hold
+    references to both operands (see the module comment on id soundness).
+    Lock-free: (int, int) keys make every dict operation GIL-atomic; the
+    eviction races are absorbed by the ``except KeyError`` guards.
+    """
+    key = (id(first), id(second))
+    entry = _ISECT_CACHE.get(key)
+    if entry is not None:
+        _ISECT_STATS["hits"] += 1
+        try:
+            _ISECT_CACHE.move_to_end(key)
+        except KeyError:  # evicted by a concurrent miss: recency update moot
+            pass
+        return entry[2]
+    _ISECT_STATS["misses"] += 1
+    result = intersect_position_sets(first, second)
+    if result is not None:
+        result = intern_pos_set(result)
+    while len(_ISECT_CACHE) >= _ISECT_CACHE_LIMIT:
+        try:
+            _ISECT_CACHE.popitem(last=False)
+            _ISECT_STATS["evictions"] += 1
+        except KeyError:  # another thread drained it first
+            break
+    _ISECT_CACHE[key] = (first, second, result)
+    return result
+
+
+def intersection_cache_stats() -> dict:
+    """Hit/miss/eviction/size counters of the intersection memo."""
+    stats = dict(_ISECT_STATS)
+    stats["entries"] = len(_ISECT_CACHE)
+    total = stats["hits"] + stats["misses"]
+    stats["hit_rate"] = stats["hits"] / total if total else 0.0
+    stats["limit"] = _ISECT_CACHE_LIMIT
+    stats["interned"] = len(_POS_INTERN)
+    return stats
+
+
+def reset_intersection_cache_stats() -> None:
+    """Zero the counters (the memo itself is kept)."""
+    for key in _ISECT_STATS:
+        _ISECT_STATS[key] = 0
+
+
+def clear_intersection_caches() -> None:
+    """Drop the memo and the intern table (cold-start for benchmarks)."""
+    _ISECT_CACHE.clear()
+    _POS_INTERN.clear()
 
 
 def intersect_position_sets(first: PosSet, second: PosSet) -> Optional[PosSet]:

@@ -13,6 +13,7 @@ position it was generated for.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.syntactic.tokens import TokenMatchIndex, match_index, token_by_id
@@ -109,19 +110,57 @@ class BoundaryIndex:
         return cached
 
 
-_BOUNDARY_CACHE: Dict[str, BoundaryIndex] = {}
+_BOUNDARY_CACHE: "OrderedDict[str, BoundaryIndex]" = OrderedDict()
 _BOUNDARY_CACHE_LIMIT = 8192
+_BOUNDARY_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def boundary_index(text: str) -> BoundaryIndex:
-    """Memoized :class:`BoundaryIndex` for ``text``."""
+    """Memoized :class:`BoundaryIndex` for ``text`` (LRU-bounded).
+
+    At :data:`_BOUNDARY_CACHE_LIMIT` entries the least recently used index
+    is evicted (it used to clear wholesale), so a long ``run_batch`` over
+    many distinct strings holds memory at the bound without dropping the
+    hot working set.  Lock-free thread safety: string keys make each
+    OrderedDict operation GIL-atomic, and the only race -- a concurrent
+    eviction between ``get`` and ``move_to_end``/``popitem`` -- is
+    absorbed by the ``except KeyError`` guards (``run_batch``'s thread
+    executor calls this concurrently).
+    """
     index = _BOUNDARY_CACHE.get(text)
     if index is None:
-        if len(_BOUNDARY_CACHE) >= _BOUNDARY_CACHE_LIMIT:
-            _BOUNDARY_CACHE.clear()
+        _BOUNDARY_STATS["misses"] += 1
+        while len(_BOUNDARY_CACHE) >= _BOUNDARY_CACHE_LIMIT:
+            try:
+                _BOUNDARY_CACHE.popitem(last=False)
+                _BOUNDARY_STATS["evictions"] += 1
+            except KeyError:  # another thread drained it first
+                break
         index = BoundaryIndex(text)
         _BOUNDARY_CACHE[text] = index
+    else:
+        _BOUNDARY_STATS["hits"] += 1
+        try:
+            _BOUNDARY_CACHE.move_to_end(text)
+        except KeyError:  # evicted by a concurrent miss: recency moot
+            pass
     return index
+
+
+def boundary_cache_stats() -> dict:
+    """Hit/miss/eviction/size counters of the boundary-index cache."""
+    stats = dict(_BOUNDARY_STATS)
+    stats["entries"] = len(_BOUNDARY_CACHE)
+    total = stats["hits"] + stats["misses"]
+    stats["hit_rate"] = stats["hits"] / total if total else 0.0
+    stats["limit"] = _BOUNDARY_CACHE_LIMIT
+    return stats
+
+
+def reset_boundary_cache_stats() -> None:
+    """Zero the counters (the cache itself is kept)."""
+    for key in _BOUNDARY_STATS:
+        _BOUNDARY_STATS[key] = 0
 
 
 def evaluate_pos(text: str, r1: Regex, r2: Regex, c: int) -> "int | None":

@@ -1,0 +1,103 @@
+"""``run_batch(executor="process")`` vs sequential: identical, ordered.
+
+The process pool builds one ``Synthesizer`` per worker (catalog pickled
+once per worker, not per task) and ships results back as catalog-free
+program payloads rebuilt against the parent's catalog, so every field a
+caller can observe must match the sequential run -- in the same order.
+Unpicklable catalogs/tasks must silently fall back to the thread pool.
+"""
+
+import pytest
+
+from repro.api import Synthesizer
+from repro.benchsuite import all_benchmarks
+from repro.exceptions import NoProgramFoundError, SynthesisError
+
+
+def result_key(result):
+    return (
+        result.task.examples,
+        result.language,
+        [
+            (c.rank, c.score, c.provenance, str(c.program), c.program.num_inputs)
+            for c in result.programs
+        ],
+        result.consistent_count,
+        result.structure_size,
+    )
+
+
+@pytest.fixture(scope="module")
+def batch():
+    """A mixed batch over one catalog: distinct tasks so order is testable."""
+    benches = [b for b in all_benchmarks() if not b.background][:1]
+    bench = benches[0]
+    engine = Synthesizer(bench.catalog())
+    tasks = [
+        list(bench.rows[:2]),
+        list(bench.rows[1:3]),
+        list(bench.rows[:3]),
+        list(bench.rows[2:4]),
+    ]
+    return engine, tasks, bench
+
+
+class TestProcessExecutor:
+    def test_identical_to_and_ordered_like_sequential(self, batch):
+        engine, tasks, _ = batch
+        sequential = engine.run_batch(tasks, workers=None)
+        processed = engine.run_batch(tasks, workers=2, executor="process")
+        assert [result_key(r) for r in processed] == [
+            result_key(r) for r in sequential
+        ]
+
+    def test_rebuilt_programs_serve_against_parent_catalog(self, batch):
+        engine, tasks, bench = batch
+        processed = engine.run_batch(tasks, workers=2, executor="process")
+        rows = [inputs for inputs, _ in bench.rows]
+        sequential = engine.run_batch(tasks, workers=None)
+        for proc, seq in zip(processed, sequential):
+            assert proc.fill(rows) == seq.fill(rows)
+            assert proc.program.catalog is engine.catalog
+
+    def test_return_errors_slots_match_sequential(self, batch):
+        engine, tasks, _ = batch
+        # An unsatisfiable task: same input, contradictory outputs.
+        state = tasks[0][0][0]
+        bad = [(state, "xx"), (state, "yy")]
+        mixed = [tasks[0], bad, tasks[1]]
+        processed = engine.run_batch(
+            mixed, workers=2, executor="process", return_errors=True
+        )
+        assert result_key(processed[0]) == result_key(
+            engine.synthesize(tasks[0])
+        )
+        assert isinstance(processed[1], SynthesisError)
+        assert result_key(processed[2]) == result_key(engine.synthesize(tasks[1]))
+
+    def test_error_aborts_without_return_errors(self, batch):
+        engine, tasks, _ = batch
+        state = tasks[0][0][0]
+        bad = [(state, "xx"), (state, "yy")]
+        with pytest.raises(NoProgramFoundError):
+            engine.run_batch([tasks[0], bad], workers=2, executor="process")
+
+    def test_unpicklable_catalog_falls_back_to_threads(self, batch):
+        engine, tasks, bench = batch
+        expected = [result_key(r) for r in engine.run_batch(tasks, workers=None)]
+        tainted = Synthesizer(bench.catalog())
+        tainted.catalog._unpicklable = lambda: None  # pickling now fails
+        assert not tainted._batch_is_picklable([])
+        results = tainted.run_batch(tasks, workers=2, executor="process")
+        assert [result_key(r) for r in results] == expected
+
+    def test_unknown_executor_rejected(self, batch):
+        engine, tasks, _ = batch
+        with pytest.raises(ValueError):
+            engine.run_batch(tasks, workers=2, executor="greenlet")
+
+    def test_workers_one_is_sequential_regardless_of_executor(self, batch):
+        engine, tasks, _ = batch
+        sequential = engine.run_batch(tasks, workers=None)
+        one = engine.run_batch(tasks, workers=1, executor="process")
+        assert [result_key(r) for r in one] == [result_key(r) for r in sequential]

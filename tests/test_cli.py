@@ -213,3 +213,21 @@ class TestSubcommands:
         )
         assert code == 1
         assert "error: fill row 1" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    def test_profile_prints_phase_timings(self, workdir, capsys):
+        code = main(
+            [
+                "learn",
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--profile",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "program: " in captured.out
+        assert "profile: " in captured.err
+        for phase in ("generate", "intersect", "rank", "total"):
+            assert phase in captured.err

@@ -167,3 +167,51 @@ class TestFunctionalApi:
         program = synthesize([(("c4",), "Facebook")], catalog=comp_catalog)
         assert program.is_consistent_with([(("c4",), "Facebook")])
         assert not program.is_consistent_with([(("c4",), "Google")])
+
+
+class TestAddExamplesBatch:
+    """The smallest-structure-first batch path of the session."""
+
+    def test_matches_incremental_adds(self, comp_catalog):
+        batch = SynthesisSession(comp_catalog)
+        batch.add_examples(
+            [(("c4",), "Facebook"), (("c3",), "Apple"), (("c1",), "Microsoft")]
+        )
+        incremental = SynthesisSession(comp_catalog)
+        for inputs, output in [
+            (("c4",), "Facebook"),
+            (("c3",), "Apple"),
+            (("c1",), "Microsoft"),
+        ]:
+            incremental.add_example(inputs, output)
+        assert str(batch.learn()) == str(incremental.learn())
+        assert batch.consistent_count() == incremental.consistent_count()
+        assert batch.structure_size() == incremental.structure_size()
+        assert batch.examples == incremental.examples
+
+    def test_folds_into_existing_structure(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        session.add_examples([(("c3",), "Apple")])
+        assert len(session.examples) == 2
+        assert session.learn()(("c2",)) == "Google"
+
+    def test_failure_leaves_session_unchanged(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        before = session.consistent_count()
+        with pytest.raises(NoProgramFoundError):
+            session.add_examples([(("c4",), "Facebook"), (("c4",), "zzz")])
+        assert len(session.examples) == 1
+        assert session.consistent_count() == before
+
+    def test_arity_checked_against_session(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_example(("c4",), "Facebook")
+        with pytest.raises(InconsistentExampleError):
+            session.add_examples([(("a", "b"), "x")])
+
+    def test_empty_batch_is_noop(self, comp_catalog):
+        session = SynthesisSession(comp_catalog)
+        session.add_examples([])
+        assert session.examples == []

@@ -1,0 +1,243 @@
+"""Lazy pruned intersection & intersection cache vs the naive oracles.
+
+``use_lazy_intersection`` guards the product BFS with per-dag path-length
+bitmasks so atoms are only intersected on edges that can sit on a
+start→accept path; ``use_intersection_cache`` serves position-set
+intersections from the interned memo, buckets each edge's atoms once per
+run, and recognizes whole repeated products through the dag-level memo.
+Neither may change *what* is synthesized:
+
+* for pure Ls both product strategies must build **byte-identical dags**
+  (canonical node renumbering makes them comparable), on randomized dag
+  pairs and on multi-example chains in any fold order;
+* for the catalog languages the lazy product allocates fewer dead product
+  nodes, so stores are compared through what they denote: identical
+  expression counts, structure sizes, ranked programs and fills on every
+  benchsuite problem.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Synthesizer
+from repro.benchsuite import all_benchmarks
+from repro.config import DEFAULT_CONFIG
+from repro.core.formalism import Synthesize, fold_structures, generate_structures
+from repro.syntactic.generate import generate_dag
+from repro.syntactic.intersect import intersect_dags
+from repro.syntactic.language import SyntacticLanguage
+from repro.syntactic.positions import (
+    cached_positions,
+    intersect_position_sets,
+    intersect_position_sets_cached,
+    intersection_cache_stats,
+)
+
+LAZY = DEFAULT_CONFIG
+EAGER = replace(
+    DEFAULT_CONFIG, use_lazy_intersection=False, use_intersection_cache=False
+)
+ALPHABET = "ab1-"
+
+
+def dag_key(dag):
+    if dag is None:
+        return None
+    return (
+        dag.nodes,
+        dag.source,
+        dag.target,
+        tuple(sorted((edge, tuple(atoms)) for edge, atoms in dag.edges.items())),
+    )
+
+
+
+
+# -- randomized dag pairs ----------------------------------------------------
+class TestDagPairEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        sources=st.lists(
+            st.text(alphabet=ALPHABET, max_size=8), min_size=1, max_size=3
+        ),
+        out1=st.text(alphabet=ALPHABET, min_size=0, max_size=7),
+        out2=st.text(alphabet=ALPHABET, min_size=0, max_size=7),
+    )
+    def test_lazy_matches_eager_on_random_pairs(self, sources, out1, out2):
+        numbered = list(enumerate(sources))
+        first = generate_dag(numbered, out1, DEFAULT_CONFIG)
+        second = generate_dag(numbered, out2, DEFAULT_CONFIG)
+        eager = intersect_dags(first, second, lazy=False, use_cache=False)
+        lazy = intersect_dags(first, second, lazy=True, use_cache=False)
+        cached = intersect_dags(first, second, lazy=True, use_cache=True)
+        assert dag_key(eager) == dag_key(lazy) == dag_key(cached)
+        if eager is not None:
+            # Atom order inside each edge must match too (dag_key sorts
+            # edges but keeps each option list in emission order).
+            assert list(eager.edges.keys()) == sorted(eager.edges.keys())
+            for edge in eager.edges:
+                assert eager.edges[edge] == lazy.edges[edge] == cached.edges[edge]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        texts=st.lists(
+            st.text(alphabet=ALPHABET, min_size=1, max_size=6), min_size=2, max_size=2
+        ),
+        pos_data=st.data(),
+    )
+    def test_cached_position_intersection_matches(self, texts, pos_data):
+        sets = []
+        for text in texts:
+            position = pos_data.draw(st.integers(0, len(text)))
+            sets.append(cached_positions(text, position))
+        assert intersect_position_sets_cached(
+            sets[0], sets[1]
+        ) == intersect_position_sets(sets[0], sets[1])
+        # Second call must hit the memo and still agree.
+        before = intersection_cache_stats()["hits"]
+        again = intersect_position_sets_cached(sets[0], sets[1])
+        assert intersection_cache_stats()["hits"] == before + 1
+        assert again == intersect_position_sets(sets[0], sets[1])
+
+
+# -- multi-example chains ----------------------------------------------------
+CHAINS = [
+    [
+        (("Alan Turing",), "Turing, A."),
+        (("Grace Hopper",), "Hopper, G."),
+        (("Kurt Godel",), "Godel, K."),
+        (("Oliver Heaviside",), "Heaviside, O."),
+    ],
+    [
+        (("6-3-2008",), "6"),
+        (("3-26-2010",), "3"),
+        (("8-1-2009",), "8"),
+    ],
+    [
+        (("a-1", "x"), "x: a"),
+        (("b-2", "y"), "y: b"),
+        (("c-3", "z"), "z: c"),
+    ],
+]
+
+
+class TestChainEquivalence:
+    @pytest.mark.parametrize("examples", CHAINS, ids=["names", "dates", "two-vars"])
+    def test_chain_identical_dags(self, examples):
+        lazy_lang = SyntacticLanguage(LAZY)
+        eager_lang = SyntacticLanguage(EAGER)
+        lazy_dag = Synthesize(lazy_lang.adapter(), examples)
+        eager_dag = Synthesize(eager_lang.adapter(), examples)
+        assert dag_key(lazy_dag) == dag_key(eager_dag)
+        assert lazy_lang.count_expressions(lazy_dag) == eager_lang.count_expressions(
+            eager_dag
+        )
+        assert lazy_lang.structure_size(lazy_dag) == eager_lang.structure_size(
+            eager_dag
+        )
+        assert str(lazy_lang.best_program(lazy_dag)) == str(
+            eager_lang.best_program(eager_dag)
+        )
+
+    @pytest.mark.parametrize("examples", CHAINS, ids=["names", "dates", "two-vars"])
+    def test_fold_order_independent(self, examples):
+        """Any fold order denotes the same program space.
+
+        The structures are isomorphic, not byte-identical -- different
+        fold orders nest the product pairs differently, so node ids and
+        atom order legitimately vary -- but the Figure 11 measures and the
+        extracted programs must agree (this is what licenses the engine's
+        smallest-structure-first reordering).
+        """
+        language = SyntacticLanguage(LAZY)
+        adapter = language.adapter()
+        structures = generate_structures(adapter, examples)
+        folds = [
+            fold_structures(adapter, structures),
+            fold_structures(
+                adapter, structures, structure_size=language.structure_size
+            ),
+            fold_structures(adapter, list(reversed(structures))),
+        ]
+        assert len({language.count_expressions(d) for d in folds}) == 1
+        assert len({language.structure_size(d) for d in folds}) == 1
+        assert len({str(language.best_program(d)) for d in folds}) == 1
+        for dag in folds:
+            for program in language.enumerate_programs(dag, limit=50):
+                for state, output in examples:
+                    assert program.evaluate(state) == output
+
+
+# -- benchsuite problems -----------------------------------------------------
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda bench: bench.name)
+def test_benchsuite_lazy_vs_eager(bench):
+    """Lazy+cached and eager intersection agree on every benchsuite problem.
+
+    Three examples (one more than the indexing equivalence test) so at
+    least two intersections run, exercising the smallest-first fold too.
+    """
+    examples = list(bench.rows[:3])
+    lazy = Synthesizer(bench.catalog(), config=LAZY).synthesize(examples, k=3)
+    eager = Synthesizer(bench.catalog(), config=EAGER).synthesize(examples, k=3)
+    assert str(lazy.program) == str(eager.program)
+    assert lazy.consistent_count == eager.consistent_count
+    assert lazy.structure_size == eager.structure_size
+    assert [(c.rank, c.score, str(c.program)) for c in lazy.programs] == [
+        (c.rank, c.score, str(c.program)) for c in eager.programs
+    ]
+    rows = [inputs for inputs, _ in bench.rows]
+    assert lazy.fill(rows) == eager.fill(rows)
+
+
+class TestDagLevelMemo:
+    def test_repeated_product_served_from_memo(self):
+        from repro.syntactic.intersect import (
+            clear_dag_cache,
+            dag_cache_stats,
+            reset_dag_cache_stats,
+        )
+
+        clear_dag_cache()
+        reset_dag_cache_stats()
+        numbered = [(0, "ab-cd")]
+        first = generate_dag(numbered, "ab", DEFAULT_CONFIG)
+        second = generate_dag(numbered, "ab", DEFAULT_CONFIG)
+        one = intersect_dags(first, second, lazy=True, use_cache=True)
+        # Structurally equal operands (even different objects) hit.
+        first2 = generate_dag(numbered, "ab", DEFAULT_CONFIG)
+        two = intersect_dags(first2, second, lazy=True, use_cache=True)
+        stats = dag_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+        # Hits return private copies (never the stored instance), so a
+        # caller mutating "its" dag cannot corrupt the memo.
+        assert two is not one
+        assert dag_key(two) == dag_key(one)
+        two.edges.clear()
+        three = intersect_dags(first, second, lazy=True, use_cache=True)
+        assert dag_key(three) == dag_key(one)
+        # The uncached oracle agrees.
+        assert dag_key(one) == dag_key(
+            intersect_dags(first, second, lazy=False, use_cache=False)
+        )
+
+    def test_lu_merge_sources_never_use_dag_memo(self):
+        from repro.syntactic.intersect import (
+            clear_dag_cache,
+            dag_cache_stats,
+            reset_dag_cache_stats,
+        )
+
+        clear_dag_cache()
+        reset_dag_cache_stats()
+        numbered = [(0, "ab")]
+        first = generate_dag(numbered, "ab", DEFAULT_CONFIG)
+
+        def merge(a, b):  # a Lu-style merge with side effects
+            return a if a == b else None
+
+        intersect_dags(first, first, merge, lazy=True, use_cache=True)
+        stats = dag_cache_stats()
+        assert stats["misses"] == 0 and stats["hits"] == 0

@@ -132,3 +132,33 @@ class TestEnumerateAndPrune:
         pruned = dag.pruned(lambda atom: True)
         assert pruned is not None
         assert 3 not in pruned.nodes
+
+
+class TestMemoizedTraversalCaches:
+    def test_topological_order_is_cached(self):
+        dag = linear_dag()
+        first = dag.topological_order()
+        assert dag.topological_order() is first
+
+    def test_edge_mutation_invalidates(self):
+        dag = linear_dag()
+        order = dag.topological_order()
+        out = dag.out_neighbors()
+        del dag.edges[(0, 2)]  # edge count changes
+        assert dag.topological_order() is not order
+        assert 2 not in dag.out_neighbors()[0]
+        assert dag.out_neighbors() is not out
+
+    def test_explicit_invalidation_for_same_count_mutations(self):
+        dag = linear_dag()
+        dag.out_neighbors()
+        del dag.edges[(0, 1)]
+        dag.edges[(0, 2)] = [ConstAtom("swap")]  # same count: needs the hook
+        dag.invalidate_caches()
+        assert 2 in dag.out_neighbors()[0]
+        assert 1 not in dag.out_neighbors()[0]
+
+    def test_count_paths_unchanged_by_caching(self):
+        dag = linear_dag()
+        first = dag.count_paths(lambda atom: 1)
+        assert dag.count_paths(lambda atom: 1) == first

@@ -123,3 +123,79 @@ class TestBest:
         first = best_position_expr(entries, weights)
         second = best_position_expr(entries, weights)
         assert str(first[1]) == str(second[1])
+
+
+class TestCacheBounds:
+    """LRU bounds and counters of the position memos (heavy-traffic north star)."""
+
+    def test_position_cache_is_lru(self, monkeypatch):
+        import repro.syntactic.positions as positions
+
+        monkeypatch.setattr(positions, "_GP_CACHE_LIMIT", 4)
+        positions._GP_CACHE.clear()
+        positions.reset_position_cache_stats()
+        for text in ("aa", "bb", "cc", "dd"):
+            positions.cached_positions(text, 0)
+        positions.cached_positions("aa", 0)  # refresh aa
+        positions.cached_positions("ee", 0)  # evicts bb (LRU), not aa
+        keys = {key[0] for key in positions._GP_CACHE}
+        assert "aa" in keys and "bb" not in keys
+        stats = positions.position_cache_stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 4
+        assert stats["hits"] >= 1
+
+    def test_intersection_cache_stats_and_bound(self, monkeypatch):
+        import repro.syntactic.positions as positions
+
+        monkeypatch.setattr(positions, "_ISECT_CACHE_LIMIT", 2)
+        positions.clear_intersection_caches()
+        positions.reset_intersection_cache_stats()
+        # Structurally distinct sets (equal sets would be interned into one
+        # instance and every pair would share a memo key).
+        sets = [
+            positions.cached_positions(text, pos)
+            for text, pos in (("a-b", 1), ("a.b", 1), ("ab cd", 2))
+        ]
+        assert len({id(s) for s in sets}) == 3
+        positions.intersect_position_sets_cached(sets[0], sets[1])
+        positions.intersect_position_sets_cached(sets[0], sets[1])  # hit
+        positions.intersect_position_sets_cached(sets[1], sets[2])
+        positions.intersect_position_sets_cached(sets[0], sets[2])  # evicts
+        stats = positions.intersection_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 3
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 2
+        assert stats["limit"] == 2
+
+    def test_interning_returns_canonical_instance(self):
+        from repro.syntactic.positions import intern_pos_set
+
+        first = (("C", 1), ("C", -2))
+        second = (("C", 1), ("C", -2))
+        assert intern_pos_set(first) is intern_pos_set(second)
+
+    def test_cached_positions_thread_safe_under_eviction(self, monkeypatch):
+        """Concurrent hits and evictions must not race (thread executor)."""
+        import threading
+
+        import repro.syntactic.positions as positions
+
+        monkeypatch.setattr(positions, "_GP_CACHE_LIMIT", 8)
+        positions._GP_CACHE.clear()
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(300):
+                    positions.cached_positions(f"t{(seed * 31 + i) % 40}", 0)
+            except Exception as error:  # noqa: BLE001 -- the assertion target
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []

@@ -86,3 +86,27 @@ class TestEvaluatePos:
         assert evaluate_pos("10/12/20", tok("NumTok"), tok("SlashTok"), 1) == 2
         assert evaluate_pos("10/12/20", tok("NumTok"), tok("SlashTok"), 2) == 5
         assert evaluate_pos("10/12/20", tok("NumTok"), tok("SlashTok"), 3) is None
+
+
+class TestBoundaryCacheBounds:
+    def test_boundary_cache_is_lru_with_counters(self, monkeypatch):
+        import repro.syntactic.regex as regex
+
+        monkeypatch.setattr(regex, "_BOUNDARY_CACHE_LIMIT", 2)
+        regex._BOUNDARY_CACHE.clear()
+        regex.reset_boundary_cache_stats()
+        regex.boundary_index("aa")
+        regex.boundary_index("bb")
+        regex.boundary_index("aa")  # refresh
+        regex.boundary_index("cc")  # evicts bb
+        assert "aa" in regex._BOUNDARY_CACHE
+        assert "bb" not in regex._BOUNDARY_CACHE
+        stats = regex.boundary_cache_stats()
+        assert stats == {
+            "hits": 1,
+            "misses": 3,
+            "evictions": 1,
+            "hit_rate": 0.25,
+            "entries": 2,
+            "limit": 2,
+        }
