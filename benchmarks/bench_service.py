@@ -1,0 +1,362 @@
+"""Service-layer benchmark: request-cache speedup + HTTP fill throughput.
+
+Measures the ``repro.service`` stack end to end over real HTTP (an
+in-process ``ThreadingHTTPServer`` on an ephemeral port):
+
+* ``learn_cache`` -- wall-clock of a cold ``POST /learn`` (first time a
+  task is seen; measured over several distinct tasks so engine-level
+  memos cannot masquerade as the request cache) vs a cached repeat of
+  the same request.  The acceptance floor is a >=10x speedup; cache
+  hit/miss counts are cross-checked against ``GET /stats``.
+* ``fill_throughput`` -- rows/second of concurrent ``POST /fill``
+  requests serving a stored program (4 client threads), reported
+  informationally (requests/s is machine-bound).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py                # run + print
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
+    PYTHONPATH=src python benchmarks/bench_service.py --quick \
+        --check BENCH_service.json            # CI: fail on >2x regression
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke        # CI: boot the
+        # real `repro serve` subprocess, hit /learn + /fill + /healthz, and
+        # assert the repeated learn is served from the request cache
+
+``--check`` compares the cache speedup against the committed baseline
+(floor = baseline / --factor) and additionally enforces the absolute
+>=10x acceptance floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service import ProgramStore, SynthesisService, create_server
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+#: Absolute acceptance floor for the cached-relearn speedup.
+CACHE_SPEEDUP_FLOOR = 10.0
+
+NAMES = [
+    "Microsoft", "Google", "Apple", "Facebook", "IBM", "Xerox", "Intel",
+    "Oracle", "Cisco", "Adobe", "Nvidia", "Amazon", "Netflix", "Tesla",
+    "Siemens", "Philips",
+]
+
+
+def bench_catalog(num_rows: int = 256) -> Catalog:
+    rows = [
+        (f"c{r}", f"{NAMES[r % len(NAMES)]}{r}") for r in range(num_rows)
+    ]
+    return Catalog([Table("Comp", ["Id", "Name"], rows, keys=[("Id",)])])
+
+
+def learn_tasks(catalog: Catalog, count: int) -> List[Dict[str, Any]]:
+    """``count`` distinct learn request bodies (same shape, different keys)."""
+    table = catalog.table("Comp")
+    tasks = []
+    for index in range(count):
+        # Five ids per example: long enough that cold synthesis does real
+        # dag-product work (the quantity the request cache amortizes).
+        ids = [f"c{(index * 5 + offset) % table.num_rows}" for offset in range(5)]
+        names = [table.lookup("Name", {"Id": one}) for one in ids]
+        tasks.append(
+            {"examples": [[[" ".join(ids)], " ".join(names)]]}
+        )
+    return tasks
+
+
+# -- HTTP client helpers ------------------------------------------------------
+class Client:
+    def __init__(self, base: str) -> None:
+        self.base = base
+
+    def get(self, path: str) -> Dict[str, Any]:
+        with urllib.request.urlopen(self.base + path, timeout=60) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+
+    def post(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            self.base + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=120) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+
+
+def start_server(service: SynthesisService):
+    server = create_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return server, Client(f"http://{host}:{port}")
+
+
+# -- benchmarks ---------------------------------------------------------------
+def bench_learn_cache(num_tasks: int, hit_repeats: int) -> Dict[str, float]:
+    service = SynthesisService(bench_catalog())
+    server, client = start_server(service)
+    try:
+        tasks = learn_tasks(service.engine.catalog, num_tasks)
+        cold_times = []
+        for task in tasks:
+            started = time.perf_counter()
+            reply = client.post("/learn", task)
+            cold_times.append(time.perf_counter() - started)
+            assert reply["cache"] == "miss", "cold request unexpectedly cached"
+        hit_times = []
+        for _ in range(hit_repeats):
+            for task in tasks:
+                started = time.perf_counter()
+                reply = client.post("/learn", task)
+                hit_times.append(time.perf_counter() - started)
+                assert reply["cache"] == "hit", "repeat request missed the cache"
+        stats = client.get("/stats")["request_cache"]
+        assert stats["misses"] == num_tasks
+        assert stats["hits"] == num_tasks * hit_repeats
+        cold_s = sum(cold_times) / len(cold_times)
+        hit_s = sum(hit_times) / len(hit_times)
+        return {
+            "cold_s": cold_s,
+            "cached_s": hit_s,
+            "speedup": cold_s / hit_s,
+            "cache_hit_rate": stats["hit_rate"],
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def bench_fill_throughput(
+    num_requests: int, rows_per_request: int, workers: int
+) -> Dict[str, float]:
+    service = SynthesisService(bench_catalog())
+    server, client = start_server(service)
+    try:
+        task = learn_tasks(service.engine.catalog, 1)[0]
+        program = client.post("/learn", task)["programs"][0]["program"]
+        num_rows = service.engine.catalog.table("Comp").num_rows
+        rows = [
+            [" ".join(f"c{(r + offset) % num_rows}" for offset in range(5))]
+            for r in range(rows_per_request)
+        ]
+        body = {"program": program, "rows": rows}
+
+        def one(_):
+            reply = client.post("/fill", body)
+            assert reply["rows"] == rows_per_request
+            return reply
+
+        one(0)  # warm the table index outside the timed region
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(one, range(num_requests)))
+        elapsed = time.perf_counter() - started
+        return {
+            "elapsed_s": elapsed,
+            "requests_per_s": num_requests / elapsed,
+            "rows_per_s": num_requests * rows_per_request / elapsed,
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+# -- harness ------------------------------------------------------------------
+def run_suite(quick: bool) -> Dict[str, Dict[str, float]]:
+    num_tasks = 4 if quick else 12
+    hit_repeats = 5 if quick else 20
+    results: Dict[str, Dict[str, float]] = {}
+    # Stable names (sample counts recorded in the rows, not the keys) so
+    # --quick runs can be checked against a full-run baseline.
+    name = "learn_cache"
+    print(f"running {name}[tasks={num_tasks}] ...", flush=True)
+    results[name] = {"tasks": num_tasks, **bench_learn_cache(num_tasks, hit_repeats)}
+    requests = 40 if quick else 200
+    name = "fill_throughput[rows=100,workers=4]"
+    print(f"running {name}[requests={requests}] ...", flush=True)
+    results[name] = {
+        "requests": requests,
+        **bench_fill_throughput(requests, rows_per_request=100, workers=4),
+    }
+    return results
+
+
+def render(results: Dict[str, Dict[str, float]]) -> List[str]:
+    lines = []
+    for name, row in results.items():
+        if "speedup" in row:
+            lines.append(
+                f"{name}: cold {row['cold_s'] * 1e3:.1f}ms | cached "
+                f"{row['cached_s'] * 1e3:.2f}ms | speedup {row['speedup']:.0f}x"
+            )
+        else:
+            lines.append(
+                f"{name}: {row['requests_per_s']:.0f} req/s | "
+                f"{row['rows_per_s']:.0f} rows/s"
+            )
+    return lines
+
+
+def check_regression(
+    results: Dict[str, Dict[str, float]], baseline_path: Path, factor: float
+) -> int:
+    baseline = json.loads(baseline_path.read_text())["results"]
+    failures = []
+    for name, row in results.items():
+        if "speedup" not in row:
+            print(f"      info  {name}: {row['requests_per_s']:.0f} req/s "
+                  "(throughput is machine-bound; not gated)")
+            continue
+        floors = [CACHE_SPEEDUP_FLOOR]
+        reference = baseline.get(name)
+        if reference is not None:
+            floors.append(reference["speedup"] / factor)
+        floor = max(floors)
+        status = "ok" if row["speedup"] >= floor else "REGRESSION"
+        print(
+            f"{status:>10}  {name}: speedup {row['speedup']:.0f}x "
+            f"(floor {floor:.0f}x, absolute acceptance floor "
+            f"{CACHE_SPEEDUP_FLOOR:.0f}x)"
+        )
+        if status != "ok":
+            failures.append(name)
+    if failures:
+        print(f"\nperf regression in: {', '.join(failures)}")
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+# -- smoke mode: the real `repro serve` subprocess ---------------------------
+def run_smoke() -> int:
+    """Boot ``repro serve``, hit /healthz + /learn + /fill, assert caching."""
+    src = Path(__file__).resolve().parents[1] / "src"
+    with tempfile.TemporaryDirectory() as tmp:
+        table_csv = Path(tmp) / "Comp.csv"
+        table_csv.write_text(
+            "Id,Name\nc1,Microsoft\nc2,Google\nc3,Apple\nc4,Facebook\n",
+            encoding="utf-8",
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--table", str(table_csv),
+                "--port", "0",
+                "--store", str(Path(tmp) / "programs"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(src)},
+        )
+        try:
+            banner = process.stdout.readline().strip()
+            if not banner.startswith("serving on http://"):
+                process.terminate()
+                raise AssertionError(
+                    f"serve did not boot: banner={banner!r}, "
+                    f"stderr={process.stderr.read()!r}"
+                )
+            client = Client(banner.split("serving on ", 1)[1])
+            print(f"smoke: {banner}")
+
+            health = client.get("/healthz")
+            assert health["status"] == "ok", health
+            print("smoke: /healthz ok")
+
+            body = {
+                "examples": [[["c4 c3 c1"], "Facebook Apple Microsoft"]],
+                "save": "expand",
+            }
+            first = client.post("/learn", body)
+            assert first["cache"] == "miss", first["cache"]
+            assert first["saved"] == {"name": "expand", "version": 1}
+            second = client.post("/learn", {"examples": body["examples"]})
+            assert second["cache"] == "hit", (
+                "repeated learn was NOT served from the request cache"
+            )
+            assert second["programs"] == first["programs"]
+            print("smoke: /learn cached re-learn served from the request cache")
+
+            filled = client.post(
+                "/fill", {"program": "expand", "rows": [["c2 c3 c1"], []]}
+            )
+            assert filled["outputs"] == ["Google Apple Microsoft", ""], filled
+            print("smoke: /fill ok (blank row preserved)")
+
+            stats = client.get("/stats")
+            assert stats["request_cache"]["hits"] >= 1, stats
+            print("smoke: /stats reports the cache hit -- all good")
+            return 0
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes (CI smoke)")
+    parser.add_argument("--out", type=Path, help="write results JSON here")
+    parser.add_argument("--check", type=Path, help="baseline JSON to compare against")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when the cache speedup falls below baseline/factor (default 2)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot the real `repro serve` subprocess and smoke-test it",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke()
+
+    results = run_suite(args.quick)
+    print()
+    for line in render(results):
+        print(line)
+
+    if args.out:
+        payload = {
+            "meta": {
+                "python": sys.version.split()[0],
+                "quick": args.quick,
+                "note": "cache speedup is machine-relative (same-run cold vs "
+                "cached over HTTP); refresh with: PYTHONPATH=src python "
+                "benchmarks/bench_service.py --out BENCH_service.json",
+            },
+            "results": results,
+        }
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+
+    if args.check:
+        print()
+        return check_regression(results, args.check, args.factor)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -87,6 +87,11 @@ def main() -> None:
     # replace(DEFAULT_CONFIG, use_substring_index=False); results are
     # identical either way, only the speed changes.
 
+    # To keep this loop resident -- learned programs persisted by name,
+    # repeated learns served from an LRU request cache, everything
+    # behind a JSON HTTP API -- see examples/service_loop.py and
+    # `repro serve` (the repro.service package).
+
 
 if __name__ == "__main__":
     main()

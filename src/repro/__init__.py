@@ -22,10 +22,21 @@ Public API quick reference::
     session = SynthesisSession(catalog)  # example-at-a-time interaction
     session.add_example(("c4",), "Facebook"); session.learn()
 
+Long-running serving (request-cached learn, named program persistence,
+JSON HTTP API -- also ``repro serve`` from the shell)::
+
+    from repro.service import ProgramStore, SynthesisService, create_server
+
+    service = SynthesisService(catalog, store=ProgramStore("programs/"))
+    result, cache_status = service.learn(examples, save_as="expand")
+    service.fill("expand", rows)              # by name, zero synthesis
+    create_server(service, port=8765).serve_forever()
+
 Sub-packages: :mod:`repro.api` (engine API: backends, results, batch),
 :mod:`repro.tables` (relational substrate, §4/§6), :mod:`repro.syntactic`
 (Ls, §5), :mod:`repro.lookup` (Lt, §4), :mod:`repro.semantic` (Lu, §5),
-:mod:`repro.engine` (interaction model, §3.2), :mod:`repro.benchsuite`
+:mod:`repro.engine` (interaction model, §3.2), :mod:`repro.service`
+(program store, request cache, HTTP serving), :mod:`repro.benchsuite`
 (the 50-problem evaluation, §7).
 """
 
@@ -43,31 +54,38 @@ from repro.config import DEFAULT_CONFIG, RankingWeights, SynthesisConfig
 from repro.engine import Program, SynthesisSession, paraphrase, synthesize
 from repro.exceptions import (
     InconsistentExampleError,
+    MissingTablesError,
     NoExamplesError,
     NoProgramFoundError,
+    ProgramStoreError,
     ReproError,
     SerializationError,
+    ServiceError,
     SynthesisError,
     TableError,
     UnknownBackendError,
+    UnknownProgramError,
 )
 from repro.tables import Catalog, Table
 from repro.tables.background import background_catalog, background_table
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Catalog",
     "DEFAULT_CONFIG",
     "InconsistentExampleError",
     "LanguageBackend",
+    "MissingTablesError",
     "NoExamplesError",
     "NoProgramFoundError",
     "Program",
+    "ProgramStoreError",
     "RankedProgram",
     "RankingWeights",
     "ReproError",
     "SerializationError",
+    "ServiceError",
     "SynthesisConfig",
     "SynthesisResult",
     "SynthesisSession",
@@ -77,6 +95,7 @@ __all__ = [
     "Table",
     "TableError",
     "UnknownBackendError",
+    "UnknownProgramError",
     "available_backends",
     "background_catalog",
     "background_table",

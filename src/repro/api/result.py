@@ -59,6 +59,22 @@ class SynthesisTask:
             return 0
         return len(self.examples[0][0])
 
+    def signature(self) -> str:
+        """A stable rendering of the normalized examples.
+
+        Two tasks with the same examples (whatever sequence types the
+        caller used; the task name is deliberately excluded) signature
+        identically -- the service request cache keys on this together
+        with the catalog fingerprint and config signature.
+        """
+        import json
+
+        return json.dumps(
+            [[list(inputs), output] for inputs, output in self.examples],
+            ensure_ascii=False,
+            separators=(",", ":"),
+        )
+
 
 @dataclass(frozen=True)
 class RankedProgram:

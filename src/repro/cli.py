@@ -5,13 +5,17 @@ Subcommand usage::
     repro learn --table Comp.csv --examples examples.csv \\
                 [--fill pending.csv] [--save program.json] [--top 3]
     repro fill  --program program.json --rows pending.csv [--table Comp.csv]
+    repro serve --table Comp.csv [--store programs/] [--port 8765]
 
 ``learn`` synthesizes from ``examples.csv`` (one example per row: all
 columns but the last are inputs, the last is the output), optionally
 fills pending rows, prints the top-k ranked candidates with ``--top``,
 and persists the learned program as JSON with ``--save``.  ``fill``
 applies a previously saved program with zero synthesis cost -- the
-cache-then-serve workflow.
+cache-then-serve workflow.  ``serve`` keeps the whole loop resident: a
+threaded JSON HTTP API (``POST /learn``, ``POST /fill``,
+``GET /programs``, ``GET /healthz``, ``GET /stats``) with an LRU
+request cache and an optional on-disk program store.
 
 The original flag-only invocation (``repro --examples ... [--fill ...]``)
 still works and behaves like ``learn``.  ``--language`` selects a
@@ -31,12 +35,12 @@ from typing import List, Optional, Sequence
 from repro.api.engine import Synthesizer
 from repro.api.registry import available_backends
 from repro.engine.program import Program
-from repro.exceptions import ReproError
+from repro.exceptions import MissingTablesError, ReproError
 from repro.tables.background import background_catalog
 from repro.tables.catalog import Catalog
 from repro.tables.io import load_table_csv
 
-SUBCOMMANDS = ("learn", "fill")
+SUBCOMMANDS = ("learn", "fill", "serve")
 
 
 def _add_catalog_options(parser: argparse.ArgumentParser) -> None:
@@ -129,14 +133,70 @@ def build_fill_parser(prog: str = "repro fill") -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Serve learn/fill over a JSON HTTP API "
+        "(request-cached synthesis plus a named program store).",
+    )
+    _add_catalog_options(parser)
+    parser.add_argument(
+        "--language",
+        default="semantic",
+        metavar="NAME",
+        help="transformation language backend (default: semantic)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        metavar="PORT",
+        help="bind port; 0 picks an ephemeral port (default: 8765)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="program store directory (enables named save/serve and GET /programs)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="LRU capacity of the learn request cache (default: 256)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log each HTTP request to stderr",
+    )
+    return parser
+
+
 #: Backward-compatible alias: the historical single-command parser.
 def build_parser() -> argparse.ArgumentParser:
     return build_learn_parser(prog="repro")
 
 
-def _read_rows(path: str) -> List[List[str]]:
+def _read_rows(path: str, keep_blank: bool = False) -> List[List[str]]:
+    """Parse CSV records; ``keep_blank`` preserves blank lines as ``[]``.
+
+    Example/table readers skip blank lines (a blank example is not an
+    example), but fill inputs must keep them: ``repro fill`` emits one
+    output line per input line, and silently dropping blanks would shift
+    every following row against the user's file.
+    """
     with open(path, newline="", encoding="utf-8") as handle:
-        return [row for row in csv.reader(handle) if row]
+        rows = list(csv.reader(handle))
+    if keep_blank:
+        return rows
+    return [row for row in rows if row]
 
 
 def _load_catalog(args: argparse.Namespace) -> Catalog:
@@ -144,13 +204,21 @@ def _load_catalog(args: argparse.Namespace) -> Catalog:
 
 
 def _fill_and_print(program: Program, rows: List[List[str]]) -> None:
-    """Write ``row + [output]`` CSV lines; arity errors become ReproError."""
+    """Write ``row + [output]`` CSV lines; arity errors become ReproError.
+
+    The alignment contract (blank rows echoed as blank lines, 1-based
+    row numbers in errors) lives in ``Program.fill_aligned`` -- the same
+    rule the service's ``/fill`` endpoint applies.
+    """
+    try:
+        outputs = program.fill_aligned(rows)
+    except ValueError as error:
+        raise ReproError(str(error)) from None
     writer = csv.writer(sys.stdout, lineterminator="\n")
-    for index, row in enumerate(rows, start=1):
-        try:
-            result = program.run(tuple(row))
-        except ValueError as error:
-            raise ReproError(f"fill row {index}: {error}") from None
+    for row, result in zip(rows, outputs):
+        if not row:
+            sys.stdout.write("\n")
+            continue
         writer.writerow(row + [result if result is not None else ""])
 
 
@@ -197,7 +265,7 @@ def _cmd_learn(argv: Sequence[str], prog: str = "repro learn") -> int:
             )
             print(f"saved: {args.save}", file=sys.stderr)
         if args.fill:
-            _fill_and_print(program, _read_rows(args.fill))
+            _fill_and_print(program, _read_rows(args.fill, keep_blank=True))
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -212,10 +280,45 @@ def _cmd_fill(argv: Sequence[str]) -> int:
             catalog = catalog.merged_with(background_catalog(args.background))
         text = Path(args.program).read_text(encoding="utf-8")
         program = Program.from_json(text, catalog=catalog)
-        _fill_and_print(program, _read_rows(args.rows))
+        missing = program.missing_tables(catalog)
+        if missing:
+            raise MissingTablesError(missing)
+        _fill_and_print(program, _read_rows(args.rows, keep_blank=True))
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_serve(argv: Sequence[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    try:
+        from repro.service import ProgramStore, SynthesisService, create_server
+
+        store = ProgramStore(args.store) if args.store else None
+        service = SynthesisService(
+            catalog=_load_catalog(args),
+            language=args.language,
+            background=args.background or None,
+            store=store,
+            cache_size=max(1, args.cache_size),
+        )
+        server = create_server(
+            service, host=args.host, port=args.port, quiet=not args.verbose
+        )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    host, port = server.server_address[:2]
+    # One parseable line, flushed before serving: smoke tests and process
+    # managers read the bound port from it (important with --port 0).
+    print(f"serving on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -225,6 +328,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_learn(argv[1:])
     if argv and argv[0] == "fill":
         return _cmd_fill(argv[1:])
+    if argv and argv[0] == "serve":
+        return _cmd_serve(argv[1:])
     # Historical flag-only invocation: behave exactly like `learn`.
     return _cmd_learn(argv, prog="repro")
 

@@ -122,6 +122,18 @@ class SynthesisConfig:
         """A copy of this config with some ranking weights replaced."""
         return replace(self, weights=replace(self.weights, **kwargs))
 
+    def signature(self) -> str:
+        """A stable, process-independent rendering of every knob.
+
+        Equal configs produce equal signatures (field order is the class
+        definition order, values are JSON), so the service request cache
+        can key on it without hashing live objects.
+        """
+        from dataclasses import asdict
+        import json
+
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+
     def without_indexes(self) -> "SynthesisConfig":
         """A copy running every hot path naively (the equivalence oracle)."""
         return replace(

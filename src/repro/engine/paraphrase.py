@@ -8,6 +8,8 @@ program will do before they apply it to a whole column.
 
 from __future__ import annotations
 
+import json
+
 from repro.core.base import Expression
 from repro.core.exprs import Var
 from repro.lookup.ast import Select
@@ -42,12 +44,32 @@ def _describe_position(position: Position, side: str) -> str:
     )
 
 
+def _describe_const(text: str) -> str:
+    """Unambiguous rendering of a constant string.
+
+    The naive ``the text "{text}"`` made the empty constant look exactly
+    like quoted whitespace and broke on embedded double quotes.  Empty
+    and whitespace-only constants are called out in words; everything
+    else is JSON-quoted, which escapes quotes, backslashes and control
+    characters while leaving ordinary (incl. non-ASCII) text readable.
+    """
+    if not text:
+        return "the empty text"
+    quoted = json.dumps(text, ensure_ascii=False)
+    if text.isspace():
+        kinds = {" ": "space", "\t": "tab", "\n": "newline", "\r": "carriage return"}
+        names = sorted({kinds.get(char, "whitespace") for char in text})
+        unit = " and ".join(names) + ("" if len(text) == 1 else " characters")
+        return f"the whitespace text {quoted} ({len(text)} {unit})"
+    return f"the text {quoted}"
+
+
 def paraphrase(expr: Expression) -> str:
     """A human-readable, recursively built description of ``expr``."""
     if isinstance(expr, Var):
         return f"input column v{expr.index + 1}"
     if isinstance(expr, ConstStr):
-        return f'the text "{expr.text}"'
+        return _describe_const(expr.text)
     if isinstance(expr, SubStr):
         source = paraphrase(expr.source)
         # Recognize the SubStr2 sugar: the c-th occurrence of a token.

@@ -63,11 +63,51 @@ class Program:
         """Run on many rows (the add-in's 'Apply' button over a column)."""
         return [self.run(row) for row in rows]
 
+    def fill_aligned(self, rows: Sequence[Sequence[str]]) -> List[Optional[str]]:
+        """The serving-surface fill rule, shared by the CLI and the service.
+
+        One output per input row: blank rows (zero cells) are preserved
+        as empty-string outputs without running the program (so outputs
+        align 1:1 with the caller's rows), undefined outputs (⊥) stay
+        ``None``, and an arity mismatch raises ``ValueError`` prefixed
+        with the 1-based row number (``fill row N: ...``).
+        """
+        outputs: List[Optional[str]] = []
+        for index, row in enumerate(rows, start=1):
+            cells = tuple(row)
+            if not cells:
+                outputs.append("")
+                continue
+            try:
+                outputs.append(self.run(cells))
+            except ValueError as error:
+                raise ValueError(f"fill row {index}: {error}") from None
+        return outputs
+
     def is_consistent_with(
         self, examples: Sequence[Tuple[InputState, str]]
     ) -> bool:
         """Does this program reproduce every given example?"""
         return all(self.run(state) == output for state, output in examples)
+
+    def required_tables(self) -> Tuple[str, ...]:
+        """Names of catalog tables the expression looks up, sorted.
+
+        Purely syntactic programs return ``()``; anything else needs these
+        tables present in the serving catalog before :meth:`run` is safe.
+        """
+        from repro.lookup.extract import expression_tables
+
+        return tuple(sorted(expression_tables(self.expr)))
+
+    def missing_tables(self, catalog: Optional[Catalog]) -> Tuple[str, ...]:
+        """Required tables absent from ``catalog`` (all of them if ``None``)."""
+        required = self.required_tables()
+        if not required:
+            return ()
+        if catalog is None:
+            return required
+        return tuple(name for name in required if name not in catalog)
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

@@ -88,3 +88,34 @@ class UnknownBackendError(ReproError, ValueError):
 
 class SerializationError(ReproError):
     """A serialized program payload is malformed or unsupported."""
+
+
+class ServiceError(ReproError):
+    """A synthesis-service request is invalid or cannot be served."""
+
+
+class ProgramStoreError(ServiceError):
+    """A program-store operation failed (bad name, malformed artifact...)."""
+
+
+class UnknownProgramError(ProgramStoreError):
+    """A store lookup referenced a program name/version that is not stored."""
+
+    def __init__(self, name: str, version: "int | None" = None) -> None:
+        what = name if version is None else f"{name}@{version}"
+        super().__init__(f"unknown program: {what!r}")
+        self.name = name
+        self.version = version
+
+
+class MissingTablesError(ServiceError):
+    """A program needs catalog tables the serving environment did not load."""
+
+    def __init__(self, missing: "tuple | list") -> None:
+        names = tuple(sorted(missing))
+        super().__init__(
+            "program requires tables not in the catalog: "
+            + ", ".join(names)
+            + " (supply them with --table / the service catalog)"
+        )
+        self.missing = names

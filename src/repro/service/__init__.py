@@ -1,0 +1,48 @@
+"""Synthesis as a service: program store, request cache, HTTP front end.
+
+The layer between the engine (:mod:`repro.api`) and many concurrent
+clients -- the paper's interactive loop kept alive between requests::
+
+    from repro.service import ProgramStore, SynthesisService, create_server
+
+    service = SynthesisService(catalog, store=ProgramStore("programs/"))
+    result, status = service.learn(examples, save_as="expand-codes")
+    service.fill("expand-codes", rows)          # serve by name, no synthesis
+
+    server = create_server(service, port=8765)  # POST /learn, POST /fill,
+    server.serve_forever()                      # GET /programs|/healthz|/stats
+
+``repro serve`` wires the same stack up from the command line.  Modules:
+:mod:`repro.service.store` (named, versioned ``Program.to_dict``
+artifacts), :mod:`repro.service.service` (the thread-safe facade and its
+LRU request cache), :mod:`repro.service.http` (the stdlib
+``ThreadingHTTPServer`` JSON API).
+"""
+
+from repro.service.http import (
+    ServiceRequestHandler,
+    SynthesisHTTPServer,
+    create_server,
+)
+from repro.service.service import (
+    CACHE_HIT,
+    CACHE_MISS,
+    LearnReply,
+    RequestCache,
+    SynthesisService,
+)
+from repro.service.store import ProgramStore, StoredProgram, parse_program_ref
+
+__all__ = [
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "LearnReply",
+    "ProgramStore",
+    "RequestCache",
+    "ServiceRequestHandler",
+    "StoredProgram",
+    "SynthesisHTTPServer",
+    "SynthesisService",
+    "create_server",
+    "parse_program_ref",
+]

@@ -1,0 +1,273 @@
+"""Stdlib JSON HTTP front end over :class:`SynthesisService`.
+
+A ``ThreadingHTTPServer`` (one thread per connection, no dependencies
+beyond the standard library) exposing the interactive loop as five
+endpoints::
+
+    POST /learn     {"examples": [[["in1", ...], "out"], ...],
+                     "k"?: int, "save"?: "name", "metadata"?: {...}}
+                 -> SynthesisResult.to_dict() + {"cache": "hit"|"miss",
+                                                 "saved"?: {...}}
+    POST /fill      {"program": "name" | "name@version" | <payload dict>,
+                     "rows": [[...], ...]}
+                 -> {"outputs": [...], "rows": N}
+    GET  /programs  -> {"programs": [store listing]}
+    GET  /healthz   -> {"status": "ok", ...}
+    GET  /stats     -> SynthesisService.stats()
+
+Error mapping: malformed requests -> 400, unknown routes/programs ->
+404, synthesis failures (no consistent program, empty examples...) ->
+422, everything unexpected -> 500; every error body is
+``{"error": message}``.  Responses are UTF-8 JSON with Content-Length,
+so HTTP/1.1 keep-alive works for benchmark clients.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro import __version__
+from repro.exceptions import (
+    ProgramStoreError,
+    ReproError,
+    SerializationError,
+    ServiceError,
+    SynthesisError,
+    UnknownProgramError,
+)
+from repro.service.service import SynthesisService
+
+#: Upper bound on request bodies (spreadsheet columns, not uploads).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class BadRequest(ServiceError):
+    """A request body failed validation (-> HTTP 400)."""
+
+
+def _require(body: Dict[str, Any], key: str) -> Any:
+    if key not in body:
+        raise BadRequest(f"request body is missing the {key!r} field")
+    return body[key]
+
+
+def _parse_examples(raw: Any) -> Tuple[Tuple[Tuple[str, ...], str], ...]:
+    if not isinstance(raw, list) or not raw:
+        raise BadRequest(
+            'examples must be a non-empty list of [["input", ...], "output"] pairs'
+        )
+    examples = []
+    for index, item in enumerate(raw, start=1):
+        ok = (
+            isinstance(item, (list, tuple))
+            and len(item) == 2
+            and isinstance(item[0], (list, tuple))
+            and all(isinstance(cell, str) for cell in item[0])
+            and isinstance(item[1], str)
+        )
+        if not ok:
+            raise BadRequest(
+                f"example {index} must be [[input strings...], output string]"
+            )
+        examples.append((tuple(item[0]), item[1]))
+    return tuple(examples)
+
+
+def _parse_rows(raw: Any) -> list:
+    if not isinstance(raw, list):
+        raise BadRequest("rows must be a list of rows (each a list of strings)")
+    rows = []
+    for index, row in enumerate(raw, start=1):
+        if not isinstance(row, (list, tuple)) or not all(
+            isinstance(cell, str) for cell in row
+        ):
+            raise BadRequest(f"row {index} must be a list of strings")
+        rows.append(list(row))
+    return rows
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's attached :class:`SynthesisService`."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout (socketserver honors it): a client stalling
+    #: mid-request must not tie up a handler thread forever.
+    timeout = 60
+
+    # The server instance carries the service (see create_server).
+    @property
+    def service(self) -> SynthesisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "quiet", True):
+            return
+        super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Tell the client too (set when a request body went unread).
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Dict[str, Any]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True  # body length unknown: can't drain
+            raise BadRequest("Content-Length header must be an integer") from None
+        if length <= 0 or length > MAX_BODY_BYTES:
+            # Rejecting a request whose body we will not read leaves the
+            # unread bytes on the socket; under HTTP/1.1 keep-alive the
+            # handler would parse them as the next request line.  Drop
+            # the connection after responding.
+            self.close_connection = True
+            if length <= 0:
+                raise BadRequest("request needs a JSON body (Content-Length missing)")
+            raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequest(f"invalid JSON body: {error}") from None
+        if not isinstance(body, dict):
+            raise BadRequest("JSON body must be an object")
+        return body
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, payload = handler()
+        except BadRequest as error:
+            self._send_error_json(400, str(error))
+        except (UnknownProgramError,) as error:
+            self._send_error_json(404, str(error))
+        except SynthesisError as error:
+            self._send_error_json(422, str(error))
+        except (ProgramStoreError, SerializationError, ServiceError, ReproError) as error:
+            self._send_error_json(400, str(error))
+        except Exception as error:  # noqa: BLE001 -- the server must not die
+            traceback.print_exc()
+            self._send_error_json(500, f"internal error: {error}")
+        else:
+            self._send_json(status, payload)
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._dispatch(self._get_healthz)
+        elif path == "/stats":
+            self._dispatch(self._get_stats)
+        elif path == "/programs":
+            self._dispatch(self._get_programs)
+        else:
+            self._send_error_json(404, f"no such endpoint: GET {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/learn":
+            self._dispatch(self._post_learn)
+        elif path == "/fill":
+            self._dispatch(self._post_fill)
+        else:
+            # The request body is never read on this branch; keep-alive
+            # would parse it as the next request line (see _read_body).
+            self.close_connection = True
+            self._send_error_json(404, f"no such endpoint: POST {path}")
+
+    # -- endpoint bodies ----------------------------------------------
+    def _get_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        service = self.service
+        return 200, {
+            "status": "ok",
+            "version": __version__,
+            "language": service.engine.language,
+            "tables": service.engine.catalog.table_names(),
+            "store": service.store is not None,
+        }
+
+    def _get_stats(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, self.service.stats()
+
+    def _get_programs(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {"programs": self.service.list_programs()}
+
+    def _post_learn(self) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_body()
+        examples = _parse_examples(_require(body, "examples"))
+        k = body.get("k", 1)
+        if not isinstance(k, int) or k < 1:
+            raise BadRequest("k must be a positive integer")
+        save_as = body.get("save")
+        if save_as is not None and not isinstance(save_as, str):
+            raise BadRequest("save must be a program name string")
+        metadata = body.get("metadata")
+        if metadata is not None and not isinstance(metadata, dict):
+            raise BadRequest("metadata must be an object")
+        reply = self.service.learn(examples, k=k, save_as=save_as, metadata=metadata)
+        payload = reply.result.to_dict()
+        payload["cache"] = reply.cache_status
+        if reply.stored is not None:
+            # The exact version this request saved (or deduped onto) --
+            # under concurrent saves, not necessarily the store's newest.
+            payload["saved"] = {
+                "name": reply.stored.name,
+                "version": reply.stored.version,
+            }
+        return 200, payload
+
+    def _post_fill(self) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_body()
+        program = _require(body, "program")
+        if not isinstance(program, (str, dict)):
+            raise BadRequest(
+                "program must be a store reference string or a payload object"
+            )
+        rows = _parse_rows(_require(body, "rows"))
+        outputs = self.service.fill(program, rows)
+        return 200, {"outputs": outputs, "rows": len(outputs)}
+
+
+class SynthesisHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server that owns one :class:`SynthesisService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: SynthesisService,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+
+def create_server(
+    service: SynthesisService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    quiet: bool = True,
+) -> SynthesisHTTPServer:
+    """Bind (but do not start) the service's HTTP server.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address[1]``.  Call ``serve_forever()`` to run, from
+    this thread or a daemon thread (the handler pool is already
+    per-connection threads either way).
+    """
+    return SynthesisHTTPServer((host, port), service, quiet=quiet)

@@ -1,0 +1,393 @@
+"""The thread-safe synthesis service: request cache + store + serving rules.
+
+:class:`SynthesisService` is the facade a long-running server (or any
+embedding application) talks to instead of a bare
+:class:`~repro.api.engine.Synthesizer`:
+
+* **Request cache.**  ``learn`` requests are memoized in an LRU keyed by
+  ``(catalog fingerprint, config signature, language, examples
+  signature, k)`` -- all stable content digests, so a repeated request
+  is served without re-synthesis and two services over equal catalogs
+  agree on keys.  Hit/miss/eviction stats follow the discipline of the
+  engine's memo stats (``hits``/``misses``/``evictions``/``entries``/
+  ``limit``).
+* **Program store.**  Learned programs can be persisted by name through
+  an attached :class:`~repro.service.store.ProgramStore` and served
+  later by ``name`` / ``name@version`` reference.
+* **Serving rules.**  ``fill`` preserves blank rows as empty outputs
+  (so outputs align 1:1 with input rows -- the CSV/CLI rule), reports
+  arity mismatches as clean per-row errors, and refuses up front (with
+  the offending table names) to run a program whose lookup tables are
+  missing from the serving catalog.
+
+Everything here is safe for concurrent use: the cache takes a lock, the
+engine itself is already thread-safe (``run_batch``'s default executor
+exercises it concurrently), and results are immutable once cached --
+so a cache hit returns the *same* result object, byte-identical to the
+cold call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.api.engine import Synthesizer, TaskLike
+from repro.api.result import SynthesisResult, as_task
+from repro.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.engine.program import Program
+from repro.exceptions import MissingTablesError, ServiceError
+from repro.service.store import ProgramStore, StoredProgram, parse_program_ref
+from repro.tables.catalog import Catalog
+
+#: Cache-status tags returned by :meth:`SynthesisService.learn`.
+CACHE_HIT = "hit"
+CACHE_MISS = "miss"
+
+RowsLike = Sequence[Sequence[str]]
+ProgramLike = Union[Program, Dict[str, Any], str]
+
+
+@dataclass(frozen=True)
+class LearnReply:
+    """Everything one learn request produced.
+
+    Unpacks as ``(result, cache_status)`` for the common case (like
+    :class:`~repro.api.result.RankedProgram`'s tuple-style unpacking);
+    ``stored`` carries the exact :class:`StoredProgram` this request
+    saved (or deduped onto) when ``save_as`` was given.
+    """
+
+    result: SynthesisResult
+    cache_status: str
+    stored: Optional[StoredProgram] = None
+
+    def __iter__(self) -> Iterator:
+        yield self.result
+        yield self.cache_status
+
+
+class RequestCache:
+    """A locked LRU over learn requests, with PR-3-style stats."""
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"cache limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._entries: "OrderedDict[Tuple, SynthesisResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Tuple, record: bool = True) -> Optional[SynthesisResult]:
+        """Look up ``key``; ``record=False`` skips the hit/miss counters
+        (for internal re-checks so each request counts exactly once)."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                if record:
+                    self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            if record:
+                self._hits += 1
+            return result
+
+    def record(self, hit: bool) -> None:
+        """Count one request outcome (pairs with ``get(record=False)``)."""
+        with self._lock:
+            if hit:
+                self._hits += 1
+            else:
+                self._misses += 1
+
+    def put(self, key: Tuple, result: SynthesisResult) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = result
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "limit": self.limit,
+                "hit_rate": self._hits / total if total else 0.0,
+            }
+
+
+class SynthesisService:
+    """Learn-and-serve facade over one catalog, backend and config.
+
+    Args:
+        catalog: the serving catalog (tables every request runs against).
+        language: registered backend name or alias (as ``Synthesizer``).
+        background: §6 background table names to merge (or ``"all"``).
+        config: synthesis/ranking knobs.
+        store: optional :class:`ProgramStore` for named persistence.
+        cache_size: LRU capacity of the learn request cache.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        language: str = "semantic",
+        background: Union[None, str, Iterable[str]] = None,
+        config: SynthesisConfig = DEFAULT_CONFIG,
+        store: Optional[ProgramStore] = None,
+        cache_size: int = 256,
+    ) -> None:
+        self.engine = Synthesizer(
+            catalog=catalog, language=language, background=background, config=config
+        )
+        self.store = store
+        self.cache = RequestCache(cache_size)
+        self.started_at = time.time()
+        self._counter_lock = threading.Lock()
+        self._learn_requests = 0
+        self._fill_requests = 0
+        self._rows_filled = 0
+        self._config_key = config.signature()
+        # Single-flight coordination for cold learns: key -> Event the
+        # leading request sets once its result is in the cache.
+        self._inflight_lock = threading.Lock()
+        self._inflight: Dict[Tuple, threading.Event] = {}
+
+    # ------------------------------------------------------------------
+    def cache_key(self, task: TaskLike, k: int = 1) -> Tuple:
+        """The request-cache key for ``task`` (stable across processes).
+
+        The catalog fingerprint is read live (``Catalog.fingerprint`` is
+        itself cached and invalidated by ``Catalog.add``), so a caller
+        that mutates the engine's catalog gets fresh keys instead of
+        stale cached results.
+        """
+        return (
+            self.engine.catalog.fingerprint(),
+            self._config_key,
+            self.engine.language,
+            as_task(task).signature(),
+            max(1, k),
+        )
+
+    def learn(
+        self,
+        task: TaskLike,
+        k: int = 1,
+        save_as: Optional[str] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> LearnReply:
+        """Solve ``task`` (or serve it from the request cache).
+
+        Returns a :class:`LearnReply` -- unpackable as ``(result,
+        cache_status)`` where ``cache_status`` is :data:`CACHE_HIT` or
+        :data:`CACHE_MISS`.  A hit returns the same immutable result
+        object the cold call produced.  ``save_as`` persists the
+        top-ranked program to the attached store (deduped: an unchanged
+        program does not grow a new version -- see :meth:`save_program`);
+        ``reply.stored`` is the exact version this request ended up with.
+        """
+        if save_as is not None:
+            # Fail fast (no store / bad name) before paying for synthesis.
+            self.validate_save_target(save_as)
+        with self._counter_lock:
+            self._learn_requests += 1
+        key = self.cache_key(task, k)
+        # Internal lookups don't record stats; exactly one hit-or-miss is
+        # counted per request below, matching the cache_status the caller
+        # sees (so hits + misses == learn_requests even under races).
+        result = self.cache.get(key, record=False)
+        status = CACHE_HIT
+        if result is None:
+            try:
+                result, status = self._learn_cold(key, task, k)
+            except Exception:
+                # A failed synthesis was still a miss; keep the invariant.
+                self.cache.record(False)
+                raise
+        self.cache.record(status == CACHE_HIT)
+        stored = None
+        if save_as is not None:
+            stored = self.save_program(save_as, result.program, metadata=metadata)
+        return LearnReply(result=result, cache_status=status, stored=stored)
+
+    def _learn_cold(
+        self, key: Tuple, task: TaskLike, k: int
+    ) -> Tuple[SynthesisResult, str]:
+        """Synthesize on a cache miss, single-flight per key.
+
+        N concurrent identical misses would each pay full (CPU-bound)
+        synthesis; instead one request per key leads at a time and the
+        rest wait on its event, then serve the leader's cached result.
+        Only a registered leader ever synthesizes (and only it pops its
+        own in-flight event), so a leader failure wakes the followers,
+        who loop: one re-registers as the next leader, the rest wait on
+        the new event.
+        """
+        while True:
+            with self._inflight_lock:
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._inflight[key] = threading.Event()
+            if waiter is not None:
+                waiter.wait()
+                result = self.cache.get(key, record=False)
+                if result is not None:
+                    return result, CACHE_HIT
+                continue  # leader failed; race to lead the retry
+            # We are the leader.  Re-check the cache: a previous leader
+            # may have published between our miss and our registration.
+            try:
+                result = self.cache.get(key, record=False)
+                if result is not None:
+                    return result, CACHE_HIT
+                result = self.engine.synthesize(task, k=max(1, k))
+                self.cache.put(key, result)
+                return result, CACHE_MISS
+            finally:
+                with self._inflight_lock:
+                    event = self._inflight.pop(key, None)
+                if event is not None:
+                    event.set()
+
+    # ------------------------------------------------------------------
+    def validate_save_target(self, name: str) -> None:
+        """Raise unless ``name`` is storable (store attached, name legal)."""
+        if self.store is None:
+            raise ServiceError(
+                "no program store attached (start the service with a store "
+                "directory, e.g. repro serve --store DIR)"
+            )
+        ProgramStore.check_name(name)
+
+    def save_program(
+        self,
+        name: str,
+        program: Program,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> StoredProgram:
+        """Persist ``program`` under ``name``; dedupe unchanged saves.
+
+        Delegates to :meth:`ProgramStore.save_if_changed` (atomic under
+        the store lock): an idempotent client retrying the same
+        learn+save request does not grow the store, and version numbers
+        keep meaning "something changed".  New metadata on an unchanged
+        program does write a new version.  (``ProgramStore.save`` is the
+        always-write primitive.)
+        """
+        self.validate_save_target(name)
+        assert self.store is not None  # validate_save_target guarantees it
+        return self.store.save_if_changed(name, program, metadata=metadata)
+
+    def resolve_program(self, program: ProgramLike) -> Program:
+        """Coerce a program reference into a runnable :class:`Program`.
+
+        Accepts a live :class:`Program`, a serialized payload dict
+        (``Program.to_dict`` form), or a store reference string
+        (``"name"`` / ``"name@version"``).  The result is validated
+        against the serving catalog: missing lookup tables raise
+        :class:`MissingTablesError` *before* any row is run.
+        """
+        if isinstance(program, Program):
+            resolved = program
+        elif isinstance(program, dict):
+            resolved = Program.from_dict(program, catalog=self.engine.catalog)
+        elif isinstance(program, str):
+            if self.store is None:
+                raise ServiceError(
+                    f"cannot resolve program reference {program!r}: "
+                    "no program store attached"
+                )
+            name, version = parse_program_ref(program)
+            resolved = self.store.load(name, version, catalog=self.engine.catalog)
+        else:
+            raise ServiceError(
+                f"bad program reference of type {type(program).__name__}"
+            )
+        missing = resolved.missing_tables(resolved.catalog)
+        if missing:
+            raise MissingTablesError(missing)
+        return resolved
+
+    def fill(
+        self, program: ProgramLike, rows: RowsLike
+    ) -> List[Optional[str]]:
+        """Run ``program`` over ``rows``, one output per input row.
+
+        The alignment contract lives in :meth:`Program.fill_aligned`
+        (shared with ``repro fill``): blank rows (zero cells) come back
+        as empty-string outputs so the list aligns 1:1 with the input
+        rows, a row the program is *undefined* on (the paper's ⊥)
+        yields ``None`` (JSON ``null`` over HTTP; the CSV-bound CLI
+        renders it as an empty cell), and arity mismatches become a
+        clean :class:`ServiceError` naming the 1-based row.
+        """
+        resolved = self.resolve_program(program)
+        try:
+            outputs = resolved.fill_aligned(rows)
+        except ValueError as error:
+            raise ServiceError(str(error)) from None
+        with self._counter_lock:
+            self._fill_requests += 1
+            self._rows_filled += len(outputs)
+        return outputs
+
+    # ------------------------------------------------------------------
+    def list_programs(self) -> List[Dict[str, Any]]:
+        """The attached store's listing (empty when no store)."""
+        if self.store is None:
+            return []
+        return self.store.list_programs()
+
+    def stats(self) -> Dict[str, Any]:
+        """Service counters, request-cache stats and engine memo stats."""
+        from repro.syntactic.intersect import dag_cache_stats
+        from repro.syntactic.positions import (
+            intersection_cache_stats,
+            position_cache_stats,
+        )
+        from repro.syntactic.regex import boundary_cache_stats
+
+        with self._counter_lock:
+            counters = {
+                "learn_requests": self._learn_requests,
+                "fill_requests": self._fill_requests,
+                "rows_filled": self._rows_filled,
+            }
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "language": self.engine.language,
+            "catalog": {
+                "tables": self.engine.catalog.table_names(),
+                "entries": self.engine.catalog.total_entries,
+                "fingerprint": self.engine.catalog.fingerprint(),
+            },
+            "requests": counters,
+            "request_cache": self.cache.stats(),
+            "store": {
+                "attached": self.store is not None,
+                "root": str(self.store.root) if self.store is not None else None,
+                "programs": len(self.store) if self.store is not None else 0,
+            },
+            "engine_caches": {
+                "positions": position_cache_stats(),
+                "boundaries": boundary_cache_stats(),
+                "intersections": intersection_cache_stats(),
+                "dags": dag_cache_stats(),
+            },
+        }

@@ -1,0 +1,376 @@
+"""Persistent program store: named, versioned ``Program.to_dict`` artifacts.
+
+The paper's interaction loop learns a program once and applies it many
+times; a production service must keep learned programs alive *between*
+requests and across restarts.  :class:`ProgramStore` persists each
+program under a user-chosen name as the same JSON artifact ``repro learn
+--save`` writes (``Program.to_dict()`` plus a ``store`` metadata block),
+one file per version::
+
+    <root>/
+        phone-format/
+            v0001.json
+            v0002.json
+        expand-codes/
+            v0001.json
+
+Every artifact file is independently loadable with ``repro fill
+--program <file>`` -- the store adds naming, versioning and listing on
+top, it does not invent a new format.  All operations are thread-safe
+(one re-entrant lock around directory reads/writes) and writes are
+atomic (temp file + ``os.replace``), so a serving process never observes
+a half-written artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.engine.program import Program
+from repro.exceptions import ProgramStoreError, SerializationError, UnknownProgramError
+from repro.tables.catalog import Catalog
+
+#: Program names must be safe as directory names on every platform.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+_VERSION_PATTERN = re.compile(r"^v(\d{4,})\.json$")
+
+
+def parse_program_ref(ref: str) -> Tuple[str, Optional[int]]:
+    """Split ``"name"`` / ``"name@7"`` into ``(name, version-or-None)``."""
+    name, sep, version = ref.partition("@")
+    if not sep:
+        return ref, None
+    try:
+        number = int(version)
+    except ValueError:
+        raise ProgramStoreError(
+            f"bad program reference {ref!r}: version must be an integer"
+        ) from None
+    return name, number
+
+
+@dataclass(frozen=True)
+class StoredProgram:
+    """One persisted program version: its identity, artifact and metadata."""
+
+    name: str
+    version: int
+    path: Path
+    payload: Dict[str, Any] = field(repr=False)
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        return dict(self.payload.get("store", {}).get("metadata", {}))
+
+    @property
+    def saved_at(self) -> Optional[float]:
+        return self.payload.get("store", {}).get("saved_at")
+
+    @property
+    def language(self) -> Optional[str]:
+        return self.payload.get("language")
+
+    @property
+    def source(self) -> Optional[str]:
+        return self.payload.get("source")
+
+    def program(self, catalog: Optional[Catalog] = None) -> Program:
+        """Rebuild the runnable program against ``catalog``."""
+        return Program.from_dict(self.payload, catalog=catalog)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly listing entry (no expression payload)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "language": self.language,
+            "num_inputs": self.payload.get("num_inputs"),
+            "source": self.source,
+            "saved_at": self.saved_at,
+            "metadata": self.metadata,
+        }
+
+
+class ProgramStore:
+    """A directory of named, versioned program artifacts.
+
+    >>> store = ProgramStore(tmp_path)                       # doctest: +SKIP
+    >>> stored = store.save("expand", result.program)        # doctest: +SKIP
+    >>> store.load("expand", catalog=catalog)                # doctest: +SKIP
+    Program(semantic: ...)
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        # Cached program count for len() (stats endpoints poll it); our
+        # own save/delete invalidate it immediately, and a short TTL
+        # bounds staleness against *other* processes sharing the store
+        # directory.  Listing/loads always read the disk.
+        self._count_cache: Optional[Tuple[float, int]] = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def check_name(name: str) -> str:
+        """Validate a program name (raises :class:`ProgramStoreError`)."""
+        if not _NAME_PATTERN.match(name):
+            raise ProgramStoreError(
+                f"bad program name {name!r}: use 1-64 characters from "
+                "[A-Za-z0-9._-], starting with a letter or digit"
+            )
+        return name
+
+    def _program_dir(self, name: str) -> Path:
+        return self.root / self.check_name(name)
+
+    @staticmethod
+    def _version_of(path: Path) -> Optional[int]:
+        match = _VERSION_PATTERN.match(path.name)
+        return int(match.group(1)) if match else None
+
+    def _versions_on_disk(self, name: str) -> List[Tuple[int, Path]]:
+        directory = self._program_dir(name)
+        if not directory.is_dir():
+            return []
+        found = []
+        for path in directory.iterdir():
+            version = self._version_of(path)
+            if version is not None:
+                found.append((version, path))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        name: str,
+        program: Program,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> StoredProgram:
+        """Persist ``program`` as the next version of ``name``.
+
+        The artifact is ``program.to_dict()`` with a ``store`` block
+        (name, version, wall-clock ``saved_at``, caller ``metadata``)
+        added; :meth:`Program.from_dict` ignores the extra key, so the
+        file stays a plain program artifact.
+        """
+        payload = program.to_dict()
+        with self._lock:
+            versions = self._versions_on_disk(name)
+            version = versions[-1][0] + 1 if versions else 1
+            directory = self._program_dir(name)
+            directory.mkdir(parents=True, exist_ok=True)
+            # Claim the version file with a hard link (atomic and
+            # exclusive across *processes* -- two `repro serve` instances
+            # may share one store directory); on collision, retry the
+            # next number.  Filesystems without hard links fall back to
+            # os.replace, which keeps single-process semantics only.
+            while True:
+                payload["store"] = {
+                    "name": name,
+                    "version": version,
+                    "saved_at": time.time(),
+                    "metadata": dict(metadata or {}),
+                }
+                text = json.dumps(payload, indent=2, ensure_ascii=False) + "\n"
+                path = directory / f"v{version:04d}.json"
+                handle = tempfile.NamedTemporaryFile(
+                    "w",
+                    encoding="utf-8",
+                    dir=str(directory),
+                    prefix=".tmp-",
+                    suffix=".json",
+                    delete=False,
+                )
+                try:
+                    with handle:
+                        handle.write(text)
+                    try:
+                        os.link(handle.name, path)
+                        os.unlink(handle.name)
+                        break
+                    except FileExistsError:
+                        os.unlink(handle.name)
+                        version += 1  # claimed by another process; retry
+                        continue
+                    except OSError:
+                        os.replace(handle.name, path)
+                        break
+                except BaseException:
+                    try:
+                        os.unlink(handle.name)
+                    except OSError:
+                        pass
+                    raise
+            self._count_cache = None
+            return StoredProgram(name=name, version=version, path=path, payload=payload)
+
+    def save_if_changed(
+        self,
+        name: str,
+        program: Program,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> StoredProgram:
+        """Like :meth:`save`, but dedupe unchanged saves (atomically).
+
+        Holds the store lock across the compare-and-save, so concurrent
+        identical requests cannot each write a version.  The latest
+        version is returned unchanged when it already holds an identical
+        program payload and the caller's ``metadata`` is absent or
+        identical (compared after a JSON round-trip, matching what disk
+        storage does to it); new metadata on an unchanged program writes
+        a new version -- metadata is versioned with its artifact.
+        """
+        with self._lock:
+            payload = program.to_dict()
+            try:
+                latest = self.get(name)
+            except ProgramStoreError:
+                # Nothing stored yet (or the latest artifact is
+                # unreadable -- then a fresh version is the useful move).
+                latest = None
+            if latest is not None:
+                unchanged = {
+                    key: value
+                    for key, value in latest.payload.items()
+                    if key != "store"
+                } == payload
+                normalized = (
+                    None
+                    if metadata is None
+                    else json.loads(json.dumps(dict(metadata)))
+                )
+                if unchanged and (normalized is None or normalized == latest.metadata):
+                    return latest
+            return self.save(name, program, metadata=metadata)
+
+    def _read_artifact(self, name: str, version: int, path: Path) -> StoredProgram:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ProgramStoreError(
+                f"unreadable artifact for {name!r} v{version}: {error}"
+            ) from None
+        return StoredProgram(name=name, version=version, path=path, payload=payload)
+
+    def get(self, name: str, version: Optional[int] = None) -> StoredProgram:
+        """The stored artifact for ``name`` (latest version by default)."""
+        with self._lock:
+            versions = self._versions_on_disk(name)
+            if not versions:
+                raise UnknownProgramError(name)
+            if version is None:
+                version, path = versions[-1]
+            else:
+                by_number = dict(versions)
+                path = by_number.get(version)
+                if path is None:
+                    raise UnknownProgramError(name, version)
+            return self._read_artifact(name, version, path)
+
+    def load(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        catalog: Optional[Catalog] = None,
+    ) -> Program:
+        """Rebuild the runnable program (latest version by default)."""
+        stored = self.get(name, version)
+        try:
+            return stored.program(catalog=catalog)
+        except SerializationError as error:
+            raise ProgramStoreError(
+                f"artifact for {name!r} v{stored.version} is not a valid "
+                f"program: {error}"
+            ) from None
+
+    def versions(self, name: str) -> List[int]:
+        """All stored version numbers for ``name``, ascending."""
+        with self._lock:
+            return [version for version, _ in self._versions_on_disk(name)]
+
+    def names(self) -> List[str]:
+        """All stored program names, sorted."""
+        with self._lock:
+            if not self.root.is_dir():
+                return []
+            return sorted(
+                entry.name
+                for entry in self.root.iterdir()
+                if entry.is_dir()
+                and _NAME_PATTERN.match(entry.name)
+                and self._versions_on_disk(entry.name)
+            )
+
+    def list_programs(self) -> List[Dict[str, Any]]:
+        """JSON-friendly listing: latest summary + version list per name.
+
+        One directory scan per name (reused for both the version list
+        and the latest artifact) -- the listing runs under the store
+        lock, so it must not repeat work per program.
+        """
+        with self._lock:
+            if not self.root.is_dir():
+                return []
+            listing = []
+            for entry_dir in sorted(self.root.iterdir()):
+                if not entry_dir.is_dir() or not _NAME_PATTERN.match(entry_dir.name):
+                    continue
+                versions = self._versions_on_disk(entry_dir.name)
+                if not versions:
+                    continue
+                version, path = versions[-1]
+                latest = self._read_artifact(entry_dir.name, version, path)
+                entry = latest.summary()
+                entry["versions"] = [number for number, _ in versions]
+                listing.append(entry)
+            return listing
+
+    def delete(self, name: str, version: Optional[int] = None) -> None:
+        """Remove one version (or, with ``version=None``, every version)."""
+        with self._lock:
+            versions = self._versions_on_disk(name)
+            if not versions:
+                raise UnknownProgramError(name)
+            if version is None:
+                doomed = versions
+            else:
+                doomed = [(v, p) for v, p in versions if v == version]
+                if not doomed:
+                    raise UnknownProgramError(name, version)
+            for _, path in doomed:
+                path.unlink()
+            self._count_cache = None
+            directory = self._program_dir(name)
+            if not self._versions_on_disk(name):
+                try:
+                    directory.rmdir()
+                except OSError:
+                    pass  # leftover temp files; harmless
+
+    #: How long __len__ may serve a cached count (seconds); bounds how
+    #: stale the /stats program count can be when another process writes.
+    COUNT_CACHE_TTL = 2.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            now = time.monotonic()
+            if (
+                self._count_cache is not None
+                and now - self._count_cache[0] < self.COUNT_CACHE_TTL
+            ):
+                return self._count_cache[1]
+            count = len(self.names())
+            self._count_cache = (now, count)
+            return count
+
+    def __repr__(self) -> str:
+        return f"ProgramStore({str(self.root)!r}, programs={len(self)})"

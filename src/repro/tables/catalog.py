@@ -45,6 +45,7 @@ class Catalog:
         self._occurrence_cache: Dict[str, Tuple[Occurrence, ...]] = {}
         self._distinct_cache: Optional[Tuple[str, ...]] = None
         self._substring_index: Optional[SubstringIndex] = None
+        self._fingerprint: Optional[str] = None
         #: Serve ``Select`` evaluations against this catalog from the
         #: tables' inverted value indexes.  ``Synthesizer`` sets it from
         #: ``SynthesisConfig.use_table_index``; False selects the naive
@@ -68,6 +69,7 @@ class Catalog:
         self._occurrence_cache.clear()
         self._distinct_cache = None
         self._substring_index = None
+        self._fingerprint = None
 
     def extend(self, tables: Iterable[Table]) -> "Catalog":
         for table in tables:
@@ -141,6 +143,25 @@ class Catalog:
                 [value for value in self.distinct_values() if value]
             )
         return self._substring_index
+
+    def fingerprint(self) -> str:
+        """A stable content digest of the whole catalog.
+
+        Hashes every table's :meth:`Table.fingerprint` in catalog order,
+        so two catalogs holding equal tables in the same order fingerprint
+        identically across processes.  The service request cache keys on
+        this (plus the examples/config signatures); it is invalidated by
+        :meth:`add`.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            for name in self._order:
+                digest.update(self._tables[name].fingerprint().encode("ascii"))
+                digest.update(b"\x00")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     @property
     def total_entries(self) -> int:

@@ -27,12 +27,28 @@ def table_from_csv_text(
     >>> table_from_csv_text("T", "a,b\\n1,x\\n2,y\\n").columns
     ('a', 'b')
     """
+    # Keep the 1-based file line each surviving record *starts* on
+    # (header = line 1; blank lines counted, quoted multi-line fields
+    # consume their span) so validation errors point at the line the
+    # user sees in their file.
     reader = csv.reader(io.StringIO(text))
-    rows = [row for row in reader if row]
-    if len(rows) < 2:
+    numbered = []
+    last_consumed = 0
+    for row in reader:
+        start_line = last_consumed + 1
+        last_consumed = reader.line_num
+        if row:
+            numbered.append((start_line, row))
+    if len(numbered) < 2:
         raise TableError(f"CSV for table {name!r} needs a header and at least one row")
-    header, data = rows[0], rows[1:]
-    return Table(name, header, data, keys=keys)
+    (_, header), data = numbered[0], numbered[1:]
+    for line, row in data:
+        if len(row) != len(header):
+            raise TableError(
+                f"CSV for table {name!r}: row at line {line} has {len(row)} "
+                f"cells, but the header has {len(header)} columns"
+            )
+    return Table(name, header, [row for _, row in data], keys=keys)
 
 
 def load_table_csv(

@@ -44,6 +44,7 @@ class Table:
         "_column_index",
         "_key_row_index",
         "_value_rows",
+        "_fingerprint",
     )
 
     def __init__(
@@ -108,6 +109,7 @@ class Table:
         # first find_rows/lookup (the serve-time hot path), never mutated
         # afterwards -- the table is immutable.
         self._value_rows: Optional[Dict[str, Dict[str, Tuple[int, ...]]]] = None
+        self._fingerprint: Optional[str] = None
 
         # Precompute key-tuple -> row index for every candidate key; used by
         # both evaluation and condition construction.
@@ -183,6 +185,30 @@ class Table:
         """Row numbers whose ``column`` cell equals ``value`` (ascending)."""
         self.column_position(column)  # raises UnknownColumnError
         return self._ensure_value_rows()[column].get(value, ())
+
+    def fingerprint(self) -> str:
+        """A stable content digest of the table (name, schema, rows, keys).
+
+        Equal tables (as per ``__eq__``) have equal fingerprints across
+        processes and platforms; used by :meth:`Catalog.fingerprint` to
+        key the service request cache.  Cached -- the table is immutable.
+        """
+        if self._fingerprint is None:
+            import hashlib
+            import json
+
+            payload = json.dumps(
+                [
+                    self.name,
+                    list(self.columns),
+                    [list(row) for row in self.rows],
+                    [list(key) for key in self.keys],
+                ],
+                ensure_ascii=False,
+                separators=(",", ":"),
+            )
+            self._fingerprint = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return self._fingerprint
 
     def find_rows(
         self, conditions: Dict[str, str], use_index: bool = True

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -191,6 +193,60 @@ class TestSubcommands:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_fill_blank_lines_preserved(self, workdir, capsys):
+        """A blank line in --rows used to be dropped, shifting every later
+        output against the input file; it must come back as a blank line."""
+        artifact = workdir / "program.json"
+        main(
+            [
+                "learn",
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--save", str(artifact),
+            ]
+        )
+        capsys.readouterr()
+        (workdir / "gaps.csv").write_text("c2 c3 c1\n\nc1 c4 c2\n", encoding="utf-8")
+        code = main(
+            [
+                "fill",
+                "--program", str(artifact),
+                "--table", str(workdir / "Comp.csv"),
+                "--rows", str(workdir / "gaps.csv"),
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.split("\n")
+        assert lines[0].endswith("Google Apple Microsoft")
+        assert lines[1] == ""  # the blank line, in place
+        assert lines[2].endswith("Microsoft Facebook Google")
+
+    def test_fill_missing_tables_listed(self, workdir, capsys):
+        """Serving a lookup program without its tables must exit 1 with the
+        missing table names, not an opaque evaluation error."""
+        artifact = workdir / "program.json"
+        main(
+            [
+                "learn",
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--save", str(artifact),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "fill",
+                "--program", str(artifact),
+                "--rows", str(workdir / "pending.csv"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+        assert "Comp" in captured.err
+        assert "--table" in captured.err
+
     def test_fill_wrong_arity_row(self, workdir, capsys):
         artifact = workdir / "program.json"
         main(
@@ -213,6 +269,25 @@ class TestSubcommands:
         )
         assert code == 1
         assert "error: fill row 1" in capsys.readouterr().err
+
+
+class TestServeSubcommand:
+    def test_serve_boots_and_answers(self):
+        """`repro serve` (the real subprocess) answers /healthz, /learn
+        (cached on repeat) and /fill -- the one canonical smoke scenario,
+        shared with the CI `service-smoke` job via bench_service.run_smoke."""
+        import importlib.util
+
+        bench = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_service.py"
+        spec = importlib.util.spec_from_file_location("bench_service_smoke", bench)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.run_smoke() == 0
+
+    def test_serve_bad_table_exits_cleanly(self, workdir, capsys):
+        code = main(["serve", "--table", str(workdir / "missing.csv")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestProfileFlag:

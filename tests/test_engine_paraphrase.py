@@ -15,6 +15,35 @@ class TestLeaves:
     def test_const(self):
         assert paraphrase(ConstStr("+0.")) == 'the text "+0."'
 
+    def test_empty_const_called_out_in_words(self):
+        # Used to render as 'the text ""', indistinguishable from quoted
+        # whitespace at a glance.
+        assert paraphrase(ConstStr("")) == "the empty text"
+
+    def test_single_space_distinguishable_from_empty(self):
+        text = paraphrase(ConstStr(" "))
+        assert text == 'the whitespace text " " (1 space)'
+        assert text != paraphrase(ConstStr(""))
+
+    def test_tab_and_newline_named(self):
+        text = paraphrase(ConstStr("\t\n"))
+        assert "whitespace text" in text
+        assert "\\t" in text and "\\n" in text
+        assert "newline" in text and "tab" in text
+
+    def test_multiple_spaces_counted(self):
+        assert "(3 space characters)" in paraphrase(ConstStr("   "))
+
+    def test_embedded_double_quotes_escaped(self):
+        text = paraphrase(ConstStr('say "hi"'))
+        assert text == 'the text "say \\"hi\\""'
+
+    def test_backslash_escaped(self):
+        assert paraphrase(ConstStr("a\\b")) == 'the text "a\\\\b"'
+
+    def test_unicode_left_readable(self):
+        assert paraphrase(ConstStr("café")) == 'the text "café"'
+
 
 class TestSubstrings:
     def test_substr2_sugar_recognized(self):

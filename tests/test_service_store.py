@@ -1,0 +1,196 @@
+"""Unit tests for the persistent program store."""
+
+import json
+import threading
+
+import pytest
+
+from repro.engine.program import Program
+from repro.exceptions import ProgramStoreError, UnknownProgramError
+from repro.service.store import ProgramStore, parse_program_ref
+from repro.syntactic.ast import Concatenate, ConstStr
+from repro.core.exprs import Var
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+
+@pytest.fixture()
+def catalog():
+    return Catalog(
+        [Table("Comp", ["Id", "Name"], [("c1", "Microsoft"), ("c2", "Google")])]
+    )
+
+
+@pytest.fixture()
+def program():
+    return Program(Concatenate([ConstStr("pre-"), Var(0)]), None, "syntactic", 1)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ProgramStore(tmp_path / "store")
+
+
+class TestSaveLoad:
+    def test_save_assigns_version_1(self, store, program):
+        stored = store.save("greet", program)
+        assert (stored.name, stored.version) == ("greet", 1)
+        assert stored.path.exists()
+
+    def test_versions_increment(self, store, program):
+        store.save("greet", program)
+        stored = store.save("greet", program)
+        assert stored.version == 2
+        assert store.versions("greet") == [1, 2]
+
+    def test_load_latest_and_pinned(self, store, catalog):
+        first = Program(ConstStr("one"), None, "syntactic", 1)
+        second = Program(ConstStr("two"), None, "syntactic", 1)
+        store.save("p", first)
+        store.save("p", second)
+        assert store.load("p").run(("x",)) == "two"
+        assert store.load("p", version=1).run(("x",)) == "one"
+
+    def test_loaded_program_runs_identically(self, store, program):
+        store.save("greet", program)
+        loaded = store.load("greet")
+        assert loaded.run(("world",)) == program.run(("world",)) == "pre-world"
+
+    def test_artifact_is_a_plain_program_file(self, store, program):
+        """Each version file stays loadable by ``repro fill --program``."""
+        stored = store.save("greet", program)
+        text = stored.path.read_text(encoding="utf-8")
+        assert Program.from_json(text).run(("x",)) == "pre-x"
+
+    def test_metadata_round_trips(self, store, program):
+        store.save("greet", program, metadata={"owner": "tests"})
+        assert store.get("greet").metadata == {"owner": "tests"}
+
+    def test_saved_at_recorded(self, store, program):
+        stored = store.save("greet", program)
+        assert isinstance(stored.saved_at, float)
+
+
+class TestListing:
+    def test_names_sorted(self, store, program):
+        store.save("zeta", program)
+        store.save("alpha", program)
+        assert store.names() == ["alpha", "zeta"]
+
+    def test_list_programs_summaries(self, store, program):
+        store.save("greet", program)
+        store.save("greet", program)
+        (entry,) = store.list_programs()
+        assert entry["name"] == "greet"
+        assert entry["version"] == 2
+        assert entry["versions"] == [1, 2]
+        assert entry["language"] == "syntactic"
+        assert "expr" not in entry
+
+    def test_len(self, store, program):
+        assert len(store) == 0
+        store.save("a", program)
+        store.save("b", program)
+        assert len(store) == 2
+
+
+class TestErrors:
+    def test_unknown_name(self, store):
+        with pytest.raises(UnknownProgramError):
+            store.get("nope")
+
+    def test_unknown_version(self, store, program):
+        store.save("greet", program)
+        with pytest.raises(UnknownProgramError):
+            store.get("greet", version=9)
+
+    @pytest.mark.parametrize(
+        "name", ["", ".hidden", "a/b", "../escape", "a b", "x" * 65]
+    )
+    def test_bad_names_rejected(self, store, program, name):
+        with pytest.raises(ProgramStoreError):
+            store.save(name, program)
+
+    def test_corrupt_artifact_reported(self, store, program):
+        stored = store.save("greet", program)
+        stored.path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ProgramStoreError):
+            store.get("greet")
+
+    def test_non_program_artifact_reported(self, store, program):
+        stored = store.save("greet", program)
+        stored.path.write_text(json.dumps({"format": "other"}), encoding="utf-8")
+        with pytest.raises(ProgramStoreError):
+            store.load("greet")
+
+
+class TestDelete:
+    def test_delete_one_version(self, store, program):
+        store.save("greet", program)
+        store.save("greet", program)
+        store.delete("greet", version=1)
+        assert store.versions("greet") == [2]
+
+    def test_delete_all(self, store, program):
+        store.save("greet", program)
+        store.delete("greet")
+        assert store.names() == []
+        with pytest.raises(UnknownProgramError):
+            store.get("greet")
+
+
+class TestParseRef:
+    def test_bare_name(self):
+        assert parse_program_ref("greet") == ("greet", None)
+
+    def test_versioned(self):
+        assert parse_program_ref("greet@3") == ("greet", 3)
+
+    def test_bad_version(self):
+        with pytest.raises(ProgramStoreError):
+            parse_program_ref("greet@latest")
+
+
+class TestConcurrency:
+    def test_two_store_instances_never_overwrite_each_other(self, tmp_path, program):
+        """Two ProgramStore objects over one directory (the two-process
+        scenario -- separate locks) must claim distinct versions: the
+        hard-link claim makes version files exclusive across processes."""
+        stores = [ProgramStore(tmp_path / "shared") for _ in range(2)]
+        errors = []
+
+        def save(which):
+            try:
+                for _ in range(8):
+                    stores[which].save("greet", program)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=save, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert stores[0].versions("greet") == list(range(1, 17))
+        # Every artifact's embedded version matches its filename claim.
+        for version in stores[0].versions("greet"):
+            stored = stores[0].get("greet", version)
+            assert stored.payload["store"]["version"] == version
+
+    def test_concurrent_saves_get_distinct_versions(self, store, program):
+        errors = []
+
+        def save():
+            try:
+                store.save("greet", program)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=save) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert store.versions("greet") == list(range(1, 17))

@@ -29,6 +29,29 @@ class TestCsvText:
         table = table_from_csv_text("T", 'a,b\n"x,y",z\n')
         assert table.rows == (("x,y", "z"),)
 
+    def test_ragged_row_too_short_names_line_number(self):
+        with pytest.raises(TableError, match=r"line 3 has 1 cells.*2 columns"):
+            table_from_csv_text("T", "a,b\n1,x\n2\n")
+
+    def test_ragged_row_too_long_names_line_number(self):
+        with pytest.raises(TableError, match=r"line 2 has 3 cells.*2 columns"):
+            table_from_csv_text("T", "a,b\n1,x,extra\n2,y\n")
+
+    def test_ragged_line_number_counts_blank_lines(self):
+        # The blank line is line 3; the ragged record after it is line 4.
+        with pytest.raises(TableError, match=r"line 4 has 1 cells"):
+            table_from_csv_text("T", "a,b\n1,x\n\nbad\n")
+
+    def test_ragged_line_number_spans_multiline_quoted_fields(self):
+        # The quoted record covers lines 2-3, so the ragged record is the
+        # user's line 4, not CSV record number 3.
+        with pytest.raises(TableError, match=r"line 4 has 1 cells"):
+            table_from_csv_text("T", 'a,b\n"x\ny",z\nbad\n')
+
+    def test_error_names_the_table(self):
+        with pytest.raises(TableError, match="'Prices'"):
+            table_from_csv_text("Prices", "a,b\n1\n")
+
     def test_round_trip(self):
         table = table_from_csv_text("T", "a,b\n1,x\n2,y\n")
         assert table_from_csv_text("T", table_to_csv_text(table)) == table
