@@ -1,0 +1,264 @@
+"""Catalog maintenance benchmark: delta-update vs full rebuild.
+
+The registry grows catalogs copy-on-write: appending rows (or adding a
+table) derives a new snapshot whose value/occurrence/table indexes are
+*patched* and whose substring index is *extended*
+(``Table.extended`` / ``Catalog.with_table``), instead of rebuilding
+every index from scratch the way constructing a fresh ``Catalog`` does.
+This benchmark measures that difference on a 10k-cell catalog, forcing
+the same derived structures on both sides (value index, per-table row
+index, substring automaton + grams, fingerprint) so neither path hides
+lazy work:
+
+* ``append_rows`` -- append N rows to a 10k-cell table: snapshot via
+  ``with_rows`` vs ``Catalog([Table(..., all_rows)])``.  **Gated in
+  CI** (absolute floor + committed-baseline ratio): this is the
+  registry's hot update path.
+* ``add_table`` -- add a small table next to the 10k-cell one:
+  ``with_table`` vs rebuild of both tables.  Informational.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_catalog.py                # run + print
+    PYTHONPATH=src python benchmarks/bench_catalog.py --out BENCH_catalog.json
+    PYTHONPATH=src python benchmarks/bench_catalog.py --quick \
+        --check BENCH_catalog.json            # CI: fail on >2x regression
+
+``--check`` compares each gated speedup against the committed baseline
+(floor = baseline / --factor) and additionally enforces the absolute
+>= {ABS}x acceptance floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+#: Absolute acceptance floor for the delta-vs-rebuild speedup of the
+#: gated ``append_rows`` row.
+DELTA_SPEEDUP_FLOOR = 3.0
+
+NAMES = [
+    "Microsoft", "Google", "Apple", "Facebook", "IBM", "Xerox", "Intel",
+    "Oracle", "Cisco", "Adobe", "Nvidia", "Amazon", "Netflix", "Tesla",
+    "Siemens", "Philips",
+]
+
+
+def base_rows(num_rows: int) -> List[tuple]:
+    return [
+        (f"c{r}", f"{NAMES[r % len(NAMES)]}{r}") for r in range(num_rows)
+    ]
+
+
+def appended_rows(start: int, count: int) -> List[tuple]:
+    return [
+        (f"c{r}", f"{NAMES[r % len(NAMES)]}{r}")
+        for r in range(start, start + count)
+    ]
+
+
+def force_derived(catalog: Catalog) -> None:
+    """Materialize every index either path would serve requests from."""
+    catalog.substring_index().build()
+    catalog.fingerprint()
+    for table in catalog.tables():
+        # One indexed lookup per table builds its per-column row index.
+        table.find_rows({table.columns[0]: table.rows[-1][0]})
+    # Touch the occurrence tuples of the most recent cells.
+    last = catalog.tables()[0].rows[-1]
+    for value in last:
+        catalog.occurrences_of(value)
+
+
+def built_base(num_rows: int) -> Catalog:
+    catalog = Catalog(
+        [Table("Comp", ["Id", "Name"], base_rows(num_rows), keys=[("Id",)])]
+    )
+    force_derived(catalog)
+    return catalog
+
+
+def bench_append_rows(
+    num_rows: int, appended: int, repeats: int
+) -> Dict[str, float]:
+    catalog = built_base(num_rows)
+    extra = appended_rows(num_rows, appended)
+    all_rows = base_rows(num_rows) + extra
+
+    delta_times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        snapshot = catalog.with_rows("Comp", extra)
+        force_derived(snapshot)
+        delta_times.append(time.perf_counter() - started)
+
+    rebuild_times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        rebuilt = Catalog(
+            [Table("Comp", ["Id", "Name"], all_rows, keys=[("Id",)])]
+        )
+        force_derived(rebuilt)
+        rebuild_times.append(time.perf_counter() - started)
+
+    assert snapshot.fingerprint() == rebuilt.fingerprint()
+    assert snapshot.distinct_values() == rebuilt.distinct_values()
+    delta_s = min(delta_times)
+    rebuild_s = min(rebuild_times)
+    return {
+        "cells": num_rows * 2,
+        "appended_rows": appended,
+        "delta_s": delta_s,
+        "rebuild_s": rebuild_s,
+        "speedup": rebuild_s / delta_s,
+    }
+
+
+def bench_add_table(num_rows: int, new_rows: int, repeats: int) -> Dict[str, float]:
+    catalog = built_base(num_rows)
+    extra_table_rows = [
+        (f"x{r}", f"Extra{r}") for r in range(new_rows)
+    ]
+
+    def new_table() -> Table:
+        return Table("Extra", ["Key", "Value"], extra_table_rows, keys=[("Key",)])
+
+    delta_times = []
+    for _ in range(repeats):
+        table = new_table()
+        started = time.perf_counter()
+        snapshot = catalog.with_table(table)
+        force_derived(snapshot)
+        delta_times.append(time.perf_counter() - started)
+
+    rebuild_times = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        rebuilt = Catalog(
+            [
+                Table("Comp", ["Id", "Name"], base_rows(num_rows), keys=[("Id",)]),
+                new_table(),
+            ]
+        )
+        force_derived(rebuilt)
+        rebuild_times.append(time.perf_counter() - started)
+
+    assert snapshot.fingerprint() == rebuilt.fingerprint()
+    delta_s = min(delta_times)
+    rebuild_s = min(rebuild_times)
+    return {
+        "cells": num_rows * 2,
+        "table_rows": new_rows,
+        "delta_s": delta_s,
+        "rebuild_s": rebuild_s,
+        "speedup": rebuild_s / delta_s,
+    }
+
+
+#: Rows whose ``speedup`` is floor-gated by ``--check``.
+GATED = ("append_rows",)
+
+
+def run_suite(quick: bool) -> Dict[str, Dict[str, float]]:
+    num_rows = 5_000  # x2 columns = the 10k-cell catalog
+    appended = 20
+    repeats = 3 if quick else 10
+    results: Dict[str, Dict[str, float]] = {}
+    name = "append_rows"
+    print(f"running {name}[cells={num_rows * 2},+{appended} rows] ...", flush=True)
+    results[name] = bench_append_rows(num_rows, appended, repeats)
+    name = "add_table"
+    print(f"running {name}[cells={num_rows * 2},+20-row table] ...", flush=True)
+    results[name] = bench_add_table(num_rows, 20, repeats)
+    return results
+
+
+def render(results: Dict[str, Dict[str, float]]) -> List[str]:
+    return [
+        f"{name}: delta {row['delta_s'] * 1e3:.2f}ms | rebuild "
+        f"{row['rebuild_s'] * 1e3:.1f}ms | speedup {row['speedup']:.1f}x"
+        for name, row in results.items()
+    ]
+
+
+def check_regression(
+    results: Dict[str, Dict[str, float]], baseline_path: Path, factor: float
+) -> int:
+    baseline = json.loads(baseline_path.read_text())["results"]
+    failures = []
+    for name, row in results.items():
+        if name not in GATED:
+            print(
+                f"      info  {name}: speedup {row['speedup']:.1f}x (not gated)"
+            )
+            continue
+        floors = [DELTA_SPEEDUP_FLOOR]
+        reference = baseline.get(name)
+        if reference is not None:
+            floors.append(reference["speedup"] / factor)
+        floor = max(floors)
+        status = "ok" if row["speedup"] >= floor else "REGRESSION"
+        print(
+            f"{status:>10}  {name}: speedup {row['speedup']:.1f}x "
+            f"(floor {floor:.1f}x, absolute acceptance floor "
+            f"{DELTA_SPEEDUP_FLOOR:.0f}x)"
+        )
+        if status != "ok":
+            failures.append(name)
+    if failures:
+        print(f"\nperf regression in: {', '.join(failures)}")
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes (CI smoke)")
+    parser.add_argument("--out", type=Path, help="write results JSON here")
+    parser.add_argument("--check", type=Path, help="baseline JSON to compare against")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when a gated speedup falls below baseline/factor (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.quick)
+    print()
+    for line in render(results):
+        print(line)
+
+    if args.out:
+        payload = {
+            "meta": {
+                "python": sys.version.split()[0],
+                "quick": args.quick,
+                "note": "speedups are machine-relative (same-run delta vs "
+                "rebuild); refresh with: PYTHONPATH=src python "
+                "benchmarks/bench_catalog.py --out BENCH_catalog.json",
+            },
+            "results": results,
+        }
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+
+    if args.check:
+        print()
+        return check_regression(results, args.check, args.factor)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

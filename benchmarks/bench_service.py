@@ -90,10 +90,17 @@ class Client:
             return json.loads(reply.read().decode("utf-8"))
 
     def post(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self._send("POST", path, payload)
+
+    def put(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self._send("PUT", path, payload)
+
+    def _send(self, method: str, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
         request = urllib.request.Request(
             self.base + path,
             data=json.dumps(payload).encode("utf-8"),
             headers={"Content-Type": "application/json"},
+            method=method,
         )
         with urllib.request.urlopen(request, timeout=120) as reply:
             return json.loads(reply.read().decode("utf-8"))
@@ -245,7 +252,15 @@ def check_regression(
 
 # -- smoke mode: the real `repro serve` subprocess ---------------------------
 def run_smoke() -> int:
-    """Boot ``repro serve``, hit /healthz + /learn + /fill, assert caching."""
+    """Boot ``repro serve --catalog-root``: default + lazy + uploaded catalogs.
+
+    Covers the whole multi-catalog surface end to end: the ``--table``
+    default catalog (request-cache assertion as before), a catalog
+    lazily loaded from the root directory, a second catalog uploaded
+    over HTTP (``PUT /catalogs/<name>``), a copy-on-write row append
+    (``POST /catalogs/<name>/rows``) served from the *new* snapshot,
+    and learn/fill against each.
+    """
     src = Path(__file__).resolve().parents[1] / "src"
     with tempfile.TemporaryDirectory() as tmp:
         table_csv = Path(tmp) / "Comp.csv"
@@ -253,10 +268,17 @@ def run_smoke() -> int:
             "Id,Name\nc1,Microsoft\nc2,Google\nc3,Apple\nc4,Facebook\n",
             encoding="utf-8",
         )
+        root = Path(tmp) / "catalogs"
+        (root / "geo").mkdir(parents=True)
+        (root / "geo" / "Caps.csv").write_text(
+            "Country,Capital\nFrance,Paris\nJapan,Tokyo\nChile,Santiago\n",
+            encoding="utf-8",
+        )
         process = subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "serve",
                 "--table", str(table_csv),
+                "--catalog-root", str(root),
                 "--port", "0",
                 "--store", str(Path(tmp) / "programs"),
             ],
@@ -302,7 +324,61 @@ def run_smoke() -> int:
 
             stats = client.get("/stats")
             assert stats["request_cache"]["hits"] >= 1, stats
-            print("smoke: /stats reports the cache hit -- all good")
+            print("smoke: /stats reports the cache hit")
+
+            # Lazy root catalog: learn + fill against it by name.
+            assert "geo" in health["catalogs"], health
+            learned = client.post(
+                "/learn",
+                {"examples": [[["France"], "Paris"]], "catalog": "geo"},
+            )
+            assert learned["catalog"]["name"] == "geo", learned["catalog"]
+            geo_fill = client.post(
+                "/fill",
+                {
+                    "program": learned["programs"][0]["program"],
+                    "rows": [["Chile"]],
+                    "catalog": "geo",
+                },
+            )
+            assert geo_fill["outputs"] == ["Santiago"], geo_fill
+            print("smoke: lazy --catalog-root catalog learned and filled")
+
+            # Upload a second catalog over HTTP and use it immediately.
+            put = client.put(
+                "/catalogs/uploads",
+                {
+                    "tables": [
+                        {
+                            "name": "Codes",
+                            "csv": "Code,City\nSEA,Seattle\nNYC,New York\n",
+                        }
+                    ]
+                },
+            )
+            assert put["created"] is True, put
+            uploaded = client.post(
+                "/learn",
+                {
+                    "examples": [[["SEA"], "Seattle"]],
+                    "catalog": "uploads",
+                    "save": "codes",
+                },
+            )
+            before = uploaded["catalog"]["fingerprint"]
+            appended = client.post(
+                "/catalogs/uploads/rows",
+                {"table": "Codes", "rows": [["SFO", "San Francisco"]]},
+            )
+            assert appended["fingerprint"] != before, "append kept fingerprint"
+            served = client.post(
+                "/fill", {"program": "codes", "rows": [["SFO"]]}
+            )
+            # The appended row is served from the *new* snapshot; the
+            # stored program re-resolves (its table only grew).
+            assert served["outputs"] == ["San Francisco"], served
+            print("smoke: uploaded catalog, appended rows, served new "
+                  "snapshot -- all good")
             return 0
         finally:
             process.terminate()

@@ -32,6 +32,18 @@ JSON HTTP API -- also ``repro serve`` from the shell)::
     service.fill("expand", rows)              # by name, zero synthesis
     create_server(service, port=8765).serve_forever()
 
+Many named catalogs from one process, grown copy-on-write at runtime
+(``repro serve --catalog-root DIR``; catalogs are immutable snapshots,
+so in-flight requests never see a half-updated catalog)::
+
+    from repro.service import CatalogRegistry
+
+    registry = CatalogRegistry()
+    registry.register("products", catalog)
+    service = SynthesisService(registry=registry, default_catalog="products")
+    service.learn(examples, catalog="products")
+    registry.append_rows("products", "Comp", new_rows)   # incremental reindex
+
 Sub-packages: :mod:`repro.api` (engine API: backends, results, batch),
 :mod:`repro.tables` (relational substrate, §4/§6), :mod:`repro.syntactic`
 (Ls, §5), :mod:`repro.lookup` (Lt, §4), :mod:`repro.semantic` (Lu, §5),
@@ -53,7 +65,13 @@ from repro.api import (
 from repro.config import DEFAULT_CONFIG, RankingWeights, SynthesisConfig
 from repro.engine import Program, SynthesisSession, paraphrase, synthesize
 from repro.exceptions import (
+    CatalogRegistryError,
+    DuplicateColumnError,
+    DuplicateTableError,
+    EmptyCatalogError,
+    FrozenCatalogError,
     InconsistentExampleError,
+    MissingColumnsError,
     MissingTablesError,
     NoExamplesError,
     NoProgramFoundError,
@@ -61,21 +79,29 @@ from repro.exceptions import (
     ReproError,
     SerializationError,
     ServiceError,
+    StaleProgramError,
     SynthesisError,
     TableError,
     UnknownBackendError,
+    UnknownCatalogError,
     UnknownProgramError,
 )
 from repro.tables import Catalog, Table
 from repro.tables.background import background_catalog, background_table
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Catalog",
+    "CatalogRegistryError",
     "DEFAULT_CONFIG",
+    "DuplicateColumnError",
+    "DuplicateTableError",
+    "EmptyCatalogError",
+    "FrozenCatalogError",
     "InconsistentExampleError",
     "LanguageBackend",
+    "MissingColumnsError",
     "MissingTablesError",
     "NoExamplesError",
     "NoProgramFoundError",
@@ -86,6 +112,7 @@ __all__ = [
     "ReproError",
     "SerializationError",
     "ServiceError",
+    "StaleProgramError",
     "SynthesisConfig",
     "SynthesisResult",
     "SynthesisSession",
@@ -95,6 +122,7 @@ __all__ = [
     "Table",
     "TableError",
     "UnknownBackendError",
+    "UnknownCatalogError",
     "UnknownProgramError",
     "available_backends",
     "background_catalog",

@@ -133,12 +133,24 @@ class Synthesizer:
         config: SynthesisConfig = DEFAULT_CONFIG,
     ) -> None:
         self.language = resolve_backend_name(language)
-        merged = Catalog(catalog.tables() if catalog is not None else [])
-        if background is not None:
-            names = None if background == "all" else list(background)
-            merged = merged.merged_with(background_catalog(names))
-        merged.use_table_index = config.use_table_index
-        self.catalog = merged
+        if (
+            catalog is not None
+            and catalog.frozen
+            and background is None
+            and catalog.use_table_index == config.use_table_index
+        ):
+            # A frozen snapshot is immutable, so the engine can serve it
+            # directly -- no defensive copy, and (crucially for the
+            # registry's copy-on-write updates) its incrementally
+            # maintained indexes are reused instead of rebuilt.
+            self.catalog = catalog
+        else:
+            merged = Catalog(catalog.tables() if catalog is not None else [])
+            if background is not None:
+                names = None if background == "all" else list(background)
+                merged = merged.merged_with(background_catalog(names))
+            merged.use_table_index = config.use_table_index
+            self.catalog = merged
         self.config = config
         self._catalog_picklable: Optional[bool] = None
         self._backend: LanguageBackend = create_backend(

@@ -5,7 +5,12 @@ Subcommand usage::
     repro learn --table Comp.csv --examples examples.csv \\
                 [--fill pending.csv] [--save program.json] [--top 3]
     repro fill  --program program.json --rows pending.csv [--table Comp.csv]
-    repro serve --table Comp.csv [--store programs/] [--port 8765]
+    repro serve --table Comp.csv [--store programs/] [--port 8765] \\
+                [--catalog-root catalogs/]
+    repro catalog list   --root catalogs/
+    repro catalog show   --root catalogs/ NAME
+    repro catalog add    --root catalogs/ NAME TABLE.csv [TABLE.csv ...]
+    repro catalog append --root catalogs/ NAME TABLE ROWS.csv
 
 ``learn`` synthesizes from ``examples.csv`` (one example per row: all
 columns but the last are inputs, the last is the output), optionally
@@ -14,8 +19,13 @@ and persists the learned program as JSON with ``--save``.  ``fill``
 applies a previously saved program with zero synthesis cost -- the
 cache-then-serve workflow.  ``serve`` keeps the whole loop resident: a
 threaded JSON HTTP API (``POST /learn``, ``POST /fill``,
-``GET /programs``, ``GET /healthz``, ``GET /stats``) with an LRU
-request cache and an optional on-disk program store.
+``GET /programs``, ``GET /healthz``, ``GET /stats``, plus the
+``/catalogs`` registry endpoints) with an LRU request cache and an
+optional on-disk program store; ``--catalog-root DIR`` serves many
+named catalogs, lazily loaded from ``DIR/<name>/*.csv``.  ``catalog``
+manages such a root from the shell: ``list``/``show`` inspect it,
+``add`` creates a catalog from CSVs, ``append`` grows a table's rows
+(validated through the same table layer the server uses).
 
 The original flag-only invocation (``repro --examples ... [--fill ...]``)
 still works and behaves like ``learn``.  ``--language`` selects a
@@ -35,12 +45,12 @@ from typing import List, Optional, Sequence
 from repro.api.engine import Synthesizer
 from repro.api.registry import available_backends
 from repro.engine.program import Program
-from repro.exceptions import MissingTablesError, ReproError
+from repro.exceptions import MissingColumnsError, MissingTablesError, ReproError
 from repro.tables.background import background_catalog
 from repro.tables.catalog import Catalog
 from repro.tables.io import load_table_csv
 
-SUBCOMMANDS = ("learn", "fill", "serve")
+SUBCOMMANDS = ("learn", "fill", "serve", "catalog")
 
 
 def _add_catalog_options(parser: argparse.ArgumentParser) -> None:
@@ -165,6 +175,18 @@ def build_serve_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
         help="program store directory (enables named save/serve and GET /programs)",
     )
     parser.add_argument(
+        "--catalog-root",
+        metavar="DIR",
+        help="serve named catalogs lazily loaded from DIR/<name>/*.csv "
+        "(see 'repro catalog'); --table CSVs become the 'default' catalog",
+    )
+    parser.add_argument(
+        "--default-catalog",
+        default="default",
+        metavar="NAME",
+        help="catalog served to requests that do not name one (default: default)",
+    )
+    parser.add_argument(
         "--cache-size",
         type=int,
         default=256,
@@ -176,6 +198,44 @@ def build_serve_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
         action="store_true",
         help="log each HTTP request to stderr",
     )
+    return parser
+
+
+def build_catalog_parser(prog: str = "repro catalog") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Manage a catalog root: a directory of named catalogs, "
+        "each a folder of CSV tables (what 'repro serve --catalog-root' "
+        "lazily loads).",
+    )
+    commands = parser.add_subparsers(dest="action", required=True)
+
+    listing = commands.add_parser("list", help="list catalogs in the root")
+    listing.add_argument("--root", required=True, metavar="DIR")
+
+    show = commands.add_parser("show", help="tables, schema and fingerprint")
+    show.add_argument("--root", required=True, metavar="DIR")
+    show.add_argument("name", metavar="CATALOG")
+
+    add = commands.add_parser("add", help="create a catalog from CSV tables")
+    add.add_argument("--root", required=True, metavar="DIR")
+    add.add_argument("name", metavar="CATALOG")
+    add.add_argument("tables", nargs="+", metavar="CSV")
+
+    append = commands.add_parser("append", help="append rows to one table")
+    append.add_argument("--root", required=True, metavar="DIR")
+    append.add_argument(
+        "--header",
+        choices=("auto", "present", "absent"),
+        default="auto",
+        help="whether ROWS_CSV starts with a header row: 'present' requires "
+        "one (and checks it against the table's columns), 'absent' treats "
+        "every row as data, 'auto' (default) strips the first row only when "
+        "it exactly equals the column names -- and says so on stderr",
+    )
+    append.add_argument("name", metavar="CATALOG")
+    append.add_argument("table", metavar="TABLE")
+    append.add_argument("rows", metavar="ROWS_CSV")
     return parser
 
 
@@ -283,6 +343,9 @@ def _cmd_fill(argv: Sequence[str]) -> int:
         missing = program.missing_tables(catalog)
         if missing:
             raise MissingTablesError(missing)
+        missing_columns = program.missing_columns(catalog)
+        if missing_columns:
+            raise MissingColumnsError(missing_columns)
         _fill_and_print(program, _read_rows(args.rows, keep_blank=True))
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -293,15 +356,31 @@ def _cmd_fill(argv: Sequence[str]) -> int:
 def _cmd_serve(argv: Sequence[str]) -> int:
     args = build_serve_parser().parse_args(argv)
     try:
-        from repro.service import ProgramStore, SynthesisService, create_server
+        from repro.service import (
+            CatalogRegistry,
+            ProgramStore,
+            SynthesisService,
+            create_server,
+        )
 
         store = ProgramStore(args.store) if args.store else None
+        registry = (
+            CatalogRegistry(root=args.catalog_root)
+            if args.catalog_root
+            else None
+        )
+        # Only --table/--background CSVs register a default catalog here;
+        # otherwise the default resolves through the registry (a root
+        # directory may lazily provide it).
+        catalog = _load_catalog(args) if args.table else None
         service = SynthesisService(
-            catalog=_load_catalog(args),
+            catalog=catalog,
             language=args.language,
             background=args.background or None,
             store=store,
             cache_size=max(1, args.cache_size),
+            registry=registry,
+            default_catalog=args.default_catalog,
         )
         server = create_server(
             service, host=args.host, port=args.port, quiet=not args.verbose
@@ -322,6 +401,114 @@ def _cmd_serve(argv: Sequence[str]) -> int:
     return 0
 
 
+def _cmd_catalog(argv: Sequence[str]) -> int:
+    args = build_catalog_parser().parse_args(argv)
+    try:
+        from repro.service.registry import CatalogRegistry
+        from repro.tables.io import save_table_csv
+
+        root = Path(args.root)
+        if args.action == "list":
+            registry = CatalogRegistry(root=root)
+            names = registry.names()
+            if not names:
+                print(f"no catalogs under {root}")
+                return 0
+            for name in names:
+                count = len(list((root / name).glob("*.csv")))
+                print(f"{name}: {count} table{'s' if count != 1 else ''}")
+            return 0
+
+        if args.action == "show":
+            registry = CatalogRegistry(root=root)
+            info = registry.describe(args.name)
+            print(f"catalog: {info['name']}")
+            print(f"fingerprint: {info['fingerprint']}")
+            print(f"entries: {info['entries']}")
+            for table in info["tables"]:
+                keys = ", ".join("+".join(key) for key in table["keys"])
+                print(
+                    f"  {table['name']}: {table['num_rows']} rows x "
+                    f"{len(table['columns'])} columns "
+                    f"({', '.join(table['columns'])}) keys: {keys}"
+                )
+            return 0
+
+        if args.action == "add":
+            CatalogRegistry.check_name(args.name)
+            # Validate every CSV through the table layer (duplicate
+            # headers, ragged rows, duplicate table names) before the
+            # first file is written -- no partial catalogs on failure.
+            tables = [load_table_csv(Path(path)) for path in args.tables]
+            seen = {}
+            for table in tables:
+                if table.name in seen:
+                    raise ReproError(
+                        f"two CSVs would both create table {table.name!r}"
+                    )
+                seen[table.name] = table
+            directory = root / args.name
+            existing = (
+                {path.stem for path in directory.glob("*.csv")}
+                if directory.is_dir()
+                else set()
+            )
+            clashes = sorted(existing & set(seen))
+            if clashes:
+                raise ReproError(
+                    f"catalog {args.name!r} already has table(s): "
+                    + ", ".join(clashes)
+                    + " (use 'repro catalog append' to grow them)"
+                )
+            directory.mkdir(parents=True, exist_ok=True)
+            for table in tables:
+                save_table_csv(table, directory / f"{table.name}.csv")
+                print(f"added {args.name}/{table.name}: {table.num_rows} rows")
+            return 0
+
+        # append
+        registry = CatalogRegistry(root=root)
+        snapshot = registry.get(args.name)
+        table = snapshot.table(args.table)
+        rows = _read_rows(args.rows)
+        if args.header == "present":
+            if not rows:
+                raise ReproError(f"{args.rows} is empty (expected a header)")
+            header, rows = rows[0], rows[1:]
+            if tuple(header) != table.columns:
+                raise ReproError(
+                    f"ROWS_CSV header {header} does not match table "
+                    f"{args.table!r} columns {list(table.columns)}"
+                )
+        elif args.header == "auto" and rows and tuple(rows[0]) == table.columns:
+            # Never drop data silently: the sniff is convenient for
+            # csv-with-header workflows, but a first row that merely
+            # *looks* like the header could be data -- say what happened
+            # and point at the explicit switch.
+            rows = rows[1:]
+            print(
+                f"note: first row of {args.rows} equals the column names; "
+                "treating it as a header (use --header absent to append it "
+                "as data)",
+                file=sys.stderr,
+            )
+        if not rows:
+            raise ReproError(f"no rows to append in {args.rows}")
+        updated = registry.append_rows(args.name, args.table, rows)
+        extended = updated.table(args.table)
+        save_table_csv(extended, root / args.name / f"{args.table}.csv")
+        print(
+            f"appended {len(rows)} row{'s' if len(rows) != 1 else ''} to "
+            f"{args.name}/{args.table} "
+            f"({table.num_rows} -> {extended.num_rows} rows)"
+        )
+        print(f"fingerprint: {updated.fingerprint()}")
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "learn":
@@ -330,6 +517,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_fill(argv[1:])
     if argv and argv[0] == "serve":
         return _cmd_serve(argv[1:])
+    if argv and argv[0] == "catalog":
+        return _cmd_catalog(argv[1:])
     # Historical flag-only invocation: behave exactly like `learn`.
     return _cmd_learn(argv, prog="repro")
 

@@ -109,6 +109,29 @@ class Program:
             return required
         return tuple(name for name in required if name not in catalog)
 
+    def required_columns(self) -> Tuple[Tuple[str, str], ...]:
+        """``(table, column)`` pairs the expression reads, sorted."""
+        from repro.lookup.extract import expression_columns
+
+        return tuple(sorted(expression_columns(self.expr)))
+
+    def missing_columns(self, catalog: Optional[Catalog]) -> Tuple[str, ...]:
+        """``"Table.Column"`` names whose table is present but column gone.
+
+        Tables absent entirely are :meth:`missing_tables`' business;
+        this reports the subtler schema drift where the table survived
+        but lost (or renamed) a column the program looks up.
+        """
+        if catalog is None:
+            return ()
+        missing = []
+        for table_name, column in self.required_columns():
+            if table_name not in catalog:
+                continue
+            if not catalog.table(table_name).has_column(column):
+                missing.append(f"{table_name}.{column}")
+        return tuple(missing)
+
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly payload for caching/serving (no catalog inside).

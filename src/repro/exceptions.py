@@ -20,6 +20,52 @@ class KeyConstraintError(TableError):
     """A declared candidate key does not uniquely identify rows."""
 
 
+class DuplicateTableError(TableError):
+    """A table was added under a name the catalog already holds."""
+
+    def __init__(self, catalog: "str | None", table: str) -> None:
+        where = f"catalog {catalog!r}" if catalog else "catalog"
+        super().__init__(
+            f"{where} already contains a table named {table!r}"
+        )
+        self.catalog = catalog
+        self.table = table
+
+
+class DuplicateColumnError(TableError):
+    """A table header declares the same column name twice.
+
+    ``positions`` are 1-based header positions, the way a user counts
+    CSV columns.
+    """
+
+    def __init__(self, table: str, column: str, positions: "tuple | list") -> None:
+        where = " and ".join(f"position {p}" for p in positions)
+        super().__init__(
+            f"table {table!r} has a duplicate column {column!r} ({where})"
+        )
+        self.table = table
+        self.column = column
+        self.positions = tuple(positions)
+
+
+class FrozenCatalogError(TableError):
+    """In-place mutation was attempted on a frozen catalog snapshot.
+
+    Registry-owned catalogs are frozen: grow them copy-on-write with
+    :meth:`Catalog.with_table` / :meth:`Table.extended` (or through the
+    registry), never in place -- in-flight requests may be reading the
+    snapshot.
+    """
+
+    def __init__(self, operation: str) -> None:
+        super().__init__(
+            f"catalog snapshot is frozen: {operation} would mutate state "
+            "an in-flight request may be reading; use Catalog.with_table() "
+            "(copy-on-write) or the registry update operations instead"
+        )
+
+
 class UnknownTableError(TableError):
     """A lookup referenced a table that is not in the catalog."""
 
@@ -65,6 +111,26 @@ class NoExamplesError(SynthesisError):
         )
 
 
+class EmptyCatalogError(SynthesisError):
+    """A catalog-backed learn was requested against a zero-table catalog.
+
+    The lookup and semantic languages transform strings *relative to a
+    catalog of tables*; with no tables there is nothing to look up and
+    the deep generators would otherwise fail obscurely.  Purely
+    syntactic backends are unaffected.
+    """
+
+    def __init__(self, language: str, catalog_name: "str | None" = None) -> None:
+        where = f"catalog {catalog_name!r}" if catalog_name else "the catalog"
+        super().__init__(
+            f"cannot learn {language!r} programs against an empty catalog: "
+            f"{where} has no tables (add tables first, or use the "
+            "'syntactic' backend for table-free transformations)"
+        )
+        self.language = language
+        self.catalog_name = catalog_name
+
+
 class UnknownBackendError(ReproError, ValueError):
     """A language backend name is not in the registry.
 
@@ -108,6 +174,47 @@ class UnknownProgramError(ProgramStoreError):
         self.version = version
 
 
+class CatalogRegistryError(ServiceError):
+    """A catalog-registry operation failed (bad name, unknown catalog...)."""
+
+
+class UnknownCatalogError(CatalogRegistryError):
+    """A request referenced a catalog name that is not registered."""
+
+    def __init__(self, name: str, available: "tuple | list" = ()) -> None:
+        known = ", ".join(sorted(available)) or "none registered"
+        super().__init__(f"unknown catalog: {name!r} (available: {known})")
+        self.name = name
+        self.available = tuple(available)
+
+
+class StaleProgramError(ServiceError):
+    """A stored program's catalog moved on in ways the program can see.
+
+    Raised when a fill resolves a stored artifact whose recorded catalog
+    fingerprint no longer matches the serving catalog *and* at least one
+    table the program actually looks up changed or disappeared.  Appends
+    and unrelated tables re-resolve silently; this error means the data
+    under the program's feet really moved.  ``changes`` is a tuple of
+    human-readable descriptions, one per offending table.
+    """
+
+    def __init__(
+        self,
+        program: str,
+        catalog: str,
+        changes: "tuple | list",
+    ) -> None:
+        super().__init__(
+            f"stored program {program!r} was learned against a different "
+            f"version of catalog {catalog!r}: " + "; ".join(changes)
+            + " (re-learn the program, or fill against the original catalog)"
+        )
+        self.program = program
+        self.catalog = catalog
+        self.changes = tuple(changes)
+
+
 class MissingTablesError(ServiceError):
     """A program needs catalog tables the serving environment did not load."""
 
@@ -117,5 +224,24 @@ class MissingTablesError(ServiceError):
             "program requires tables not in the catalog: "
             + ", ".join(names)
             + " (supply them with --table / the service catalog)"
+        )
+        self.missing = names
+
+
+class MissingColumnsError(ServiceError):
+    """The serving catalog's tables lost columns a program references.
+
+    ``missing`` holds sorted ``"Table.Column"`` names -- the table exists
+    but no longer carries the column, so every lookup through it would
+    fail deep inside evaluation; refuse up front instead.
+    """
+
+    def __init__(self, missing: "tuple | list") -> None:
+        names = tuple(sorted(missing))
+        super().__init__(
+            "program references columns missing from the catalog tables: "
+            + ", ".join(names)
+            + " (the tables exist but their schema changed; re-learn the "
+            "program against the current catalog)"
         )
         self.missing = names

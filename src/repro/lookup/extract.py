@@ -49,6 +49,31 @@ def expression_tables(expr: Expression) -> Set[str]:
     return set()
 
 
+def expression_columns(expr: Expression) -> Set[Tuple[str, str]]:
+    """``(table, column)`` pairs ``expr`` reads: Select outputs and keys.
+
+    The serving layer validates these against the catalog before running
+    a stored program, so a table that *exists* but lost a referenced
+    column is refused up front instead of failing mid-evaluation.
+    """
+    if isinstance(expr, Select):
+        columns: Set[Tuple[str, str]] = {(expr.table, expr.column)}
+        for key_column, sub in expr.predicates:
+            columns.add((expr.table, key_column))
+            columns |= expression_columns(sub)
+        return columns
+    parts = getattr(expr, "parts", None)
+    if parts is not None:
+        columns = set()
+        for part in parts:
+            columns |= expression_columns(part)
+        return columns
+    source = getattr(expr, "source", None)
+    if source is not None:
+        return expression_columns(source)
+    return set()
+
+
 class Extractor:
     """Budget-bounded best-expression DP over a node store."""
 

@@ -12,7 +12,20 @@ clients -- the paper's interactive loop kept alive between requests::
     server = create_server(service, port=8765)  # POST /learn, POST /fill,
     server.serve_forever()                      # GET /programs|/healthz|/stats
 
-``repro serve`` wires the same stack up from the command line.  Modules:
+Many named catalogs, updated copy-on-write at runtime (old snapshots
+stay valid for in-flight requests; every cache is keyed by content
+fingerprint)::
+
+    registry = CatalogRegistry()                # or CatalogRegistry(root=DIR)
+    registry.register("products", [comp_table])
+    service = SynthesisService(registry=registry, default_catalog="products")
+    service.learn(examples, catalog="products")
+    registry.append_rows("products", "Comp", new_rows)   # copy-on-write
+    service.fill(payload, rows, catalog="products")      # new snapshot
+
+``repro serve`` wires the same stack up from the command line
+(``--catalog-root DIR`` for lazy multi-catalog serving).  Modules:
+:mod:`repro.service.registry` (named frozen catalog snapshots),
 :mod:`repro.service.store` (named, versioned ``Program.to_dict``
 artifacts), :mod:`repro.service.service` (the thread-safe facade and its
 LRU request cache), :mod:`repro.service.http` (the stdlib
@@ -24,6 +37,7 @@ from repro.service.http import (
     SynthesisHTTPServer,
     create_server,
 )
+from repro.service.registry import DEFAULT_CATALOG, CatalogRegistry
 from repro.service.service import (
     CACHE_HIT,
     CACHE_MISS,
@@ -36,6 +50,8 @@ from repro.service.store import ProgramStore, StoredProgram, parse_program_ref
 __all__ = [
     "CACHE_HIT",
     "CACHE_MISS",
+    "CatalogRegistry",
+    "DEFAULT_CATALOG",
     "LearnReply",
     "ProgramStore",
     "RequestCache",

@@ -1,47 +1,77 @@
 """Stdlib JSON HTTP front end over :class:`SynthesisService`.
 
 A ``ThreadingHTTPServer`` (one thread per connection, no dependencies
-beyond the standard library) exposing the interactive loop as five
-endpoints::
+beyond the standard library) exposing the interactive loop and the
+multi-catalog registry::
 
     POST /learn     {"examples": [[["in1", ...], "out"], ...],
-                     "k"?: int, "save"?: "name", "metadata"?: {...}}
+                     "k"?: int, "save"?: "name", "metadata"?: {...},
+                     "catalog"?: "name"}
                  -> SynthesisResult.to_dict() + {"cache": "hit"|"miss",
+                                                 "catalog": {...},
                                                  "saved"?: {...}}
     POST /fill      {"program": "name" | "name@version" | <payload dict>,
-                     "rows": [[...], ...]}
+                     "rows": [[...], ...], "catalog"?: "name"}
                  -> {"outputs": [...], "rows": N}
+    GET  /catalogs  -> {"catalogs": [{"name", "loaded", ...}]}
+    GET  /catalogs/<name>          -> tables, fingerprint, entries
+    PUT  /catalogs/<name>          {"tables": [table spec, ...]}
+                 -> register/replace the whole catalog
+    POST /catalogs/<name>/tables   <table spec JSON>  |  raw CSV body
+                                   (Content-Type: text/csv, ?name=T)
+                 -> copy-on-write: add one table
+    POST /catalogs/<name>/rows     {"table": "T", "rows": [[...], ...]}
+                 -> copy-on-write: append rows (incremental reindex)
     GET  /programs  -> {"programs": [store listing]}
     GET  /healthz   -> {"status": "ok", ...}
     GET  /stats     -> SynthesisService.stats()
 
-Error mapping: malformed requests -> 400, unknown routes/programs ->
-404, synthesis failures (no consistent program, empty examples...) ->
-422, everything unexpected -> 500; every error body is
-``{"error": message}``.  Responses are UTF-8 JSON with Content-Length,
-so HTTP/1.1 keep-alive works for benchmark clients.
+A *table spec* is ``{"name": "T", "columns": [...], "rows": [[...]],
+"keys"?: [[col, ...], ...]}`` or ``{"name": "T", "csv": "a,b\\n1,2\\n"}``.
+
+Error mapping: malformed requests -> 400, unknown routes / programs /
+catalogs -> 404, duplicate tables and stale stored programs -> 409,
+synthesis failures (no consistent program, empty examples, empty
+catalog...) -> 422, everything unexpected -> 500.  Every error body is
+``{"error": message}`` plus structured fields when the exception
+carries them (offending ``table`` / ``column`` / header ``positions`` /
+``missing`` names / staleness ``changes``).  Responses are UTF-8 JSON
+with Content-Length, so HTTP/1.1 keep-alive works for benchmark
+clients.
 """
 
 from __future__ import annotations
 
 import json
 import traceback
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import __version__
 from repro.exceptions import (
+    DuplicateTableError,
     ProgramStoreError,
     ReproError,
     SerializationError,
     ServiceError,
+    StaleProgramError,
     SynthesisError,
+    TableError,
+    UnknownCatalogError,
     UnknownProgramError,
 )
 from repro.service.service import SynthesisService
+from repro.tables.io import table_from_csv_text
+from repro.tables.table import Table
 
 #: Upper bound on request bodies (spreadsheet columns, not uploads).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Exception attributes copied into error bodies when present -- the
+#: structured half of the error contract (message + machine-readable
+#: fields naming exactly what went wrong).
+_ERROR_FIELDS = ("table", "column", "positions", "missing", "changes", "program")
 
 
 class BadRequest(ServiceError):
@@ -76,7 +106,7 @@ def _parse_examples(raw: Any) -> Tuple[Tuple[Tuple[str, ...], str], ...]:
     return tuple(examples)
 
 
-def _parse_rows(raw: Any) -> list:
+def _parse_rows(raw: Any, what: str = "row") -> list:
     if not isinstance(raw, list):
         raise BadRequest("rows must be a list of rows (each a list of strings)")
     rows = []
@@ -84,9 +114,46 @@ def _parse_rows(raw: Any) -> list:
         if not isinstance(row, (list, tuple)) or not all(
             isinstance(cell, str) for cell in row
         ):
-            raise BadRequest(f"row {index} must be a list of strings")
+            raise BadRequest(f"{what} {index} must be a list of strings")
         rows.append(list(row))
     return rows
+
+
+def _parse_catalog_field(body: Dict[str, Any]) -> Optional[str]:
+    catalog = body.get("catalog")
+    if catalog is not None and not isinstance(catalog, str):
+        raise BadRequest("catalog must be a catalog name string")
+    return catalog
+
+
+def _parse_table_spec(spec: Any) -> Table:
+    """Build a :class:`Table` from a JSON table spec (see module doc)."""
+    if not isinstance(spec, dict):
+        raise BadRequest(
+            "table spec must be an object with name + columns/rows or csv"
+        )
+    name = spec.get("name")
+    if not isinstance(name, str) or not name:
+        raise BadRequest("table spec needs a non-empty 'name' string")
+    keys = spec.get("keys")
+    if keys is not None:
+        keys = _parse_rows(keys, what="key")
+        if not keys:
+            raise BadRequest("keys, when given, must be a non-empty list")
+    csv_text = spec.get("csv")
+    if csv_text is not None:
+        if not isinstance(csv_text, str):
+            raise BadRequest("csv must be a string of CSV text")
+        if "columns" in spec or "rows" in spec:
+            raise BadRequest("give either csv or columns+rows, not both")
+        return table_from_csv_text(name, csv_text, keys=keys)
+    columns = spec.get("columns")
+    if not isinstance(columns, list) or not all(
+        isinstance(column, str) for column in columns
+    ):
+        raise BadRequest("table spec needs 'columns': a list of strings")
+    rows = _parse_rows(_require(spec, "rows"))
+    return Table(name, columns, rows, keys=keys)
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -120,10 +187,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error_json(
+        self, status: int, message: str, error: Optional[BaseException] = None
+    ) -> None:
+        payload: Dict[str, Any] = {"error": message}
+        if error is not None:
+            for field in _ERROR_FIELDS:
+                value = getattr(error, field, None)
+                if value is None:
+                    continue
+                payload[field] = list(value) if isinstance(value, tuple) else value
+            if isinstance(error, UnknownCatalogError):
+                payload["catalog"] = error.name
+            elif isinstance(error, (DuplicateTableError, StaleProgramError)):
+                if error.catalog is not None:
+                    payload["catalog"] = error.catalog
+        self._send_json(status, payload)
 
-    def _read_body(self) -> Dict[str, Any]:
+    def _read_bytes(self) -> bytes:
         try:
             length = int(self.headers.get("Content-Length") or 0)
         except ValueError:
@@ -136,9 +217,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             # the connection after responding.
             self.close_connection = True
             if length <= 0:
-                raise BadRequest("request needs a JSON body (Content-Length missing)")
+                raise BadRequest("request needs a body (Content-Length missing)")
             raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
+        return self.rfile.read(length)
+
+    def _read_body(self) -> Dict[str, Any]:
+        raw = self._read_bytes()
         try:
             body = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -147,46 +231,92 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise BadRequest("JSON body must be an object")
         return body
 
+    def _read_text_body(self) -> str:
+        try:
+            return self._read_bytes().decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise BadRequest(f"body is not valid UTF-8: {error}") from None
+
     def _dispatch(self, handler) -> None:
         try:
             status, payload = handler()
         except BadRequest as error:
-            self._send_error_json(400, str(error))
-        except (UnknownProgramError,) as error:
-            self._send_error_json(404, str(error))
+            self._send_error_json(400, str(error), error)
+        except (UnknownProgramError, UnknownCatalogError) as error:
+            self._send_error_json(404, str(error), error)
+        except (DuplicateTableError, StaleProgramError) as error:
+            self._send_error_json(409, str(error), error)
         except SynthesisError as error:
-            self._send_error_json(422, str(error))
-        except (ProgramStoreError, SerializationError, ServiceError, ReproError) as error:
-            self._send_error_json(400, str(error))
+            self._send_error_json(422, str(error), error)
+        except (
+            TableError,
+            ProgramStoreError,
+            SerializationError,
+            ServiceError,
+            ReproError,
+        ) as error:
+            self._send_error_json(400, str(error), error)
         except Exception as error:  # noqa: BLE001 -- the server must not die
             traceback.print_exc()
             self._send_error_json(500, f"internal error: {error}")
         else:
             self._send_json(status, payload)
 
+    def _split_path(self) -> Tuple[str, Dict[str, str]]:
+        parsed = urllib.parse.urlsplit(self.path)
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        return parsed.path.rstrip("/"), query
+
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _ = self._split_path()
+        path = path or "/"
         if path == "/healthz":
             self._dispatch(self._get_healthz)
         elif path == "/stats":
             self._dispatch(self._get_stats)
         elif path == "/programs":
             self._dispatch(self._get_programs)
+        elif path == "/catalogs":
+            self._dispatch(self._get_catalogs)
+        elif path.startswith("/catalogs/"):
+            name = path[len("/catalogs/") :]
+            if "/" in name:
+                self._send_error_json(404, f"no such endpoint: GET {path}")
+            else:
+                self._dispatch(lambda: self._get_catalog(name))
         else:
             self._send_error_json(404, f"no such endpoint: GET {path}")
 
     def do_POST(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
-        path = self.path.split("?", 1)[0].rstrip("/")
+        path, query = self._split_path()
         if path == "/learn":
             self._dispatch(self._post_learn)
         elif path == "/fill":
             self._dispatch(self._post_fill)
+        elif path.startswith("/catalogs/") and path.endswith("/tables"):
+            name = path[len("/catalogs/") : -len("/tables")]
+            self._dispatch(lambda: self._post_catalog_table(name, query))
+        elif path.startswith("/catalogs/") and path.endswith("/rows"):
+            name = path[len("/catalogs/") : -len("/rows")]
+            self._dispatch(lambda: self._post_catalog_rows(name))
         else:
             # The request body is never read on this branch; keep-alive
-            # would parse it as the next request line (see _read_body).
+            # would parse it as the next request line (see _read_bytes).
             self.close_connection = True
             self._send_error_json(404, f"no such endpoint: POST {path}")
+
+    def do_PUT(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
+        path, _ = self._split_path()
+        if path.startswith("/catalogs/") and "/" not in path[len("/catalogs/") :]:
+            name = path[len("/catalogs/") :]
+            self._dispatch(lambda: self._put_catalog(name))
+        else:
+            self.close_connection = True
+            self._send_error_json(404, f"no such endpoint: PUT {path}")
 
     # -- endpoint bodies ----------------------------------------------
     def _get_healthz(self) -> Tuple[int, Dict[str, Any]]:
@@ -196,6 +326,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "version": __version__,
             "language": service.engine.language,
             "tables": service.engine.catalog.table_names(),
+            "default_catalog": service.default_catalog,
+            "catalogs": service.registry.names(),
             "store": service.store is not None,
         }
 
@@ -204,6 +336,72 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _get_programs(self) -> Tuple[int, Dict[str, Any]]:
         return 200, {"programs": self.service.list_programs()}
+
+    def _get_catalogs(self) -> Tuple[int, Dict[str, Any]]:
+        registry = self.service.registry
+        loaded = set(registry.loaded_names())
+        catalogs: List[Dict[str, Any]] = []
+        for name in registry.names():
+            if name in loaded:
+                entry = dict(registry.describe(name))
+                # The listing stays cheap: table summaries live under
+                # GET /catalogs/<name>.
+                entry["tables"] = [table["name"] for table in entry["tables"]]
+                entry["loaded"] = True
+            else:
+                entry = {"name": name, "loaded": False}
+            catalogs.append(entry)
+        return 200, {"catalogs": catalogs}
+
+    def _get_catalog(self, name: str) -> Tuple[int, Dict[str, Any]]:
+        return 200, self.service.registry.describe(name)
+
+    def _put_catalog(self, name: str) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_body()
+        specs = _require(body, "tables")
+        if not isinstance(specs, list):
+            raise BadRequest("tables must be a list of table specs")
+        tables = [_parse_table_spec(spec) for spec in specs]
+        registry = self.service.registry
+        existed = name in registry
+        registry.register(name, tables)
+        payload = registry.describe(name)
+        payload["created"] = not existed
+        return 200, payload
+
+    def _post_catalog_table(
+        self, name: str, query: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        content_type = (self.headers.get("Content-Type") or "").lower()
+        if "csv" in content_type:
+            table_name = query.get("name") or query.get("table")
+            if not table_name:
+                raise BadRequest(
+                    "CSV table uploads need the table name in the query "
+                    "string: POST /catalogs/<catalog>/tables?name=<table>"
+                )
+            table = table_from_csv_text(table_name, self._read_text_body())
+        else:
+            table = _parse_table_spec(self._read_body())
+        registry = self.service.registry
+        registry.add_table(name, table)
+        payload = registry.describe(name)
+        payload["added"] = table.name
+        return 200, payload
+
+    def _post_catalog_rows(self, name: str) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_body()
+        table_name = _require(body, "table")
+        if not isinstance(table_name, str):
+            raise BadRequest("table must be a table name string")
+        rows = _parse_rows(_require(body, "rows"))
+        if not rows:
+            raise BadRequest("rows must be a non-empty list of rows")
+        registry = self.service.registry
+        registry.append_rows(name, table_name, rows)
+        payload = registry.describe(name)
+        payload["appended"] = {"table": table_name, "rows": len(rows)}
+        return 200, payload
 
     def _post_learn(self) -> Tuple[int, Dict[str, Any]]:
         body = self._read_body()
@@ -217,9 +415,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         metadata = body.get("metadata")
         if metadata is not None and not isinstance(metadata, dict):
             raise BadRequest("metadata must be an object")
-        reply = self.service.learn(examples, k=k, save_as=save_as, metadata=metadata)
+        catalog = _parse_catalog_field(body)
+        reply = self.service.learn(
+            examples, k=k, save_as=save_as, metadata=metadata, catalog=catalog
+        )
         payload = reply.result.to_dict()
         payload["cache"] = reply.cache_status
+        # The exact snapshot this request ran against: the consistency
+        # witness under concurrent catalog updates.
+        payload["catalog"] = {
+            "name": reply.catalog_name,
+            "fingerprint": reply.catalog_fingerprint,
+        }
         if reply.stored is not None:
             # The exact version this request saved (or deduped onto) --
             # under concurrent saves, not necessarily the store's newest.
@@ -237,7 +444,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "program must be a store reference string or a payload object"
             )
         rows = _parse_rows(_require(body, "rows"))
-        outputs = self.service.fill(program, rows)
+        catalog = _parse_catalog_field(body)
+        outputs = self.service.fill(program, rows, catalog=catalog)
         return 200, {"outputs": outputs, "rows": len(outputs)}
 
 

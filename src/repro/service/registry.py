@@ -1,0 +1,261 @@
+"""Named catalog snapshots with copy-on-write runtime updates.
+
+The paper learns transformations *relative to a catalog of lookup
+tables*; a long-running service must serve many named catalogs and let
+them grow while requests are in flight.  :class:`CatalogRegistry` is the
+multi-tenant substrate:
+
+* every registered catalog is a **frozen snapshot**
+  (:meth:`~repro.tables.catalog.Catalog.freeze`) -- in-place mutation is
+  impossible, so a request that grabbed a snapshot keeps computing
+  against exactly the tables it saw;
+* updates are **copy-on-write**: :meth:`add_table` / :meth:`append_rows`
+  derive a new snapshot through
+  :meth:`~repro.tables.catalog.Catalog.with_table` (which patches the
+  value/occurrence/substring indexes incrementally) and swap the name to
+  it atomically under the registry lock.  Old snapshots stay valid until
+  their last reader lets go;
+* reads are keyed by **fingerprint**: a snapshot's
+  :meth:`~repro.tables.catalog.Catalog.fingerprint` changes with its
+  content, so result caches keyed on it can never serve stale data --
+  a concurrent learn sees either the old or the new fingerprint, never
+  a torn mix.
+
+A registry may be backed by a **catalog root** directory
+(``repro serve --catalog-root DIR``)::
+
+    <root>/
+        products/
+            Comp.csv
+            Regions.csv
+        customers/
+            Accounts.csv
+
+Catalogs load lazily on first use (one table per CSV, file stem = table
+name, files in sorted order).  HTTP/registry updates are in-memory only;
+the directory is a load source, not a write-through store.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.exceptions import (
+    CatalogRegistryError,
+    DuplicateTableError,
+    UnknownCatalogError,
+)
+from repro.tables.catalog import Catalog
+from repro.tables.io import load_table_csv
+from repro.tables.table import Table
+
+#: Catalog names must be safe as directory names on every platform.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: The catalog name used when a caller does not pick one.
+DEFAULT_CATALOG = "default"
+
+
+class CatalogRegistry:
+    """A thread-safe map of catalog name -> frozen catalog snapshot.
+
+    >>> registry = CatalogRegistry()
+    >>> _ = registry.register("demo", [Table("T", ["a"], [("x",)])])
+    >>> registry.get("demo").table_names()
+    ['T']
+    >>> _ = registry.append_rows("demo", "T", [("y",)])
+    >>> registry.get("demo").table("T").num_rows
+    2
+    """
+
+    def __init__(self, root: Union[None, str, Path] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._lock = threading.RLock()
+        self._catalogs: Dict[str, Catalog] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def check_name(name: str) -> str:
+        """Validate a catalog name (raises :class:`CatalogRegistryError`)."""
+        if not _NAME_PATTERN.match(name):
+            raise CatalogRegistryError(
+                f"bad catalog name {name!r}: use 1-64 characters from "
+                "[A-Za-z0-9._-], starting with a letter or digit"
+            )
+        return name
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            if name in self._catalogs:
+                return True
+        return self._root_dir(name) is not None
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def names(self) -> List[str]:
+        """All catalog names: registered plus loadable from the root."""
+        with self._lock:
+            known = set(self._catalogs)
+        if self.root is not None and self.root.is_dir():
+            for entry in self.root.iterdir():
+                if (
+                    entry.is_dir()
+                    and _NAME_PATTERN.match(entry.name)
+                    and any(entry.glob("*.csv"))
+                ):
+                    known.add(entry.name)
+        return sorted(known)
+
+    def loaded_names(self) -> List[str]:
+        """Names of catalogs materialized in memory (root dirs may lag)."""
+        with self._lock:
+            return sorted(self._catalogs)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Catalog:
+        """The current frozen snapshot for ``name``.
+
+        Unknown names try the catalog root (lazy CSV loading) before
+        raising :class:`UnknownCatalogError`.  The returned snapshot is
+        immutable: hold it for as long as a consistent view is needed.
+        """
+        self.check_name(name)
+        with self._lock:
+            catalog = self._catalogs.get(name)
+        if catalog is not None:
+            return catalog
+        directory = self._root_dir(name)
+        if directory is None:
+            raise UnknownCatalogError(name, self.names())
+        # Load outside the lock -- disk I/O and index building must not
+        # stall requests for unrelated catalogs.  If someone else loaded
+        # (or registered) the name meanwhile, theirs wins: one snapshot
+        # identity per name at a time.
+        loaded = Catalog(
+            [load_table_csv(path) for path in sorted(directory.glob("*.csv"))]
+        ).freeze()
+        with self._lock:
+            catalog = self._catalogs.get(name)
+            if catalog is not None:
+                return catalog
+            self._catalogs[name] = loaded
+            return loaded
+
+    def register(
+        self, name: str, catalog: Union[Catalog, Iterable[Table]]
+    ) -> Catalog:
+        """Register (or replace) ``name`` with a snapshot of ``catalog``.
+
+        A :class:`Catalog` argument is frozen in place (the caller must
+        not mutate it afterwards -- that is the point); an iterable of
+        tables builds a fresh catalog.  Returns the stored snapshot.
+        """
+        self.check_name(name)
+        if not isinstance(catalog, Catalog):
+            catalog = Catalog(catalog)
+        with self._lock:
+            return self._store(name, catalog)
+
+    def add_table(self, name: str, table: Table, create: bool = True) -> Catalog:
+        """Copy-on-write: a new snapshot of ``name`` with ``table`` added.
+
+        ``create=True`` (default) registers an empty catalog first when
+        ``name`` is unknown -- uploading the first table *is* creating
+        the catalog.  A table name already present raises
+        :class:`DuplicateTableError` (use :meth:`append_rows` to grow an
+        existing table, or :meth:`register` to replace wholesale).
+        """
+
+        def derive(snapshot: Optional[Catalog]) -> Catalog:
+            if snapshot is None:
+                if not create:
+                    raise UnknownCatalogError(name, self.names())
+                snapshot = Catalog([])
+            if table.name in snapshot:
+                raise DuplicateTableError(name, table.name)
+            return snapshot.with_table(table)
+
+        return self._update(name, derive)
+
+    def append_rows(
+        self, name: str, table_name: str, rows: Sequence[Sequence[str]]
+    ) -> Catalog:
+        """Copy-on-write: a new snapshot with ``rows`` appended.
+
+        The appended table's indexes are patched, not rebuilt (see
+        :meth:`Table.extended` / :meth:`Catalog.with_table`); raises
+        :class:`UnknownTableError` when ``table_name`` is not in the
+        catalog and the table layer's errors for malformed rows.
+        """
+
+        def derive(snapshot: Optional[Catalog]) -> Catalog:
+            if snapshot is None:
+                raise UnknownCatalogError(name, self.names())
+            return snapshot.with_rows(table_name, rows)
+
+        return self._update(name, derive)
+
+    def _update(self, name: str, derive) -> Catalog:
+        """Derive-outside, compare-and-swap-inside update loop.
+
+        The expensive part (copy-on-write reindexing, or a root load
+        inside :meth:`get`) runs without the registry lock; the swap
+        only lands if the name still maps to the snapshot the derivation
+        started from, otherwise the update replays against the winner --
+        so concurrent updates compose instead of losing rows, and
+        readers of other catalogs never wait behind a reindex.
+        """
+        self.check_name(name)
+        while True:
+            try:
+                parent: Optional[Catalog] = self.get(name)
+            except UnknownCatalogError:
+                parent = None
+            derived = derive(parent).freeze()
+            with self._lock:
+                current = self._catalogs.get(name)
+                if current is parent:  # both None on the create path
+                    self._catalogs[name] = derived
+                    return derived
+            # Lost the race: somebody swapped the name; replay on theirs.
+
+    def describe(self, name: str) -> Dict[str, object]:
+        """A JSON-friendly summary of the current snapshot of ``name``."""
+        snapshot = self.get(name)
+        return {
+            "name": name,
+            "fingerprint": snapshot.fingerprint(),
+            "entries": snapshot.total_entries,
+            "tables": [
+                {
+                    "name": table.name,
+                    "columns": list(table.columns),
+                    "num_rows": table.num_rows,
+                    "keys": [list(key) for key in table.keys],
+                }
+                for table in snapshot.tables()
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    def _store(self, name: str, catalog: Catalog) -> Catalog:
+        catalog.freeze()
+        with self._lock:
+            self._catalogs[name] = catalog
+        return catalog
+
+    def _root_dir(self, name: str) -> Optional[Path]:
+        if self.root is None or not _NAME_PATTERN.match(name):
+            return None
+        directory = self.root / name
+        if directory.is_dir() and any(directory.glob("*.csv")):
+            return directory
+        return None
+
+    def __repr__(self) -> str:
+        root = f", root={str(self.root)!r}" if self.root is not None else ""
+        return f"CatalogRegistry({self.names()!r}{root})"

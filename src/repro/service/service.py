@@ -1,30 +1,42 @@
-"""The thread-safe synthesis service: request cache + store + serving rules.
+"""The thread-safe synthesis service: registry + request cache + store.
 
 :class:`SynthesisService` is the facade a long-running server (or any
 embedding application) talks to instead of a bare
 :class:`~repro.api.engine.Synthesizer`:
 
+* **Catalog registry.**  The service serves *named* catalogs through a
+  :class:`~repro.service.registry.CatalogRegistry`: every request names
+  a catalog (default ``"default"``), catalogs are frozen snapshots
+  updated copy-on-write at runtime, and the service keeps one engine
+  per catalog, rebuilt (cheaply -- snapshots share incrementally
+  maintained indexes) when the snapshot moves on.  A request holds one
+  snapshot end to end, so it sees either the old or the new catalog,
+  never a torn mix.
 * **Request cache.**  ``learn`` requests are memoized in an LRU keyed by
   ``(catalog fingerprint, config signature, language, examples
   signature, k)`` -- all stable content digests, so a repeated request
   is served without re-synthesis and two services over equal catalogs
-  agree on keys.  Hit/miss/eviction stats follow the discipline of the
-  engine's memo stats (``hits``/``misses``/``evictions``/``entries``/
-  ``limit``).
+  agree on keys.  Because the fingerprint is part of the key, a catalog
+  update can never serve a stale entry.  Hit/miss/eviction stats follow
+  the discipline of the engine's memo stats.
 * **Program store.**  Learned programs can be persisted by name through
   an attached :class:`~repro.service.store.ProgramStore` and served
-  later by ``name`` / ``name@version`` reference.
+  later by ``name`` / ``name@version`` reference.  Artifacts record the
+  catalog name + fingerprint (plus per-required-table data digests)
+  they were learned against; ``fill`` re-resolves silently when the
+  catalog merely grew, and refuses with a
+  :class:`~repro.exceptions.StaleProgramError` listing exactly what
+  changed when a required table was removed, re-schema'd or rewritten.
 * **Serving rules.**  ``fill`` preserves blank rows as empty outputs
   (so outputs align 1:1 with input rows -- the CSV/CLI rule), reports
   arity mismatches as clean per-row errors, and refuses up front (with
-  the offending table names) to run a program whose lookup tables are
-  missing from the serving catalog.
+  the offending names) to run a program whose lookup tables or columns
+  are missing from the serving catalog.
 
-Everything here is safe for concurrent use: the cache takes a lock, the
-engine itself is already thread-safe (``run_batch``'s default executor
-exercises it concurrently), and results are immutable once cached --
-so a cache hit returns the *same* result object, byte-identical to the
-cold call.
+Everything here is safe for concurrent use: the cache and registry take
+locks, catalogs are immutable snapshots, and results are immutable once
+cached -- so a cache hit returns the *same* result object,
+byte-identical to the cold call.
 """
 
 from __future__ import annotations
@@ -39,8 +51,18 @@ from repro.api.engine import Synthesizer, TaskLike
 from repro.api.result import SynthesisResult, as_task
 from repro.config import DEFAULT_CONFIG, SynthesisConfig
 from repro.engine.program import Program
-from repro.exceptions import MissingTablesError, ServiceError
+from repro.exceptions import (
+    EmptyCatalogError,
+    MissingColumnsError,
+    MissingTablesError,
+    ProgramStoreError,
+    SerializationError,
+    ServiceError,
+    StaleProgramError,
+)
+from repro.service.registry import DEFAULT_CATALOG, CatalogRegistry
 from repro.service.store import ProgramStore, StoredProgram, parse_program_ref
+from repro.tables.background import background_catalog
 from repro.tables.catalog import Catalog
 
 #: Cache-status tags returned by :meth:`SynthesisService.learn`.
@@ -58,12 +80,17 @@ class LearnReply:
     Unpacks as ``(result, cache_status)`` for the common case (like
     :class:`~repro.api.result.RankedProgram`'s tuple-style unpacking);
     ``stored`` carries the exact :class:`StoredProgram` this request
-    saved (or deduped onto) when ``save_as`` was given.
+    saved (or deduped onto) when ``save_as`` was given.  ``catalog_name``
+    and ``catalog_fingerprint`` identify the exact snapshot the request
+    ran against -- under concurrent registry updates this is the
+    consistency witness (old or new, never torn).
     """
 
     result: SynthesisResult
     cache_status: str
     stored: Optional[StoredProgram] = None
+    catalog_name: Optional[str] = None
+    catalog_fingerprint: Optional[str] = None
 
     def __iter__(self) -> Iterator:
         yield self.result
@@ -132,15 +159,23 @@ class RequestCache:
 
 
 class SynthesisService:
-    """Learn-and-serve facade over one catalog, backend and config.
+    """Learn-and-serve facade over named catalogs, one backend and config.
 
     Args:
-        catalog: the serving catalog (tables every request runs against).
+        catalog: the default serving catalog (registered under
+            ``default_catalog``; frozen by registration -- grow it
+            through the registry, not in place).
         language: registered backend name or alias (as ``Synthesizer``).
-        background: §6 background table names to merge (or ``"all"``).
+        background: §6 background table names to merge into the default
+            catalog (or ``"all"``).
         config: synthesis/ranking knobs.
         store: optional :class:`ProgramStore` for named persistence.
         cache_size: LRU capacity of the learn request cache.
+        registry: a :class:`CatalogRegistry` to serve from (one is
+            created when omitted); pass a root-backed registry for lazy
+            CSV loading (``repro serve --catalog-root``).
+        default_catalog: the catalog name used by requests that do not
+            pick one.
     """
 
     def __init__(
@@ -151,13 +186,33 @@ class SynthesisService:
         config: SynthesisConfig = DEFAULT_CONFIG,
         store: Optional[ProgramStore] = None,
         cache_size: int = 256,
+        registry: Optional[CatalogRegistry] = None,
+        default_catalog: str = DEFAULT_CATALOG,
     ) -> None:
-        self.engine = Synthesizer(
-            catalog=catalog, language=language, background=background, config=config
-        )
+        self.registry = registry if registry is not None else CatalogRegistry()
+        self.default_catalog = CatalogRegistry.check_name(default_catalog)
+        if catalog is not None or background is not None:
+            merged = catalog if catalog is not None else Catalog([])
+            if background is not None:
+                names = None if background == "all" else list(background)
+                merged = merged.merged_with(background_catalog(names))
+            self.registry.register(self.default_catalog, merged)
+        elif self.default_catalog not in self.registry:
+            # No default data anywhere (constructor or registry root):
+            # an empty catalog keeps `service.engine` well-defined.
+            self.registry.register(self.default_catalog, Catalog([]))
+        self.language = language
+        self.config = config
         self.store = store
         self.cache = RequestCache(cache_size)
         self.started_at = time.time()
+        # name -> (registry snapshot the engine was built for, engine).
+        # Keyed on the *snapshot* identity, not engine.catalog: with
+        # configs the engine cannot share a frozen snapshot with (e.g.
+        # use_table_index=False, the oracle), engine.catalog is a copy
+        # and comparing it would rebuild the engine on every request.
+        self._engines: Dict[str, Tuple[Catalog, Synthesizer]] = {}
+        self._engines_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._learn_requests = 0
         self._fill_requests = 0
@@ -169,18 +224,59 @@ class SynthesisService:
         self._inflight: Dict[Tuple, threading.Event] = {}
 
     # ------------------------------------------------------------------
-    def cache_key(self, task: TaskLike, k: int = 1) -> Tuple:
+    def engine_for(self, catalog: Optional[str] = None) -> Synthesizer:
+        """The engine serving ``catalog`` (default catalog when ``None``).
+
+        Engines are cached per catalog name and swapped when the
+        registry snapshot moves on; the swap is cheap because a frozen
+        snapshot is shared with the engine (no index rebuild).  The
+        returned engine's ``catalog`` attribute *is* the snapshot it
+        will use for every call -- hold the engine to hold the snapshot.
+        """
+        name = catalog if catalog is not None else self.default_catalog
+        snapshot = self.registry.get(name)
+        with self._engines_lock:
+            cached = self._engines.get(name)
+            if cached is not None and cached[0] is snapshot:
+                return cached[1]
+        # Construct outside the lock: with configs that cannot share a
+        # frozen snapshot, Synthesizer copies and re-indexes the whole
+        # catalog -- one tenant's rebuild must not stall every other
+        # tenant's cache hits.  On a race the first insert wins (both
+        # engines are equivalent; the loser is garbage).
+        engine = Synthesizer(
+            catalog=snapshot, language=self.language, config=self.config
+        )
+        with self._engines_lock:
+            cached = self._engines.get(name)
+            if cached is not None and cached[0] is snapshot:
+                return cached[1]
+            self._engines[name] = (snapshot, engine)
+            return engine
+
+    @property
+    def engine(self) -> Synthesizer:
+        """The default catalog's engine (single-catalog compatibility)."""
+        return self.engine_for(None)
+
+    def cache_key(
+        self, task: TaskLike, k: int = 1, catalog: Optional[str] = None
+    ) -> Tuple:
         """The request-cache key for ``task`` (stable across processes).
 
-        The catalog fingerprint is read live (``Catalog.fingerprint`` is
-        itself cached and invalidated by ``Catalog.add``), so a caller
-        that mutates the engine's catalog gets fresh keys instead of
-        stale cached results.
+        Keyed on the named snapshot's content fingerprint, so a registry
+        update (new fingerprint) makes fresh keys and stale cached
+        results are unreachable -- and two catalogs holding equal tables
+        share entries, which is sound because results only depend on
+        content.
         """
+        return self._cache_key(self.engine_for(catalog), task, k)
+
+    def _cache_key(self, engine: Synthesizer, task: TaskLike, k: int) -> Tuple:
         return (
-            self.engine.catalog.fingerprint(),
+            engine.catalog.fingerprint(),
             self._config_key,
-            self.engine.language,
+            engine.language,
             as_task(task).signature(),
             max(1, k),
         )
@@ -191,23 +287,41 @@ class SynthesisService:
         k: int = 1,
         save_as: Optional[str] = None,
         metadata: Optional[Dict[str, Any]] = None,
+        catalog: Optional[str] = None,
     ) -> LearnReply:
-        """Solve ``task`` (or serve it from the request cache).
+        """Solve ``task`` against a named catalog (or serve it cached).
 
         Returns a :class:`LearnReply` -- unpackable as ``(result,
         cache_status)`` where ``cache_status`` is :data:`CACHE_HIT` or
         :data:`CACHE_MISS`.  A hit returns the same immutable result
-        object the cold call produced.  ``save_as`` persists the
-        top-ranked program to the attached store (deduped: an unchanged
-        program does not grow a new version -- see :meth:`save_program`);
-        ``reply.stored`` is the exact version this request ended up with.
+        object the cold call produced.  The whole request runs against
+        one frozen snapshot (grabbed once, up front), so concurrent
+        registry updates can never produce a torn read.  ``save_as``
+        persists the top-ranked program to the attached store (deduped:
+        an unchanged program learned against an unchanged catalog does
+        not grow a new version); ``reply.stored`` is the exact version
+        this request ended up with.
         """
         if save_as is not None:
             # Fail fast (no store / bad name) before paying for synthesis.
             self.validate_save_target(save_as)
+        engine = self.engine_for(catalog)
+        if len(engine.catalog) == 0 and getattr(
+            engine.backend, "requires_catalog", True
+        ):
+            # A catalog-backed learn against a zero-table catalog is a
+            # tenant error at this layer (no tables were uploaded yet);
+            # refuse with a typed error naming the catalog instead of
+            # silently degrading to table-free programs.  (The bare
+            # Synthesizer stays permissive -- the paper's Lu subsumes
+            # the syntactic language, empty catalog included.)
+            raise EmptyCatalogError(
+                self.language,
+                catalog if catalog is not None else self.default_catalog,
+            )
         with self._counter_lock:
             self._learn_requests += 1
-        key = self.cache_key(task, k)
+        key = self._cache_key(engine, task, k)
         # Internal lookups don't record stats; exactly one hit-or-miss is
         # counted per request below, matching the cache_status the caller
         # sees (so hits + misses == learn_requests even under races).
@@ -215,19 +329,32 @@ class SynthesisService:
         status = CACHE_HIT
         if result is None:
             try:
-                result, status = self._learn_cold(key, task, k)
+                result, status = self._learn_cold(engine, key, task, k)
             except Exception:
                 # A failed synthesis was still a miss; keep the invariant.
                 self.cache.record(False)
                 raise
         self.cache.record(status == CACHE_HIT)
+        name = catalog if catalog is not None else self.default_catalog
         stored = None
         if save_as is not None:
-            stored = self.save_program(save_as, result.program, metadata=metadata)
-        return LearnReply(result=result, cache_status=status, stored=stored)
+            stored = self.save_program(
+                save_as,
+                result.program,
+                metadata=metadata,
+                catalog_name=name,
+                snapshot=engine.catalog,
+            )
+        return LearnReply(
+            result=result,
+            cache_status=status,
+            stored=stored,
+            catalog_name=name,
+            catalog_fingerprint=engine.catalog.fingerprint(),
+        )
 
     def _learn_cold(
-        self, key: Tuple, task: TaskLike, k: int
+        self, engine: Synthesizer, key: Tuple, task: TaskLike, k: int
     ) -> Tuple[SynthesisResult, str]:
         """Synthesize on a cache miss, single-flight per key.
 
@@ -237,7 +364,8 @@ class SynthesisService:
         Only a registered leader ever synthesizes (and only it pops its
         own in-flight event), so a leader failure wakes the followers,
         who loop: one re-registers as the next leader, the rest wait on
-        the new event.
+        the new event.  (The key pins the snapshot fingerprint, so every
+        request sharing a key computes against identical tables.)
         """
         while True:
             with self._inflight_lock:
@@ -256,7 +384,7 @@ class SynthesisService:
                 result = self.cache.get(key, record=False)
                 if result is not None:
                     return result, CACHE_HIT
-                result = self.engine.synthesize(task, k=max(1, k))
+                result = engine.synthesize(task, k=max(1, k))
                 self.cache.put(key, result)
                 return result, CACHE_MISS
             finally:
@@ -275,57 +403,189 @@ class SynthesisService:
             )
         ProgramStore.check_name(name)
 
+    def _catalog_provenance(
+        self, program: Program, catalog_name: str, snapshot: Catalog
+    ) -> Dict[str, Any]:
+        """The artifact block recording what the program was learned on."""
+        tables: Dict[str, Any] = {}
+        for table_name in program.required_tables():
+            if table_name not in snapshot:
+                continue
+            table = snapshot.table(table_name)
+            tables[table_name] = {
+                "data_fingerprint": table.data_fingerprint(),
+                "num_rows": table.num_rows,
+                "columns": list(table.columns),
+            }
+        return {
+            "name": catalog_name,
+            "fingerprint": snapshot.fingerprint(),
+            "tables": tables,
+        }
+
     def save_program(
         self,
         name: str,
         program: Program,
         metadata: Optional[Dict[str, Any]] = None,
+        catalog_name: Optional[str] = None,
+        snapshot: Optional[Catalog] = None,
     ) -> StoredProgram:
         """Persist ``program`` under ``name``; dedupe unchanged saves.
 
         Delegates to :meth:`ProgramStore.save_if_changed` (atomic under
         the store lock): an idempotent client retrying the same
         learn+save request does not grow the store, and version numbers
-        keep meaning "something changed".  New metadata on an unchanged
-        program does write a new version.  (``ProgramStore.save`` is the
-        always-write primitive.)
+        keep meaning "something changed".  New metadata -- or a changed
+        catalog -- on an unchanged program does write a new version.
+        When ``snapshot`` is given the artifact records catalog
+        provenance (name, fingerprint, per-required-table data digests)
+        used by :meth:`fill`'s staleness check.
         """
         self.validate_save_target(name)
         assert self.store is not None  # validate_save_target guarantees it
-        return self.store.save_if_changed(name, program, metadata=metadata)
+        catalog_info = None
+        if snapshot is not None:
+            catalog_info = self._catalog_provenance(
+                program, catalog_name or self.default_catalog, snapshot
+            )
+        return self.store.save_if_changed(
+            name, program, metadata=metadata, catalog_info=catalog_info
+        )
 
-    def resolve_program(self, program: ProgramLike) -> Program:
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _staleness_changes(
+        provenance: Dict[str, Any], snapshot: Catalog
+    ) -> List[str]:
+        """What moved under a stored program's feet, human-readably.
+
+        Empty means every required table is intact as a prefix of the
+        current data (same columns, original rows unchanged -- appended
+        rows are fine), so the program may re-resolve silently.
+        """
+        changes: List[str] = []
+        for table_name, info in sorted(provenance.get("tables", {}).items()):
+            if table_name not in snapshot:
+                changes.append(f"table {table_name!r} was removed")
+                continue
+            table = snapshot.table(table_name)
+            recorded_columns = info.get("columns")
+            if recorded_columns is not None and list(table.columns) != list(
+                recorded_columns
+            ):
+                changes.append(
+                    f"table {table_name!r} columns changed "
+                    f"({recorded_columns} -> {list(table.columns)})"
+                )
+                continue
+            recorded_rows = info.get("num_rows")
+            if recorded_rows is not None and table.num_rows < recorded_rows:
+                changes.append(
+                    f"table {table_name!r} lost rows "
+                    f"({recorded_rows} -> {table.num_rows})"
+                )
+                continue
+            recorded_digest = info.get("data_fingerprint")
+            if (
+                recorded_digest is not None
+                and table.data_fingerprint(recorded_rows) != recorded_digest
+            ):
+                changes.append(
+                    f"table {table_name!r} rows 1..{recorded_rows} were "
+                    "rewritten"
+                )
+        return changes
+
+    def resolve_program(
+        self, program: ProgramLike, catalog: Optional[str] = None
+    ) -> Program:
         """Coerce a program reference into a runnable :class:`Program`.
 
         Accepts a live :class:`Program`, a serialized payload dict
         (``Program.to_dict`` form), or a store reference string
-        (``"name"`` / ``"name@version"``).  The result is validated
-        against the serving catalog: missing lookup tables raise
-        :class:`MissingTablesError` *before* any row is run.
+        (``"name"`` / ``"name@version"``).  Store references carry
+        catalog provenance: when no ``catalog`` is named explicitly, the
+        artifact's recorded catalog serves (falling back to the default
+        catalog if that name is gone), and when the catalog has moved on
+        the program either re-resolves (tables only grew) or raises
+        :class:`StaleProgramError` listing exactly what changed.  The
+        result is validated against the serving snapshot: missing lookup
+        tables or columns raise *before* any row is run.
         """
-        if isinstance(program, Program):
-            resolved = program
-        elif isinstance(program, dict):
-            resolved = Program.from_dict(program, catalog=self.engine.catalog)
-        elif isinstance(program, str):
+        if not isinstance(program, (Program, dict, str)):
+            raise ServiceError(
+                f"bad program reference of type {type(program).__name__}"
+            )
+        reference = None
+        stored = None
+        if isinstance(program, str):
             if self.store is None:
                 raise ServiceError(
                     f"cannot resolve program reference {program!r}: "
                     "no program store attached"
                 )
             name, version = parse_program_ref(program)
-            resolved = self.store.load(name, version, catalog=self.engine.catalog)
+            reference = program
+            stored = self.store.get(name, version)
+
+        serving_name = catalog
+        provenance = stored.catalog_info if stored is not None else None
+        if serving_name is None and provenance is not None:
+            recorded = provenance.get("name")
+            if isinstance(recorded, str) and recorded in self.registry:
+                serving_name = recorded
+        snapshot = self.engine_for(serving_name).catalog
+
+        if isinstance(program, Program):
+            resolved = program
+            if catalog is not None and resolved.catalog is not None:
+                # An explicitly named catalog must actually serve: rebind
+                # the live program to the requested snapshot instead of
+                # silently running against whatever it was learned on.
+                resolved = Program(
+                    resolved.expr,
+                    snapshot,
+                    resolved.language,
+                    resolved.num_inputs,
+                )
+        elif isinstance(program, dict):
+            resolved = Program.from_dict(program, catalog=snapshot)
         else:
-            raise ServiceError(
-                f"bad program reference of type {type(program).__name__}"
-            )
+            assert stored is not None
+            try:
+                resolved = stored.program(catalog=snapshot)
+            except SerializationError as error:
+                raise ProgramStoreError(
+                    f"artifact for {stored.name!r} v{stored.version} is not "
+                    f"a valid program: {error}"
+                ) from None
+            if (
+                provenance is not None
+                and provenance.get("fingerprint") != snapshot.fingerprint()
+            ):
+                changes = self._staleness_changes(provenance, snapshot)
+                if changes:
+                    raise StaleProgramError(
+                        reference or stored.name,
+                        serving_name
+                        or provenance.get("name")
+                        or self.default_catalog,
+                        changes,
+                    )
         missing = resolved.missing_tables(resolved.catalog)
         if missing:
             raise MissingTablesError(missing)
+        missing_columns = resolved.missing_columns(resolved.catalog)
+        if missing_columns:
+            raise MissingColumnsError(missing_columns)
         return resolved
 
     def fill(
-        self, program: ProgramLike, rows: RowsLike
+        self,
+        program: ProgramLike,
+        rows: RowsLike,
+        catalog: Optional[str] = None,
     ) -> List[Optional[str]]:
         """Run ``program`` over ``rows``, one output per input row.
 
@@ -335,9 +595,11 @@ class SynthesisService:
         rows, a row the program is *undefined* on (the paper's ⊥)
         yields ``None`` (JSON ``null`` over HTTP; the CSV-bound CLI
         renders it as an empty cell), and arity mismatches become a
-        clean :class:`ServiceError` naming the 1-based row.
+        clean :class:`ServiceError` naming the 1-based row.  ``catalog``
+        picks the serving catalog; store references default to the
+        catalog they were learned against (see :meth:`resolve_program`).
         """
-        resolved = self.resolve_program(program)
+        resolved = self.resolve_program(program, catalog=catalog)
         try:
             outputs = resolved.fill_aligned(rows)
         except ValueError as error:
@@ -369,14 +631,25 @@ class SynthesisService:
                 "fill_requests": self._fill_requests,
                 "rows_filled": self._rows_filled,
             }
+        default_snapshot = self.engine.catalog
+        catalogs = {}
+        for name in self.registry.loaded_names():
+            snapshot = self.registry.get(name)
+            catalogs[name] = {
+                "tables": snapshot.table_names(),
+                "entries": snapshot.total_entries,
+                "fingerprint": snapshot.fingerprint(),
+            }
         return {
             "uptime_seconds": time.time() - self.started_at,
             "language": self.engine.language,
             "catalog": {
-                "tables": self.engine.catalog.table_names(),
-                "entries": self.engine.catalog.total_entries,
-                "fingerprint": self.engine.catalog.fingerprint(),
+                "tables": default_snapshot.table_names(),
+                "entries": default_snapshot.total_entries,
+                "fingerprint": default_snapshot.fingerprint(),
             },
+            "default_catalog": self.default_catalog,
+            "catalogs": catalogs,
             "requests": counters,
             "request_cache": self.cache.stats(),
             "store": {

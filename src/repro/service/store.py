@@ -75,6 +75,18 @@ class StoredProgram:
         return self.payload.get("store", {}).get("saved_at")
 
     @property
+    def catalog_info(self) -> Optional[Dict[str, Any]]:
+        """The catalog provenance block recorded at save time (or None).
+
+        ``{"name": ..., "fingerprint": ..., "tables": {table: {
+        "data_fingerprint", "num_rows", "columns"}}}`` -- the tables
+        block covers the program's *required* tables only, which is what
+        the serving layer's staleness check needs.
+        """
+        info = self.payload.get("store", {}).get("catalog")
+        return dict(info) if isinstance(info, dict) else None
+
+    @property
     def language(self) -> Optional[str]:
         return self.payload.get("language")
 
@@ -88,6 +100,7 @@ class StoredProgram:
 
     def summary(self) -> Dict[str, Any]:
         """JSON-friendly listing entry (no expression payload)."""
+        info = self.catalog_info
         return {
             "name": self.name,
             "version": self.version,
@@ -96,6 +109,9 @@ class StoredProgram:
             "source": self.source,
             "saved_at": self.saved_at,
             "metadata": self.metadata,
+            "catalog": None
+            if info is None
+            else {"name": info.get("name"), "fingerprint": info.get("fingerprint")},
         }
 
 
@@ -154,13 +170,16 @@ class ProgramStore:
         name: str,
         program: Program,
         metadata: Optional[Dict[str, Any]] = None,
+        catalog_info: Optional[Dict[str, Any]] = None,
     ) -> StoredProgram:
         """Persist ``program`` as the next version of ``name``.
 
         The artifact is ``program.to_dict()`` with a ``store`` block
-        (name, version, wall-clock ``saved_at``, caller ``metadata``)
-        added; :meth:`Program.from_dict` ignores the extra key, so the
-        file stays a plain program artifact.
+        (name, version, wall-clock ``saved_at``, caller ``metadata``,
+        optional ``catalog`` provenance -- see
+        :attr:`StoredProgram.catalog_info`) added;
+        :meth:`Program.from_dict` ignores the extra key, so the file
+        stays a plain program artifact.
         """
         payload = program.to_dict()
         with self._lock:
@@ -180,6 +199,8 @@ class ProgramStore:
                     "saved_at": time.time(),
                     "metadata": dict(metadata or {}),
                 }
+                if catalog_info is not None:
+                    payload["store"]["catalog"] = dict(catalog_info)
                 text = json.dumps(payload, indent=2, ensure_ascii=False) + "\n"
                 path = directory / f"v{version:04d}.json"
                 handle = tempfile.NamedTemporaryFile(
@@ -218,6 +239,7 @@ class ProgramStore:
         name: str,
         program: Program,
         metadata: Optional[Dict[str, Any]] = None,
+        catalog_info: Optional[Dict[str, Any]] = None,
     ) -> StoredProgram:
         """Like :meth:`save`, but dedupe unchanged saves (atomically).
 
@@ -227,7 +249,11 @@ class ProgramStore:
         program payload and the caller's ``metadata`` is absent or
         identical (compared after a JSON round-trip, matching what disk
         storage does to it); new metadata on an unchanged program writes
-        a new version -- metadata is versioned with its artifact.
+        a new version -- metadata is versioned with its artifact.  The
+        same rule applies to catalog provenance: an identical program
+        re-learned against a *changed* catalog writes a new version, so
+        the recorded provenance always describes tables the program was
+        actually validated against.
         """
         with self._lock:
             payload = program.to_dict()
@@ -248,9 +274,23 @@ class ProgramStore:
                     if metadata is None
                     else json.loads(json.dumps(dict(metadata)))
                 )
-                if unchanged and (normalized is None or normalized == latest.metadata):
+                normalized_info = (
+                    None
+                    if catalog_info is None
+                    else json.loads(json.dumps(dict(catalog_info)))
+                )
+                if (
+                    unchanged
+                    and (normalized is None or normalized == latest.metadata)
+                    and (
+                        normalized_info is None
+                        or normalized_info == latest.catalog_info
+                    )
+                ):
                     return latest
-            return self.save(name, program, metadata=metadata)
+            return self.save(
+                name, program, metadata=metadata, catalog_info=catalog_info
+            )
 
     def _read_artifact(self, name: str, version: int, path: Path) -> StoredProgram:
         try:

@@ -13,7 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.exceptions import TableError, UnknownTableError
+from repro.exceptions import (
+    DuplicateTableError,
+    FrozenCatalogError,
+    UnknownTableError,
+)
 from repro.tables.substring_index import SubstringIndex
 from repro.tables.table import Table
 
@@ -33,6 +37,16 @@ class Occurrence:
 class Catalog:
     """A named, ordered collection of :class:`Table` objects.
 
+    Catalogs come in two flavors.  A freshly constructed catalog is
+    *mutable*: :meth:`add` is the construction-time way to grow it.  A
+    *frozen* catalog (see :meth:`freeze` and :meth:`with_table`) is an
+    immutable snapshot -- ``add`` raises, and growth happens
+    copy-on-write through :meth:`with_table`, which patches the value /
+    occurrence / substring indexes incrementally instead of rebuilding
+    them.  The registry and the serving layer deal exclusively in frozen
+    snapshots, so an in-flight request can never observe a half-updated
+    catalog.
+
     >>> catalog = Catalog([Table("T", ["a", "b"], [("1", "x")])])
     >>> catalog.occurrences_of("x")
     (Occurrence(table='T', column='b', row=0),)
@@ -46,6 +60,7 @@ class Catalog:
         self._distinct_cache: Optional[Tuple[str, ...]] = None
         self._substring_index: Optional[SubstringIndex] = None
         self._fingerprint: Optional[str] = None
+        self._frozen: bool = False
         #: Serve ``Select`` evaluations against this catalog from the
         #: tables' inverted value indexes.  ``Synthesizer`` sets it from
         #: ``SynthesisConfig.use_table_index``; False selects the naive
@@ -55,9 +70,33 @@ class Catalog:
             self.add(table)
 
     # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether this catalog is an immutable snapshot."""
+        return self._frozen
+
+    def freeze(self) -> "Catalog":
+        """Make this catalog an immutable snapshot (idempotent).
+
+        From here on :meth:`add`/:meth:`extend` raise
+        :class:`FrozenCatalogError`; grow with :meth:`with_table`.
+        Freezing is what makes sharing safe: engines may serve a frozen
+        catalog directly (no defensive copy) and copy-on-write children
+        may share its index structures.
+        """
+        self._frozen = True
+        return self
+
     def add(self, table: Table) -> None:
+        """Add ``table`` in place -- construction-time only.
+
+        On a frozen snapshot this raises :class:`FrozenCatalogError`;
+        use :meth:`with_table` to derive a new snapshot instead.
+        """
+        if self._frozen:
+            raise FrozenCatalogError(f"add({table.name!r})")
         if table.name in self._tables:
-            raise TableError(f"catalog already contains a table named {table.name!r}")
+            raise DuplicateTableError(None, table.name)
         self._tables[table.name] = table
         self._order.append(table.name)
         for row_number, row in enumerate(table.rows):
@@ -81,6 +120,207 @@ class Catalog:
         merged = Catalog(self.tables())
         merged.extend(other.tables())
         return merged
+
+    # -- copy-on-write snapshots ---------------------------------------
+    def with_table(self, table: Table) -> "Catalog":
+        """A new frozen snapshot with ``table`` added or swapped in.
+
+        The copy-on-write growth primitive (this catalog is frozen by
+        the call -- parent and child share index structure, so neither
+        may mutate in place afterwards):
+
+        * a table under a **new name** is appended to the catalog order,
+          and its cells are *patched into* the value/occurrence indexes;
+          an already-built substring index is extended, not rebuilt;
+        * a table that **extends** an existing one (same columns, old
+          rows a prefix -- e.g. built with :meth:`Table.extended`) swaps
+          in with only the appended rows' cells touching the indexes;
+        * anything else (schema change, rewritten rows) falls back to a
+          full rebuild -- correctness first.
+
+        Every derived view of the result (``distinct_values`` order,
+        ``occurrences_of`` order, substring overlaps, fingerprint) is
+        identical to a catalog rebuilt from scratch over the same
+        tables, so synthesis against a delta-updated snapshot is
+        byte-identical to synthesis against a fresh build.
+        """
+        self.freeze()
+        old = self._tables.get(table.name)
+        if old is None:
+            return self._cow_append(table)
+        # Extension check in O(1) for the hot path: Table.extended stamps
+        # the rows tuple it grew from, so an append is recognized by
+        # identity.  The prefix compare only runs for foreign-built
+        # tables (and costs pointer equality on shared cell strings).
+        if table.columns == old.columns and (
+            table.rows is old.rows
+            or table._extends_rows is old.rows
+            or table.rows[: old.num_rows] == old.rows
+        ):
+            return self._cow_extend(old, table)
+        # Arbitrary replacement: the contents diverged; rebuild.
+        replaced = [
+            table if name == table.name else self._tables[name]
+            for name in self._order
+        ]
+        rebuilt = Catalog(replaced)
+        rebuilt.use_table_index = self.use_table_index
+        return rebuilt.freeze()
+
+    def with_rows(self, table_name: str, rows: Iterable[Sequence[str]]) -> "Catalog":
+        """Shorthand: snapshot with ``rows`` appended to ``table_name``."""
+        return self.with_table(self.table(table_name).extended(rows))
+
+    def _cow_shell(self) -> "Catalog":
+        """A frozen clone sharing every index; callers patch deltas in."""
+        clone: "Catalog" = Catalog.__new__(Catalog)
+        clone._tables = dict(self._tables)
+        clone._order = list(self._order)
+        clone._value_index = dict(self._value_index)
+        clone._occurrence_cache = {}
+        clone._distinct_cache = None
+        clone._substring_index = None
+        clone._fingerprint = None
+        clone._frozen = True
+        clone.use_table_index = self.use_table_index
+        return clone
+
+    def _cow_append(self, table: Table) -> "Catalog":
+        """COW case 1: a brand-new table lands at the end of the order."""
+        clone = self._cow_shell()
+        clone._tables[table.name] = table
+        clone._order.append(table.name)
+        index = clone._value_index
+        touched: set = set()
+        additions: List[str] = []  # new distinct values, first-seen order
+        for row_number, row in enumerate(table.rows):
+            for column, value in zip(table.columns, row):
+                occurrence = Occurrence(table.name, column, row_number)
+                posting = index.get(value)
+                if posting is None:
+                    index[value] = [occurrence]
+                    additions.append(value)
+                    touched.add(value)
+                else:
+                    if value not in touched:
+                        posting = list(posting)
+                        index[value] = posting
+                        touched.add(value)
+                    posting.append(occurrence)
+        clone._occurrence_cache = {
+            value: cached
+            for value, cached in self._occurrence_cache.items()
+            if value not in touched
+        }
+        # The new table is last in catalog order, so its first-seen
+        # values append to the end of the distinct order and an existing
+        # substring index extends in place (ids of old values preserved).
+        clone._distinct_cache = self.distinct_values() + tuple(additions)
+        if self._substring_index is not None:
+            nonempty = [value for value in additions if value]
+            clone._substring_index = (
+                self._substring_index.extended(nonempty)
+                if nonempty
+                else self._substring_index
+            )
+        return clone
+
+    def _cow_extend(self, old: Table, table: Table) -> "Catalog":
+        """COW case 2: ``table`` extends ``old`` -- patch appended rows in."""
+        if table is old:
+            return self  # nothing changed; self is already frozen
+        new_rows = table.rows[old.num_rows :]
+        clone = self._cow_shell()
+        clone._tables[table.name] = table
+        parent_distinct = self.distinct_values()
+        if not new_rows:
+            # Same cells, different table object (keys re-declared):
+            # every cell-derived view carries over; only the fingerprint
+            # (which covers keys) must recompute.
+            clone._occurrence_cache = dict(self._occurrence_cache)
+            clone._distinct_cache = parent_distinct
+            clone._substring_index = self._substring_index
+            return clone
+        position = self._order.index(table.name)
+        pos_of = {name: i for i, name in enumerate(self._order)}
+        index = clone._value_index
+        touched: set = set()
+        # ``batch`` collects values whose *first occurrence* now lies in
+        # the appended rows, in scan (first-encounter) order: brand-new
+        # values, plus existing values previously first seen in a table
+        # *after* this one (a rebuild lists those earlier now -- they
+        # move).  Values already first seen at or before this table keep
+        # their parent position.
+        batch: List[str] = []
+        batch_set: set = set()
+        moved: set = set()
+        for offset, row in enumerate(new_rows):
+            row_number = old.num_rows + offset
+            for column, value in zip(table.columns, row):
+                occurrence = Occurrence(table.name, column, row_number)
+                posting = index.get(value)
+                if posting is None:
+                    index[value] = [occurrence]
+                    batch.append(value)
+                    batch_set.add(value)
+                    touched.add(value)
+                    continue
+                if value not in touched:
+                    if (
+                        value not in batch_set
+                        and pos_of[posting[0].table] > position
+                    ):
+                        batch.append(value)
+                        batch_set.add(value)
+                        moved.add(value)
+                    posting = list(posting)
+                    index[value] = posting
+                    touched.add(value)
+                # Keep postings in catalog-scan order: the appended rows
+                # slot in after this table's occurrences and before any
+                # later table's (a rebuild would have seen them there).
+                insert_at = len(posting)
+                while insert_at and pos_of[posting[insert_at - 1].table] > position:
+                    insert_at -= 1
+                posting.insert(insert_at, occurrence)
+        clone._occurrence_cache = {
+            value: cached
+            for value, cached in self._occurrence_cache.items()
+            if value not in touched
+        }
+        if not batch:
+            # No new or moved distinct values: order views carry over.
+            clone._distinct_cache = parent_distinct
+            clone._substring_index = self._substring_index
+            return clone
+        # The whole batch lands at one splice point: after every value
+        # first seen up to this table, before values first seen later.
+        kept = (
+            [value for value in parent_distinct if value not in moved]
+            if moved
+            else list(parent_distinct)
+        )
+        insert_at = len(kept)
+        while insert_at:
+            head = self.occurrences_of(kept[insert_at - 1])[0]
+            if pos_of[head.table] <= position:
+                break
+            insert_at -= 1
+        clone._distinct_cache = (
+            tuple(kept[:insert_at]) + tuple(batch) + tuple(kept[insert_at:])
+        )
+        if self._substring_index is not None and not moved:
+            if insert_at == len(kept):
+                nonempty = [value for value in batch if value]
+                clone._substring_index = (
+                    self._substring_index.extended(nonempty)
+                    if nonempty
+                    else self._substring_index
+                )
+            # else: new value ids would land mid-order; leave the clone's
+            # substring index to its lazy rebuild (the rare path -- only
+            # appends to a non-last table with later-first-seen values).
+        return clone
 
     # ------------------------------------------------------------------
     def __contains__(self, name: str) -> bool:

@@ -41,6 +41,10 @@ def table_from_csv_text(
             numbered.append((start_line, row))
     if len(numbered) < 2:
         raise TableError(f"CSV for table {name!r} needs a header and at least one row")
+    # Duplicate headers are rejected by Table's constructor with a
+    # DuplicateColumnError naming the column and its 1-based positions
+    # (header order passes through unchanged, so the positions are
+    # exactly the CSV columns the user is looking at).
     (_, header), data = numbered[0], numbered[1:]
     for line, row in data:
         if len(row) != len(header):
@@ -71,5 +75,31 @@ def table_to_csv_text(table: Table) -> str:
 
 
 def save_table_csv(table: Table, path: Union[str, Path]) -> None:
-    """Write ``table`` to ``path`` as CSV."""
-    Path(path).write_text(table_to_csv_text(table), encoding="utf-8")
+    """Write ``table`` to ``path`` as CSV, atomically.
+
+    The text lands in a temp file next to ``path`` and is renamed into
+    place, so a crash mid-write can never leave a truncated table --
+    ``repro catalog append`` rewrites the only copy of a table's data
+    through this.
+    """
+    import os
+    import tempfile
+
+    path = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        encoding="utf-8",
+        dir=str(path.parent),
+        prefix=f".{path.name}.tmp-",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(table_to_csv_text(table))
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise

@@ -8,7 +8,7 @@ O(|distinct values| x |frontier|) pairwise ``in`` checks per reachability
 step.  This module answers the same question from two purpose-built
 indexes over the distinct values:
 
-* **entries contained in x** -- an Aho-Corasick automaton over all values;
+* **entries contained in x** -- Aho-Corasick automatons over the values;
   one scan of ``x`` reports every value occurring inside it in
   O(|x| + matches),
 * **entries containing x** -- a q-gram inverted index (grams of length
@@ -19,8 +19,14 @@ indexes over the distinct values:
   containment directions apply ``min_overlap_len`` while equality does
   not).
 
-The index is immutable once built; :meth:`Catalog.substring_index` builds
-it lazily and rebuilds after ``Catalog.add``.
+Instances are immutable; growth happens through :meth:`SubstringIndex.
+extended`, which appends the new values as a fresh *segment* instead of
+rebuilding: the automaton side is a log-structured forest of immutable
+Aho-Corasick segments (a new small segment per append, neighbors merged
+in a size-doubling scheme, so an index grown by K appends holds
+O(log n) segments and extension costs O(new chars) amortized), and the
+gram postings extend copy-on-write.  :meth:`Catalog.substring_index`
+builds lazily and :meth:`Catalog.with_table` extends on append.
 """
 
 from __future__ import annotations
@@ -39,15 +45,17 @@ class _AhoCorasick:
 
     Patterns are the indexed values; :meth:`matches` returns the set of
     ids of every pattern occurring in the text (including the text
-    itself when it is a pattern).
+    itself when it is a pattern).  ``first_id`` offsets the reported ids
+    -- a segment covering values ``[first_id, first_id + len(patterns))``
+    of a larger index reports global ids directly.
     """
 
     __slots__ = ("_goto", "_fail", "_out")
 
-    def __init__(self, patterns: Sequence[str]) -> None:
+    def __init__(self, patterns: Sequence[str], first_id: int = 0) -> None:
         goto: List[Dict[str, int]] = [{}]
         out: List[List[int]] = [[]]
-        for pattern_id, pattern in enumerate(patterns):
+        for offset, pattern in enumerate(patterns):
             node = 0
             for char in pattern:
                 nxt = goto[node].get(char)
@@ -57,7 +65,7 @@ class _AhoCorasick:
                     goto.append({})
                     out.append([])
                 node = nxt
-            out[node].append(pattern_id)
+            out[node].append(first_id + offset)
 
         fail = [0] * len(goto)
         queue: deque = deque(goto[0].values())
@@ -99,7 +107,7 @@ class SubstringIndex:
     match the naive path exactly.
     """
 
-    __slots__ = ("values", "_id_of", "_lengths", "_automaton", "_grams")
+    __slots__ = ("values", "_id_of", "_lengths", "_segments", "_grams")
 
     def __init__(self, values: Sequence[str]) -> None:
         self.values: Tuple[str, ...] = tuple(values)
@@ -114,14 +122,19 @@ class SubstringIndex:
         # The containment matchers are the expensive part and only the
         # relaxed trigger needs them; equality-only configs get away with
         # the id map above, so defer building until the first containment
-        # query (build()).
-        self._automaton: Optional[_AhoCorasick] = None
+        # query (build()).  Once built, the automaton side is a list of
+        # (first_id, segment) pairs -- one segment here, more after
+        # extended() -- queried in union.
+        self._segments: Optional[List[Tuple[int, _AhoCorasick]]] = None
         self._grams: Optional[Dict[str, List[int]]] = None
 
     def build(self) -> "SubstringIndex":
         """Force-build the containment matchers (lazy otherwise)."""
-        if self._automaton is None:
-            self._automaton = _AhoCorasick(self.values)
+        if self._segments is None:
+            # Build into locals and publish _grams before _segments
+            # (the guard every reader checks): a concurrent extended()
+            # or containing() must never observe segments without grams.
+            segments = [(0, _AhoCorasick(self.values))]
             # Gram -> posting list of value ids (ascending; one entry per
             # value even when the gram repeats inside it).
             grams: Dict[str, List[int]] = {}
@@ -134,11 +147,92 @@ class SubstringIndex:
                             seen.add(gram)
                             grams.setdefault(gram, []).append(value_id)
             self._grams = grams
+            self._segments = segments
         return self
+
+    def extended(self, new_values: Sequence[str]) -> "SubstringIndex":
+        """A new index over ``values + new_values`` -- ``self`` untouched.
+
+        Ids of existing values are preserved (new values get the next
+        ids), so callers holding old ids stay correct.  When the
+        containment matchers are already built they are *extended*, not
+        rebuilt: the new values become a fresh automaton segment
+        (neighboring segments of no greater size are folded in, the
+        size-doubling merge that keeps the forest at O(log n) segments
+        and extension cost O(new chars) amortized), and only the new
+        values' grams touch (copies of) posting lists.  An unbuilt index
+        stays unbuilt.
+
+        Raises ``ValueError`` on empty or duplicate values, exactly like
+        construction.
+        """
+        additions = tuple(new_values)
+        if not additions:
+            return self
+        clone: "SubstringIndex" = SubstringIndex.__new__(SubstringIndex)
+        clone.values = self.values + additions
+        id_of = dict(self._id_of)
+        for value_id, value in enumerate(additions, start=len(self.values)):
+            if not value:
+                raise ValueError("SubstringIndex values must be non-empty")
+            if value in id_of:
+                raise ValueError(f"duplicate value {value!r}")
+            id_of[value] = value_id
+        clone._id_of = id_of
+        clone._lengths = self._lengths + tuple(len(v) for v in additions)
+        if self._segments is None:
+            clone._segments = None
+            clone._grams = None
+            return clone
+        # Fold every trailing segment no larger than the incoming batch
+        # into it (so segment sizes stay strictly decreasing): the merge
+        # re-walks only those segments' values, never the whole index.
+        segments = list(self._segments)
+        start = len(self.values)
+        while segments:
+            last_start = segments[-1][0]
+            if start - last_start > len(clone.values) - start:
+                break
+            segments.pop()
+            start = last_start
+        segments.append(
+            (start, _AhoCorasick(clone.values[start:], first_id=start))
+        )
+        clone._segments = segments
+        assert self._grams is not None  # built together with the automaton
+        grams: Dict[str, List[int]] = dict(self._grams)
+        copied: set = set()
+        for value_id, value in enumerate(additions, start=len(self.values)):
+            seen: Set[str] = set()
+            for width in range(1, min(MAX_GRAM, len(value)) + 1):
+                for start_at in range(len(value) - width + 1):
+                    gram = value[start_at : start_at + width]
+                    if gram in seen:
+                        continue
+                    seen.add(gram)
+                    posting = grams.get(gram)
+                    if posting is None:
+                        grams[gram] = [value_id]
+                        copied.add(gram)
+                    else:
+                        if gram not in copied:
+                            posting = list(posting)
+                            grams[gram] = posting
+                            copied.add(gram)
+                        posting.append(value_id)
+        clone._grams = grams
+        return clone
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.values)
+
+    @property
+    def num_segments(self) -> int:
+        """Automaton segments currently backing :meth:`contained_in`."""
+        self.build()
+        assert self._segments is not None
+        return len(self._segments)
 
     def id_of(self, value: str) -> Optional[int]:
         """Id of the value equal to ``value``, or ``None``."""
@@ -146,7 +240,15 @@ class SubstringIndex:
 
     def contained_in(self, text: str) -> Set[int]:
         """Ids of values occurring as substrings of ``text`` (equality too)."""
-        return self.build()._automaton.matches(text)
+        self.build()
+        assert self._segments is not None
+        segments = self._segments
+        if len(segments) == 1:
+            return segments[0][1].matches(text)
+        found: Set[int] = set()
+        for _, automaton in segments:
+            found |= automaton.matches(text)
+        return found
 
     def containing(self, text: str) -> List[int]:
         """Ids of values having ``text`` as a substring, ascending.

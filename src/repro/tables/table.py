@@ -15,9 +15,38 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.exceptions import KeyConstraintError, TableError, UnknownColumnError
+from repro.exceptions import (
+    DuplicateColumnError,
+    KeyConstraintError,
+    TableError,
+    UnknownColumnError,
+)
 
 CandidateKey = Tuple[str, ...]
+
+
+def _normalize_rows(
+    name: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    start: int,
+) -> List[Tuple[str, ...]]:
+    """Validate/tuple-ize rows; ``start`` offsets row numbers in errors."""
+    normalized: List[Tuple[str, ...]] = []
+    for row_number, row in enumerate(rows, start=start):
+        row = tuple(row)
+        if len(row) != len(columns):
+            raise TableError(
+                f"table {name!r} row {row_number} has {len(row)} cells, "
+                f"expected {len(columns)}"
+            )
+        for cell in row:
+            if not isinstance(cell, str):
+                raise TableError(
+                    f"table {name!r} row {row_number} has non-string cell {cell!r}"
+                )
+        normalized.append(row)
+    return normalized
 
 
 class Table:
@@ -41,10 +70,30 @@ class Table:
         "columns",
         "rows",
         "keys",
+        "_keys_declared",
+        "_max_key_width",
         "_column_index",
         "_key_row_index",
         "_value_rows",
         "_fingerprint",
+        "_data_fingerprint",
+        "_rows_digest",
+        "_extends_rows",
+    )
+
+    #: Slots that survive pickling -- the index/digest caches are
+    #: rebuilt lazily on the other side (hash objects cannot cross a
+    #: process boundary, and shipping caches would bloat the payload
+    #: ``run_batch(executor="process")`` sends to every worker).
+    _PICKLED_SLOTS = (
+        "name",
+        "columns",
+        "rows",
+        "keys",
+        "_keys_declared",
+        "_max_key_width",
+        "_column_index",
+        "_key_row_index",
     )
 
     def __init__(
@@ -60,23 +109,13 @@ class Table:
         columns = list(columns)
         if not columns:
             raise TableError(f"table {name!r} must have at least one column")
-        if len(set(columns)) != len(columns):
-            raise TableError(f"table {name!r} has duplicate column names: {columns}")
+        seen_at: Dict[str, int] = {}
+        for position, column in enumerate(columns, start=1):
+            if column in seen_at:
+                raise DuplicateColumnError(name, column, (seen_at[column], position))
+            seen_at[column] = position
 
-        normalized_rows: List[Tuple[str, ...]] = []
-        for row_number, row in enumerate(rows):
-            row = tuple(row)
-            if len(row) != len(columns):
-                raise TableError(
-                    f"table {name!r} row {row_number} has {len(row)} cells, "
-                    f"expected {len(columns)}"
-                )
-            for cell in row:
-                if not isinstance(cell, str):
-                    raise TableError(
-                        f"table {name!r} row {row_number} has non-string cell {cell!r}"
-                    )
-            normalized_rows.append(row)
+        normalized_rows = _normalize_rows(name, columns, rows, start=0)
         if not normalized_rows:
             raise TableError(f"table {name!r} must have at least one row")
 
@@ -85,6 +124,8 @@ class Table:
         self.rows: Tuple[Tuple[str, ...], ...] = tuple(normalized_rows)
         self._column_index: Dict[str, int] = {c: i for i, c in enumerate(self.columns)}
 
+        self._keys_declared = keys is not None
+        self._max_key_width = max_key_width
         if keys is None:
             from repro.tables.keys import discover_candidate_keys
 
@@ -110,6 +151,12 @@ class Table:
         # afterwards -- the table is immutable.
         self._value_rows: Optional[Dict[str, Dict[str, Tuple[int, ...]]]] = None
         self._fingerprint: Optional[str] = None
+        self._data_fingerprint: Optional[str] = None
+        self._rows_digest = None  # streaming hash state; see fingerprint()
+        # The rows tuple this table extends (set by extended()): lets
+        # Catalog.with_table recognize an append in O(1) -- by tuple
+        # identity -- instead of comparing the whole old-rows prefix.
+        self._extends_rows: Optional[Tuple[Tuple[str, ...], ...]] = None
 
         # Precompute key-tuple -> row index for every candidate key; used by
         # both evaluation and condition construction.
@@ -186,29 +233,215 @@ class Table:
         self.column_position(column)  # raises UnknownColumnError
         return self._ensure_value_rows()[column].get(value, ())
 
+    def _ensure_rows_digest(self):
+        """The streaming SHA-256 over (name, columns, rows) -- resumable.
+
+        Rows are hashed one JSON record at a time (NUL-framed, so the
+        framing is unambiguous), which makes the digest *state*
+        extendable: :meth:`extended` copies the parent's state and feeds
+        only the appended rows, turning the O(total cells) re-hash of a
+        grown table into O(new cells).  Built fully in a local before
+        publishing, so a concurrent reader never copies half-fed state.
+        """
+        if self._rows_digest is None:
+            import hashlib
+            import json
+
+            digest = hashlib.sha256()
+            digest.update(
+                json.dumps(
+                    [self.name, list(self.columns)],
+                    ensure_ascii=False,
+                    separators=(",", ":"),
+                ).encode("utf-8")
+            )
+            digest.update(b"\x00")
+            for row in self.rows:
+                digest.update(
+                    json.dumps(
+                        list(row), ensure_ascii=False, separators=(",", ":")
+                    ).encode("utf-8")
+                )
+                digest.update(b"\x00")
+            self._rows_digest = digest
+        return self._rows_digest
+
     def fingerprint(self) -> str:
         """A stable content digest of the table (name, schema, rows, keys).
 
         Equal tables (as per ``__eq__``) have equal fingerprints across
         processes and platforms; used by :meth:`Catalog.fingerprint` to
-        key the service request cache.  Cached -- the table is immutable.
+        key the service request cache.  Cached -- the table is immutable
+        -- and computed from the resumable rows digest, so fingerprinting
+        a table grown with :meth:`extended` costs only the new rows.
         """
         if self._fingerprint is None:
-            import hashlib
             import json
 
-            payload = json.dumps(
-                [
-                    self.name,
-                    list(self.columns),
-                    [list(row) for row in self.rows],
+            digest = self._ensure_rows_digest().copy()
+            digest.update(
+                json.dumps(
                     [list(key) for key in self.keys],
-                ],
-                ensure_ascii=False,
-                separators=(",", ":"),
+                    ensure_ascii=False,
+                    separators=(",", ":"),
+                ).encode("utf-8")
             )
-            self._fingerprint = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    # ------------------------------------------------------------------
+    def extended(self, rows: Iterable[Sequence[str]]) -> "Table":
+        """A new table with ``rows`` appended -- this table is untouched.
+
+        The copy-on-write growth primitive: existing row tuples are
+        shared, and the already-built per-column value index and
+        candidate-key row indexes are *patched* with the new rows instead
+        of rebuilt, so appending N rows costs O(N x columns), not
+        O(total cells).  The result is indistinguishable from
+        ``Table(name, columns, old_rows + new_rows, ...)``:
+
+        * declared candidate keys are delta-validated against the new
+          rows and raise :class:`KeyConstraintError` when an append
+          breaks uniqueness;
+        * discovered keys are delta-checked, and only when an append
+          breaks one does key discovery re-run over the full data (adding
+          rows can only break keys, never create them -- so when every
+          old key survives, the discovered key set is provably unchanged);
+        * the fingerprint is recomputed lazily (content changed).
+
+        Appending zero rows returns ``self``.
+        """
+        new_rows = _normalize_rows(self.name, self.columns, rows, start=self.num_rows)
+        if not new_rows:
+            return self
+        clone: "Table" = Table.__new__(Table)
+        clone.name = self.name
+        clone.columns = self.columns
+        clone.rows = self.rows + tuple(new_rows)
+        clone._column_index = self._column_index
+        clone._keys_declared = self._keys_declared
+        clone._max_key_width = self._max_key_width
+        clone._fingerprint = None
+        clone._data_fingerprint = None
+        clone._extends_rows = self.rows
+        if self._rows_digest is not None:
+            # Resume the streaming hash: only the appended rows are fed.
+            import json
+
+            digest = self._rows_digest.copy()
+            for row in new_rows:
+                digest.update(
+                    json.dumps(
+                        list(row), ensure_ascii=False, separators=(",", ":")
+                    ).encode("utf-8")
+                )
+                digest.update(b"\x00")
+            clone._rows_digest = digest
+        else:
+            clone._rows_digest = None
+
+        extended_index = self._extend_key_index(new_rows)
+        if extended_index is not None:
+            clone.keys = self.keys
+            clone._key_row_index = extended_index
+        else:
+            # A discovered key broke: re-discover over the full data and
+            # rebuild the key indexes (the only non-delta fallback here).
+            from repro.tables.keys import discover_candidate_keys
+
+            clone.keys = discover_candidate_keys(
+                clone.columns, clone.rows, max_width=self._max_key_width
+            )
+            clone._key_row_index = {}
+            for key in clone.keys:
+                mapping: Dict[Tuple[str, ...], int] = {}
+                for row_number, row in enumerate(clone.rows):
+                    values = tuple(row[self._column_index[c]] for c in key)
+                    mapping[values] = row_number
+                clone._key_row_index[key] = mapping
+
+        if self._value_rows is None:
+            clone._value_rows = None
+        else:
+            patched: Dict[str, Dict[str, Tuple[int, ...]]] = {}
+            for position, column in enumerate(self.columns):
+                # Gather each value's new row numbers first, then extend
+                # its posting once -- repeated values (low-cardinality
+                # columns) must not re-copy a growing tuple per row.
+                gathered: Dict[str, List[int]] = {}
+                for offset, row in enumerate(new_rows):
+                    gathered.setdefault(row[position], []).append(
+                        self.num_rows + offset
+                    )
+                postings = dict(self._value_rows[column])
+                for value, row_numbers in gathered.items():
+                    postings[value] = postings.get(value, ()) + tuple(row_numbers)
+                patched[column] = postings
+            clone._value_rows = patched
+        return clone
+
+    def _extend_key_index(
+        self, new_rows: Sequence[Tuple[str, ...]]
+    ) -> Optional[Dict[CandidateKey, Dict[Tuple[str, ...], int]]]:
+        """Current key indexes patched with ``new_rows``, or ``None``.
+
+        ``None`` means a *discovered* key lost uniqueness (caller must
+        re-discover); a *declared* key losing uniqueness raises, matching
+        construction-time validation.  The degenerate last-resort key a
+        discovery may emit over duplicate rows is never treated as broken
+        (a rebuild would keep it too).
+        """
+        last_resort = (
+            not self._keys_declared
+            and self.keys == (self.columns,)
+            and len(self._key_row_index[self.columns]) < self.num_rows
+        )
+        extended: Dict[CandidateKey, Dict[Tuple[str, ...], int]] = {}
+        for key in self.keys:
+            mapping = dict(self._key_row_index[key])
+            positions = [self._column_index[c] for c in key]
+            for offset, row in enumerate(new_rows):
+                row_number = self.num_rows + offset
+                values = tuple(row[p] for p in positions)
+                if values in mapping and not last_resort:
+                    if self._keys_declared:
+                        raise KeyConstraintError(
+                            f"table {self.name!r}: candidate key {key} is not "
+                            f"unique (rows {mapping[values]} and {row_number} "
+                            f"share {values})"
+                        )
+                    return None
+                mapping[values] = row_number
+            extended[key] = mapping
+        return extended
+
+    def data_fingerprint(self, num_rows: Optional[int] = None) -> str:
+        """Digest of name, columns and the first ``num_rows`` rows only.
+
+        Unlike :meth:`fingerprint` this excludes candidate keys, which
+        may legitimately drift when appends re-discover them; and it can
+        be taken over a row *prefix*.  The serving layer uses it to
+        decide whether a stored program's table merely **grew** (old
+        rows intact as a prefix -- benign, programs keep running) or was
+        **rewritten** (refuse with a staleness error).  The full-table
+        digest is cached.
+        """
+        if num_rows is None or num_rows >= self.num_rows:
+            if self._data_fingerprint is None:
+                self._data_fingerprint = self._hash_rows(self.rows)
+            return self._data_fingerprint
+        return self._hash_rows(self.rows[: max(0, num_rows)])
+
+    def _hash_rows(self, rows: Sequence[Tuple[str, ...]]) -> str:
+        import hashlib
+        import json
+
+        payload = json.dumps(
+            [self.name, list(self.columns), [list(row) for row in rows]],
+            ensure_ascii=False,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def find_rows(
         self, conditions: Dict[str, str], use_index: bool = True
@@ -268,6 +501,18 @@ class Table:
         return ""
 
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self._PICKLED_SLOTS}
+
+    def __setstate__(self, state) -> None:
+        for slot in self._PICKLED_SLOTS:
+            object.__setattr__(self, slot, state[slot])
+        self._value_rows = None
+        self._fingerprint = None
+        self._data_fingerprint = None
+        self._rows_digest = None
+        self._extends_rows = None
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Table)

@@ -1,0 +1,182 @@
+"""Catalog-mutation/upload edge cases: duplicate headers, empty catalogs,
+lost columns -- typed errors everywhere, no tracebacks.
+
+The satellite bugfix sweep of PR 5: ``table_from_csv_text`` (and
+therefore every CSV upload path) rejects duplicate headers with a
+:class:`DuplicateColumnError` naming the column and its 1-based
+positions; learning against an empty catalog through the service raises
+a typed :class:`EmptyCatalogError` (while the bare engine keeps the
+paper's permissive Lu-subsumes-Ls behavior); and serving a program whose
+tables lost referenced columns is refused up front with the missing
+``Table.Column`` names -- library, CLI and HTTP alike.
+"""
+
+import pytest
+
+from repro.api.engine import Synthesizer
+from repro.cli import main
+from repro.engine.program import Program
+from repro.engine.session import SynthesisSession
+from repro.exceptions import (
+    DuplicateColumnError,
+    EmptyCatalogError,
+    MissingColumnsError,
+    NoProgramFoundError,
+)
+from repro.service.service import SynthesisService
+from repro.tables.catalog import Catalog
+from repro.tables.io import load_table_csv, table_from_csv_text
+from repro.tables.table import Table
+
+COMP_ROWS = [("c1", "Microsoft"), ("c2", "Google"), ("c3", "Apple")]
+
+
+def comp_catalog():
+    return Catalog([Table("Comp", ["Id", "Name"], COMP_ROWS, keys=[("Id",)])])
+
+
+class TestDuplicateHeaders:
+    def test_csv_text_rejects_duplicate_header(self):
+        with pytest.raises(DuplicateColumnError) as excinfo:
+            table_from_csv_text("T", "a,b,a\n1,2,3\n")
+        assert excinfo.value.column == "a"
+        assert excinfo.value.positions == (1, 3)
+        assert excinfo.value.table == "T"
+        assert "position 1 and position 3" in str(excinfo.value)
+
+    def test_csv_file_rejects_duplicate_header(self, tmp_path):
+        path = tmp_path / "Dup.csv"
+        path.write_text("Id,Name,Id\nx,y,z\n", encoding="utf-8")
+        with pytest.raises(DuplicateColumnError) as excinfo:
+            load_table_csv(path)
+        assert excinfo.value.column == "Id"
+        assert excinfo.value.positions == (1, 3)
+
+    def test_table_constructor_names_duplicate_positions(self):
+        with pytest.raises(DuplicateColumnError) as excinfo:
+            Table("T", ["x", "y", "x", "x"], [("1", "2", "3", "4")])
+        assert excinfo.value.positions == (1, 3)  # first clash wins
+
+    def test_cli_catalog_add_rejects_duplicate_header(self, tmp_path, capsys):
+        bad = tmp_path / "Bad.csv"
+        bad.write_text("a,a\n1,2\n", encoding="utf-8")
+        code = main(
+            ["catalog", "add", "--root", str(tmp_path / "root"), "demo", str(bad)]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "duplicate column 'a'" in err
+        # Validation failed before anything was written.
+        assert not (tmp_path / "root" / "demo").exists()
+
+
+class TestEmptyCatalog:
+    def test_engine_stays_permissive(self):
+        # Lu subsumes Ls (paper §5): a purely syntactic task must keep
+        # working against an empty catalog at the library level.
+        result = Synthesizer(Catalog([])).synthesize(
+            [(("Alan Turing",), "Turing")]
+        )
+        assert result.program(("Grace Hopper",)) == "Hopper"
+
+    def test_session_stays_permissive(self):
+        session = SynthesisSession(Catalog([]))
+        session.add_example(("Alan Turing",), "Turing")
+        assert session.learn()(("Grace Hopper",)) == "Hopper"
+
+    def test_lookup_engine_raises_typed_synthesis_error(self):
+        with pytest.raises(NoProgramFoundError):
+            Synthesizer(Catalog([]), language="lookup").synthesize(
+                [(("c1",), "Microsoft")]
+            )
+
+    def test_service_refuses_with_catalog_name(self):
+        service = SynthesisService(Catalog([]))
+        with pytest.raises(EmptyCatalogError) as excinfo:
+            service.learn([(("c1",), "Microsoft")])
+        assert excinfo.value.catalog_name == "default"
+        assert "'default'" in str(excinfo.value)
+
+    def test_service_allows_syntactic_backend(self):
+        service = SynthesisService(Catalog([]), language="syntactic")
+        reply = service.learn([(("Alan Turing",), "Turing")])
+        assert reply.result.program(("Grace Hopper",)) == "Hopper"
+
+    def test_service_counts_refused_learn_consistently(self):
+        service = SynthesisService(Catalog([]))
+        with pytest.raises(EmptyCatalogError):
+            service.learn([(("c1",), "Microsoft")])
+        stats = service.stats()
+        # The request was refused before it was counted or cached.
+        assert stats["requests"]["learn_requests"] == 0
+        assert stats["request_cache"]["entries"] == 0
+
+
+class TestMissingColumns:
+    def lookup_program(self):
+        result = Synthesizer(comp_catalog(), language="lookup").synthesize(
+            [(("c1",), "Microsoft"), (("c2",), "Google")]
+        )
+        return result.program
+
+    def test_required_columns_reported(self):
+        program = self.lookup_program()
+        required = program.required_columns()
+        assert ("Comp", "Id") in required and ("Comp", "Name") in required
+
+    def test_missing_columns_detected(self):
+        program = self.lookup_program()
+        renamed = Catalog(
+            [Table("Comp", ["Ident", "Title"],
+                   [(i, n) for i, n in COMP_ROWS], keys=[("Ident",)])]
+        )
+        rebuilt = Program.from_dict(program.to_dict(), catalog=renamed)
+        assert rebuilt.missing_tables(renamed) == ()
+        missing = rebuilt.missing_columns(renamed)
+        assert set(missing) == {"Comp.Id", "Comp.Name"}
+
+    def test_service_fill_refuses_before_running_rows(self):
+        program = self.lookup_program()
+        renamed = Catalog(
+            [Table("Comp", ["Ident", "Title"],
+                   [(i, n) for i, n in COMP_ROWS], keys=[("Ident",)])]
+        )
+        service = SynthesisService(renamed)
+        with pytest.raises(MissingColumnsError) as excinfo:
+            service.fill(program.to_dict(), [["c1"]])
+        assert "Comp.Id" in excinfo.value.missing
+
+    def test_cli_fill_exits_cleanly_naming_columns(self, tmp_path, capsys):
+        program = self.lookup_program()
+        artifact = tmp_path / "prog.json"
+        artifact.write_text(program.to_json(), encoding="utf-8")
+        table_csv = tmp_path / "Comp.csv"
+        table_csv.write_text(
+            "Ident,Title\nc1,Microsoft\n", encoding="utf-8"
+        )
+        rows_csv = tmp_path / "rows.csv"
+        rows_csv.write_text("c1\n", encoding="utf-8")
+        code = main(
+            [
+                "fill",
+                "--program", str(artifact),
+                "--rows", str(rows_csv),
+                "--table", str(table_csv),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "Comp.Id" in err and "Comp.Name" in err
+        assert "Traceback" not in err
+
+    def test_fill_aligned_never_reached_on_missing_columns(self):
+        # The refusal happens at resolve time -- no per-row UnknownColumn
+        # error can leak out of a half-filled batch.
+        program = self.lookup_program()
+        renamed = Catalog(
+            [Table("Comp", ["Ident", "Title"],
+                   [(i, n) for i, n in COMP_ROWS], keys=[("Ident",)])]
+        )
+        service = SynthesisService(renamed)
+        with pytest.raises(MissingColumnsError):
+            service.fill(program.to_dict(), [["c1"], ["c2"], ["c3"]])

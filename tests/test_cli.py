@@ -290,6 +290,138 @@ class TestServeSubcommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestCatalogSubcommand:
+    def test_add_list_show_append_roundtrip(self, workdir, capsys):
+        root = workdir / "catalogs"
+        code = main(
+            ["catalog", "add", "--root", str(root), "products",
+             str(workdir / "Comp.csv")]
+        )
+        assert code == 0
+        assert (root / "products" / "Comp.csv").is_file()
+
+        assert main(["catalog", "list", "--root", str(root)]) == 0
+        assert "products: 1 table" in capsys.readouterr().out
+
+        (workdir / "more.csv").write_text("c5,IBM\nc6,Xerox\n", encoding="utf-8")
+        code = main(
+            ["catalog", "append", "--root", str(root), "products", "Comp",
+             str(workdir / "more.csv")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "appended 2 rows" in out and "(4 -> 6 rows)" in out
+
+        assert main(["catalog", "show", "--root", str(root), "products"]) == 0
+        out = capsys.readouterr().out
+        assert "Comp: 6 rows x 2 columns" in out and "fingerprint:" in out
+
+    def test_append_skips_matching_header_row_with_notice(self, workdir, capsys):
+        root = workdir / "catalogs"
+        main(["catalog", "add", "--root", str(root), "products",
+              str(workdir / "Comp.csv")])
+        (workdir / "withheader.csv").write_text(
+            "Id,Name\nc9,Intel\n", encoding="utf-8"
+        )
+        code = main(
+            ["catalog", "append", "--root", str(root), "products", "Comp",
+             str(workdir / "withheader.csv")]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "appended 1 row " in captured.out
+        assert "treating it as a header" in captured.err  # never silent
+
+    def test_append_header_absent_keeps_lookalike_row(self, workdir, capsys):
+        root = workdir / "catalogs"
+        main(["catalog", "add", "--root", str(root), "products",
+              str(workdir / "Comp.csv")])
+        # First row is literal data that happens to equal the header.
+        (workdir / "lookalike.csv").write_text(
+            "Id,Name\nc9,Intel\n", encoding="utf-8"
+        )
+        code = main(
+            ["catalog", "append", "--root", str(root), "--header", "absent",
+             "products", "Comp", str(workdir / "lookalike.csv")]
+        )
+        assert code == 0
+        assert "appended 2 rows" in capsys.readouterr().out
+
+    def test_append_header_present_validates_columns(self, workdir, capsys):
+        root = workdir / "catalogs"
+        main(["catalog", "add", "--root", str(root), "products",
+              str(workdir / "Comp.csv")])
+        (workdir / "wrongheader.csv").write_text(
+            "Ident,Title\nc9,Intel\n", encoding="utf-8"
+        )
+        code = main(
+            ["catalog", "append", "--root", str(root), "--header", "present",
+             "products", "Comp", str(workdir / "wrongheader.csv")]
+        )
+        assert code == 1
+        assert "does not match table" in capsys.readouterr().err
+
+    def test_add_refuses_existing_table(self, workdir, capsys):
+        root = workdir / "catalogs"
+        main(["catalog", "add", "--root", str(root), "products",
+              str(workdir / "Comp.csv")])
+        code = main(
+            ["catalog", "add", "--root", str(root), "products",
+             str(workdir / "Comp.csv")]
+        )
+        assert code == 1
+        assert "already has table(s): Comp" in capsys.readouterr().err
+
+    def test_append_broken_key_rediscovers_like_a_rebuild(self, workdir, capsys):
+        # CSV tables carry *discovered* keys: a duplicated Id re-runs
+        # discovery (Name still identifies rows) instead of failing --
+        # exactly what rebuilding the table from the grown CSV would do.
+        from repro.service.registry import CatalogRegistry
+
+        root = workdir / "catalogs"
+        main(["catalog", "add", "--root", str(root), "products",
+              str(workdir / "Comp.csv")])
+        (workdir / "dup.csv").write_text("c1,Clone\n", encoding="utf-8")
+        code = main(
+            ["catalog", "append", "--root", str(root), "products", "Comp",
+             str(workdir / "dup.csv")]
+        )
+        assert code == 0
+        table = CatalogRegistry(root=root).get("products").table("Comp")
+        assert ("Id",) not in table.keys and ("Name",) in table.keys
+
+    def test_append_ragged_row_exits_cleanly(self, workdir, capsys):
+        root = workdir / "catalogs"
+        main(["catalog", "add", "--root", str(root), "products",
+              str(workdir / "Comp.csv")])
+        (workdir / "ragged.csv").write_text("c9,Intel,extra\n", encoding="utf-8")
+        code = main(
+            ["catalog", "append", "--root", str(root), "products", "Comp",
+             str(workdir / "ragged.csv")]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "3 cells" in err
+        # The CSV on disk is untouched by the failed append.
+        assert (root / "products" / "Comp.csv").read_text().count("\n") == 5
+
+    def test_served_catalog_root_reflects_cli_appends(self, workdir):
+        # What `repro catalog` writes is exactly what a fresh
+        # `serve --catalog-root` would load.
+        from repro.service.registry import CatalogRegistry
+
+        root = workdir / "catalogs"
+        main(["catalog", "add", "--root", str(root), "products",
+              str(workdir / "Comp.csv")])
+        (workdir / "more.csv").write_text("c5,IBM\n", encoding="utf-8")
+        main(["catalog", "append", "--root", str(root), "products", "Comp",
+              str(workdir / "more.csv")])
+        registry = CatalogRegistry(root=root)
+        table = registry.get("products").table("Comp")
+        assert table.num_rows == 5
+        assert table.lookup("Name", {"Id": "c5"}) == "IBM"
+
+
 class TestProfileFlag:
     def test_profile_prints_phase_timings(self, workdir, capsys):
         code = main(

@@ -143,6 +143,28 @@ class TestFill:
         with pytest.raises(MissingTablesError, match="Comp"):
             bare.fill(payload, [["c2 c5 c6"]])
 
+    def test_bad_program_reference_type_is_typed_error(self, service):
+        with pytest.raises(ServiceError, match="bad program reference"):
+            service.fill(42, [["c1"]])
+
+    def test_live_program_honors_explicit_catalog(self, service):
+        """A live Program filled with an explicit catalog= must validate
+        and run against that snapshot, not its learn-time catalog."""
+        result, _ = service.learn(EXAMPLES)
+        service.registry.register(
+            "bare", [Table("Unrelated", ["a"], [("x",)])]
+        )
+        with pytest.raises(MissingTablesError, match="Comp"):
+            service.fill(result.program, [["c2 c5 c6"]], catalog="bare")
+
+    def test_engine_cached_even_for_copying_configs(self):
+        """The oracle config (use_table_index=False) cannot share frozen
+        snapshots, but the per-catalog engine must still be reused."""
+        service = SynthesisService(
+            make_catalog(), config=DEFAULT_CONFIG.without_indexes()
+        )
+        assert service.engine is service.engine
+
     def test_unresolvable_reference_without_store(self):
         bare = SynthesisService(make_catalog())
         with pytest.raises(ServiceError, match="no program store"):
@@ -249,18 +271,31 @@ class TestStatsInvariant:
 
 
 class TestCatalogMutation:
-    def test_cache_key_tracks_catalog_changes(self, service):
-        """Mutating the engine's catalog must invalidate cache keys --
-        the fingerprint is read live, not frozen at startup."""
+    def test_served_catalog_cannot_be_mutated_in_place(self, service):
+        """The PR-4 footgun is closed: the engine's catalog is a frozen
+        registry snapshot, so the old in-place ``Catalog.add`` (which
+        could hand out results inconsistent with cached memos) raises."""
+        from repro.exceptions import FrozenCatalogError
+
+        with pytest.raises(FrozenCatalogError):
+            service.engine.catalog.add(
+                Table("Extra", ["K", "V"], [("k1", "v1")], keys=[("K",)])
+            )
+
+    def test_cache_key_tracks_registry_updates(self, service):
+        """Growing a catalog through the registry must invalidate cache
+        keys -- the fingerprint is the snapshot's, never stale."""
         before = service.cache_key(EXAMPLES)
         service.learn(EXAMPLES)
-        service.engine.catalog.add(
-            Table("Extra", ["K", "V"], [("k1", "v1")], keys=[("K",)])
+        service.registry.add_table(
+            service.default_catalog,
+            Table("Extra", ["K", "V"], [("k1", "v1")], keys=[("K",)]),
         )
         after = service.cache_key(EXAMPLES)
         assert before != after
         _, status = service.learn(EXAMPLES)
         assert status == CACHE_MISS  # re-synthesized against the new catalog
+        assert service.engine.catalog.table_names() == ["Comp", "Extra"]
 
 
 class TestStats:

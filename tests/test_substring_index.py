@@ -62,9 +62,9 @@ class TestBasics:
         # Equality-only users (relaxed_reachability=False) never pay for
         # the automaton/gram build.
         assert index.id_of("abc") == 0
-        assert index._automaton is None
+        assert index._segments is None
         assert index.overlapping("abcd") == [0, 1]
-        assert index._automaton is not None
+        assert index._segments is not None
 
 
 values_strategy = st.lists(
