@@ -32,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import subprocess
 import sys
 import tempfile
@@ -251,6 +252,41 @@ def check_regression(
 
 
 # -- smoke mode: the real `repro serve` subprocess ---------------------------
+def _start_serve(src: Path, args: List[str]) -> "tuple":
+    """Boot a ``repro serve`` subprocess; return (process, client)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(src)},
+    )
+    banner = process.stdout.readline().strip()
+    if not banner.startswith("serving on http://"):
+        process.terminate()
+        raise AssertionError(
+            f"serve did not boot: banner={banner!r}, "
+            f"stderr={process.stderr.read()!r}"
+        )
+    return process, Client(banner.split("serving on ", 1)[1])
+
+
+def _stop_serve(process: subprocess.Popen) -> str:
+    """SIGTERM the server, assert the graceful exit contract, return stderr."""
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise AssertionError("serve did not exit within 15s of SIGTERM")
+    stderr = process.stderr.read()
+    assert process.returncode == 0, (
+        f"SIGTERM exit code {process.returncode}, stderr={stderr!r}"
+    )
+    assert "shutdown: SIGTERM received" in stderr, stderr
+    return stderr
+
+
 def run_smoke() -> int:
     """Boot ``repro serve --catalog-root``: default + lazy + uploaded catalogs.
 
@@ -259,7 +295,10 @@ def run_smoke() -> int:
     lazily loaded from the root directory, a second catalog uploaded
     over HTTP (``PUT /catalogs/<name>``), a copy-on-write row append
     (``POST /catalogs/<name>/rows``) served from the *new* snapshot,
-    and learn/fill against each.
+    and learn/fill against each.  A second act stops the server with
+    SIGTERM (asserting the graceful exit-0 contract), restarts it with
+    ``--snapshots``, and asserts the snapshot cold-start serves fills
+    identical to the rebuild path.
     """
     src = Path(__file__).resolve().parents[1] / "src"
     with tempfile.TemporaryDirectory() as tmp:
@@ -274,29 +313,17 @@ def run_smoke() -> int:
             "Country,Capital\nFrance,Paris\nJapan,Tokyo\nChile,Santiago\n",
             encoding="utf-8",
         )
-        process = subprocess.Popen(
+        process, client = _start_serve(
+            src,
             [
-                sys.executable, "-m", "repro", "serve",
                 "--table", str(table_csv),
                 "--catalog-root", str(root),
                 "--port", "0",
                 "--store", str(Path(tmp) / "programs"),
             ],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            env={**os.environ, "PYTHONPATH": str(src)},
         )
         try:
-            banner = process.stdout.readline().strip()
-            if not banner.startswith("serving on http://"):
-                process.terminate()
-                raise AssertionError(
-                    f"serve did not boot: banner={banner!r}, "
-                    f"stderr={process.stderr.read()!r}"
-                )
-            client = Client(banner.split("serving on ", 1)[1])
-            print(f"smoke: {banner}")
+            print(f"smoke: serving on {client.base}")
 
             health = client.get("/healthz")
             assert health["status"] == "ok", health
@@ -379,13 +406,57 @@ def run_smoke() -> int:
             assert served["outputs"] == ["San Francisco"], served
             print("smoke: uploaded catalog, appended rows, served new "
                   "snapshot -- all good")
+
+            # -- act two: graceful SIGTERM, snapshot persist, cold-start --
+            _stop_serve(process)
+            print("smoke: SIGTERM -> graceful exit 0, state flushed")
+
+            snap_args = [
+                "--catalog-root", str(root), "--port", "0", "--snapshots",
+            ]
+            process, client = _start_serve(src, snap_args)
+            warm = client.post(
+                "/learn",
+                {"examples": [[["France"], "Paris"]], "catalog": "geo"},
+            )
+            program = warm["programs"][0]["program"]
+            warm_fill = client.post(
+                "/fill",
+                {"program": program, "rows": [["Chile"], ["Japan"]],
+                 "catalog": "geo"},
+            )
+            assert warm_fill["outputs"] == ["Santiago", "Tokyo"], warm_fill
+            _stop_serve(process)  # close() drains the pending geo snapshot
+            snap_dir = root / "geo" / ".snapshots"
+            assert list(snap_dir.glob("manifest-*.json")), (
+                "no snapshot manifest persisted for geo"
+            )
+            print("smoke: --snapshots persisted the geo indexes on shutdown")
+
+            process, client = _start_serve(src, snap_args)
+            cold_fill = client.post(
+                "/fill",
+                {"program": program, "rows": [["Chile"], ["Japan"]],
+                 "catalog": "geo"},
+            )
+            assert cold_fill["outputs"] == warm_fill["outputs"], (
+                f"snapshot cold-start diverged: {cold_fill} vs {warm_fill}"
+            )
+            stats = client.get("/stats")
+            geo_entry = stats["catalogs"]["geo"]
+            assert geo_entry.get("snapshot"), geo_entry
+            print(
+                "smoke: snapshot cold-start served identical fills "
+                f"(snapshot v{geo_entry['snapshot']['version']})"
+            )
             return 0
         finally:
-            process.terminate()
-            try:
-                process.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                process.kill()
+            if process.poll() is None:
+                process.terminate()
+                try:
+                    process.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    process.kill()
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,0 +1,402 @@
+"""Storage-tier benchmark: snapshot cold-start vs index rebuild.
+
+The disk tier exists so a process restart *loads* catalog state instead
+of rebuilding it: ``repro serve --snapshots`` persists the value /
+occurrence / substring indexes as content-addressed snapshot blobs, and
+``--storage sqlite`` keeps rows + postings in a per-catalog database
+with a bounded hot cache.  This benchmark measures both cold-start
+paths against the full rebuild (CSV parse + every derived index) they
+replace, at 10k and 100k cells:
+
+* ``cold_start[cells=N]`` -- ``load_catalog_snapshot`` (checksum-verified
+  blob loads) + first *fill*-path requests (fingerprint, distinct scan,
+  keyed lookups) vs CSV load + the same requests with every derived
+  index forced.  **Gated in CI**: committed-baseline ratio at every
+  size, plus the absolute >= {ABS}x acceptance floor at >= 100k cells
+  (small catalogs are dominated by fixed manifest/IO costs).  This is
+  the serve restart path -- the heavy matchers stream in lazily, so
+  time-to-first-fill is O(blob read), not O(index rebuild).
+* ``first_learn[cells=N]`` -- cold start *plus* forcing the lazily
+  decoded sections a learn request needs (occurrence postings, q-gram
+  postings, Aho-Corasick segments) vs the full rebuild.  Informational:
+  the amortized worst case, still well above 1x.
+* ``sqlite_open[cells=N]`` -- opening an existing ``SQLiteBackend`` and
+  answering first probes vs ``ingest_catalog`` from scratch.
+  Informational (the ingest side pays durable writes).
+* ``resident_set[cells=N]`` -- allocated bytes retained after serving
+  probes through the bounded hot tier vs a fully materialized in-memory
+  catalog (tracemalloc).  Informational ceiling: the storage tier must
+  not regress to "everything resident".
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_storage.py                # run + print
+    PYTHONPATH=src python benchmarks/bench_storage.py --out BENCH_storage.json
+    PYTHONPATH=src python benchmarks/bench_storage.py --quick \
+        --check BENCH_storage.json            # CI: fail on >2x regression
+
+``--check`` compares each gated speedup against the committed baseline
+(floor = baseline / --factor) and additionally enforces the absolute
+>= {ABS}x acceptance floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.storage import (
+    SQLiteBackend,
+    StorageCatalog,
+    hash_sources,
+    ingest_catalog,
+    load_catalog_snapshot,
+    save_catalog_snapshot,
+)
+from repro.tables.catalog import Catalog
+from repro.tables.io import load_table_csv
+from repro.tables.table import Table
+
+#: Absolute acceptance floor for the gated snapshot cold-start speedup.
+COLD_START_FLOOR = 10.0
+
+NAMES = [
+    "Microsoft", "Google", "Apple", "Facebook", "IBM", "Xerox", "Intel",
+    "Oracle", "Cisco", "Adobe", "Nvidia", "Amazon", "Netflix", "Tesla",
+    "Siemens", "Philips",
+]
+
+
+def write_csv(path: Path, num_rows: int) -> None:
+    lines = ["Id,Name"]
+    lines.extend(
+        f"c{r},{NAMES[r % len(NAMES)]}{r}" for r in range(num_rows)
+    )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def force_derived(catalog: Catalog) -> Catalog:
+    """Materialize every index a serving process would answer from."""
+    catalog.freeze()
+    catalog.substring_index().build()
+    catalog.fingerprint()
+    catalog.distinct_values()
+    for table in catalog.tables():
+        table.find_rows({table.columns[0]: table.rows[-1][0]})
+    for value in catalog.tables()[0].rows[-1]:
+        catalog.occurrences_of(value)
+    return catalog
+
+
+def rebuild_from_csv(csv: Path) -> Catalog:
+    return force_derived(Catalog([load_table_csv(csv)]))
+
+
+def fill_probe(catalog, ids: List[str]) -> None:
+    """The fill-path requests a freshly restarted server serves first."""
+    catalog.fingerprint()
+    catalog.distinct_values()
+    table = catalog.tables()[0]
+    for value in ids:
+        table.row_by_key(("Id",), (value,))
+
+
+def learn_probe(catalog, values: List[str]) -> None:
+    """Forces every lazily built section learn/lookup requests touch.
+
+    Substring matchers, occurrence postings and the per-column row
+    postings (``find_rows``) are lazy in *every* tier -- memory-built,
+    snapshot-loaded and SQLite-backed alike -- so they belong to this
+    warm probe, not the cold fill path.
+    """
+    index = catalog.substring_index().build()
+    table = catalog.tables()[0]
+    for value in values:
+        catalog.occurrences_of(value)
+        index.overlapping(value, 1)
+        table.find_rows({"Name": value})
+
+
+def bench_cold_start(num_rows: int, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Both the gated ``cold_start`` and informational ``first_learn`` rows."""
+    tmp = Path(tempfile.mkdtemp(prefix="bench-storage-"))
+    try:
+        csv = tmp / "Comp.csv"
+        write_csv(csv, num_rows)
+        sources = hash_sources([csv])
+        built = rebuild_from_csv(csv)
+        snap_dir = tmp / ".snapshots"
+        save_catalog_snapshot(snap_dir, built, sources=sources)
+        ids = [f"c{r}" for r in range(0, num_rows, max(1, num_rows // 8))]
+        values = list(built.distinct_values()[:8])
+
+        cold_times, cold_learn_times = [], []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            loaded = load_catalog_snapshot(snap_dir, sources=sources)
+            fill_probe(loaded, ids)
+            cold_times.append(time.perf_counter() - started)
+            learn_probe(loaded, values)
+            cold_learn_times.append(time.perf_counter() - started)
+
+        # Fill-ready rebuild: CSV parse + catalog construction (value
+        # index, fingerprint) + the same keyed probes.  The substring
+        # matchers are lazy in the memory tier too, so they belong to
+        # the learn-ready comparison below, not here.
+        rebuild_times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            quick = Catalog([load_table_csv(csv)])
+            quick.freeze()
+            quick.fingerprint()
+            fill_probe(quick, ids)
+            rebuild_times.append(time.perf_counter() - started)
+
+        # Learn-ready rebuild: everything forced, matching learn_probe.
+        rebuild_learn_times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            rebuilt = rebuild_from_csv(csv)
+            fill_probe(rebuilt, ids)
+            learn_probe(rebuilt, values)
+            rebuild_learn_times.append(time.perf_counter() - started)
+
+        assert loaded.fingerprint() == rebuilt.fingerprint()
+        assert loaded.distinct_values() == rebuilt.distinct_values()
+        for value in values:
+            assert loaded.occurrences_of(value) == rebuilt.occurrences_of(value)
+        cold_s, rebuild_s = min(cold_times), min(rebuild_times)
+        learn_s, rebuild_learn_s = min(cold_learn_times), min(rebuild_learn_times)
+        return {
+            "cold_start": {
+                "cells": num_rows * 2,
+                "cold_s": cold_s,
+                "rebuild_s": rebuild_s,
+                "speedup": rebuild_s / cold_s,
+            },
+            "first_learn": {
+                "cells": num_rows * 2,
+                "cold_s": learn_s,
+                "rebuild_s": rebuild_learn_s,
+                "speedup": rebuild_learn_s / learn_s,
+            },
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def bench_sqlite_open(num_rows: int, repeats: int) -> Dict[str, float]:
+    tmp = Path(tempfile.mkdtemp(prefix="bench-storage-"))
+    try:
+        csv = tmp / "Comp.csv"
+        write_csv(csv, num_rows)
+        built = rebuild_from_csv(csv)
+        path = tmp / "catalog.db"
+        ingest_catalog(path, built)
+        probes = list(built.distinct_values()[:8])
+
+        open_times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            backend = SQLiteBackend(path)
+            catalog = StorageCatalog(backend)
+            learn_probe(catalog, probes)
+            open_times.append(time.perf_counter() - started)
+            backend.close()
+
+        ingest_times = []
+        for index in range(repeats):
+            fresh = tmp / f"ingest-{index}.db"
+            started = time.perf_counter()
+            ingest_catalog(fresh, built)
+            backend = SQLiteBackend(fresh)
+            learn_probe(StorageCatalog(backend), probes)
+            ingest_times.append(time.perf_counter() - started)
+            backend.close()
+
+        open_s = min(open_times)
+        ingest_s = min(ingest_times)
+        return {
+            "cells": num_rows * 2,
+            "open_s": open_s,
+            "ingest_s": ingest_s,
+            "speedup": ingest_s / open_s,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def bench_resident_set(num_rows: int) -> Dict[str, float]:
+    tmp = Path(tempfile.mkdtemp(prefix="bench-storage-"))
+    try:
+        csv = tmp / "Comp.csv"
+        write_csv(csv, num_rows)
+        built = rebuild_from_csv(csv)
+        path = tmp / "catalog.db"
+        ingest_catalog(path, built)
+        probes = list(built.distinct_values()[:64])
+        del built
+
+        tracemalloc.start()
+        resident = force_derived(Catalog([load_table_csv(csv)]))
+        learn_probe(resident, probes[:8])
+        memory_bytes, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        del resident
+
+        tracemalloc.start()
+        backend = SQLiteBackend(path, cache_limit=4096)
+        catalog = StorageCatalog(backend)
+        snapshot = catalog.backend.snapshot()
+        for value in probes:
+            snapshot.occurrences(value)
+        storage_bytes, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        backend.close()
+        return {
+            "cells": num_rows * 2,
+            "memory_tier_bytes": float(memory_bytes),
+            "storage_tier_bytes": float(storage_bytes),
+            "ratio": memory_bytes / max(storage_bytes, 1),
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+#: Rows whose ``speedup`` is floor-gated by ``--check``.
+GATED_PREFIX = "cold_start"
+
+
+def run_suite(quick: bool) -> Dict[str, Dict[str, float]]:
+    # 10k and 100k cells (2 columns); stable names so --quick runs can
+    # be checked against a full-run baseline.
+    sizes = [5_000, 50_000]
+    results: Dict[str, Dict[str, float]] = {}
+    for num_rows in sizes:
+        repeats = (2 if num_rows >= 50_000 else 3) if quick else 5
+        cells = num_rows * 2
+        print(f"running cold_start[cells={cells}] ...", flush=True)
+        rows = bench_cold_start(num_rows, repeats)
+        results[f"cold_start[cells={cells}]"] = rows["cold_start"]
+        results[f"first_learn[cells={cells}]"] = rows["first_learn"]
+        name = f"sqlite_open[cells={cells}]"
+        print(f"running {name} ...", flush=True)
+        results[name] = bench_sqlite_open(num_rows, max(1, repeats - 1))
+    name = "resident_set[cells=100000]"
+    print(f"running {name} ...", flush=True)
+    results[name] = bench_resident_set(50_000)
+    return results
+
+
+def render(results: Dict[str, Dict[str, float]]) -> List[str]:
+    lines = []
+    for name, row in results.items():
+        if "cold_s" in row:
+            lines.append(
+                f"{name}: cold {row['cold_s'] * 1e3:.1f}ms | rebuild "
+                f"{row['rebuild_s'] * 1e3:.0f}ms | speedup {row['speedup']:.0f}x"
+            )
+        elif "open_s" in row:
+            lines.append(
+                f"{name}: open {row['open_s'] * 1e3:.1f}ms | ingest "
+                f"{row['ingest_s'] * 1e3:.0f}ms | speedup {row['speedup']:.0f}x"
+            )
+        else:
+            lines.append(
+                f"{name}: hot tier {row['storage_tier_bytes'] / 1e6:.1f}MB vs "
+                f"resident {row['memory_tier_bytes'] / 1e6:.1f}MB "
+                f"({row['ratio']:.0f}x smaller)"
+            )
+    return lines
+
+
+def check_regression(
+    results: Dict[str, Dict[str, float]], baseline_path: Path, factor: float
+) -> int:
+    baseline = json.loads(baseline_path.read_text())["results"]
+    failures = []
+    for name, row in results.items():
+        if not name.startswith(GATED_PREFIX):
+            if "speedup" in row:
+                print(f"      info  {name}: speedup {row['speedup']:.1f}x (not gated)")
+            else:
+                print(
+                    f"      info  {name}: hot tier "
+                    f"{row['storage_tier_bytes'] / 1e6:.1f}MB vs resident "
+                    f"{row['memory_tier_bytes'] / 1e6:.1f}MB (not gated)"
+                )
+            continue
+        # The absolute acceptance floor is defined on the 100k-cell
+        # catalog (small catalogs are dominated by fixed manifest/IO
+        # costs); the smaller sizes are held to the baseline ratio.
+        floors = [COLD_START_FLOOR] if row["cells"] >= 100_000 else []
+        reference = baseline.get(name)
+        if reference is not None:
+            floors.append(reference["speedup"] / factor)
+        if not floors:
+            continue
+        floor = max(floors)
+        status = "ok" if row["speedup"] >= floor else "REGRESSION"
+        print(
+            f"{status:>10}  {name}: speedup {row['speedup']:.0f}x "
+            f"(floor {floor:.0f}x, absolute acceptance floor "
+            f"{COLD_START_FLOOR:.0f}x at >=100k cells)"
+        )
+        if status != "ok":
+            failures.append(name)
+    if failures:
+        print(f"\nperf regression in: {', '.join(failures)}")
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes (CI smoke)")
+    parser.add_argument("--out", type=Path, help="write results JSON here")
+    parser.add_argument("--check", type=Path, help="baseline JSON to compare against")
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="fail when a gated speedup falls below baseline/factor (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.quick)
+    print()
+    for line in render(results):
+        print(line)
+
+    if args.out:
+        payload = {
+            "meta": {
+                "python": sys.version.split()[0],
+                "quick": args.quick,
+                "note": "speedups are machine-relative (same-run cold-start "
+                "vs rebuild); refresh with: PYTHONPATH=src python "
+                "benchmarks/bench_storage.py --out BENCH_storage.json",
+            },
+            "results": results,
+        }
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+
+    if args.check:
+        print()
+        return check_regression(results, args.check, args.factor)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,12 +44,26 @@ so in-flight requests never see a half-updated catalog)::
     service.learn(examples, catalog="products")
     registry.append_rows("products", "Comp", new_rows)   # incremental reindex
 
+Disk-backed catalogs (``repro serve --storage sqlite`` / ``--snapshots``
+from the shell)::
+
+    from repro.storage import SQLiteBackend, StorageCatalog, ingest_catalog
+    from repro.storage import load_catalog_snapshot, save_catalog_snapshot
+
+    ingest_catalog("catalog.db", catalog)          # one-time: CSV -> SQLite
+    disk = StorageCatalog(SQLiteBackend("catalog.db"))
+    Synthesizer(disk).synthesize(examples)         # queries hit the backend
+
+    save_catalog_snapshot("snaps/", catalog)       # persist built indexes
+    warm = load_catalog_snapshot("snaps/")         # O(1)-ish cold start
+
 Sub-packages: :mod:`repro.api` (engine API: backends, results, batch),
 :mod:`repro.tables` (relational substrate, §4/§6), :mod:`repro.syntactic`
 (Ls, §5), :mod:`repro.lookup` (Lt, §4), :mod:`repro.semantic` (Lu, §5),
 :mod:`repro.engine` (interaction model, §3.2), :mod:`repro.service`
-(program store, request cache, HTTP serving), :mod:`repro.benchsuite`
-(the 50-problem evaluation, §7).
+(program store, request cache, HTTP serving), :mod:`repro.storage`
+(pluggable catalog storage backends + persistent index snapshots),
+:mod:`repro.benchsuite` (the 50-problem evaluation, §7).
 """
 
 from repro.api import (
@@ -79,7 +93,10 @@ from repro.exceptions import (
     ReproError,
     SerializationError,
     ServiceError,
+    SnapshotError,
     StaleProgramError,
+    StorageBackendError,
+    StorageError,
     SynthesisError,
     TableError,
     UnknownBackendError,
@@ -89,7 +106,7 @@ from repro.exceptions import (
 from repro.tables import Catalog, Table
 from repro.tables.background import background_catalog, background_table
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Catalog",
@@ -112,7 +129,10 @@ __all__ = [
     "ReproError",
     "SerializationError",
     "ServiceError",
+    "SnapshotError",
     "StaleProgramError",
+    "StorageBackendError",
+    "StorageError",
     "SynthesisConfig",
     "SynthesisResult",
     "SynthesisSession",

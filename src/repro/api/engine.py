@@ -133,6 +133,16 @@ class Synthesizer:
         config: SynthesisConfig = DEFAULT_CONFIG,
     ) -> None:
         self.language = resolve_backend_name(language)
+        if catalog is not None and catalog.storage_backed:
+            if background is not None or not config.use_storage_backend:
+                # The oracle path (and the background-merge path, which
+                # needs an in-memory union): lift the snapshot into plain
+                # resident structures and fall through to the usual logic.
+                catalog = catalog.materialize(
+                    use_table_index=config.use_table_index
+                )
+            elif catalog.use_table_index != config.use_table_index:
+                catalog = catalog.with_use_table_index(config.use_table_index)
         if (
             catalog is not None
             and catalog.frozen

@@ -6,11 +6,14 @@ Subcommand usage::
                 [--fill pending.csv] [--save program.json] [--top 3]
     repro fill  --program program.json --rows pending.csv [--table Comp.csv]
     repro serve --table Comp.csv [--store programs/] [--port 8765] \\
-                [--catalog-root catalogs/]
+                [--catalog-root catalogs/] [--storage sqlite] [--snapshots]
     repro catalog list   --root catalogs/
     repro catalog show   --root catalogs/ NAME
     repro catalog add    --root catalogs/ NAME TABLE.csv [TABLE.csv ...]
     repro catalog append --root catalogs/ NAME TABLE ROWS.csv
+    repro snapshot save  --root catalogs/ NAME
+    repro snapshot load  --root catalogs/ NAME
+    repro snapshot gc    --root catalogs/ NAME [--keep N]
 
 ``learn`` synthesizes from ``examples.csv`` (one example per row: all
 columns but the last are inputs, the last is the output), optionally
@@ -22,10 +25,18 @@ threaded JSON HTTP API (``POST /learn``, ``POST /fill``,
 ``GET /programs``, ``GET /healthz``, ``GET /stats``, plus the
 ``/catalogs`` registry endpoints) with an LRU request cache and an
 optional on-disk program store; ``--catalog-root DIR`` serves many
-named catalogs, lazily loaded from ``DIR/<name>/*.csv``.  ``catalog``
-manages such a root from the shell: ``list``/``show`` inspect it,
-``add`` creates a catalog from CSVs, ``append`` grows a table's rows
-(validated through the same table layer the server uses).
+named catalogs, lazily loaded from ``DIR/<name>/*.csv``.  ``--storage
+sqlite`` serves each root catalog from a ``catalog.db`` SQLite file
+(appends commit durably); ``--snapshots`` persists built indexes under
+``DIR/<name>/.snapshots/`` so restarts load instead of rebuild.  The
+server shuts down cleanly on SIGTERM/SIGINT: in-flight requests finish,
+snapshot writes flush, database connections close, exit status 0.
+``catalog`` manages such a root from the shell: ``list``/``show``
+inspect it, ``add`` creates a catalog from CSVs, ``append`` grows a
+table's rows (validated through the same table layer the server uses).
+``snapshot`` manages the index snapshots by hand: ``save`` writes one
+synchronously, ``load`` verifies what a cold start would serve, ``gc``
+prunes old versions.
 
 The original flag-only invocation (``repro --examples ... [--fill ...]``)
 still works and behaves like ``learn``.  ``--language`` selects a
@@ -50,7 +61,7 @@ from repro.tables.background import background_catalog
 from repro.tables.catalog import Catalog
 from repro.tables.io import load_table_csv
 
-SUBCOMMANDS = ("learn", "fill", "serve", "catalog")
+SUBCOMMANDS = ("learn", "fill", "serve", "catalog", "snapshot")
 
 
 def _add_catalog_options(parser: argparse.ArgumentParser) -> None:
@@ -181,6 +192,21 @@ def build_serve_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
         "(see 'repro catalog'); --table CSVs become the 'default' catalog",
     )
     parser.add_argument(
+        "--storage",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="catalog storage tier: 'memory' rebuilds from CSVs, 'sqlite' "
+        "serves each catalog from a durable catalog.db under its root "
+        "directory (requires --catalog-root; appends survive restarts)",
+    )
+    parser.add_argument(
+        "--snapshots",
+        action="store_true",
+        help="persist built indexes under <root>/<name>/.snapshots/ so the "
+        "next start loads them instead of rebuilding (requires "
+        "--catalog-root; memory tier only)",
+    )
+    parser.add_argument(
         "--default-catalog",
         default="default",
         metavar="NAME",
@@ -236,6 +262,39 @@ def build_catalog_parser(prog: str = "repro catalog") -> argparse.ArgumentParser
     append.add_argument("name", metavar="CATALOG")
     append.add_argument("table", metavar="TABLE")
     append.add_argument("rows", metavar="ROWS_CSV")
+    return parser
+
+
+def build_snapshot_parser(prog: str = "repro snapshot") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Manage persistent index snapshots of a catalog root "
+        "(what 'repro serve --snapshots' writes and cold-starts from).",
+    )
+    commands = parser.add_subparsers(dest="action", required=True)
+
+    save = commands.add_parser(
+        "save", help="build the catalog's indexes and snapshot them to disk"
+    )
+    save.add_argument("--root", required=True, metavar="DIR")
+    save.add_argument("name", metavar="CATALOG")
+
+    load = commands.add_parser(
+        "load", help="verify and describe what a cold start would load"
+    )
+    load.add_argument("--root", required=True, metavar="DIR")
+    load.add_argument("name", metavar="CATALOG")
+
+    gc = commands.add_parser("gc", help="prune old snapshot versions")
+    gc.add_argument("--root", required=True, metavar="DIR")
+    gc.add_argument(
+        "--keep",
+        type=int,
+        default=2,
+        metavar="N",
+        help="how many newest versions to keep (default: 2)",
+    )
+    gc.add_argument("name", metavar="CATALOG")
     return parser
 
 
@@ -363,9 +422,23 @@ def _cmd_serve(argv: Sequence[str]) -> int:
             create_server,
         )
 
+        if args.storage != "memory" and not args.catalog_root:
+            raise ReproError(
+                f"--storage {args.storage} needs --catalog-root DIR to keep "
+                "its database files in"
+            )
+        if args.snapshots and not args.catalog_root:
+            raise ReproError(
+                "--snapshots needs --catalog-root DIR to keep snapshot "
+                "files in"
+            )
         store = ProgramStore(args.store) if args.store else None
         registry = (
-            CatalogRegistry(root=args.catalog_root)
+            CatalogRegistry(
+                root=args.catalog_root,
+                storage=args.storage,
+                snapshots=args.snapshots,
+            )
             if args.catalog_root
             else None
         )
@@ -392,12 +465,42 @@ def _cmd_serve(argv: Sequence[str]) -> int:
     # One parseable line, flushed before serving: smoke tests and process
     # managers read the bound port from it (important with --port 0).
     print(f"serving on http://{host}:{port}", flush=True)
+
+    # Graceful shutdown: SIGTERM/SIGINT stop accepting connections, let
+    # in-flight requests finish (server_close joins the daemon threads),
+    # flush pending snapshot writes, close database connections, exit 0.
+    # The handler must not call server.shutdown() directly -- it would
+    # deadlock the very serve_forever loop it interrupted -- so a helper
+    # thread delivers it.
+    import signal
+    import threading
+
+    received = []
+
+    def _request_shutdown(signum, frame):
+        if received:
+            return  # second signal: shutdown already underway
+        received.append(signum)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    installed = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            installed.append((signum, signal.signal(signum, _request_shutdown)))
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - handler normally wins
         pass
     finally:
+        for signum, previous in installed:
+            signal.signal(signum, previous)
         server.server_close()
+        service.close()
+    if received:
+        name = signal.Signals(received[0]).name
+        print(f"shutdown: {name} received, state flushed", file=sys.stderr)
     return 0
 
 
@@ -509,6 +612,71 @@ def _cmd_catalog(argv: Sequence[str]) -> int:
     return 0
 
 
+def _cmd_snapshot(argv: Sequence[str]) -> int:
+    args = build_snapshot_parser().parse_args(argv)
+    try:
+        from repro.service.registry import CatalogRegistry
+
+        registry = CatalogRegistry(root=Path(args.root), snapshots=True)
+        try:
+            if args.action == "save":
+                info = registry.save_snapshot(args.name)
+                segments = info["segments"]
+                print(
+                    f"saved {args.name} snapshot v{info['version']} "
+                    f"({segments} index segment"
+                    f"{'s' if segments != 1 else ''})"
+                )
+                print(f"fingerprint: {info['fingerprint']}")
+                return 0
+
+            if args.action == "load":
+                from repro.exceptions import UnknownCatalogError
+                from repro.storage.snapshot import (
+                    hash_sources,
+                    load_catalog_snapshot,
+                )
+
+                if args.name not in registry.names():
+                    raise UnknownCatalogError(args.name, registry.names())
+                directory = registry.snapshot_dir(args.name)
+                sources = hash_sources(
+                    sorted((Path(args.root) / args.name).glob("*.csv"))
+                )
+                catalog = load_catalog_snapshot(directory, sources=sources)
+                if catalog is None:
+                    raise ReproError(
+                        f"no loadable snapshot for catalog {args.name!r} "
+                        f"under {directory} (run 'repro snapshot save' "
+                        "first, or the CSVs changed since the last save)"
+                    )
+                print(f"catalog: {args.name}")
+                print(f"fingerprint: {catalog.fingerprint()}")
+                print(f"tables: {', '.join(catalog.table_names())}")
+                print(f"entries: {catalog.total_entries}")
+                return 0
+
+            # gc
+            from repro.exceptions import UnknownCatalogError
+
+            if args.keep < 1:
+                raise ReproError(f"--keep must be >= 1, got {args.keep}")
+            if args.name not in registry.names():
+                raise UnknownCatalogError(args.name, registry.names())
+            summary = registry.gc_snapshots(args.name, keep=args.keep)
+            print(
+                f"kept version(s) {summary['kept_versions']}; removed "
+                f"{summary['removed_manifests']} manifest(s), "
+                f"{summary['removed_blobs']} blob(s)"
+            )
+            return 0
+        finally:
+            registry.close()
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "learn":
@@ -519,6 +687,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(argv[1:])
     if argv and argv[0] == "catalog":
         return _cmd_catalog(argv[1:])
+    if argv and argv[0] == "snapshot":
+        return _cmd_snapshot(argv[1:])
     # Historical flag-only invocation: behave exactly like `learn`.
     return _cmd_learn(argv, prog="repro")
 

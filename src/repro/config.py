@@ -94,6 +94,14 @@ class SynthesisConfig:
             recurring pairs across edges, examples and ``Synthesizer``
             calls are intersected once.  False recomputes every pair --
             the equivalence oracle.
+        use_storage_backend: serve a storage-backed catalog
+            (``repro.storage.StorageCatalog``) directly through its
+            backend -- rows, postings and substring queries answered
+            from the storage tier with a bounded hot cache.  False makes
+            ``Synthesizer`` *materialize* the catalog into plain
+            in-memory structures first -- the equivalence oracle for the
+            whole storage tier (tests/test_storage_equivalence.py).
+            No effect on catalogs that are not storage-backed.
         weights: the ranking cost model.
 
     The ``use_*_index``/``use_worklist_pruning``/``use_lazy_intersection``/
@@ -116,6 +124,7 @@ class SynthesisConfig:
     use_worklist_pruning: bool = True
     use_lazy_intersection: bool = True
     use_intersection_cache: bool = True
+    use_storage_backend: bool = True
     weights: RankingWeights = field(default_factory=RankingWeights)
 
     def with_weights(self, **kwargs) -> "SynthesisConfig":
@@ -144,6 +153,7 @@ class SynthesisConfig:
             use_worklist_pruning=False,
             use_lazy_intersection=False,
             use_intersection_cache=False,
+            use_storage_backend=False,
         )
 
 

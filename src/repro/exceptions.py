@@ -156,6 +156,24 @@ class SerializationError(ReproError):
     """A serialized program payload is malformed or unsupported."""
 
 
+class StorageError(ReproError):
+    """A storage-tier operation failed (backend, snapshot or ingest)."""
+
+
+class StorageBackendError(StorageError):
+    """A storage backend cannot serve a request (closed, unsupported...)."""
+
+
+class SnapshotError(StorageError):
+    """A persistent index snapshot is missing, corrupt or unwritable.
+
+    Loading never raises this for an *absent or invalid* snapshot --
+    loaders fall back to the newest complete one (or to a rebuild);
+    it signals misuse, like saving into an unwritable directory or
+    explicitly loading a snapshot that fails verification.
+    """
+
+
 class ServiceError(ReproError):
     """A synthesis-service request is invalid or cannot be served."""
 

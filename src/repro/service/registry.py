@@ -28,26 +28,48 @@ A registry may be backed by a **catalog root** directory
         products/
             Comp.csv
             Regions.csv
+            catalog.db        # --storage sqlite: the durable store
+            .snapshots/       # --snapshots: persistent index snapshots
         customers/
             Accounts.csv
 
 Catalogs load lazily on first use (one table per CSV, file stem = table
-name, files in sorted order).  HTTP/registry updates are in-memory only;
-the directory is a load source, not a write-through store.
+name, files in sorted order).  With the default ``storage="memory"``,
+HTTP/registry updates are in-memory only and the directory is a load
+source; ``snapshots=True`` additionally persists each catalog's built
+indexes under ``<name>/.snapshots/`` (written by a background thread,
+coalesced per name) so the next process start *loads* instead of
+rebuilds.  ``storage="sqlite"`` serves each root catalog from a
+``catalog.db`` SQLite file (ingested from the CSVs on first use,
+re-ingested into a new versioned file when the CSVs change) -- appends
+then commit durably, and restarts trust the database, so HTTP-appended
+rows survive.
 """
 
 from __future__ import annotations
 
 import re
 import threading
+import time
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import (
     CatalogRegistryError,
     DuplicateTableError,
+    StorageError,
     UnknownCatalogError,
 )
+from repro.storage.backend import StorageBackend
+from repro.storage.catalog import StorageCatalog
+from repro.storage.snapshot import (
+    gc_snapshots,
+    hash_sources,
+    latest_snapshot_info,
+    load_catalog_snapshot,
+    save_catalog_snapshot,
+)
+from repro.storage.sqlite import SQLiteBackend, ingest_catalog
 from repro.tables.catalog import Catalog
 from repro.tables.io import load_table_csv
 from repro.tables.table import Table
@@ -57,6 +79,14 @@ _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 #: The catalog name used when a caller does not pick one.
 DEFAULT_CATALOG = "default"
+
+#: Registry storage tiers (``CatalogRegistry(storage=...)``).
+STORAGE_TIERS = ("memory", "sqlite")
+
+#: Per-catalog snapshot directory name under the catalog root.
+SNAPSHOT_DIRNAME = ".snapshots"
+
+_DB_STEM = "catalog"
 
 
 class CatalogRegistry:
@@ -71,10 +101,51 @@ class CatalogRegistry:
     2
     """
 
-    def __init__(self, root: Union[None, str, Path] = None) -> None:
+    def __init__(
+        self,
+        root: Union[None, str, Path] = None,
+        storage: str = "memory",
+        snapshots: bool = False,
+        cache_limit: int = 65536,
+    ) -> None:
+        if storage not in STORAGE_TIERS:
+            raise CatalogRegistryError(
+                f"unknown storage tier {storage!r}: expected one of "
+                f"{', '.join(STORAGE_TIERS)}"
+            )
+        if storage == "sqlite" and root is None:
+            raise CatalogRegistryError(
+                "storage='sqlite' needs a catalog root to keep its "
+                "database files in"
+            )
+        if snapshots and root is None:
+            raise CatalogRegistryError(
+                "snapshots=True needs a catalog root to keep snapshot "
+                "files in"
+            )
         self.root = Path(root) if root is not None else None
+        self.storage = storage
+        self.snapshots = snapshots
+        self._cache_limit = cache_limit
         self._lock = threading.RLock()
         self._catalogs: Dict[str, Catalog] = {}
+        #: live backend per storage-backed name; retired ones (replaced by
+        #: a re-ingest) are only closed at :meth:`close` -- an in-flight
+        #: request may still read through its old snapshot.
+        self._backends: Dict[str, StorageBackend] = {}
+        self._retired: List[StorageBackend] = []
+        #: CSV content hashes recorded at load time, stamped into snapshot
+        #: manifests so a later load can tell "same CSVs" from "edited".
+        self._sources: Dict[str, Dict[str, str]] = {}
+        self._name_locks: Dict[str, threading.RLock] = {}
+        self._closed = False
+        # Snapshot writer: one daemon thread, coalescing queue (at most
+        # one pending catalog per name -- newer enqueues replace older).
+        self._snap_cv = threading.Condition()
+        self._snap_pending: Dict[str, Catalog] = {}
+        self._snap_writing: Optional[str] = None
+        self._snap_thread: Optional[threading.Thread] = None
+        self._snap_errors: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -105,10 +176,23 @@ class CatalogRegistry:
                 if (
                     entry.is_dir()
                     and _NAME_PATTERN.match(entry.name)
-                    and any(entry.glob("*.csv"))
+                    and self._dir_loadable(entry)
                 ):
                     known.add(entry.name)
         return sorted(known)
+
+    def _dir_loadable(self, directory: Path) -> bool:
+        """Whether a root subdirectory holds servable catalog data."""
+        if any(directory.glob("*.csv")):
+            return True
+        if self.storage == "sqlite" and self._db_paths(directory):
+            return True
+        if (
+            self.snapshots
+            and latest_snapshot_info(directory / SNAPSHOT_DIRNAME) is not None
+        ):
+            return True
+        return False
 
     def loaded_names(self) -> List[str]:
         """Names of catalogs materialized in memory (root dirs may lag)."""
@@ -131,19 +215,125 @@ class CatalogRegistry:
         directory = self._root_dir(name)
         if directory is None:
             raise UnknownCatalogError(name, self.names())
-        # Load outside the lock -- disk I/O and index building must not
-        # stall requests for unrelated catalogs.  If someone else loaded
-        # (or registered) the name meanwhile, theirs wins: one snapshot
-        # identity per name at a time.
-        loaded = Catalog(
-            [load_table_csv(path) for path in sorted(directory.glob("*.csv"))]
-        ).freeze()
+        # Load outside the registry lock -- disk I/O and index building
+        # must not stall requests for unrelated catalogs.  The per-name
+        # lock serializes loaders of the *same* name so two threads never
+        # ingest/open the same database twice.
+        with self._name_lock(name):
+            with self._lock:
+                catalog = self._catalogs.get(name)
+            if catalog is not None:
+                return catalog
+            if self.storage == "sqlite":
+                loaded = self._load_sqlite(name, directory)
+            else:
+                loaded = self._load_memory(name, directory)
         with self._lock:
             catalog = self._catalogs.get(name)
             if catalog is not None:
                 return catalog
             self._catalogs[name] = loaded
             return loaded
+
+    def _name_lock(self, name: str) -> threading.RLock:
+        with self._lock:
+            lock = self._name_locks.get(name)
+            if lock is None:
+                lock = self._name_locks[name] = threading.RLock()
+            return lock
+
+    def _load_csvs(self, directory: Path) -> Catalog:
+        return Catalog(
+            [load_table_csv(path) for path in sorted(directory.glob("*.csv"))]
+        ).freeze()
+
+    def _load_memory(self, name: str, directory: Path) -> Catalog:
+        """Memory tier: snapshot if fresh, else CSVs (and snapshot that)."""
+        sources = hash_sources(sorted(directory.glob("*.csv")))
+        self._sources[name] = sources
+        if self.snapshots:
+            loaded = load_catalog_snapshot(
+                directory / SNAPSHOT_DIRNAME, sources=sources
+            )
+            if loaded is not None:
+                return loaded
+        if not sources:
+            raise CatalogRegistryError(
+                f"catalog {name!r} has no CSV tables and no loadable snapshot"
+            )
+        loaded = self._load_csvs(directory)
+        self._enqueue_snapshot(name, loaded)
+        return loaded
+
+    def _load_sqlite(self, name: str, directory: Path) -> Catalog:
+        """SQLite tier: the newest database whose recorded CSV hashes still
+        match the directory is authoritative (it may hold appends the CSVs
+        never saw); otherwise ingest the CSVs into a new versioned file."""
+        csvs = sorted(directory.glob("*.csv"))
+        sources = hash_sources(csvs)
+        self._sources[name] = sources
+        dbs = self._db_paths(directory)
+        backend: Optional[StorageBackend] = None
+        if dbs:
+            try:
+                candidate = SQLiteBackend(
+                    dbs[-1][1], cache_limit=self._cache_limit
+                )
+            except StorageError:
+                candidate = None  # torn/foreign file: fall through, re-ingest
+            if candidate is not None:
+                if not csvs or candidate.sources() == sources:
+                    backend = candidate
+                else:
+                    candidate.close()
+        if backend is None:
+            if not csvs:
+                raise CatalogRegistryError(
+                    f"catalog {name!r} has no CSV tables and no usable "
+                    "database file"
+                )
+            built = self._load_csvs(directory)
+            target = self._next_db_path(directory, dbs)
+            ingest_catalog(target, built, sources=sources)
+            backend = SQLiteBackend(target, cache_limit=self._cache_limit)
+        with self._lock:
+            previous = self._backends.pop(name, None)
+            if previous is not None:
+                self._retired.append(previous)
+            self._backends[name] = backend
+        return StorageCatalog(backend)
+
+    @staticmethod
+    def _db_paths(directory: Path) -> List[Tuple[int, Path]]:
+        """``catalog.db`` / ``catalog.<k>.db`` files, oldest first."""
+        found: List[Tuple[int, Path]] = []
+        for path in directory.glob(_DB_STEM + "*.db"):
+            stem = path.stem  # "catalog" or "catalog.<k>"
+            if stem == _DB_STEM:
+                found.append((0, path))
+            elif stem.startswith(_DB_STEM + "."):
+                tail = stem[len(_DB_STEM) + 1 :]
+                if tail.isdigit():
+                    found.append((int(tail), path))
+        return sorted(found)
+
+    def _next_db_path(
+        self, directory: Path, existing: List[Tuple[int, Path]]
+    ) -> Path:
+        """A fresh versioned database path.  Never reuses an existing file:
+        SQLite WAL sidecars are keyed by inode, so replacing a live
+        database in place can serve torn pages to a process that still has
+        the old file open."""
+        version = existing[-1][0] + 1 if existing else 0
+        while True:
+            path = (
+                directory / f"{_DB_STEM}.db"
+                if version == 0
+                else directory / f"{_DB_STEM}.{version}.db"
+            )
+            if not path.exists():
+                return path
+            version += 1
 
     def register(
         self, name: str, catalog: Union[Catalog, Iterable[Table]]
@@ -157,8 +347,39 @@ class CatalogRegistry:
         self.check_name(name)
         if not isinstance(catalog, Catalog):
             catalog = Catalog(catalog)
+        with self._name_lock(name):
+            catalog.freeze()
+            if (
+                self.storage == "sqlite"
+                and not catalog.storage_backed
+                and len(catalog) > 0
+            ):
+                catalog = self._ingest_registered(name, catalog)
+            stored = self._store(name, catalog)
+        if self.snapshots and not stored.storage_backed and len(stored) > 0:
+            self._enqueue_snapshot(name, stored)
+        return stored
+
+    def _ingest_registered(self, name: str, catalog: Catalog) -> Catalog:
+        """Persist a programmatically supplied catalog into a fresh
+        versioned database file and serve it storage-backed.  In-place
+        replacement of a live file is never attempted (WAL sidecars are
+        inode-keyed); the superseded backend is retired, not closed --
+        in-flight requests may still hold its snapshots."""
+        assert self.root is not None
+        directory = self.root / name
+        directory.mkdir(parents=True, exist_ok=True)
+        sources = hash_sources(sorted(directory.glob("*.csv")))
+        self._sources[name] = sources
+        target = self._next_db_path(directory, self._db_paths(directory))
+        ingest_catalog(target, catalog, sources=sources)
+        backend = SQLiteBackend(target, cache_limit=self._cache_limit)
         with self._lock:
-            return self._store(name, catalog)
+            previous = self._backends.pop(name, None)
+            if previous is not None:
+                self._retired.append(previous)
+            self._backends[name] = backend
+        return StorageCatalog(backend)
 
     def add_table(self, name: str, table: Table, create: bool = True) -> Catalog:
         """Copy-on-write: a new snapshot of ``name`` with ``table`` added.
@@ -208,20 +429,46 @@ class CatalogRegistry:
         started from, otherwise the update replays against the winner --
         so concurrent updates compose instead of losing rows, and
         readers of other catalogs never wait behind a reindex.
+
+        Storage-backed catalogs take a different path: ``derive``
+        commits through the stateful backend as a side effect, so it
+        must run **exactly once** -- the per-name lock serializes
+        writers and the swap is unconditional (a CAS replay would
+        append the same rows twice).
         """
         self.check_name(name)
-        while True:
-            try:
-                parent: Optional[Catalog] = self.get(name)
-            except UnknownCatalogError:
-                parent = None
-            derived = derive(parent).freeze()
-            with self._lock:
-                current = self._catalogs.get(name)
-                if current is parent:  # both None on the create path
-                    self._catalogs[name] = derived
+        with self._name_lock(name):
+            while True:
+                try:
+                    parent: Optional[Catalog] = self.get(name)
+                except UnknownCatalogError:
+                    parent = None
+                if parent is not None and parent.storage_backed:
+                    derived = derive(parent).freeze()
+                    with self._lock:
+                        self._catalogs[name] = derived
                     return derived
-            # Lost the race: somebody swapped the name; replay on theirs.
+                derived = derive(parent).freeze()
+                if (
+                    parent is None
+                    and self.storage == "sqlite"
+                    and not derived.storage_backed
+                ):
+                    # Create-on-upload under the sqlite tier: persist the
+                    # newborn catalog so later appends commit durably.
+                    derived = self._ingest_registered(name, derived)
+                with self._lock:
+                    current = self._catalogs.get(name)
+                    if current is parent:  # both None on the create path
+                        self._catalogs[name] = derived
+                        swapped = True
+                    else:
+                        swapped = False
+                if swapped:
+                    if self.snapshots and not derived.storage_backed:
+                        self._enqueue_snapshot(name, derived)
+                    return derived
+                # Lost the race (a concurrent ``register``): replay.
 
     def describe(self, name: str) -> Dict[str, object]:
         """A JSON-friendly summary of the current snapshot of ``name``."""
@@ -252,10 +499,160 @@ class CatalogRegistry:
         if self.root is None or not _NAME_PATTERN.match(name):
             return None
         directory = self.root / name
-        if directory.is_dir() and any(directory.glob("*.csv")):
+        if directory.is_dir() and self._dir_loadable(directory):
             return directory
         return None
 
+    # ------------------------------------------------------------------
+    # Storage tier introspection and snapshot management.
+
+    def tier_info(self, name: str) -> Dict[str, object]:
+        """Storage tier + residency for ``name`` (for ``/stats``).
+
+        ``resident`` is True when every query is answered from process
+        memory; a sqlite-backed catalog reports its hot-cache counters
+        instead.  With ``snapshots=True`` the latest on-disk snapshot
+        version (or ``None``) is included.
+        """
+        catalog = self.get(name)
+        info: Dict[str, object] = {}
+        if catalog.storage_backed:
+            info["tier"] = catalog.backend.tier
+            info["resident"] = catalog.backend.tier == "memory"
+            info["generation"] = catalog.generation
+            stats = catalog.storage_stats()
+            if stats is not None:
+                info["hot_cache"] = stats
+        else:
+            info["tier"] = "memory"
+            info["resident"] = True
+        if self.snapshots:
+            latest = latest_snapshot_info(self.snapshot_dir(name))
+            info["snapshot"] = (
+                None
+                if latest is None
+                else {
+                    "version": latest["version"],
+                    "fingerprint": latest["fingerprint"],
+                }
+            )
+            error = self._snap_errors.get(name)
+            if error is not None:
+                info["snapshot_error"] = error
+        return info
+
+    def snapshot_dir(self, name: str) -> Path:
+        """Where ``name``'s index snapshots live (requires a root)."""
+        self.check_name(name)
+        if self.root is None:
+            raise CatalogRegistryError(
+                "this registry has no catalog root, so no snapshot directory"
+            )
+        return self.root / name / SNAPSHOT_DIRNAME
+
+    def save_snapshot(self, name: str) -> Dict[str, object]:
+        """Synchronously snapshot the current state of ``name``.
+
+        Returns the manifest info (``version``, ``fingerprint``, ...).
+        Storage-backed catalogs are already durable and refuse."""
+        catalog = self.get(name)
+        if catalog.storage_backed:
+            raise CatalogRegistryError(
+                f"catalog {name!r} is served from "
+                f"{catalog.backend.tier!r} storage and is already durable; "
+                "snapshots apply to memory-tier catalogs"
+            )
+        return save_catalog_snapshot(
+            self.snapshot_dir(name), catalog, sources=self._sources.get(name, {})
+        )
+
+    def gc_snapshots(self, name: str, keep: int = 2) -> Dict[str, object]:
+        """Prune old snapshot versions of ``name``; see
+        :func:`repro.storage.snapshot.gc_snapshots`."""
+        return gc_snapshots(self.snapshot_dir(name), keep=keep)
+
+    # ------------------------------------------------------------------
+    # Background snapshot writer.
+
+    def _enqueue_snapshot(self, name: str, catalog: Catalog) -> None:
+        if not self.snapshots:
+            return
+        with self._snap_cv:
+            if self._closed:
+                return
+            self._snap_pending[name] = catalog
+            if self._snap_thread is None:
+                self._snap_thread = threading.Thread(
+                    target=self._snapshot_writer,
+                    name="repro-snapshot-writer",
+                    daemon=True,
+                )
+                self._snap_thread.start()
+            self._snap_cv.notify_all()
+
+    def _snapshot_writer(self) -> None:
+        while True:
+            with self._snap_cv:
+                while not self._snap_pending and not self._closed:
+                    self._snap_cv.wait()
+                if not self._snap_pending:
+                    return  # closed and drained
+                name, catalog = next(iter(self._snap_pending.items()))
+                del self._snap_pending[name]
+                self._snap_writing = name
+            try:
+                save_catalog_snapshot(
+                    self.snapshot_dir(name),
+                    catalog,
+                    sources=self._sources.get(name, {}),
+                )
+                self._snap_errors.pop(name, None)
+            except Exception as error:  # pragma: no cover - disk trouble
+                self._snap_errors[name] = repr(error)
+            finally:
+                with self._snap_cv:
+                    self._snap_writing = None
+                    self._snap_cv.notify_all()
+
+    def flush_snapshots(self, timeout: float = 30.0) -> bool:
+        """Block until every queued snapshot write has landed.
+
+        Returns False when ``timeout`` seconds pass first."""
+        deadline = time.monotonic() + timeout
+        with self._snap_cv:
+            while self._snap_pending or self._snap_writing is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._snap_cv.wait(remaining)
+        return True
+
+    def close(self) -> None:
+        """Flush pending snapshot writes and close storage backends.
+
+        Idempotent.  Catalog snapshots already handed to callers keep
+        their in-memory state but storage-backed ones stop answering
+        queries once their backend closes -- call this only on the way
+        out (``repro serve`` does, on SIGTERM/SIGINT).
+        """
+        with self._snap_cv:
+            already = self._closed
+            self._closed = True
+            self._snap_cv.notify_all()
+        if already:
+            return
+        thread = self._snap_thread
+        if thread is not None:
+            thread.join(timeout=60.0)
+        with self._lock:
+            backends = list(self._backends.values()) + self._retired
+            self._backends.clear()
+            self._retired = []
+        for backend in backends:
+            backend.close()
+
     def __repr__(self) -> str:
         root = f", root={str(self.root)!r}" if self.root is not None else ""
-        return f"CatalogRegistry({self.names()!r}{root})"
+        tier = f", storage={self.storage!r}" if self.storage != "memory" else ""
+        snaps = ", snapshots=True" if self.snapshots else ""
+        return f"CatalogRegistry({self.names()!r}{root}{tier}{snaps})"

@@ -635,11 +635,16 @@ class SynthesisService:
         catalogs = {}
         for name in self.registry.loaded_names():
             snapshot = self.registry.get(name)
-            catalogs[name] = {
+            entry = {
                 "tables": snapshot.table_names(),
                 "entries": snapshot.total_entries,
                 "fingerprint": snapshot.fingerprint(),
             }
+            # Storage tier + residency (sqlite-backed catalogs report
+            # their hot-cache counters; snapshot registries report the
+            # latest on-disk snapshot version).
+            entry.update(self.registry.tier_info(name))
+            catalogs[name] = entry
         return {
             "uptime_seconds": time.time() - self.started_at,
             "language": self.engine.language,
@@ -649,6 +654,10 @@ class SynthesisService:
                 "fingerprint": default_snapshot.fingerprint(),
             },
             "default_catalog": self.default_catalog,
+            "storage": {
+                "tier": self.registry.storage,
+                "snapshots": self.registry.snapshots,
+            },
             "catalogs": catalogs,
             "requests": counters,
             "request_cache": self.cache.stats(),
@@ -664,3 +673,17 @@ class SynthesisService:
                 "dags": dag_cache_stats(),
             },
         }
+
+    def close(self) -> None:
+        """Release the service's durable resources (idempotent).
+
+        Flushes any pending snapshot writes and closes storage backends
+        through :meth:`CatalogRegistry.close`, and drops the per-catalog
+        engine cache.  In-flight requests holding an engine keep their
+        frozen snapshot; storage-backed ones lose their backend, so call
+        this only after the server stops accepting requests (the
+        ``repro serve`` shutdown path does exactly that).
+        """
+        self.registry.close()
+        with self._engines_lock:
+            self._engines.clear()

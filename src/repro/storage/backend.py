@@ -1,0 +1,143 @@
+"""The storage-backend protocol behind ``Table``/``Catalog``.
+
+A backend owns one catalog's data and hands out *snapshots*: immutable,
+generation-pinned views answering every query the synthesis engine
+makes of a catalog -- row fetches, per-column value->rows postings,
+catalog-wide occurrence postings, the distinct-value scan, substring /
+n-gram candidate queries and fingerprint/provenance metadata.  Growth
+is append-only (``append_rows`` / ``add_table``) and returns a *new*
+snapshot; snapshots already handed out keep answering against exactly
+the data they pinned (the registry's copy-on-write discipline, pushed
+down a layer).
+
+Two implementations satisfy the protocol:
+
+* :class:`repro.storage.memory.MemoryBackend` -- the existing in-memory
+  structures (frozen :class:`~repro.tables.catalog.Catalog` snapshots);
+* :class:`repro.storage.sqlite.SQLiteBackend` -- one SQLite file per
+  catalog, WAL mode, app-level MVCC.
+
+:class:`repro.storage.catalog.StorageCatalog` adapts any snapshot back
+into the ``Catalog`` interface the engine consumes, so equivalence of
+the two backends is testable at both the protocol and the synthesis
+level.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.tables.catalog import Occurrence
+
+
+@dataclass(frozen=True)
+class TableMeta:
+    """Schema + provenance metadata of one table at one generation.
+
+    ``keys`` follows the same invariant as :class:`~repro.tables.table.
+    Table`: the *current* candidate keys (declared, or discovered from
+    the data -- appends may legitimately change discovered keys, which
+    is why they are versioned per generation, not per table).
+    """
+
+    position: int
+    name: str
+    columns: Tuple[str, ...]
+    keys: Tuple[Tuple[str, ...], ...]
+    keys_declared: bool
+    max_key_width: int
+    num_rows: int
+    fingerprint: str
+    data_fingerprint: str
+
+
+class StorageSnapshot(ABC):
+    """One immutable, generation-pinned view of a stored catalog.
+
+    Everything a :class:`~repro.storage.catalog.StorageCatalog` needs:
+    the answers must be *byte-identical* to the in-memory structures a
+    plain ``Catalog`` over the same tables would give -- order
+    included (occurrences in catalog scan order, distinct values in
+    first-seen order, substring ids in distinct-value rank order).
+    """
+
+    #: Monotone per-catalog generation counter this view is pinned to.
+    generation: int
+    #: ``Catalog.fingerprint()`` of the pinned data.
+    fingerprint: str
+    #: Per-table metadata, in catalog order.
+    tables: Tuple[TableMeta, ...]
+
+    # -- row tier -------------------------------------------------------
+    @abstractmethod
+    def row(self, position: int, row_number: int) -> Tuple[str, ...]:
+        """One row of the table at ``position`` (catalog order)."""
+
+    @abstractmethod
+    def rows(self, position: int, start: int, stop: int) -> List[Tuple[str, ...]]:
+        """Rows ``start..stop`` (half-open, clamped) of one table."""
+
+    # -- posting tier ---------------------------------------------------
+    @abstractmethod
+    def value_rows(self, position: int, column: int, value: str) -> Tuple[int, ...]:
+        """Row numbers whose cell at ``column`` equals ``value``, ascending."""
+
+    @abstractmethod
+    def occurrences(self, value: str) -> Tuple[Occurrence, ...]:
+        """Every (table, column, row) holding ``value``, catalog scan order."""
+
+    @abstractmethod
+    def distinct_values(self) -> Tuple[str, ...]:
+        """All distinct cell values, first-seen scan order (``""`` included)."""
+
+    # -- substring tier -------------------------------------------------
+    @abstractmethod
+    def substring_index(self):
+        """A ``SubstringIndex``-compatible object over the snapshot.
+
+        Must expose ``values`` (indexable by id), ``__len__``,
+        ``id_of``, ``contained_in``, ``containing``, ``overlapping``
+        and ``build`` with the exact semantics (and id order) of
+        :class:`repro.tables.substring_index.SubstringIndex`.
+        """
+
+    # -- residency ------------------------------------------------------
+    def cache_stats(self) -> Optional[Dict[str, object]]:
+        """Hot-tier cache stats, or ``None`` for fully resident tiers."""
+        return None
+
+
+class StorageBackend(ABC):
+    """Owner of one stored catalog: snapshots out, append-only growth in."""
+
+    #: Human-readable tier name surfaced in ``GET /stats`` ("memory"/"sqlite").
+    tier: str = "unknown"
+
+    @abstractmethod
+    def snapshot(self) -> StorageSnapshot:
+        """The current head snapshot (consistent, never torn)."""
+
+    @abstractmethod
+    def append_rows(self, table_name: str, rows) -> StorageSnapshot:
+        """Append ``rows`` to a table; returns the new head snapshot.
+
+        Raises the table layer's errors (:class:`~repro.exceptions.
+        UnknownTableError`, :class:`~repro.exceptions.TableError`,
+        :class:`~repro.exceptions.KeyConstraintError`) exactly like
+        ``Table.extended`` -- a failed append leaves the store at the
+        previous generation.
+        """
+
+    @abstractmethod
+    def add_table(self, table) -> StorageSnapshot:
+        """Add a new :class:`~repro.tables.table.Table` at the end."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release resources (idempotent); snapshots die with the backend."""
+
+    def cache_stats(self) -> Optional[Dict[str, object]]:
+        """Backend-wide hot-tier stats, or ``None`` when fully resident."""
+        return None

@@ -1,0 +1,93 @@
+"""The bounded hot-tier cache in front of a storage backend.
+
+A disk-backed catalog trades residency for capacity: every query round
+trips to the backend unless the answer is already hot.  This LRU keeps
+the recently touched rows, postings and substring answers resident with
+a hard entry bound, and reports hit/miss/eviction stats in the same
+shape as the engine's other memo caches (``repro.syntactic.positions``
+et al.), so ``GET /stats`` can expose per-catalog residency.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+_MISSING = object()
+
+
+class HotTierCache:
+    """A thread-safe, entry-bounded LRU keyed by hashable tuples.
+
+    Values are treated as immutable (rows tuples, posting tuples) --
+    a hit returns the same object the cold fetch produced.  ``limit``
+    bounds the *entry count*: the cached values here are small (one
+    row, one posting list), so counting entries keeps the bound cheap
+    while still giving operators a real residency ceiling to size.
+    """
+
+    def __init__(self, limit: int = 4096) -> None:
+        if limit < 1:
+            raise ValueError(f"cache limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Any:
+        """The cached value, or :data:`_MISSING` via :meth:`lookup`."""
+        value, _ = self.lookup(key)
+        return value
+
+    def lookup(self, key: Hashable) -> Tuple[Any, bool]:
+        """``(value, hit)``; value is ``None`` on a miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return None, False
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value, True
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return value
+
+    def get_or(self, key: Hashable, compute) -> Any:
+        """The cached value for ``key``, computing (and caching) on miss.
+
+        ``compute`` runs outside the lock -- backends may take their own
+        locks or block on I/O; a racing duplicate computation is benign
+        (both results are equal and immutable, last put wins).
+        """
+        value, hit = self.lookup(key)
+        if hit:
+            return value
+        return self.put(key, compute())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "limit": self.limit,
+                "hit_rate": self._hits / total if total else 0.0,
+            }

@@ -1,0 +1,115 @@
+"""The in-memory storage backend: existing structures behind the protocol.
+
+This is the RAM tier of the storage subsystem: a frozen
+:class:`~repro.tables.catalog.Catalog` *is* already an immutable
+snapshot with every index resident, so the backend keeps one catalog
+per generation and answers protocol queries straight from the existing
+value/occurrence/substring indexes -- zero copies, zero translation
+beyond name<->position mapping.  Growth reuses the copy-on-write
+machinery (:meth:`Catalog.with_table` / :meth:`Table.extended`), so a
+``MemoryBackend`` and a :class:`~repro.storage.sqlite.SQLiteBackend`
+fed the same appends stay byte-identical by construction on one side
+and by test on the other.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Tuple
+
+from repro.exceptions import StorageBackendError
+from repro.storage.backend import StorageBackend, StorageSnapshot, TableMeta
+from repro.tables.catalog import Catalog, Occurrence
+from repro.tables.table import Table
+
+
+def table_meta(table: Table, position: int) -> TableMeta:
+    """Protocol metadata for one in-memory table."""
+    return TableMeta(
+        position=position,
+        name=table.name,
+        columns=table.columns,
+        keys=table.keys,
+        keys_declared=table._keys_declared,
+        max_key_width=table._max_key_width,
+        num_rows=table.num_rows,
+        fingerprint=table.fingerprint(),
+        data_fingerprint=table.data_fingerprint(),
+    )
+
+
+class MemorySnapshot(StorageSnapshot):
+    """A generation-pinned view over one frozen in-memory catalog."""
+
+    def __init__(self, catalog: Catalog, generation: int) -> None:
+        self.catalog = catalog.freeze()
+        self.generation = generation
+        self.fingerprint = catalog.fingerprint()
+        ordered = catalog.tables()
+        self.tables = tuple(
+            table_meta(table, position) for position, table in enumerate(ordered)
+        )
+        self._ordered: List[Table] = ordered
+
+    # -- row tier -------------------------------------------------------
+    def row(self, position: int, row_number: int) -> Tuple[str, ...]:
+        return self._ordered[position].rows[row_number]
+
+    def rows(self, position: int, start: int, stop: int) -> List[Tuple[str, ...]]:
+        return list(self._ordered[position].rows[start:stop])
+
+    # -- posting tier ---------------------------------------------------
+    def value_rows(self, position: int, column: int, value: str) -> Tuple[int, ...]:
+        table = self._ordered[position]
+        return table.value_rows(table.columns[column], value)
+
+    def occurrences(self, value: str) -> Tuple[Occurrence, ...]:
+        return self.catalog.occurrences_of(value)
+
+    def distinct_values(self) -> Tuple[str, ...]:
+        return self.catalog.distinct_values()
+
+    # -- substring tier -------------------------------------------------
+    def substring_index(self):
+        # The real SubstringIndex: resident, and trivially byte-identical.
+        return self.catalog.substring_index()
+
+
+class MemoryBackend(StorageBackend):
+    """Fully resident backend over frozen catalog generations."""
+
+    tier = "memory"
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._lock = threading.Lock()
+        self._closed = False
+        self._head = MemorySnapshot(catalog, generation=1)
+
+    def snapshot(self) -> MemorySnapshot:
+        with self._lock:
+            self._check_open()
+            return self._head
+
+    def append_rows(self, table_name: str, rows) -> MemorySnapshot:
+        with self._lock:
+            self._check_open()
+            grown = self._head.catalog.with_rows(table_name, rows)
+            if grown is self._head.catalog:
+                return self._head  # zero-row append: nothing changed
+            self._head = MemorySnapshot(grown, self._head.generation + 1)
+            return self._head
+
+    def add_table(self, table: Table) -> MemorySnapshot:
+        with self._lock:
+            self._check_open()
+            grown = self._head.catalog.with_table(table)
+            self._head = MemorySnapshot(grown, self._head.generation + 1)
+            return self._head
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageBackendError("memory backend is closed")

@@ -52,6 +52,11 @@ class Catalog:
     (Occurrence(table='T', column='b', row=0),)
     """
 
+    #: True on ``repro.storage.StorageCatalog`` -- the engine checks this
+    #: (not isinstance, to avoid the import cycle) to decide whether the
+    #: ``use_storage_backend`` config flag applies.
+    storage_backed = False
+
     def __init__(self, tables: Iterable[Table] = ()) -> None:
         self._tables: Dict[str, Table] = {}
         self._order: List[str] = []
@@ -176,7 +181,10 @@ class Catalog:
         clone: "Catalog" = Catalog.__new__(Catalog)
         clone._tables = dict(self._tables)
         clone._order = list(self._order)
-        clone._value_index = dict(self._value_index)
+        # .copy(), not dict(...): a snapshot-loaded catalog carries a
+        # lazy value index whose C-level dict(...) copy would bypass the
+        # deferred rebuild and clone an empty mapping.
+        clone._value_index = self._value_index.copy()
         clone._occurrence_cache = {}
         clone._distinct_cache = None
         clone._substring_index = None

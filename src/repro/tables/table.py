@@ -159,14 +159,13 @@ class Table:
         self._extends_rows: Optional[Tuple[Tuple[str, ...], ...]] = None
 
         # Precompute key-tuple -> row index for every candidate key; used by
-        # both evaluation and condition construction.
-        self._key_row_index: Dict[CandidateKey, Dict[Tuple[str, ...], int]] = {}
-        for key in self.keys:
-            mapping: Dict[Tuple[str, ...], int] = {}
-            for row_number, row in enumerate(self.rows):
-                values = tuple(row[self._column_index[c]] for c in key)
-                mapping[values] = row_number
-            self._key_row_index[key] = mapping
+        # both evaluation and condition construction.  A snapshot-loaded
+        # table arrives with this set to None (the mappings cost more to
+        # decode than to rebuild) and recreates each key's mapping on its
+        # first keyed lookup.
+        self._key_row_index: Optional[
+            Dict[CandidateKey, Dict[Tuple[str, ...], int]]
+        ] = {key: self._build_key_index(key) for key in self.keys}
 
     # ------------------------------------------------------------------
     def _check_key_uniqueness(self, key: CandidateKey) -> None:
@@ -207,13 +206,40 @@ class Table:
         position = self.column_position(column)
         return tuple(row[position] for row in self.rows)
 
+    def _build_key_index(self, key: CandidateKey) -> Dict[Tuple[str, ...], int]:
+        positions = [self._column_index[c] for c in key]
+        if len(positions) == 1:
+            position = positions[0]
+            return {(row[position],): n for n, row in enumerate(self.rows)}
+        return {
+            tuple(row[p] for p in positions): n
+            for n, row in enumerate(self.rows)
+        }
+
+    def _ensure_key_row_index(
+        self,
+    ) -> Dict[CandidateKey, Dict[Tuple[str, ...], int]]:
+        if self._key_row_index is None:
+            self._key_row_index = {}
+        index = self._key_row_index
+        if len(index) < len(self.keys):
+            for key in self.keys:
+                if key not in index:
+                    index[key] = self._build_key_index(key)
+        return index
+
     def row_by_key(self, key: CandidateKey, values: Tuple[str, ...]) -> Optional[int]:
         """Row index whose ``key`` columns equal ``values``, or ``None``."""
-        index = self._key_row_index.get(key)
+        index_map = self._key_row_index
+        if index_map is None:
+            index_map = self._key_row_index = {}
+        index = index_map.get(key)
         if index is None:
-            raise KeyConstraintError(
-                f"table {self.name!r}: {key} is not a declared candidate key"
-            )
+            if key not in self.keys:
+                raise KeyConstraintError(
+                    f"table {self.name!r}: {key} is not a declared candidate key"
+                )
+            index = index_map[key] = self._build_key_index(key)
         return index.get(values)
 
     def _ensure_value_rows(self) -> Dict[str, Dict[str, Tuple[int, ...]]]:
@@ -352,13 +378,9 @@ class Table:
             clone.keys = discover_candidate_keys(
                 clone.columns, clone.rows, max_width=self._max_key_width
             )
-            clone._key_row_index = {}
-            for key in clone.keys:
-                mapping: Dict[Tuple[str, ...], int] = {}
-                for row_number, row in enumerate(clone.rows):
-                    values = tuple(row[self._column_index[c]] for c in key)
-                    mapping[values] = row_number
-                clone._key_row_index[key] = mapping
+            clone._key_row_index = {
+                key: clone._build_key_index(key) for key in clone.keys
+            }
 
         if self._value_rows is None:
             clone._value_rows = None
@@ -391,14 +413,15 @@ class Table:
         discovery may emit over duplicate rows is never treated as broken
         (a rebuild would keep it too).
         """
+        key_row_index = self._ensure_key_row_index()
         last_resort = (
             not self._keys_declared
             and self.keys == (self.columns,)
-            and len(self._key_row_index[self.columns]) < self.num_rows
+            and len(key_row_index[self.columns]) < self.num_rows
         )
         extended: Dict[CandidateKey, Dict[Tuple[str, ...], int]] = {}
         for key in self.keys:
-            mapping = dict(self._key_row_index[key])
+            mapping = dict(key_row_index[key])
             positions = [self._column_index[c] for c in key]
             for offset, row in enumerate(new_rows):
                 row_number = self.num_rows + offset

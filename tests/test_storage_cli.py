@@ -1,0 +1,133 @@
+"""CLI tests for ``repro snapshot`` and unknown-catalog error paths.
+
+Satellite guarantees: every catalog-addressed CLI operation given a
+name that does not exist exits 1 with the typed
+:class:`UnknownCatalogError` message on stderr (never a traceback),
+and ``repro snapshot save | load | gc`` manage the on-disk snapshot
+tier end to end.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def catalog_root(tmp_path):
+    root = tmp_path / "catalogs"
+    (root / "geo").mkdir(parents=True)
+    (root / "geo" / "Cities.csv").write_text(
+        "Country,Capital\nChile,Santiago\nJapan,Tokyo\nFrance,Paris\n",
+        encoding="utf-8",
+    )
+    return root
+
+
+class TestSnapshotCli:
+    def test_save_load_gc_roundtrip(self, catalog_root, tmp_path, capsys):
+        assert main(["snapshot", "save", "--root", str(catalog_root), "geo"]) == 0
+        out = capsys.readouterr().out
+        assert "saved geo snapshot v1" in out
+        assert "fingerprint: " in out
+
+        assert main(["snapshot", "load", "--root", str(catalog_root), "geo"]) == 0
+        out = capsys.readouterr().out
+        assert "catalog: geo" in out
+        assert "tables: Cities" in out
+        assert "entries: 6" in out
+
+        # Grow the catalog, snapshot again, then prune to the newest.
+        rows = tmp_path / "more.csv"
+        rows.write_text("Peru,Lima\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "catalog", "append", "--root", str(catalog_root),
+                    "geo", "Cities", str(rows),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["snapshot", "save", "--root", str(catalog_root), "geo"]) == 0
+        assert "saved geo snapshot v2" in capsys.readouterr().out
+
+        assert (
+            main(
+                [
+                    "snapshot", "gc", "--root", str(catalog_root),
+                    "--keep", "1", "geo",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "kept version(s) [2]" in out
+        assert "removed 1 manifest(s)" in out
+
+        # The kept version still cold-starts.
+        assert main(["snapshot", "load", "--root", str(catalog_root), "geo"]) == 0
+        assert "entries: 8" in capsys.readouterr().out
+
+    def test_save_is_idempotent_per_version(self, catalog_root, capsys):
+        assert main(["snapshot", "save", "--root", str(catalog_root), "geo"]) == 0
+        capsys.readouterr()
+        # Unchanged catalog: the second save reports the same version
+        # instead of writing a redundant one.
+        assert main(["snapshot", "save", "--root", str(catalog_root), "geo"]) == 0
+        assert "saved geo snapshot v1" in capsys.readouterr().out
+        manifests = list((catalog_root / "geo" / ".snapshots").glob("manifest-*"))
+        assert len(manifests) == 1
+
+    def test_load_without_save_exits_1(self, catalog_root, capsys):
+        assert main(["snapshot", "load", "--root", str(catalog_root), "geo"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "no loadable snapshot" in err
+
+    def test_gc_keep_zero_exits_1(self, catalog_root, capsys):
+        code = main(
+            ["snapshot", "gc", "--root", str(catalog_root), "--keep", "0", "geo"]
+        )
+        assert code == 1
+        assert "--keep must be >= 1" in capsys.readouterr().err
+
+
+class TestUnknownCatalogCli:
+    def assert_unknown(self, code, captured):
+        assert code == 1
+        assert captured.err.startswith("error: ")
+        assert "unknown catalog: 'nope'" in captured.err
+        assert "available: geo" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_catalog_show_unknown(self, catalog_root, capsys):
+        code = main(["catalog", "show", "--root", str(catalog_root), "nope"])
+        self.assert_unknown(code, capsys.readouterr())
+
+    def test_catalog_append_unknown(self, catalog_root, tmp_path, capsys):
+        rows = tmp_path / "rows.csv"
+        rows.write_text("Peru,Lima\n", encoding="utf-8")
+        code = main(
+            [
+                "catalog", "append", "--root", str(catalog_root),
+                "nope", "Cities", str(rows),
+            ]
+        )
+        self.assert_unknown(code, capsys.readouterr())
+        # And the rows landed nowhere.
+        assert not (catalog_root / "nope").exists()
+
+    def test_snapshot_save_unknown(self, catalog_root, capsys):
+        code = main(["snapshot", "save", "--root", str(catalog_root), "nope"])
+        self.assert_unknown(code, capsys.readouterr())
+
+    def test_snapshot_load_unknown(self, catalog_root, capsys):
+        code = main(["snapshot", "load", "--root", str(catalog_root), "nope"])
+        self.assert_unknown(code, capsys.readouterr())
+
+    def test_snapshot_gc_unknown(self, catalog_root, capsys):
+        code = main(["snapshot", "gc", "--root", str(catalog_root), "nope"])
+        self.assert_unknown(code, capsys.readouterr())

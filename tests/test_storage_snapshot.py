@@ -1,0 +1,363 @@
+"""Persistent index snapshots: roundtrip, versioning, crash recovery.
+
+The snapshot files are the cold-start path of ``repro serve``: a torn or
+corrupt write must never take the service down, it must fall back to the
+newest *complete* version (or rebuild from CSVs).  The crash test kills
+a real writer subprocess with SIGKILL mid-save and asserts the survivor
+loads; the concurrency test runs readers against a SQLite backend while
+a writer appends, asserting every observed fingerprint is a committed
+generation -- never a torn mix.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import SnapshotError
+from repro.storage import (
+    SQLiteBackend,
+    gc_snapshots,
+    hash_sources,
+    ingest_catalog,
+    latest_snapshot_info,
+    load_catalog_snapshot,
+    save_catalog_snapshot,
+)
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+
+def make_catalog(extra_rows=()):
+    rows = [("1", "Microsoft"), ("2", "IBM"), ("3", "Apple")] + list(extra_rows)
+    return Catalog(
+        [
+            Table("Comp", ["Id", "Name"], rows, keys=[("Id",)]),
+            Table("Reg", ["Code", "City"], [("MS", "Redmond"), ("NY", "Armonk")]),
+        ]
+    ).freeze()
+
+
+class TestRoundtrip:
+    def test_save_load_is_identical(self, tmp_path):
+        catalog = make_catalog()
+        info = save_catalog_snapshot(tmp_path, catalog)
+        assert info["version"] == 1
+        loaded = load_catalog_snapshot(tmp_path)
+        assert loaded is not None
+        assert loaded.fingerprint() == catalog.fingerprint()
+        assert loaded.distinct_values() == catalog.distinct_values()
+        for name in catalog.table_names():
+            assert loaded.table(name) == catalog.table(name)
+            assert loaded.table(name).fingerprint() == catalog.table(name).fingerprint()
+        probe = "Microsoft and IBM"
+        assert loaded.substring_index().build().overlapping(
+            probe, 2
+        ) == catalog.substring_index().build().overlapping(probe, 2)
+        assert loaded.occurrences_of("IBM") == catalog.occurrences_of("IBM")
+
+    def test_resave_unchanged_is_noop(self, tmp_path):
+        catalog = make_catalog()
+        first = save_catalog_snapshot(tmp_path, catalog)
+        second = save_catalog_snapshot(tmp_path, catalog)
+        assert second["version"] == first["version"]
+        assert len(list(tmp_path.glob("manifest-*.json"))) == 1
+
+    def test_append_writes_new_version_reusing_blobs(self, tmp_path):
+        catalog = make_catalog()
+        save_catalog_snapshot(tmp_path, catalog)
+        blobs_before = set((tmp_path / "objects").iterdir())
+        grown = catalog.with_rows("Comp", [("4", "Google")])
+        info = save_catalog_snapshot(tmp_path, grown)
+        assert info["version"] == 2
+        blobs_after = set((tmp_path / "objects").iterdir())
+        # Content addressing: the unchanged Reg table blob is shared.
+        assert blobs_before & blobs_after
+        loaded = load_catalog_snapshot(tmp_path)
+        assert loaded.fingerprint() == grown.fingerprint()
+
+    def test_sources_mismatch_refuses(self, tmp_path):
+        catalog = make_catalog()
+        save_catalog_snapshot(tmp_path, catalog, sources={"Comp.csv": "aaa"})
+        assert load_catalog_snapshot(tmp_path, sources={"Comp.csv": "aaa"}) is not None
+        assert load_catalog_snapshot(tmp_path, sources={"Comp.csv": "bbb"}) is None
+        assert load_catalog_snapshot(tmp_path, sources={}) is None
+
+    def test_hash_sources_tracks_content(self, tmp_path):
+        csv = tmp_path / "T.csv"
+        csv.write_text("A\nx\n")
+        first = hash_sources([csv])
+        csv.write_text("A\ny\n")
+        assert hash_sources([csv]) != first
+        assert hash_sources([]) == {}
+
+
+class TestCorruptionFallback:
+    def test_corrupt_newest_blob_falls_back_to_older_version(self, tmp_path):
+        old = make_catalog()
+        save_catalog_snapshot(tmp_path, old)
+        grown = old.with_rows("Comp", [("4", "Google")])
+        info = save_catalog_snapshot(tmp_path, grown)
+        manifest = json.loads(Path(info["path"]).read_text())
+        # Corrupt one blob the new version references (bit-flip payload).
+        table_blob = manifest["tables"][0]["blob"]
+        blob_path = tmp_path / "objects" / f"{table_blob}.bin"
+        blob_path.write_bytes(b"\x00" + blob_path.read_bytes()[1:])
+        loaded = load_catalog_snapshot(tmp_path)
+        assert loaded is not None
+        # v2 references a now-corrupt blob; v1 may share blobs with it.
+        # Whichever version survives must verify its fingerprint chain.
+        assert loaded.fingerprint() in (old.fingerprint(), grown.fingerprint())
+
+    def test_missing_lazy_blob_falls_back_at_load(self, tmp_path):
+        # The gram/segment blobs are decoded lazily, but their *presence*
+        # is still checked at load time: a dropped blob must reject the
+        # version up front, not surface mid-query.
+        old = make_catalog()
+        save_catalog_snapshot(tmp_path, old)
+        grown = old.with_rows("Comp", [("4", "Google")])
+        info = save_catalog_snapshot(tmp_path, grown)
+        manifest = json.loads(Path(info["path"]).read_text())
+        (tmp_path / "objects" / f"{manifest['grams']}.bin").unlink()
+        loaded = load_catalog_snapshot(tmp_path)
+        assert loaded is not None
+        assert loaded.fingerprint() == old.fingerprint()
+
+    def test_bit_rotted_lazy_blob_raises_at_first_query(self, tmp_path):
+        # Atomic writes mean a lazy blob can only be *corrupt in place*
+        # through bit rot; that is detected by the deferred hash check
+        # and raised as SnapshotError at decode, never served silently.
+        catalog = make_catalog()
+        info = save_catalog_snapshot(tmp_path, catalog)
+        manifest = json.loads(Path(info["path"]).read_text())
+        blob = tmp_path / "objects" / f"{manifest['grams']}.bin"
+        blob.write_bytes(b"\x00" + blob.read_bytes()[1:])
+        loaded = load_catalog_snapshot(tmp_path)
+        assert loaded is not None  # presence checks pass at load
+        assert loaded.fingerprint() == catalog.fingerprint()
+        with pytest.raises(SnapshotError):
+            loaded.substring_index().containing("Micro")
+
+    def test_truncated_manifest_falls_back(self, tmp_path):
+        catalog = make_catalog()
+        save_catalog_snapshot(tmp_path, catalog)
+        grown = catalog.with_rows("Comp", [("4", "Google")])
+        info = save_catalog_snapshot(tmp_path, grown)
+        # Tear the newest manifest mid-write (what a crash leaves behind).
+        path = Path(info["path"])
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        loaded = load_catalog_snapshot(tmp_path)
+        assert loaded is not None
+        assert loaded.fingerprint() == catalog.fingerprint()
+
+    def test_checksum_mismatch_is_skipped(self, tmp_path):
+        catalog = make_catalog()
+        info = save_catalog_snapshot(tmp_path, catalog)
+        path = Path(info["path"])
+        manifest = json.loads(path.read_text())
+        manifest["fingerprint"] = "0" * 64  # tampered, checksum now stale
+        path.write_text(json.dumps(manifest))
+        assert latest_snapshot_info(tmp_path) is None
+        assert load_catalog_snapshot(tmp_path) is None
+
+    def test_undecodable_blob_falls_back(self, tmp_path):
+        catalog = make_catalog()
+        save_catalog_snapshot(tmp_path, catalog)
+        grown = catalog.with_rows("Comp", [("4", "Google")])
+        info = save_catalog_snapshot(tmp_path, grown)
+        manifest = json.loads(Path(info["path"]).read_text())
+        blob = manifest["tables"][0]["blob"]
+        # Valid content hash, invalid payload: rewrite blob AND manifest
+        # so the content-address check passes but decoding fails.
+        import hashlib
+
+        payload = b"not a marshal payload"
+        digest = hashlib.sha256(payload).hexdigest()
+        (tmp_path / "objects" / f"{digest}.bin").write_bytes(payload)
+        manifest["tables"][0]["blob"] = digest
+        body = {k: v for k, v in manifest.items() if k != "checksum"}
+        manifest["checksum"] = hashlib.sha256(
+            json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+        Path(info["path"]).write_text(json.dumps(manifest))
+        loaded = load_catalog_snapshot(tmp_path)
+        assert loaded is not None
+        assert loaded.fingerprint() == catalog.fingerprint()
+
+
+class TestGarbageCollection:
+    def test_gc_keeps_newest_and_prunes_unreferenced(self, tmp_path):
+        catalog = make_catalog()
+        save_catalog_snapshot(tmp_path, catalog)
+        for step in range(3):
+            catalog = catalog.with_rows("Comp", [(str(10 + step), f"Corp{step}")])
+            save_catalog_snapshot(tmp_path, catalog)
+        assert len(list(tmp_path.glob("manifest-*.json"))) == 4
+        summary = gc_snapshots(tmp_path, keep=2)
+        assert sorted(summary["kept_versions"]) == [3, 4]
+        assert summary["removed_manifests"] == 2
+        loaded = load_catalog_snapshot(tmp_path)
+        assert loaded.fingerprint() == catalog.fingerprint()
+        # Every surviving blob is referenced by a surviving manifest.
+        referenced = set()
+        for manifest_path in tmp_path.glob("manifest-*.json"):
+            manifest = json.loads(manifest_path.read_text())
+            referenced.update(entry["blob"] for entry in manifest["tables"])
+            referenced.add(manifest["derived"])
+            referenced.add(manifest["grams"])
+            referenced.update(seg["blob"] for seg in manifest["segments"])
+        on_disk = {path.stem for path in (tmp_path / "objects").iterdir()}
+        assert on_disk == referenced
+
+
+_CRASH_WRITER = r"""
+import sys
+from pathlib import Path
+
+sys.path.insert(0, sys.argv[2])
+from repro.storage import save_catalog_snapshot
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+directory = Path(sys.argv[1])
+rows = [(str(i), "value-%04d" % i) for i in range(200)]
+catalog = Catalog([Table("T", ["K", "V"], rows, keys=[("K",)])]).freeze()
+save_catalog_snapshot(directory, catalog)
+print("READY", flush=True)
+step = 0
+while True:  # keep writing growing versions until killed
+    step += 1
+    catalog = catalog.with_rows("T", [(str(1000 + step), "grown-%04d" % step)])
+    save_catalog_snapshot(directory, catalog)
+    print("SAVED %d" % step, flush=True)
+"""
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_save_leaves_a_loadable_snapshot(self, tmp_path):
+        """Satellite: kill the writer process mid-snapshot; a reopening
+        reader must fall back to the newest complete version (atomic
+        rename + checksum), never crash, never load a torn state."""
+        src = Path(__file__).resolve().parent.parent / "src"
+        directory = tmp_path / "snaps"
+        directory.mkdir()
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _CRASH_WRITER, str(directory), str(src)],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            # Let it write a few versions, then kill without warning --
+            # with luck mid-write; either way the load below must succeed.
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                line = proc.stdout.readline().strip()
+                if line == "SAVED 2":
+                    break
+            time.sleep(0.05)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == -signal.SIGKILL
+        loaded = load_catalog_snapshot(directory)
+        assert loaded is not None, "no complete snapshot survived the crash"
+        # The survivor is internally consistent: fingerprint chain verified
+        # at load; its content answers queries.
+        assert loaded.table("T").num_rows >= 200
+        assert loaded.occurrences_of("value-0007")
+        # Leftover *.tmp / orphan blobs are cleanable.
+        gc_snapshots(directory, keep=1)
+        assert load_catalog_snapshot(directory) is not None
+
+
+class TestSQLiteConcurrency:
+    def test_readers_never_see_torn_fingerprints(self, tmp_path):
+        """Satellite: concurrent readers during appends observe only
+        committed generations -- every (generation, fingerprint) pair a
+        reader sees must be one the writer actually produced."""
+        path = tmp_path / "catalog.db"
+        ingest_catalog(path, make_catalog())
+        writer = SQLiteBackend(path)
+        reader = SQLiteBackend(path)  # second connection set, same file
+        committed = {1: writer.snapshot().fingerprint}
+        stop = threading.Event()
+        observed = []
+        errors = []
+
+        def read_loop():
+            try:
+                while not stop.is_set():
+                    snapshot = reader.snapshot()
+                    # Touch data through the pinned view, then record.
+                    snapshot.distinct_values()
+                    observed.append((snapshot.generation, snapshot.fingerprint))
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+
+        threads = [threading.Thread(target=read_loop) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for step in range(12):
+                head = writer.append_rows("Comp", [(str(100 + step), f"Co{step}")])
+                committed[head.generation] = head.fingerprint
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, errors
+        assert observed
+        for generation, fingerprint in observed:
+            assert committed.get(generation) == fingerprint, (
+                f"torn read: generation {generation} reported {fingerprint}"
+            )
+        writer.close()
+        reader.close()
+
+    def test_two_writers_serialize_through_busy_timeout(self, tmp_path):
+        """Two backend instances appending to one file: BEGIN IMMEDIATE
+        plus busy_timeout serializes them; no append is lost."""
+        path = tmp_path / "catalog.db"
+        ingest_catalog(path, make_catalog())
+        first = SQLiteBackend(path, busy_timeout_ms=10000)
+        second = SQLiteBackend(path, busy_timeout_ms=10000)
+        errors = []
+
+        def append_many(backend, prefix):
+            try:
+                for index in range(8):
+                    backend.append_rows("Reg", [(f"{prefix}{index}", "City")])
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=append_many, args=(first, "a")),
+            threading.Thread(target=append_many, args=(second, "b")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        first.close()
+        second.close()
+        reopened = SQLiteBackend(path)
+        head = reopened.snapshot()
+        assert head.tables[1].num_rows == 2 + 16  # nothing lost
+        assert head.generation == 1 + 16  # one generation per append
+        # The final state equals the in-memory result of *some*
+        # serialization; row content is order-dependent, so check the
+        # multiset of appended codes instead.
+        codes = {row[0] for row in head.rows(1, 0, 99)}
+        assert codes == {"MS", "NY"} | {f"a{i}" for i in range(8)} | {
+            f"b{i}" for i in range(8)
+        }
+        reopened.close()
