@@ -18,10 +18,14 @@ naive oracle (``use_lazy_intersection=False, use_intersection_cache=False``
   while fresh examples are short: the co-reachability length masks stop
   atom work on pairs that cannot reach the accept pair,
 * ``batch_throughput`` -- ``run_batch`` at ``workers=4`` over benchsuite
-  tasks, ``executor="process"`` vs ``executor="thread"``.  Threads are
-  GIL-bound on this pure-Python workload, so the process pool's speedup
-  tracks the machine's core count; single-core machines report ~1x and
-  the regression check skips the row (see ``check_regression``).
+  tasks: the persistent :class:`~repro.service.pool.WorkerPool` process
+  lane vs ``executor="thread"`` and vs the plain sequential lane.
+  Threads are GIL-bound on this pure-Python workload, so the process
+  lane's speedup tracks the machine's core count; single-core machines
+  report ~1x and the regression check skips the row.  On runners with
+  >= 4 CPUs the check additionally fails if the process lane is slower
+  than sequential at all (``speedup_vs_sequential < 1.0`` -- the
+  regression that motivated the persistent pool).
 
 Usage::
 
@@ -202,20 +206,24 @@ def bench_batch_throughput(
     base = [list(bench.rows[i : i + 2]) for i in range(3)]
     tasks = (base * ((num_tasks + len(base) - 1) // len(base)))[:num_tasks]
 
-    def run(executor: str) -> float:
+    def run(executor: str, pool_workers) -> float:
         best = float("inf")
         for _ in range(repeats):
             started = time.perf_counter()
-            engine.run_batch(tasks, workers=workers, executor=executor)
+            engine.run_batch(tasks, workers=pool_workers, executor=executor)
             best = min(best, time.perf_counter() - started)
         return best
 
-    thread_s = run("thread")
-    process_s = run("process")
+    sequential_s = run("thread", None)  # workers=None: the sequential lane
+    thread_s = run("thread", workers)
+    process_s = run("process", workers)
+    engine.close()  # release the persistent worker pool
     return {
         "naive_s": thread_s,  # threads are the pre-PR executor
         "optimized_s": process_s,
         "speedup": thread_s / process_s,
+        "sequential_s": sequential_s,
+        "speedup_vs_sequential": sequential_s / process_s,
         "workers": workers,
         "cpus": os.cpu_count() or 1,
     }
@@ -277,6 +285,16 @@ def check_regression(
                     f"cannot win here (speedup {row['speedup']:.1f}x, informational)"
                 )
                 continue
+            # Absolute sanity floor where parallelism is measurable: the
+            # process lane must never be slower than plain sequential on
+            # a >= 4 CPU runner (the pre-pool executor was, at 0.85x).
+            vs_seq = row.get("speedup_vs_sequential")
+            if cpus >= 4 and vs_seq is not None and vs_seq < 1.0:
+                print(
+                    f"REGRESSION  {name}: process batch ran {vs_seq:.2f}x "
+                    f"sequential on {cpus} CPUs (floor 1.0x)"
+                )
+                failures.append(f"{name} (vs sequential)")
             # The acceptance floor where it is measurable: >= 2x vs threads
             # on a 4-core machine -- divided by --factor like every other
             # row, so one noisy-neighbor stall on a shared runner has the

@@ -11,6 +11,14 @@ in-process ``ThreadingHTTPServer`` on an ephemeral port):
 * ``fill_throughput`` -- rows/second of concurrent ``POST /fill``
   requests serving a stored program (4 client threads), reported
   informationally (requests/s is machine-bound).
+* ``learn_scaling`` -- served cold-learn throughput over the asyncio
+  front end, worker-process pool (``--workers 4``) vs in-process.  Gated
+  at an absolute >=3x/--factor floor on runners with >= 4 CPUs; reported
+  informationally below that (a 1-CPU runner cannot scale).
+* ``fill_latency_async_vs_threaded`` -- the cheap path must stay cheap:
+  mean ``POST /fill`` round-trip latency over the async transport vs the
+  threaded one, gated on the same-run ratio (<= 2x) so the check is
+  machine-independent.
 
 Usage::
 
@@ -45,12 +53,27 @@ from typing import Any, Dict, List, Optional
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.service import ProgramStore, SynthesisService, create_server
+from repro.service import (
+    ProgramStore,
+    SynthesisService,
+    WorkerPool,
+    create_async_server,
+    create_server,
+)
 from repro.tables.catalog import Catalog
 from repro.tables.table import Table
 
 #: Absolute acceptance floor for the cached-relearn speedup.
 CACHE_SPEEDUP_FLOOR = 10.0
+
+#: Absolute acceptance floor for pooled learn throughput at 4 workers,
+#: enforced only on runners with >= LEARN_SCALING_MIN_CPUS CPUs.
+LEARN_SCALING_FLOOR = 3.0
+LEARN_SCALING_MIN_CPUS = 4
+
+#: The async cheap lane must not slow fills down vs the threaded server
+#: (same run, same machine): async_latency / threaded_latency ceiling.
+FILL_LATENCY_RATIO_CEILING = 2.0
 
 NAMES = [
     "Microsoft", "Google", "Apple", "Facebook", "IBM", "Xerox", "Intel",
@@ -185,6 +208,114 @@ def bench_fill_throughput(
         server.server_close()
 
 
+def bench_learn_scaling(
+    num_tasks: int, workers: int, clients: int = 8
+) -> Dict[str, float]:
+    """Served learn throughput: worker-process pool vs in-process.
+
+    Both sides run the asyncio front end with ``clients`` concurrent
+    HTTP clients posting ``num_tasks`` *distinct* cold learns (every one
+    a request-cache miss).  Without a pool the learn lane is GIL-bound
+    (~1 core no matter how many client threads); with ``--workers N``
+    each learn runs on its own process, so throughput scales with cores.
+    """
+
+    def served(pool_workers: int) -> float:
+        service = SynthesisService(bench_catalog())
+        pool = None
+        if pool_workers:
+            pool = WorkerPool(
+                pool_workers, catalogs=[service.engine.catalog]
+            )
+            service.attach_pool(pool)
+        server = create_async_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = Client(f"http://{host}:{port}")
+        try:
+            tasks = learn_tasks(service.engine.catalog, num_tasks)
+            client.get("/healthz")  # connection + loop warm
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=clients) as tp:
+                replies = list(
+                    tp.map(lambda task: client.post("/learn", task), tasks)
+                )
+            elapsed = time.perf_counter() - started
+            assert all(r["cache"] == "miss" for r in replies)
+            if pool is not None:
+                dispatched = client.get("/stats")["requests"]["pool_dispatched"]
+                assert dispatched == num_tasks, (
+                    f"only {dispatched}/{num_tasks} learns hit the pool"
+                )
+            return elapsed
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+            service.close()
+
+    single_s = served(0)
+    pooled_s = served(workers)
+    return {
+        "single_s": single_s,
+        "pooled_s": pooled_s,
+        "speedup": single_s / pooled_s,
+        "learns_per_s_single": num_tasks / single_s,
+        "learns_per_s_pooled": num_tasks / pooled_s,
+        "workers": workers,
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def bench_fill_latency_parity(
+    num_requests: int, rows_per_request: int
+) -> Dict[str, float]:
+    """Cheap-path fill latency, threaded vs async transport (same run).
+
+    The async front end must not tax the cheap lane: sequential fill
+    round trips over both transports, compared as a ratio so the gate is
+    machine-independent.
+    """
+
+    def mean_latency(make_server) -> float:
+        service = SynthesisService(bench_catalog())
+        server = make_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = Client(f"http://{host}:{port}")
+        try:
+            task = learn_tasks(service.engine.catalog, 1)[0]
+            program = client.post("/learn", task)["programs"][0]["program"]
+            num_rows = service.engine.catalog.table("Comp").num_rows
+            rows = [
+                [" ".join(f"c{(r + o) % num_rows}" for o in range(5))]
+                for r in range(rows_per_request)
+            ]
+            body = {"program": program, "rows": rows}
+            client.post("/fill", body)  # warm
+            times = []
+            for _ in range(num_requests):
+                started = time.perf_counter()
+                client.post("/fill", body)
+                times.append(time.perf_counter() - started)
+            return sum(times) / len(times)
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+            service.close()
+
+    threaded_s = mean_latency(create_server)
+    async_s = mean_latency(create_async_server)
+    return {
+        "threaded_ms": threaded_s * 1e3,
+        "async_ms": async_s * 1e3,
+        "ratio": async_s / threaded_s,
+    }
+
+
 # -- harness ------------------------------------------------------------------
 def run_suite(quick: bool) -> Dict[str, Dict[str, float]]:
     num_tasks = 4 if quick else 12
@@ -202,16 +333,40 @@ def run_suite(quick: bool) -> Dict[str, Dict[str, float]]:
         "requests": requests,
         **bench_fill_throughput(requests, rows_per_request=100, workers=4),
     }
+    name = "learn_scaling[workers=4]"
+    print(f"running {name}[tasks={num_tasks}] ...", flush=True)
+    results[name] = {
+        "tasks": num_tasks,
+        **bench_learn_scaling(num_tasks, workers=4),
+    }
+    latency_requests = 20 if quick else 60
+    name = "fill_latency_async_vs_threaded[rows=100]"
+    print(f"running {name}[requests={latency_requests}] ...", flush=True)
+    results[name] = {
+        "requests": latency_requests,
+        **bench_fill_latency_parity(latency_requests, rows_per_request=100),
+    }
     return results
 
 
 def render(results: Dict[str, Dict[str, float]]) -> List[str]:
     lines = []
     for name, row in results.items():
-        if "speedup" in row:
+        if "cold_s" in row:
             lines.append(
                 f"{name}: cold {row['cold_s'] * 1e3:.1f}ms | cached "
                 f"{row['cached_s'] * 1e3:.2f}ms | speedup {row['speedup']:.0f}x"
+            )
+        elif "single_s" in row:
+            lines.append(
+                f"{name}: single {row['learns_per_s_single']:.1f} learns/s | "
+                f"pooled {row['learns_per_s_pooled']:.1f} learns/s | "
+                f"speedup {row['speedup']:.2f}x ({row['cpus']:.0f} CPUs)"
+            )
+        elif "ratio" in row:
+            lines.append(
+                f"{name}: threaded {row['threaded_ms']:.2f}ms | async "
+                f"{row['async_ms']:.2f}ms | ratio {row['ratio']:.2f}"
             )
         else:
             lines.append(
@@ -227,6 +382,39 @@ def check_regression(
     baseline = json.loads(baseline_path.read_text())["results"]
     failures = []
     for name, row in results.items():
+        if "single_s" in row:
+            # Pooled learn scaling: only gated where extra cores exist.
+            cpus = int(row.get("cpus", 1))
+            if cpus < LEARN_SCALING_MIN_CPUS:
+                print(
+                    f"      skip  {name}: {cpus} CPU(s) -- pooled learns "
+                    f"cannot beat single-core here (speedup "
+                    f"{row['speedup']:.2f}x, informational)"
+                )
+                continue
+            floor = LEARN_SCALING_FLOOR / factor
+            status = "ok" if row["speedup"] >= floor else "REGRESSION"
+            print(
+                f"{status:>10}  {name}: pooled learn speedup "
+                f"{row['speedup']:.2f}x on {cpus} CPUs (floor {floor:.1f}x, "
+                f"acceptance {LEARN_SCALING_FLOOR:.0f}x / --factor)"
+            )
+            if status != "ok":
+                failures.append(name)
+            continue
+        if "ratio" in row:
+            # Same-run transport comparison: machine-independent ceiling.
+            status = (
+                "ok" if row["ratio"] <= FILL_LATENCY_RATIO_CEILING
+                else "REGRESSION"
+            )
+            print(
+                f"{status:>10}  {name}: async/threaded fill latency ratio "
+                f"{row['ratio']:.2f} (ceiling {FILL_LATENCY_RATIO_CEILING:.1f})"
+            )
+            if status != "ok":
+                failures.append(name)
+            continue
         if "speedup" not in row:
             print(f"      info  {name}: {row['requests_per_s']:.0f} req/s "
                   "(throughput is machine-bound; not gated)")
@@ -449,6 +637,48 @@ def run_smoke() -> int:
                 "smoke: snapshot cold-start served identical fills "
                 f"(snapshot v{geo_entry['snapshot']['version']})"
             )
+            _stop_serve(process)
+
+            # -- act three: the worker-process pool behind --workers ------
+            process, client = _start_serve(
+                src,
+                [
+                    "--table", str(table_csv),
+                    "--catalog-root", str(root),
+                    "--snapshots",
+                    "--port", "0",
+                    "--workers", "2",
+                    "--async",
+                ],
+            )
+            health = client.get("/healthz")
+            assert health["workers"] == {"size": 2, "alive": 2}, health
+            cold = client.post(
+                "/learn",
+                {"examples": [[["c2 c4 c1"], "Google Facebook Microsoft"]]},
+            )
+            assert cold["cache"] == "miss", cold["cache"]
+            stats = client.get("/stats")
+            pool_stats = stats["workers"]
+            assert pool_stats["enabled"] is True, pool_stats
+            assert stats["requests"]["pool_dispatched"] >= 1, stats["requests"]
+            served_pids = [
+                worker["pid"]
+                for worker in pool_stats["workers"]
+                if worker["jobs"] > 0
+            ]
+            assert served_pids, pool_stats
+            # The synthesis genuinely left the server process.
+            assert all(pid != process.pid for pid in served_pids), (
+                served_pids,
+                process.pid,
+            )
+            print(
+                "smoke: --workers 2 learn dispatched to worker "
+                f"pid {served_pids[0]} (server pid {process.pid})"
+            )
+            _stop_serve(process)  # SIGTERM drains the pool: exit 0 asserted
+            print("smoke: SIGTERM drained the worker pool, graceful exit 0")
             return 0
         finally:
             if process.poll() is None:

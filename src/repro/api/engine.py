@@ -17,9 +17,10 @@ registry.
 
 from __future__ import annotations
 
+import logging
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.api.registry import LanguageBackend, create_backend, resolve_backend_name
@@ -41,7 +42,7 @@ from repro.core.formalism import (
     generate_structures,
 )
 from repro.engine.program import Program
-from repro.exceptions import NoExamplesError, NoProgramFoundError, SynthesisError
+from repro.exceptions import NoExamplesError, NoProgramFoundError
 from repro.lookup.ast import Select
 from repro.lookup.extract import expression_tables
 from repro.syntactic.ast import Concatenate, ConstStr, SubStr
@@ -50,6 +51,34 @@ from repro.tables.background import background_catalog
 from repro.tables.catalog import Catalog
 
 TaskLike = Union[SynthesisTask, Sequence[Tuple[Sequence[str], str]]]
+
+logger = logging.getLogger("repro.batch")
+
+
+class BatchResult(List[Union[SynthesisResult, Exception]]):
+    """``run_batch``'s return value: a plain list plus execution provenance.
+
+    Compares/iterates exactly like the list of results it subclasses, so
+    existing callers are unaffected; two extra attributes make executor
+    behavior diagnosable instead of silent:
+
+    * ``executor_used`` -- ``"sequential"``, ``"thread"`` or ``"process"``:
+      the lane that actually produced the results.
+    * ``fallback_reason`` -- ``None`` when the requested lane ran, else a
+      human-readable reason the process lane was refused (unpicklable
+      catalog vs. unpicklable tasks vs. storage-backed catalog vs. pool
+      failure), mirrored to the ``repro.batch`` logger.
+    """
+
+    def __init__(
+        self,
+        results: Iterable[Union[SynthesisResult, Exception]] = (),
+        executor_used: str = "sequential",
+        fallback_reason: Optional[str] = None,
+    ) -> None:
+        super().__init__(results)
+        self.executor_used = executor_used
+        self.fallback_reason = fallback_reason
 
 
 # -- shared cost model over concrete expressions -----------------------------
@@ -163,6 +192,7 @@ class Synthesizer:
             self.catalog = merged
         self.config = config
         self._catalog_picklable: Optional[bool] = None
+        self._batch_pool = None  # persistent WorkerPool, built on demand
         self._backend: LanguageBackend = create_backend(
             self.language, self.catalog, config
         )
@@ -280,7 +310,7 @@ class Synthesizer:
         k: int = 5,
         return_errors: bool = False,
         executor: str = "thread",
-    ) -> List[Union[SynthesisResult, Exception]]:
+    ) -> BatchResult:
         """Solve many independent tasks, preserving input order.
 
         Args:
@@ -291,14 +321,18 @@ class Synthesizer:
             executor: ``"thread"`` (default) shares the backend across a
                 thread pool -- safe because catalog and config are
                 immutable, but GIL-bound for this pure-Python workload.
-                ``"process"`` fans out over a ``ProcessPoolExecutor``: the
-                catalog/language/config are pickled **once per worker**
-                (the pool initializer builds a per-worker ``Synthesizer``),
-                each task ships only its examples, and results return as
-                catalog-free program payloads rebuilt against this
-                engine's catalog -- so results are identical to and
-                ordered like the sequential run.  Falls back to threads
-                when the catalog or tasks are not picklable.
+                ``"process"`` fans out over a persistent
+                :class:`repro.service.pool.WorkerPool`: workers attach the
+                catalog once per fingerprint (fork-inherited or loaded
+                from the shared snapshot spool -- never pickled per
+                worker), each task ships only its examples, and results
+                return as catalog-free program payloads rebuilt against
+                this engine's catalog -- so results are identical to and
+                ordered like the sequential run.  The pool persists on the
+                engine across calls, so repeat batches pay no setup.
+                Falls back to threads when the catalog or tasks cannot
+                cross a process boundary; ``fallback_reason`` on the
+                returned :class:`BatchResult` says why.
         """
         if executor not in ("thread", "process"):
             raise ValueError(f"executor must be 'thread' or 'process', got {executor!r}")
@@ -313,22 +347,42 @@ class Synthesizer:
                 raise
 
         if workers is None or workers <= 1:
-            return [solve(task) for task in normalized]
-        if executor == "process" and self._batch_is_picklable(normalized):
-            results = self._run_batch_processes(normalized, workers, k, return_errors)
-            if results is not None:
-                return results
+            return BatchResult(
+                [solve(task) for task in normalized], "sequential"
+            )
+        reason: Optional[str] = None
+        if executor == "process":
+            reason = self._pickle_fallback_reason(normalized)
+            if reason is None:
+                outcome = self._run_batch_pool(normalized, workers, k, return_errors)
+                if not isinstance(outcome, str):
+                    return BatchResult(outcome, "process")
+                reason = outcome
+            logger.warning(
+                "run_batch(executor='process') fell back to threads: %s", reason
+            )
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(solve, normalized))
+            return BatchResult(list(pool.map(solve, normalized)), "thread", reason)
 
     # -- the process-pool path -------------------------------------------
-    def _batch_is_picklable(self, tasks: Sequence[SynthesisTask]) -> bool:
-        """Can the catalog/config/tasks cross a process boundary?
+    def _pickle_fallback_reason(
+        self, tasks: Sequence[SynthesisTask]
+    ) -> Optional[str]:
+        """Why this batch cannot cross a process boundary (``None`` = it can).
 
-        The (potentially large) catalog probe is computed once per engine
-        and cached -- repeated ``run_batch`` calls on the same engine only
-        re-probe the (small, string-only) tasks.
+        Workers never unpickle the catalog (they fork-inherit or attach a
+        snapshot), but the probe is kept deliberately conservative: a
+        catalog that cannot even be pickled is a catalog carrying live
+        handles (locks, sockets, open files) that would not survive the
+        snapshot spool under a spawn start method either.  The catalog
+        probe is computed once per engine and cached -- repeated
+        ``run_batch`` calls only re-probe the (small, string-only) tasks.
         """
+        if self.catalog.storage_backed:
+            return (
+                "catalog is storage-backed (live database handles cannot "
+                "cross the worker-pool boundary)"
+            )
         if self._catalog_picklable is None:
             try:
                 pickle.dumps((self.catalog, self.language, self.config))
@@ -336,50 +390,96 @@ class Synthesizer:
             except Exception:  # noqa: BLE001 -- any failure means "use threads"
                 self._catalog_picklable = False
         if not self._catalog_picklable:
-            return False
+            return "catalog is not picklable"
         try:
             pickle.dumps(tasks)
-            return True
         except Exception:  # noqa: BLE001 -- any failure means "use threads"
-            return False
+            return "tasks are not picklable"
+        return None
 
-    def _run_batch_processes(
+    def _batch_is_picklable(self, tasks: Sequence[SynthesisTask]) -> bool:
+        """Can the catalog/config/tasks cross a process boundary?"""
+        return self._pickle_fallback_reason(tasks) is None
+
+    def _ensure_batch_pool(self, workers: int):
+        """The engine's persistent worker pool, (re)built at ``workers`` size."""
+        from repro.config import PoolConfig
+        from repro.service.pool import WorkerPool
+
+        pool = self._batch_pool
+        if pool is not None and (pool.closed or pool.size != workers):
+            pool.close(drain=False)
+            pool = self._batch_pool = None
+        if pool is None:
+            pool = WorkerPool(
+                workers,
+                language=self.language,
+                config=self.config,
+                pool=PoolConfig(max_queue=None),
+                catalogs=[self.catalog],
+            )
+            self._batch_pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Release the engine's worker pool (if one was ever created)."""
+        if self._batch_pool is not None:
+            self._batch_pool.close(drain=False)
+            self._batch_pool = None
+
+    def _run_batch_pool(
         self,
         tasks: Sequence[SynthesisTask],
         workers: int,
         k: int,
         return_errors: bool,
-    ) -> Optional[List[Union[SynthesisResult, Exception]]]:
-        """One process per worker; ``None`` when the pool itself is unusable.
+    ) -> Union[List[Union[SynthesisResult, Exception]], str]:
+        """Fan the batch over the shared-snapshot pool; a ``str`` = fall back.
 
-        A broken pool (e.g. the initializer cannot rebuild the backend in a
-        spawned child -- a custom ``register_backend`` class exists in the
-        parent only) is an environment problem, not a task error, so the
-        caller falls back to threads instead of aborting the batch.
+        Pool-level failures (the pool cannot start, a worker cannot attach
+        the catalog, a worker crashed out of retries) are environment
+        problems, not task errors: the whole batch is refused with a
+        reason string and the caller re-runs it on threads, preserving the
+        identical-to-sequential guarantee.  Per-task synthesis errors keep
+        their slot semantics (``return_errors``) exactly like sequential.
         """
-        from concurrent.futures.process import BrokenProcessPool
+        from repro.exceptions import WorkerPoolError
 
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_process_worker,
-                initargs=(self.catalog, self.language, self.config),
-            ) as pool:
-                replies = list(
-                    pool.map(
-                        _solve_in_worker,
-                        [(task, k, return_errors) for task in tasks],
-                    )
-                )
-        except BrokenProcessPool:
-            return None
+            pool = self._ensure_batch_pool(workers)
+        except Exception as error:  # noqa: BLE001 -- environment problem
+            return f"worker pool unavailable: {error}"
+        try:
+            futures = [pool.submit(self.catalog, task, k=k) for task in tasks]
+        except WorkerPoolError as error:
+            return f"worker pool refused the batch: {error}"
         results: List[Union[SynthesisResult, Exception]] = []
-        for kind, value in replies:
-            if kind == "error":
-                results.append(value)
-            else:
-                results.append(self._result_from_payload(value))
+        abort: Optional[Exception] = None
+        for future in futures:
+            try:
+                payload = future.result()
+            except WorkerPoolError as error:
+                return f"worker pool failed mid-batch: {error}"
+            except Exception as error:  # noqa: BLE001 -- a task error
+                if return_errors:
+                    results.append(error)
+                    continue
+                if abort is None:
+                    abort = error  # keep draining so the pool stays clean
+                continue
+            results.append(self._result_from_payload(payload))
+        if abort is not None:
+            raise abort
         return results
+
+    def result_from_payload(self, payload: Dict[str, Any]) -> SynthesisResult:
+        """Rebuild a worker's catalog-free result against this catalog.
+
+        Public counterpart of the wire form produced by
+        :func:`result_to_payload`; the service layer uses it to graft
+        pool-computed results onto the parent's live catalog.
+        """
+        return self._result_from_payload(payload)
 
     def _result_from_payload(self, payload: Dict[str, Any]) -> SynthesisResult:
         """Rebuild a worker's catalog-free result against this catalog."""
@@ -403,16 +503,7 @@ class Synthesizer:
         )
 
 
-# -- process-pool worker plumbing (module level: must be picklable) -----------
-_WORKER_ENGINE: Optional[Synthesizer] = None
-
-
-def _init_process_worker(catalog, language: str, config: SynthesisConfig) -> None:
-    """Pool initializer: one engine per worker, catalog pickled once."""
-    global _WORKER_ENGINE
-    _WORKER_ENGINE = Synthesizer(catalog=catalog, language=language, config=config)
-
-
+# -- worker wire form (module level: importable from pool workers) ------------
 def _result_to_payload(result: SynthesisResult) -> Dict[str, Any]:
     """A catalog-free wire form of a result (programs via ``to_dict``)."""
     return {
@@ -429,20 +520,4 @@ def _result_to_payload(result: SynthesisResult) -> Dict[str, Any]:
     }
 
 
-def _solve_in_worker(job: Tuple[SynthesisTask, int, bool]):
-    """Solve one task on the per-worker engine (see ``_init_process_worker``)."""
-    task, k, return_errors = job
-    assert _WORKER_ENGINE is not None, "process pool initializer did not run"
-    try:
-        return ("ok", _result_to_payload(_WORKER_ENGINE.synthesize(task, k=k)))
-    except Exception as error:  # noqa: BLE001 -- relayed to the parent
-        if return_errors:
-            try:
-                pickle.dumps(error)
-            except Exception:  # noqa: BLE001 -- keep the slot, not the batch
-                # An unpicklable exception (open handle, lock...) must not
-                # abort the whole batch like it would on the return trip;
-                # ship a picklable stand-in preserving the repr.
-                error = SynthesisError(f"unpicklable worker error: {error!r}")
-            return ("error", error)
-        raise
+result_to_payload = _result_to_payload

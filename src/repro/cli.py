@@ -220,6 +220,24 @@ def build_serve_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
         help="LRU capacity of the learn request cache (default: 256)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N persistent synthesis worker processes; learns are "
+        "dispatched to them (catalogs attach by fingerprint from a shared "
+        "snapshot spool) while fills stay in-process (default: 0, "
+        "in-process synthesis)",
+    )
+    parser.add_argument(
+        "--async",
+        dest="async_server",
+        action="store_true",
+        help="serve over the asyncio front end (cost-routed lanes: fills "
+        "in-process, learns toward the worker pool) instead of the "
+        "thread-per-connection server",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="log each HTTP request to stderr",
@@ -419,9 +437,12 @@ def _cmd_serve(argv: Sequence[str]) -> int:
             CatalogRegistry,
             ProgramStore,
             SynthesisService,
+            create_async_server,
             create_server,
         )
 
+        if args.workers < 0:
+            raise ReproError(f"--workers must be >= 0, got {args.workers}")
         if args.storage != "memory" and not args.catalog_root:
             raise ReproError(
                 f"--storage {args.storage} needs --catalog-root DIR to keep "
@@ -455,7 +476,8 @@ def _cmd_serve(argv: Sequence[str]) -> int:
             registry=registry,
             default_catalog=args.default_catalog,
         )
-        server = create_server(
+        make_server = create_async_server if args.async_server else create_server
+        server = make_server(
             service, host=args.host, port=args.port, quiet=not args.verbose
         )
     except (ReproError, OSError) as error:
@@ -464,7 +486,44 @@ def _cmd_serve(argv: Sequence[str]) -> int:
     host, port = server.server_address[:2]
     # One parseable line, flushed before serving: smoke tests and process
     # managers read the bound port from it (important with --port 0).
+    # Must happen before the worker pool forks below -- a fork between
+    # bind and banner would leave --port 0 callers guessing.
     print(f"serving on http://{host}:{port}", flush=True)
+
+    if args.workers > 0:
+        from repro.config import PoolConfig
+        from repro.service import WorkerPool
+
+        # In-memory catalogs known up front ride into the workers via
+        # fork inheritance; later registry mutations (and lazily loaded
+        # catalogs) publish through the shared snapshot spool instead.
+        # Storage-backed catalogs stay in-process (live DB handles).
+        inherit = []
+        try:
+            base = service.engine.catalog
+        except ReproError:  # no default catalog yet (lazy registry root)
+            base = None
+        if base is not None and not base.storage_backed and len(base):
+            inherit.append(base)
+        try:
+            pool = WorkerPool(
+                args.workers,
+                language=service.language,
+                config=service.config,
+                pool=PoolConfig(workers=args.workers),
+                catalogs=inherit,
+            )
+            service.attach_pool(pool)
+        except (ReproError, OSError, ValueError) as error:
+            server.server_close()
+            service.close()
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"workers: {pool.alive_count()}/{pool.size} synthesis "
+            f"processes ready (pids {', '.join(map(str, pool.worker_pids()))})",
+            file=sys.stderr,
+        )
 
     # Graceful shutdown: SIGTERM/SIGINT stop accepting connections, let
     # in-flight requests finish (server_close joins the daemon threads),

@@ -157,4 +157,42 @@ class SynthesisConfig:
         )
 
 
+@dataclass(frozen=True)
+class PoolConfig:
+    """Sizing and lifecycle knobs for the worker-process pool.
+
+    Attributes:
+        workers: number of worker processes; 0 disables the pool (all
+            synthesis runs in-process, the pre-PR-7 behavior).
+        max_queue: pending-request limit before ``submit`` raises
+            :class:`repro.exceptions.PoolBusyError`; ``None`` removes the
+            limit (used by ``run_batch``, which bounds fan-out itself).
+        retries: how many times a job is retried on a freshly respawned
+            worker after a crash before failing with ``WorkerCrashedError``.
+        warmup: pre-attach the pool's initial catalogs on every worker at
+            construction instead of on first request.
+        engine_cache: per-worker LRU size of attached engines (one per
+            catalog fingerprint).
+        spool_keep: how many published snapshot directories the parent
+            keeps in the shared spool before pruning the oldest.
+        job_timeout: seconds a dispatcher waits for a worker's reply
+            before declaring it wedged (killed + respawned); ``None``
+            waits forever.
+        start_method: multiprocessing start method (``"fork"``,
+            ``"spawn"``, ``"forkserver"``); ``None`` picks ``fork`` where
+            available (zero-copy catalog inheritance) and falls back to
+            the platform default elsewhere.
+    """
+
+    workers: int = 0
+    max_queue: Optional[int] = 64
+    retries: int = 1
+    warmup: bool = True
+    engine_cache: int = 8
+    spool_keep: int = 16
+    job_timeout: Optional[float] = None
+    start_method: Optional[str] = None
+
+
 DEFAULT_CONFIG = SynthesisConfig()
+DEFAULT_POOL_CONFIG = PoolConfig()

@@ -246,6 +246,70 @@ class MissingTablesError(ServiceError):
         self.missing = names
 
 
+class WorkerPoolError(ServiceError):
+    """A worker-pool operation failed (pool closed, no live workers...)."""
+
+
+class PoolBusyError(WorkerPoolError):
+    """The pool's pending queue is full; the caller should back off.
+
+    The HTTP front ends map this to 503 so load-shedding is visible to
+    clients instead of turning into unbounded queueing in the parent.
+    """
+
+    def __init__(self, queue_depth: int, max_queue: int) -> None:
+        super().__init__(
+            f"worker pool is saturated: {queue_depth} requests queued "
+            f"(limit {max_queue}); retry later"
+        )
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+
+    def __reduce__(self):
+        return (type(self), (self.queue_depth, self.max_queue))
+
+
+class WorkerCrashedError(WorkerPoolError):
+    """A worker process died while executing a request.
+
+    The pool respawns the worker and retries the job up to its retry
+    budget; this error surfaces only after the retries are exhausted, so
+    the client is never left hanging on a dead pipe.
+    """
+
+    def __init__(self, pid: "int | None", detail: str = "") -> None:
+        who = f"worker pid={pid}" if pid else "worker"
+        super().__init__(
+            f"{who} crashed while executing the request"
+            + (f": {detail}" if detail else "")
+        )
+        self.pid = pid
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.pid, self.detail))
+
+
+class SnapshotAttachError(WorkerPoolError):
+    """A worker could not attach a catalog for the requested fingerprint.
+
+    Neither a fork-inherited catalog nor a verified snapshot in the
+    shared spool directory matched; the parent treats this as a pool-level
+    failure and serves the request in-process instead.
+    """
+
+    def __init__(self, fingerprint: str, detail: str = "") -> None:
+        super().__init__(
+            f"no attachable catalog for fingerprint {fingerprint[:16]}..."
+            + (f": {detail}" if detail else "")
+        )
+        self.fingerprint = fingerprint
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.fingerprint, self.detail))
+
+
 class MissingColumnsError(ServiceError):
     """The serving catalog's tables lost columns a program references.
 

@@ -1,0 +1,372 @@
+"""Asyncio HTTP front end that routes requests by cost.
+
+:class:`AsyncSynthesisServer` serves the same endpoints as the threaded
+server (one shared :class:`~repro.service.http.ServiceApi`) over an
+``asyncio.start_server`` event loop, with a minimal HTTP/1.1
+implementation (request line + headers + Content-Length body,
+keep-alive).  The asyncio loop itself never runs service code: each
+request is classified into a *lane* and handed to that lane's thread
+pool via ``run_in_executor``:
+
+* **cheap lane** -- fills, cache hits, catalog CRUD, stats: pure dict
+  and index lookups answered in-process with no worker hop, on a small
+  thread pool that keeps tail latency flat while thousands of sockets
+  stay parked on the event loop;
+* **learn lane** -- ``POST /learn``: may pay CPU-bound synthesis, so it
+  gets its own pool sized to the worker-process pool.  With a pool
+  attached (``repro serve --workers N``), learn-lane threads spend
+  their time blocked on a worker pipe with the GIL released -- true
+  multi-core synthesis; without one they degrade to in-process
+  synthesis, exactly like the threaded server.
+
+The two lanes mirror the Polynesia-style split (cheap read path vs.
+heavy analytical path, each with its own execution resources) at the
+process level.
+
+The listening socket is bound in ``__init__`` (so ``port=0`` callers
+can read and print the real port *before* the event loop -- or any
+worker fork -- starts); ``serve_forever()`` blocks running the loop and
+``shutdown()`` is thread-safe, mirroring the stdlib server's interface
+so ``repro serve`` drives both transports identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro import __version__
+from repro.service.http import (
+    LANE_LEARN,
+    MAX_BODY_BYTES,
+    BadRequest,
+    ServiceApi,
+    error_payload,
+)
+from repro.service.service import SynthesisService
+
+#: Per-read timeout: a client stalling mid-request must not park a
+#: connection handler forever (matches the threaded server's 60s).
+READ_TIMEOUT = 60.0
+
+#: Upper bound on the request line + headers block.
+MAX_HEADER_BYTES = 64 * 1024
+
+
+class AsyncSynthesisServer:
+    """The asyncio front end over one :class:`SynthesisService`.
+
+    Args:
+        service: the service to serve (attach its worker pool before or
+            after construction; the learn lane picks it up per request).
+        host/port: bind address; ``port=0`` binds an ephemeral port,
+            readable from :attr:`server_address` immediately.
+        quiet: reserved for parity with the threaded server.
+        cheap_workers: thread-pool size of the cheap lane.
+        learn_workers: thread-pool size of the learn lane; ``None``
+            sizes it to the attached pool (its worker count plus a
+            queue's worth) or 4 without one.
+    """
+
+    def __init__(
+        self,
+        service: SynthesisService,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        quiet: bool = True,
+        cheap_workers: int = 8,
+        learn_workers: Optional[int] = None,
+    ) -> None:
+        self.service = service
+        self.api = ServiceApi(service)
+        self.quiet = quiet
+        self._sock = socket.create_server(
+            (host, port), family=socket.AF_INET, backlog=128
+        )
+        self._cheap_workers = max(1, cheap_workers)
+        self._learn_workers = learn_workers
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._stop_requested = False
+        self._lock = threading.Lock()
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._busy_requests = 0
+
+    # -- stdlib-server interface parity -------------------------------
+    @property
+    def server_address(self) -> Tuple[str, int]:
+        return self._sock.getsockname()[:2]
+
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`shutdown` (blocking)."""
+        asyncio.run(self._serve())
+
+    def shutdown(self) -> None:
+        """Stop accepting and drain in-flight requests (thread-safe)."""
+        with self._lock:
+            self._stop_requested = True
+            loop = self._loop
+        if loop is not None and loop.is_running():
+            def _set() -> None:
+                if self._stop_event is not None:
+                    self._stop_event.set()
+
+            loop.call_soon_threadsafe(_set)
+
+    def server_close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- the loop ------------------------------------------------------
+    async def _serve(self) -> None:
+        learn_workers = self._learn_workers
+        if learn_workers is None:
+            pool = self.service.pool
+            learn_workers = (pool.size + 2) if pool is not None else 4
+        cheap_pool = ThreadPoolExecutor(
+            max_workers=self._cheap_workers,
+            thread_name_prefix="repro-async-cheap",
+        )
+        learn_pool = ThreadPoolExecutor(
+            max_workers=max(1, learn_workers),
+            thread_name_prefix="repro-async-learn",
+        )
+        self._executors = {LANE_LEARN: learn_pool, "cheap": cheap_pool}
+        self._stop_event = asyncio.Event()
+        with self._lock:
+            self._loop = asyncio.get_running_loop()
+            if self._stop_requested:
+                self._stop_event.set()
+        server = await asyncio.start_server(
+            self._handle_client, sock=self._sock
+        )
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # Drain: let requests already executing finish (bounded),
+            # then drop lingering keep-alive connections.
+            deadline = self._loop.time() + 10.0
+            while self._busy_requests and self._loop.time() < deadline:
+                await asyncio.sleep(0.05)
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *self._conn_tasks, return_exceptions=True
+                )
+            learn_pool.shutdown(wait=True)
+            cheap_pool.shutdown(wait=True)
+            with self._lock:
+                self._loop = None
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    return
+        except (
+            asyncio.CancelledError,
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            ConnectionError,
+            OSError,
+        ):
+            return
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Serve one request; returns whether to keep the connection."""
+        try:
+            blob = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=READ_TIMEOUT
+            )
+        except asyncio.LimitOverrunError:
+            await self._respond(
+                writer, 431, {"error": "request headers too large"}, False
+            )
+            return False
+        if len(blob) > MAX_HEADER_BYTES:
+            await self._respond(
+                writer, 431, {"error": "request headers too large"}, False
+            )
+            return False
+        try:
+            method, target, version, headers = _parse_head(blob)
+        except ValueError as error:
+            await self._respond(writer, 400, {"error": str(error)}, False)
+            return False
+        path, query = ServiceApi.split_target(target)
+        keep_alive = _wants_keep_alive(version, headers)
+
+        # Read (or refuse) the body on the event loop -- the framing
+        # must be settled before the next pipelined request either way.
+        body: bytes = b""
+        read_error: Optional[Exception] = None
+        length_header = headers.get("content-length", "")
+        try:
+            content_length = int(length_header or 0)
+        except ValueError:
+            content_length = -1
+            read_error = BadRequest("Content-Length header must be an integer")
+            keep_alive = False  # body length unknown: cannot drain
+        wants_body = method in ("POST", "PUT")
+        if read_error is None and content_length > MAX_BODY_BYTES:
+            read_error = BadRequest(
+                f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+            keep_alive = False  # refused without reading: cannot drain
+        elif read_error is None and content_length > 0:
+            body = await asyncio.wait_for(
+                reader.readexactly(content_length), timeout=READ_TIMEOUT
+            )
+        elif read_error is None and wants_body:
+            read_error = BadRequest(
+                "request needs a body (Content-Length missing)"
+            )
+
+        if wants_body and self.api.resolve(method, path) is None:
+            await self._respond(
+                writer,
+                404,
+                {"error": f"no such endpoint: {method} {path}"},
+                keep_alive,
+            )
+            return keep_alive
+
+        status, payload = await self._dispatch(
+            method, path, query, headers.get("content-type"), body, read_error
+        )
+        await self._respond(writer, status, payload, keep_alive)
+        return keep_alive
+
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        content_type: Optional[str],
+        body: bytes,
+        read_error: Optional[Exception],
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Run the request on its lane's thread pool, off the loop."""
+        lane = self.api.classify(method, path)
+        executor = self._executors.get(lane, self._executors["cheap"])
+
+        def read_body() -> bytes:
+            if read_error is not None:
+                raise read_error
+            return body
+
+        def run() -> Tuple[int, Dict[str, Any]]:
+            return self.api.route(method, path, query, content_type, read_body)
+
+        loop = asyncio.get_running_loop()
+        self._busy_requests += 1
+        try:
+            return await loop.run_in_executor(executor, run)
+        finally:
+            self._busy_requests -= 1
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        reason = _REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Server: repro-serve-async/{__version__}\r\n"
+            "Content-Type: application/json; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _parse_head(
+    blob: bytes,
+) -> Tuple[str, str, str, Dict[str, str]]:
+    """``b"GET /x HTTP/1.1\\r\\nH: v\\r\\n\\r\\n"`` -> parts (or ValueError)."""
+    try:
+        text = blob.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover -- latin-1 decodes all bytes
+        raise ValueError("malformed request head") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/"):
+        raise ValueError(f"malformed HTTP version: {version!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ValueError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method, target, version, headers
+
+
+def _wants_keep_alive(version: str, headers: Dict[str, str]) -> bool:
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.0":
+        return connection == "keep-alive"
+    return connection != "close"
+
+
+def create_async_server(
+    service: SynthesisService,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    quiet: bool = True,
+) -> AsyncSynthesisServer:
+    """Bind (but do not start) the asyncio front end.
+
+    Interface-compatible with :func:`repro.service.http.create_server`:
+    ``server_address`` is readable immediately (``port=0`` included),
+    ``serve_forever()`` blocks, ``shutdown()`` is thread-safe and
+    ``server_close()`` releases the socket.
+    """
+    return AsyncSynthesisServer(service, host=host, port=port, quiet=quiet)

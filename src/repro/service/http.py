@@ -1,8 +1,16 @@
-"""Stdlib JSON HTTP front end over :class:`SynthesisService`.
+"""JSON HTTP front ends over :class:`SynthesisService`.
 
-A ``ThreadingHTTPServer`` (one thread per connection, no dependencies
-beyond the standard library) exposing the interactive loop and the
-multi-catalog registry::
+Two transports share one routing/validation/error-mapping core
+(:class:`ServiceApi`):
+
+* :class:`SynthesisHTTPServer` -- the stdlib ``ThreadingHTTPServer``
+  (one thread per connection), built by :func:`create_server`;
+* :class:`~repro.service.async_http.AsyncSynthesisServer` -- the asyncio
+  front end that routes requests by cost (cheap lane in-process, learn
+  lane toward the worker pool), built by
+  :func:`~repro.service.async_http.create_async_server`.
+
+The endpoints::
 
     POST /learn     {"examples": [[["in1", ...], "out"], ...],
                      "k"?: int, "save"?: "name", "metadata"?: {...},
@@ -23,8 +31,10 @@ multi-catalog registry::
     POST /catalogs/<name>/rows     {"table": "T", "rows": [[...], ...]}
                  -> copy-on-write: append rows (incremental reindex)
     GET  /programs  -> {"programs": [store listing]}
-    GET  /healthz   -> {"status": "ok", ...}
-    GET  /stats     -> SynthesisService.stats()
+    GET  /healthz   -> {"status": "ok", ...}; 503 {"status": "degraded"}
+                       when an attached worker pool has zero live workers
+    GET  /stats     -> SynthesisService.stats() (incl. the "workers"
+                       pool section when a pool is attached)
 
 A *table spec* is ``{"name": "T", "columns": [...], "rows": [[...]],
 "keys"?: [[col, ...], ...]}`` or ``{"name": "T", "csv": "a,b\\n1,2\\n"}``.
@@ -32,12 +42,13 @@ A *table spec* is ``{"name": "T", "columns": [...], "rows": [[...]],
 Error mapping: malformed requests -> 400, unknown routes / programs /
 catalogs -> 404, duplicate tables and stale stored programs -> 409,
 synthesis failures (no consistent program, empty examples, empty
-catalog...) -> 422, everything unexpected -> 500.  Every error body is
-``{"error": message}`` plus structured fields when the exception
-carries them (offending ``table`` / ``column`` / header ``positions`` /
-``missing`` names / staleness ``changes``).  Responses are UTF-8 JSON
-with Content-Length, so HTTP/1.1 keep-alive works for benchmark
-clients.
+catalog...) -> 422, a saturated worker pool -> 503 (back off and
+retry), a worker crash that survived its retries -> 500, everything
+unexpected -> 500.  Every error body is ``{"error": message}`` plus
+structured fields when the exception carries them (offending ``table``
+/ ``column`` / header ``positions`` / ``missing`` names / staleness
+``changes``).  Responses are UTF-8 JSON with Content-Length, so
+HTTP/1.1 keep-alive works for benchmark clients.
 """
 
 from __future__ import annotations
@@ -46,11 +57,12 @@ import json
 import traceback
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import __version__
 from repro.exceptions import (
     DuplicateTableError,
+    PoolBusyError,
     ProgramStoreError,
     ReproError,
     SerializationError,
@@ -60,6 +72,7 @@ from repro.exceptions import (
     TableError,
     UnknownCatalogError,
     UnknownProgramError,
+    WorkerCrashedError,
 )
 from repro.service.service import SynthesisService
 from repro.tables.io import table_from_csv_text
@@ -72,6 +85,15 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 #: structured half of the error contract (message + machine-readable
 #: fields naming exactly what went wrong).
 _ERROR_FIELDS = ("table", "column", "positions", "missing", "changes", "program")
+
+#: Dispatch lanes (see :meth:`ServiceApi.classify`).
+LANE_LEARN = "learn"
+LANE_CHEAP = "cheap"
+
+#: A zero-argument callable producing the raw request body.  Transports
+#: pass their own reader so body-size/framing errors surface inside the
+#: API's error mapping (as 400s) instead of killing the connection.
+BodyReader = Callable[[], bytes]
 
 
 class BadRequest(ServiceError):
@@ -156,98 +178,143 @@ def _parse_table_spec(spec: Any) -> Table:
     return Table(name, columns, rows, keys=keys)
 
 
-class ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes requests to the server's attached :class:`SynthesisService`."""
+def _json_body(read_body: BodyReader) -> Dict[str, Any]:
+    raw = read_body()
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BadRequest(f"invalid JSON body: {error}") from None
+    if not isinstance(body, dict):
+        raise BadRequest("JSON body must be an object")
+    return body
 
-    server_version = f"repro-serve/{__version__}"
-    protocol_version = "HTTP/1.1"
-    #: Socket timeout (socketserver honors it): a client stalling
-    #: mid-request must not tie up a handler thread forever.
-    timeout = 60
 
-    # The server instance carries the service (see create_server).
-    @property
-    def service(self) -> SynthesisService:
-        return self.server.service  # type: ignore[attr-defined]
+def _text_body(read_body: BodyReader) -> str:
+    try:
+        return read_body().decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise BadRequest(f"body is not valid UTF-8: {error}") from None
 
-    # -- plumbing ------------------------------------------------------
-    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if getattr(self.server, "quiet", True):
-            return
-        super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
-        self.send_header("Content-Length", str(len(body)))
-        if self.close_connection:
-            # Tell the client too (set when a request body went unread).
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
+def error_payload(
+    message: str, error: Optional[BaseException] = None
+) -> Dict[str, Any]:
+    """The structured ``{"error": ...}`` body for ``error``."""
+    payload: Dict[str, Any] = {"error": message}
+    if error is not None:
+        for field in _ERROR_FIELDS:
+            value = getattr(error, field, None)
+            if value is None:
+                continue
+            payload[field] = list(value) if isinstance(value, tuple) else value
+        if isinstance(error, UnknownCatalogError):
+            payload["catalog"] = error.name
+        elif isinstance(error, (DuplicateTableError, StaleProgramError)):
+            if error.catalog is not None:
+                payload["catalog"] = error.catalog
+    return payload
 
-    def _send_error_json(
-        self, status: int, message: str, error: Optional[BaseException] = None
-    ) -> None:
-        payload: Dict[str, Any] = {"error": message}
-        if error is not None:
-            for field in _ERROR_FIELDS:
-                value = getattr(error, field, None)
-                if value is None:
-                    continue
-                payload[field] = list(value) if isinstance(value, tuple) else value
-            if isinstance(error, UnknownCatalogError):
-                payload["catalog"] = error.name
-            elif isinstance(error, (DuplicateTableError, StaleProgramError)):
-                if error.catalog is not None:
-                    payload["catalog"] = error.catalog
-        self._send_json(status, payload)
 
-    def _read_bytes(self) -> bytes:
+class ServiceApi:
+    """Transport-independent routing + validation + error mapping.
+
+    Both HTTP front ends delegate here: :meth:`resolve` finds the
+    endpoint, :meth:`route` runs it under the full error contract (it
+    never raises), and :meth:`classify` names the dispatch lane --
+    ``"learn"`` for requests that may pay CPU-bound synthesis (and
+    should ride the worker pool), ``"cheap"`` for everything answered
+    from in-process dicts and indexes (fills, stats, catalog CRUD).
+    """
+
+    def __init__(self, service: SynthesisService) -> None:
+        self.service = service
+
+    # -- routing -------------------------------------------------------
+    @staticmethod
+    def split_target(target: str) -> Tuple[str, Dict[str, str]]:
+        """``"/path?a=b"`` -> (normalized path, last-wins query dict)."""
+        parsed = urllib.parse.urlsplit(target)
+        query = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        return parsed.path.rstrip("/") or "/", query
+
+    def resolve(self, method: str, path: str):
+        """The endpoint for ``method path``: a callable taking
+        ``(query, content_type, read_body)``, or ``None`` (-> 404)."""
+        path = path.rstrip("/") or "/"
+        if method == "GET":
+            if path == "/healthz":
+                return lambda q, ct, rb: self.healthz()
+            if path == "/stats":
+                return lambda q, ct, rb: (200, self.service.stats())
+            if path == "/programs":
+                return lambda q, ct, rb: (
+                    200,
+                    {"programs": self.service.list_programs()},
+                )
+            if path == "/catalogs":
+                return lambda q, ct, rb: self.list_catalogs()
+            if path.startswith("/catalogs/"):
+                name = path[len("/catalogs/") :]
+                if "/" not in name:
+                    return lambda q, ct, rb: (
+                        200,
+                        self.service.registry.describe(name),
+                    )
+            return None
+        if method == "POST":
+            if path == "/learn":
+                return lambda q, ct, rb: self.learn(rb)
+            if path == "/fill":
+                return lambda q, ct, rb: self.fill(rb)
+            if path.startswith("/catalogs/") and path.endswith("/tables"):
+                name = path[len("/catalogs/") : -len("/tables")]
+                return lambda q, ct, rb: self.add_table(name, q, ct, rb)
+            if path.startswith("/catalogs/") and path.endswith("/rows"):
+                name = path[len("/catalogs/") : -len("/rows")]
+                return lambda q, ct, rb: self.append_rows(name, rb)
+            return None
+        if method == "PUT":
+            if path.startswith("/catalogs/") and "/" not in path[len("/catalogs/") :]:
+                name = path[len("/catalogs/") :]
+                return lambda q, ct, rb: self.put_catalog(name, rb)
+        return None
+
+    def classify(self, method: str, path: str) -> str:
+        """Dispatch lane: ``"learn"`` may block on synthesis, the rest
+        is ``"cheap"`` (pure lookups / incremental index patches)."""
+        if method == "POST" and (path.rstrip("/") or "/") == "/learn":
+            return LANE_LEARN
+        return LANE_CHEAP
+
+    def route(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        content_type: Optional[str],
+        read_body: BodyReader,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Run one request end to end; always returns ``(status, body)``."""
+        endpoint = self.resolve(method, path)
+        if endpoint is None:
+            return 404, {"error": f"no such endpoint: {method} {path}"}
         try:
-            length = int(self.headers.get("Content-Length") or 0)
-        except ValueError:
-            self.close_connection = True  # body length unknown: can't drain
-            raise BadRequest("Content-Length header must be an integer") from None
-        if length <= 0 or length > MAX_BODY_BYTES:
-            # Rejecting a request whose body we will not read leaves the
-            # unread bytes on the socket; under HTTP/1.1 keep-alive the
-            # handler would parse them as the next request line.  Drop
-            # the connection after responding.
-            self.close_connection = True
-            if length <= 0:
-                raise BadRequest("request needs a body (Content-Length missing)")
-            raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        return self.rfile.read(length)
-
-    def _read_body(self) -> Dict[str, Any]:
-        raw = self._read_bytes()
-        try:
-            body = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise BadRequest(f"invalid JSON body: {error}") from None
-        if not isinstance(body, dict):
-            raise BadRequest("JSON body must be an object")
-        return body
-
-    def _read_text_body(self) -> str:
-        try:
-            return self._read_bytes().decode("utf-8")
-        except UnicodeDecodeError as error:
-            raise BadRequest(f"body is not valid UTF-8: {error}") from None
-
-    def _dispatch(self, handler) -> None:
-        try:
-            status, payload = handler()
+            return endpoint(query, content_type, read_body)
         except BadRequest as error:
-            self._send_error_json(400, str(error), error)
+            return 400, error_payload(str(error), error)
         except (UnknownProgramError, UnknownCatalogError) as error:
-            self._send_error_json(404, str(error), error)
+            return 404, error_payload(str(error), error)
         except (DuplicateTableError, StaleProgramError) as error:
-            self._send_error_json(409, str(error), error)
+            return 409, error_payload(str(error), error)
+        except PoolBusyError as error:
+            return 503, error_payload(str(error), error)
+        except WorkerCrashedError as error:
+            return 500, error_payload(str(error), error)
         except SynthesisError as error:
-            self._send_error_json(422, str(error), error)
+            return 422, error_payload(str(error), error)
         except (
             TableError,
             ProgramStoreError,
@@ -255,74 +322,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             ServiceError,
             ReproError,
         ) as error:
-            self._send_error_json(400, str(error), error)
+            return 400, error_payload(str(error), error)
         except Exception as error:  # noqa: BLE001 -- the server must not die
             traceback.print_exc()
-            self._send_error_json(500, f"internal error: {error}")
-        else:
-            self._send_json(status, payload)
+            return 500, error_payload(f"internal error: {error}")
 
-    def _split_path(self) -> Tuple[str, Dict[str, str]]:
-        parsed = urllib.parse.urlsplit(self.path)
-        query = {
-            key: values[-1]
-            for key, values in urllib.parse.parse_qs(parsed.query).items()
-        }
-        return parsed.path.rstrip("/"), query
-
-    # -- routes --------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
-        path, _ = self._split_path()
-        path = path or "/"
-        if path == "/healthz":
-            self._dispatch(self._get_healthz)
-        elif path == "/stats":
-            self._dispatch(self._get_stats)
-        elif path == "/programs":
-            self._dispatch(self._get_programs)
-        elif path == "/catalogs":
-            self._dispatch(self._get_catalogs)
-        elif path.startswith("/catalogs/"):
-            name = path[len("/catalogs/") :]
-            if "/" in name:
-                self._send_error_json(404, f"no such endpoint: GET {path}")
-            else:
-                self._dispatch(lambda: self._get_catalog(name))
-        else:
-            self._send_error_json(404, f"no such endpoint: GET {path}")
-
-    def do_POST(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
-        path, query = self._split_path()
-        if path == "/learn":
-            self._dispatch(self._post_learn)
-        elif path == "/fill":
-            self._dispatch(self._post_fill)
-        elif path.startswith("/catalogs/") and path.endswith("/tables"):
-            name = path[len("/catalogs/") : -len("/tables")]
-            self._dispatch(lambda: self._post_catalog_table(name, query))
-        elif path.startswith("/catalogs/") and path.endswith("/rows"):
-            name = path[len("/catalogs/") : -len("/rows")]
-            self._dispatch(lambda: self._post_catalog_rows(name))
-        else:
-            # The request body is never read on this branch; keep-alive
-            # would parse it as the next request line (see _read_bytes).
-            self.close_connection = True
-            self._send_error_json(404, f"no such endpoint: POST {path}")
-
-    def do_PUT(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
-        path, _ = self._split_path()
-        if path.startswith("/catalogs/") and "/" not in path[len("/catalogs/") :]:
-            name = path[len("/catalogs/") :]
-            self._dispatch(lambda: self._put_catalog(name))
-        else:
-            self.close_connection = True
-            self._send_error_json(404, f"no such endpoint: PUT {path}")
-
-    # -- endpoint bodies ----------------------------------------------
-    def _get_healthz(self) -> Tuple[int, Dict[str, Any]]:
+    # -- endpoints -----------------------------------------------------
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
         service = self.service
-        return 200, {
-            "status": "ok",
+        healthy = service.healthy()
+        payload: Dict[str, Any] = {
+            "status": "ok" if healthy else "degraded",
             "version": __version__,
             "language": service.engine.language,
             "tables": service.engine.catalog.table_names(),
@@ -330,14 +340,20 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "catalogs": service.registry.names(),
             "store": service.store is not None,
         }
+        if service.pool is not None:
+            payload["workers"] = {
+                "size": service.pool.size,
+                "alive": service.pool.alive_count(),
+            }
+        if not healthy:
+            payload["reason"] = (
+                "worker pool has zero live workers; learns are degraded "
+                "to in-process synthesis"
+            )
+            return 503, payload
+        return 200, payload
 
-    def _get_stats(self) -> Tuple[int, Dict[str, Any]]:
-        return 200, self.service.stats()
-
-    def _get_programs(self) -> Tuple[int, Dict[str, Any]]:
-        return 200, {"programs": self.service.list_programs()}
-
-    def _get_catalogs(self) -> Tuple[int, Dict[str, Any]]:
+    def list_catalogs(self) -> Tuple[int, Dict[str, Any]]:
         registry = self.service.registry
         loaded = set(registry.loaded_names())
         catalogs: List[Dict[str, Any]] = []
@@ -353,11 +369,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             catalogs.append(entry)
         return 200, {"catalogs": catalogs}
 
-    def _get_catalog(self, name: str) -> Tuple[int, Dict[str, Any]]:
-        return 200, self.service.registry.describe(name)
-
-    def _put_catalog(self, name: str) -> Tuple[int, Dict[str, Any]]:
-        body = self._read_body()
+    def put_catalog(
+        self, name: str, read_body: BodyReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = _json_body(read_body)
         specs = _require(body, "tables")
         if not isinstance(specs, list):
             raise BadRequest("tables must be a list of table specs")
@@ -369,28 +384,33 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         payload["created"] = not existed
         return 200, payload
 
-    def _post_catalog_table(
-        self, name: str, query: Dict[str, str]
+    def add_table(
+        self,
+        name: str,
+        query: Dict[str, str],
+        content_type: Optional[str],
+        read_body: BodyReader,
     ) -> Tuple[int, Dict[str, Any]]:
-        content_type = (self.headers.get("Content-Type") or "").lower()
-        if "csv" in content_type:
+        if "csv" in (content_type or "").lower():
             table_name = query.get("name") or query.get("table")
             if not table_name:
                 raise BadRequest(
                     "CSV table uploads need the table name in the query "
                     "string: POST /catalogs/<catalog>/tables?name=<table>"
                 )
-            table = table_from_csv_text(table_name, self._read_text_body())
+            table = table_from_csv_text(table_name, _text_body(read_body))
         else:
-            table = _parse_table_spec(self._read_body())
+            table = _parse_table_spec(_json_body(read_body))
         registry = self.service.registry
         registry.add_table(name, table)
         payload = registry.describe(name)
         payload["added"] = table.name
         return 200, payload
 
-    def _post_catalog_rows(self, name: str) -> Tuple[int, Dict[str, Any]]:
-        body = self._read_body()
+    def append_rows(
+        self, name: str, read_body: BodyReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        body = _json_body(read_body)
         table_name = _require(body, "table")
         if not isinstance(table_name, str):
             raise BadRequest("table must be a table name string")
@@ -403,8 +423,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         payload["appended"] = {"table": table_name, "rows": len(rows)}
         return 200, payload
 
-    def _post_learn(self) -> Tuple[int, Dict[str, Any]]:
-        body = self._read_body()
+    def learn(self, read_body: BodyReader) -> Tuple[int, Dict[str, Any]]:
+        body = _json_body(read_body)
         examples = _parse_examples(_require(body, "examples"))
         k = body.get("k", 1)
         if not isinstance(k, int) or k < 1:
@@ -436,8 +456,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             }
         return 200, payload
 
-    def _post_fill(self) -> Tuple[int, Dict[str, Any]]:
-        body = self._read_body()
+    def fill(self, read_body: BodyReader) -> Tuple[int, Dict[str, Any]]:
+        body = _json_body(read_body)
         program = _require(body, "program")
         if not isinstance(program, (str, dict)):
             raise BadRequest(
@@ -447,6 +467,87 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         catalog = _parse_catalog_field(body)
         outputs = self.service.fill(program, rows, catalog=catalog)
         return 200, {"outputs": outputs, "rows": len(outputs)}
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Thin socket transport over the server's :class:`ServiceApi`."""
+
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+    #: Socket timeout (socketserver honors it): a client stalling
+    #: mid-request must not tie up a handler thread forever.
+    timeout = 60
+
+    # The server instance carries the service + api (see create_server).
+    @property
+    def service(self) -> SynthesisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    @property
+    def api(self) -> ServiceApi:
+        return self.server.api  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "quiet", True):
+            return
+        super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Tell the client too (set when a request body went unread).
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_bytes(self) -> bytes:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True  # body length unknown: can't drain
+            raise BadRequest("Content-Length header must be an integer") from None
+        if length <= 0 or length > MAX_BODY_BYTES:
+            # Rejecting a request whose body we will not read leaves the
+            # unread bytes on the socket; under HTTP/1.1 keep-alive the
+            # handler would parse them as the next request line.  Drop
+            # the connection after responding.
+            self.close_connection = True
+            if length <= 0:
+                raise BadRequest("request needs a body (Content-Length missing)")
+            raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        return self.rfile.read(length)
+
+    def _handle(self, method: str) -> None:
+        path, query = ServiceApi.split_target(self.path)
+        if method in ("POST", "PUT") and self.api.resolve(method, path) is None:
+            # The request body is never read on this branch; keep-alive
+            # would parse it as the next request line (see _read_bytes).
+            self.close_connection = True
+            self._send_json(
+                404, {"error": f"no such endpoint: {method} {path}"}
+            )
+            return
+        status, payload = self.api.route(
+            method,
+            path,
+            query,
+            self.headers.get("Content-Type"),
+            self._read_bytes,
+        )
+        self._send_json(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
+        self._handle("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 -- BaseHTTPRequestHandler API
+        self._handle("PUT")
 
 
 class SynthesisHTTPServer(ThreadingHTTPServer):
@@ -462,6 +563,7 @@ class SynthesisHTTPServer(ThreadingHTTPServer):
     ) -> None:
         super().__init__(address, ServiceRequestHandler)
         self.service = service
+        self.api = ServiceApi(service)
         self.quiet = quiet
 
 
@@ -471,11 +573,12 @@ def create_server(
     port: int = 8765,
     quiet: bool = True,
 ) -> SynthesisHTTPServer:
-    """Bind (but do not start) the service's HTTP server.
+    """Bind (but do not start) the service's threaded HTTP server.
 
     ``port=0`` binds an ephemeral port; read the actual one from
     ``server.server_address[1]``.  Call ``serve_forever()`` to run, from
     this thread or a daemon thread (the handler pool is already
-    per-connection threads either way).
+    per-connection threads either way).  For the asyncio front end see
+    :func:`repro.service.async_http.create_async_server`.
     """
     return SynthesisHTTPServer((host, port), service, quiet=quiet)

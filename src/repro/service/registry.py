@@ -146,6 +146,32 @@ class CatalogRegistry:
         self._snap_writing: Optional[str] = None
         self._snap_thread: Optional[threading.Thread] = None
         self._snap_errors: Dict[str, str] = {}
+        #: mutation listeners: called as fn(name, new_snapshot) after a
+        #: register/update swap lands (outside registry locks).
+        self._listeners: List = []
+
+    # ------------------------------------------------------------------
+    def add_listener(self, callback) -> None:
+        """Call ``callback(name, snapshot)`` after every successful
+        register/update swap.
+
+        Listeners run outside the registry locks, on the mutating
+        thread, and exceptions are swallowed -- they are a best-effort
+        propagation hook (the worker pool uses one to pre-publish new
+        fingerprints to its snapshot spool so workers re-attach without
+        a first-request stall).
+        """
+        with self._lock:
+            self._listeners.append(callback)
+
+    def _notify(self, name: str, catalog: Catalog) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for callback in listeners:
+            try:
+                callback(name, catalog)
+            except Exception:  # noqa: BLE001 -- listeners are best-effort
+                pass
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -358,6 +384,7 @@ class CatalogRegistry:
             stored = self._store(name, catalog)
         if self.snapshots and not stored.storage_backed and len(stored) > 0:
             self._enqueue_snapshot(name, stored)
+        self._notify(name, stored)
         return stored
 
     def _ingest_registered(self, name: str, catalog: Catalog) -> Catalog:
@@ -447,6 +474,7 @@ class CatalogRegistry:
                     derived = derive(parent).freeze()
                     with self._lock:
                         self._catalogs[name] = derived
+                    self._notify(name, derived)
                     return derived
                 derived = derive(parent).freeze()
                 if (
@@ -467,6 +495,7 @@ class CatalogRegistry:
                 if swapped:
                     if self.snapshots and not derived.storage_backed:
                         self._enqueue_snapshot(name, derived)
+                    self._notify(name, derived)
                     return derived
                 # Lost the race (a concurrent ``register``): replay.
 

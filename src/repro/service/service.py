@@ -55,10 +55,13 @@ from repro.exceptions import (
     EmptyCatalogError,
     MissingColumnsError,
     MissingTablesError,
+    PoolBusyError,
     ProgramStoreError,
     SerializationError,
     ServiceError,
     StaleProgramError,
+    WorkerCrashedError,
+    WorkerPoolError,
 )
 from repro.service.registry import DEFAULT_CATALOG, CatalogRegistry
 from repro.service.store import ProgramStore, StoredProgram, parse_program_ref
@@ -222,6 +225,86 @@ class SynthesisService:
         # leading request sets once its result is in the cache.
         self._inflight_lock = threading.Lock()
         self._inflight: Dict[Tuple, threading.Event] = {}
+        # Optional worker-process pool (attach_pool): cold learns are
+        # dispatched to it; fills and cache hits never leave the process.
+        self.pool = None
+        self._pool_dispatched = 0
+        self._pool_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    def attach_pool(self, pool) -> None:
+        """Serve cold learns from ``pool`` (a ``WorkerPool``) from now on.
+
+        The pool must share this service's language and config (results
+        are rebuilt against the parent's snapshot, so a mismatched pool
+        would compute under different knobs).  Mutated catalogs are
+        pre-published to the pool's snapshot spool via a registry
+        listener, so workers re-attach by fingerprint without a
+        first-request stall; storage-backed catalogs never cross (they
+        carry live database handles) and keep serving in-process.
+        """
+        if pool.language != self.language:
+            raise WorkerPoolError(
+                f"pool language {pool.language!r} != service "
+                f"language {self.language!r}"
+            )
+        if pool.config.signature() != self._config_key:
+            raise WorkerPoolError(
+                "pool config differs from service config; results would "
+                "not be comparable across the process boundary"
+            )
+        self.pool = pool
+        self.registry.add_listener(self._prepublish)
+
+    def _prepublish(self, name: str, snapshot: Catalog) -> None:
+        """Registry-mutation listener: push the new fingerprint to the
+        pool spool off-thread (publication is bulky -- snapshot save)."""
+        pool = self.pool
+        if pool is None or snapshot.storage_backed or len(snapshot) == 0:
+            return
+
+        def publish() -> None:
+            try:
+                pool.publish(snapshot)
+            except Exception:  # noqa: BLE001 -- workers fall back to lazy attach
+                pass
+
+        threading.Thread(
+            target=publish, name="repro-pool-prepublish", daemon=True
+        ).start()
+
+    def _synthesize_cold(self, engine: Synthesizer, task: TaskLike, k: int):
+        """One cold synthesis: on a worker process when possible.
+
+        Dispatch preference: the attached pool, unless the catalog is
+        storage-backed (cannot cross) or the pool is gone.  Pool-level
+        attach/publish failures degrade to in-process synthesis (counted
+        in ``_pool_fallbacks``); queue saturation
+        (:class:`PoolBusyError`) and post-retry crashes
+        (:class:`WorkerCrashedError`) propagate to the client typed --
+        retrying them in-process would hide real capacity problems.
+        """
+        pool = self.pool
+        if (
+            pool is not None
+            and not engine.catalog.storage_backed
+            and not pool.closed
+        ):
+            try:
+                payload = pool.synthesize(engine.catalog, task, k=max(1, k))
+            except (PoolBusyError, WorkerCrashedError):
+                raise
+            except WorkerPoolError:
+                payload = None  # degraded: pool unusable for this catalog
+            # Any other exception is a task error computed on the worker
+            # (NoProgramFound...), identical to in-process: propagate.
+            if payload is not None:
+                with self._counter_lock:
+                    self._pool_dispatched += 1
+                return engine.result_from_payload(payload)
+            with self._counter_lock:
+                self._pool_fallbacks += 1
+        return engine.synthesize(task, k=max(1, k))
 
     # ------------------------------------------------------------------
     def engine_for(self, catalog: Optional[str] = None) -> Synthesizer:
@@ -384,7 +467,7 @@ class SynthesisService:
                 result = self.cache.get(key, record=False)
                 if result is not None:
                     return result, CACHE_HIT
-                result = engine.synthesize(task, k=max(1, k))
+                result = self._synthesize_cold(engine, task, k)
                 self.cache.put(key, result)
                 return result, CACHE_MISS
             finally:
@@ -630,7 +713,14 @@ class SynthesisService:
                 "learn_requests": self._learn_requests,
                 "fill_requests": self._fill_requests,
                 "rows_filled": self._rows_filled,
+                "pool_dispatched": self._pool_dispatched,
+                "pool_fallbacks": self._pool_fallbacks,
             }
+        if self.pool is not None:
+            workers = dict(self.pool.stats())
+            workers["enabled"] = True
+        else:
+            workers = {"enabled": False}
         default_snapshot = self.engine.catalog
         catalogs = {}
         for name in self.registry.loaded_names():
@@ -659,6 +749,7 @@ class SynthesisService:
                 "snapshots": self.registry.snapshots,
             },
             "catalogs": catalogs,
+            "workers": workers,
             "requests": counters,
             "request_cache": self.cache.stats(),
             "store": {
@@ -674,16 +765,31 @@ class SynthesisService:
             },
         }
 
+    def healthy(self) -> bool:
+        """False when an attached pool has zero live workers (degraded).
+
+        A pool-less service is always healthy by this measure; with a
+        pool, losing every worker process means learns silently run
+        in-process at single-core speed -- /healthz surfaces that as
+        degraded instead of 200.
+        """
+        if self.pool is None or self.pool.closed:
+            return True
+        return self.pool.alive_count() > 0
+
     def close(self) -> None:
         """Release the service's durable resources (idempotent).
 
-        Flushes any pending snapshot writes and closes storage backends
-        through :meth:`CatalogRegistry.close`, and drops the per-catalog
-        engine cache.  In-flight requests holding an engine keep their
-        frozen snapshot; storage-backed ones lose their backend, so call
-        this only after the server stops accepting requests (the
+        Drains and stops the worker pool (if attached), flushes any
+        pending snapshot writes and closes storage backends through
+        :meth:`CatalogRegistry.close`, and drops the per-catalog engine
+        cache.  In-flight requests holding an engine keep their frozen
+        snapshot; storage-backed ones lose their backend, so call this
+        only after the server stops accepting requests (the
         ``repro serve`` shutdown path does exactly that).
         """
+        if self.pool is not None:
+            self.pool.close(drain=True)
         self.registry.close()
         with self._engines_lock:
             self._engines.clear()

@@ -1,0 +1,310 @@
+"""The asyncio front end: same API surface as the threaded server.
+
+One :class:`ServiceApi` backs both transports, so every endpoint must
+answer identically over either; the async loop only adds cost-routing
+(fills in-process on the cheap lane, learns toward the worker pool) and
+HTTP/1.1 framing of its own, which is what these tests exercise --
+including the serving-consistency satellite: fill responses stay
+byte-identical while other clients append rows to the same catalog.
+"""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service import (
+    ProgramStore,
+    SynthesisService,
+    WorkerPool,
+    create_async_server,
+    create_server,
+)
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+ROWS = [
+    ("c1", "Microsoft"),
+    ("c2", "Google"),
+    ("c3", "Apple"),
+    ("c4", "Facebook"),
+    ("c5", "IBM"),
+    ("c6", "Xerox"),
+]
+EXAMPLES_JSON = [[["c4 c3 c1"], "Facebook Apple Microsoft"]]
+
+
+def make_catalog():
+    return Catalog([Table("Comp", ["Id", "Name"], ROWS, keys=[("Id",)])])
+
+
+def make_service(tmp_path):
+    return SynthesisService(
+        make_catalog(), store=ProgramStore(tmp_path / "store")
+    )
+
+
+def boot(server):
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+@pytest.fixture()
+def server(tmp_path):
+    server = create_async_server(make_service(tmp_path), port=0)
+    thread = boot(server)
+    yield server
+    server.shutdown()
+    thread.join(timeout=10)
+    server.server_close()
+    server.service.close()
+
+
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(base_url(server) + path, timeout=10) as r:
+            return r.status, json.loads(r.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def post(server, path, payload, method="POST"):
+    request = urllib.request.Request(
+        base_url(server) + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as reply:
+            return reply.status, json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+def raw_exchange(server, blob, timeout=10.0):
+    """One raw TCP round trip; returns everything the server sends."""
+    host, port = server.server_address[:2]
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(blob)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return b"".join(chunks)
+            chunks.append(chunk)
+
+
+class TestTransportParity:
+    def test_every_endpoint_answers_like_the_threaded_server(self, tmp_path):
+        """Same service, both transports: identical bodies (timing aside)."""
+        threaded = create_server(make_service(tmp_path / "a"), port=0)
+        asynced = create_async_server(make_service(tmp_path / "b"), port=0)
+        threads = [boot(threaded), boot(asynced)]
+        try:
+            volatile = {
+                "elapsed_seconds",
+                "phase_seconds",
+                "uptime_seconds",
+                "created_at",
+                "saved_at",
+            }
+
+            def normalize(body):
+                if isinstance(body, dict):
+                    return {
+                        key: normalize(value)
+                        for key, value in body.items()
+                        if key not in volatile
+                    }
+                if isinstance(body, list):
+                    return [normalize(item) for item in body]
+                return body
+
+            calls = [
+                ("GET", "/healthz", None),
+                ("POST", "/learn", {"examples": EXAMPLES_JSON, "save": "p"}),
+                ("POST", "/fill", {"program": "p", "rows": [["c2 c5"]]}),
+                ("GET", "/programs", None),
+                ("GET", "/catalogs", None),
+                ("POST", "/nope", {"x": 1}),
+            ]
+            for method, path, payload in calls:
+                replies = []
+                for server in (threaded, asynced):
+                    if method == "GET":
+                        replies.append(get(server, path))
+                    else:
+                        replies.append(post(server, path, payload))
+                (status_a, body_a), (status_b, body_b) = replies
+                assert status_a == status_b, (path, body_a, body_b)
+                assert normalize(body_a) == normalize(body_b), path
+        finally:
+            for server in (threaded, asynced):
+                server.shutdown()
+            for thread in threads:
+                thread.join(timeout=10)
+            for server in (threaded, asynced):
+                server.server_close()
+                server.service.close()
+
+    def test_port_zero_is_readable_before_the_loop_runs(self, tmp_path):
+        """The bind happens in the constructor: ``repro serve`` can print
+        the real port (and only then fork workers) before serving."""
+        server = create_async_server(make_service(tmp_path), port=0)
+        try:
+            host, port = server.server_address[:2]
+            assert port != 0
+        finally:
+            server.server_close()
+            server.service.close()
+
+
+class TestFraming:
+    def test_keep_alive_serves_many_requests_per_connection(self, server):
+        request = (
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+            b"GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        raw = raw_exchange(server, request)
+        assert raw.count(b"HTTP/1.1 200") == 2
+
+    def test_bad_request_line_is_400(self, server):
+        raw = raw_exchange(server, b"NONSENSE\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 400")
+
+    def test_oversized_headers_are_431(self, server):
+        blob = (
+            b"GET /healthz HTTP/1.1\r\nX-Pad: "
+            + b"a" * (70 * 1024)
+            + b"\r\n\r\n"
+        )
+        raw = raw_exchange(server, blob)
+        assert raw.startswith(b"HTTP/1.1 431")
+
+    def test_non_integer_content_length_is_400(self, server):
+        raw = raw_exchange(
+            server,
+            b"POST /learn HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: banana\r\n\r\n",
+        )
+        assert raw.startswith(b"HTTP/1.1 400")
+        assert b"Connection: close" in raw.split(b"\r\n\r\n", 1)[0]
+
+    def test_missing_body_on_post_is_400(self, server):
+        raw = raw_exchange(
+            server, b"POST /learn HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert raw.startswith(b"HTTP/1.1 400")
+
+    def test_unknown_post_is_404_without_touching_the_body(self, server):
+        status, body = post(server, "/no/such/endpoint", {"examples": []})
+        assert status == 404
+        assert "no such endpoint" in body["error"]
+
+    def test_query_strings_parse(self, server):
+        status, body = get(server, "/healthz?x=1&x=2")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_bad_json_is_400(self, server):
+        raw = raw_exchange(
+            server,
+            b"POST /learn HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 9\r\n\r\nnot json!",
+        )
+        assert raw.startswith(b"HTTP/1.1 400")
+
+
+class TestServingConsistency:
+    def test_fills_byte_identical_under_simultaneous_appends(self, server):
+        """Appends only grow tables; a fill for rows that predate every
+        append must return the same bytes no matter the interleaving."""
+        status, learned = post(
+            server, "/learn", {"examples": EXAMPLES_JSON, "save": "prog"}
+        )
+        assert status == 200, learned
+        fill_payload = {"program": "prog", "rows": [["c2 c5"], ["c6 c1"]]}
+        status, oracle = post(server, "/fill", fill_payload)
+        assert status == 200, oracle
+        oracle_bytes = json.dumps(oracle, sort_keys=True)
+
+        def do_fill(_):
+            return post(server, "/fill", fill_payload)
+
+        def do_append(index):
+            return post(
+                server,
+                "/catalogs/default/rows",
+                {
+                    "table": "Comp",
+                    "rows": [[f"x{index}", f"NewCo{index}"]],
+                },
+            )
+
+        with ThreadPoolExecutor(max_workers=8) as executor:
+            fills = [executor.submit(do_fill, i) for i in range(12)]
+            appends = [executor.submit(do_append, i) for i in range(6)]
+            for future in appends:
+                status, body = future.result(timeout=60)
+                assert status == 200, body
+            for future in fills:
+                status, body = future.result(timeout=60)
+                assert status == 200, body
+                assert json.dumps(body, sort_keys=True) == oracle_bytes
+
+        # And the appends really landed: a fresh fill serves the new rows.
+        status, after = post(
+            server, "/fill", {"program": "prog", "rows": [["x0 x5 x3"]]}
+        )
+        assert status == 200, after
+        assert after["outputs"] == ["NewCo0 NewCo5 NewCo3"]
+
+
+class TestPoolIntegration:
+    def test_learn_dispatches_to_pool_and_healthz_degrades(self, tmp_path):
+        service = make_service(tmp_path)
+        pool = WorkerPool(1, catalogs=[service.engine.catalog])
+        service.attach_pool(pool)
+        server = create_async_server(service, port=0)
+        thread = boot(server)
+        try:
+            status, health = get(server, "/healthz")
+            assert status == 200
+            assert health["workers"] == {"size": 1, "alive": 1}
+            status, body = post(server, "/learn", {"examples": EXAMPLES_JSON})
+            assert status == 200, body
+            status, stats = get(server, "/stats")
+            assert stats["workers"]["enabled"] is True
+            assert stats["requests"]["pool_dispatched"] == 1
+
+            import os
+            import signal
+            import time
+
+            for pid in pool.worker_pids():
+                if pid is not None:
+                    os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10
+            while pool.alive_count() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            status, health = get(server, "/healthz")
+            assert status == 503
+            assert health["status"] == "degraded"
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            server.server_close()
+            service.close()

@@ -101,3 +101,60 @@ class TestProcessExecutor:
         sequential = engine.run_batch(tasks, workers=None)
         one = engine.run_batch(tasks, workers=1, executor="process")
         assert [result_key(r) for r in one] == [result_key(r) for r in sequential]
+
+
+class TestFallbackReason:
+    """The batch result says which lane ran and why it fell back."""
+
+    def test_process_success_reports_no_fallback(self, batch):
+        engine, tasks, _ = batch
+        result = engine.run_batch(tasks, workers=2, executor="process")
+        assert result.executor_used == "process"
+        assert result.fallback_reason is None
+
+    def test_sequential_and_thread_lanes_tagged(self, batch):
+        engine, tasks, _ = batch
+        assert engine.run_batch(tasks, workers=None).executor_used == "sequential"
+        threaded = engine.run_batch(tasks, workers=2, executor="thread")
+        assert threaded.executor_used == "thread"
+        assert threaded.fallback_reason is None
+
+    def test_unpicklable_catalog_names_the_culprit(self, batch, caplog):
+        import logging
+
+        _, tasks, bench = batch
+        tainted = Synthesizer(bench.catalog())
+        tainted.catalog._unpicklable = lambda: None
+        with caplog.at_level(logging.WARNING, logger="repro.batch"):
+            result = tainted.run_batch(tasks, workers=2, executor="process")
+        assert result.executor_used == "thread"
+        assert "not picklable" in result.fallback_reason
+        assert any("fell back to threads" in r.message for r in caplog.records)
+
+    def test_unpicklable_tasks_name_the_culprit(self, batch):
+        engine, tasks, _ = batch
+
+        # A task carrying a payload that refuses to pickle.
+        class Evil(str):
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        poisoned = [tasks[0], [((Evil("x"),), "y")]]
+        result = engine.run_batch(poisoned, workers=2, executor="process",
+                                  return_errors=True)
+        assert result.executor_used == "thread"
+        assert "tasks are not picklable" in result.fallback_reason
+
+    def test_storage_backed_catalog_reason(self, batch):
+        _, tasks, bench = batch
+        tainted = Synthesizer(bench.catalog())
+
+        class StorageLike(type(tainted.catalog)):
+            storage_backed = True
+
+        # The engine copies construction-time catalogs, so flag the
+        # engine's own snapshot the way StorageCatalog would be.
+        tainted.catalog.__class__ = StorageLike
+        result = tainted.run_batch(tasks, workers=2, executor="process")
+        assert result.executor_used == "thread"
+        assert "storage-backed" in result.fallback_reason

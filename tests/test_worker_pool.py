@@ -1,0 +1,295 @@
+"""The shared-snapshot worker-process pool behind ``repro serve --workers``.
+
+Contract under test: workers attach catalogs by fingerprint (fork
+inheritance or the snapshot spool) and return catalog-free payloads
+byte-identical to in-process synthesis; a SIGKILLed worker is respawned
+and the job retried (or failed with a typed ``WorkerCrashedError``) --
+clients never hang, the service request cache is never left torn; a
+full queue sheds load with ``PoolBusyError``.
+"""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.api.engine import Synthesizer, result_to_payload
+from repro.benchsuite import all_benchmarks
+from repro.config import PoolConfig
+from repro.exceptions import (
+    PoolBusyError,
+    WorkerCrashedError,
+    WorkerPoolError,
+)
+from repro.service import SynthesisService, WorkerPool
+from repro.service.service import CACHE_HIT, CACHE_MISS
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+ROWS = [
+    ("c1", "Microsoft"),
+    ("c2", "Google"),
+    ("c3", "Apple"),
+    ("c4", "Facebook"),
+    ("c5", "IBM"),
+    ("c6", "Xerox"),
+]
+EXAMPLES = [(("c4 c3 c1",), "Facebook Apple Microsoft")]
+
+
+def make_catalog():
+    return Catalog([Table("Comp", ["Id", "Name"], ROWS, keys=[("Id",)])])
+
+
+def canonical(payload):
+    """The deterministic part of a result payload (timing stripped).
+
+    ``consistent_count`` rides along as an int (it can exceed Python's
+    int-to-str digit limit, so it must never be stringified).
+    """
+    return (
+        json.dumps(
+            {
+                "language": payload["language"],
+                "programs": [
+                    (rank, score, provenance, data)
+                    for rank, score, provenance, data in payload["programs"]
+                ],
+                "structure_size": payload["structure_size"],
+            },
+            sort_keys=True,
+        ),
+        payload["consistent_count"],
+    )
+
+
+def wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def kill_workers(pool):
+    """SIGKILL every live worker and wait for the processes to die."""
+    pids = [pid for pid in pool.worker_pids() if pid is not None]
+    for pid in pids:
+        os.kill(pid, signal.SIGKILL)
+    assert wait_until(lambda: pool.alive_count() == 0)
+    return pids
+
+
+class TestDispatch:
+    def test_fork_inherited_catalog_matches_in_process(self):
+        catalog = make_catalog()
+        engine = Synthesizer(catalog)
+        direct = engine.synthesize(EXAMPLES, k=2)
+        with WorkerPool(2, catalogs=[catalog]) as pool:
+            payload = pool.synthesize(catalog, EXAMPLES, k=2)
+            assert canonical(payload) == canonical(result_to_payload(direct))
+            rebuilt = engine.result_from_payload(payload)
+            assert rebuilt.program.run(("c4 c3 c1",)) == direct.program.run(
+                ("c4 c3 c1",)
+            )
+
+    def test_snapshot_attach_for_catalog_unseen_at_fork(self):
+        catalog = make_catalog()
+        engine = Synthesizer(catalog)
+        direct = engine.synthesize(EXAMPLES, k=1)
+        # No catalogs registered up front: the only route into a worker
+        # is publish-to-spool + cold snapshot load.
+        with WorkerPool(1) as pool:
+            payload = pool.synthesize(catalog, EXAMPLES, k=1)
+            assert canonical(payload) == canonical(result_to_payload(direct))
+            assert pool.stats()["published"] == 1
+
+    def test_task_errors_propagate_typed(self):
+        catalog = make_catalog()
+        from repro.exceptions import NoProgramFoundError
+
+        with WorkerPool(1, catalogs=[catalog]) as pool:
+            with pytest.raises(NoProgramFoundError):
+                # Contradictory examples: no program can fit both.
+                pool.synthesize(
+                    catalog, [(("c1",), "A"), (("c1",), "B")], k=1
+                )
+            # The worker survives a task error and keeps serving.
+            assert pool.alive_count() == 1
+            assert pool.synthesize(catalog, EXAMPLES, k=1)["programs"]
+
+    def test_storage_backed_catalog_refused(self):
+        class StorageLike(Catalog):
+            storage_backed = True
+
+        catalog = StorageLike([Table("T", ["A", "B"], [("a", "b")])])
+        with pytest.raises(WorkerPoolError, match="storage-backed"):
+            WorkerPool(1, catalogs=[catalog])
+        with WorkerPool(1) as pool:
+            with pytest.raises(WorkerPoolError, match="storage-backed"):
+                pool.submit(catalog, EXAMPLES)
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_is_respawned_and_job_retried(self):
+        catalog = make_catalog()
+        with WorkerPool(1, catalogs=[catalog]) as pool:
+            [old_pid] = kill_workers(pool)
+            # The dead pipe is only discovered at dispatch: the retry
+            # path must respawn and still answer this very request.
+            payload = pool.synthesize(catalog, EXAMPLES, k=1, timeout=60)
+            assert payload["programs"]
+            stats = pool.stats()
+            assert stats["respawns"] == 1
+            assert stats["workers"][0]["pid"] != old_pid
+
+    def test_exhausted_retries_fail_typed_not_hang(self):
+        catalog = make_catalog()
+        pool = WorkerPool(
+            1, catalogs=[catalog], pool=PoolConfig(retries=0)
+        )
+        try:
+            [old_pid] = kill_workers(pool)
+            future = pool.submit(catalog, EXAMPLES, k=1)
+            with pytest.raises(WorkerCrashedError) as info:
+                future.result(timeout=60)  # bounded: no hung client
+            assert info.value.pid == old_pid
+        finally:
+            pool.close()
+
+    def test_kill_mid_job_resolves_client_either_way(self):
+        catalog = make_catalog()
+        with WorkerPool(1, catalogs=[catalog]) as pool:
+            future = pool.submit(catalog, EXAMPLES, k=1)
+            for pid in pool.worker_pids():
+                if pid is not None:
+                    os.kill(pid, signal.SIGKILL)
+            # Raced against completion: either outcome is legal, but the
+            # future must resolve promptly -- never a hang on a dead pipe.
+            try:
+                payload = future.result(timeout=60)
+                assert payload["programs"]
+            except WorkerCrashedError:
+                pass
+
+    def test_crash_leaves_no_torn_service_cache(self):
+        service = SynthesisService(make_catalog())
+        pool = WorkerPool(
+            1,
+            catalogs=[service.engine.catalog],
+            pool=PoolConfig(retries=0),
+        )
+        service.attach_pool(pool)
+        try:
+            kill_workers(pool)
+            with pytest.raises(WorkerCrashedError):
+                service.learn(EXAMPLES)
+            # The failed leader must clear its single-flight slot and
+            # must not have cached a placeholder: the retry synthesizes
+            # fresh (a miss), then serves from cache (a hit).
+            reply = service.learn(EXAMPLES)
+            assert reply.cache_status == CACHE_MISS
+            assert reply.result.program.run(("c4 c3 c1",)) == (
+                "Facebook Apple Microsoft"
+            )
+            assert service.learn(EXAMPLES).cache_status == CACHE_HIT
+        finally:
+            service.close()
+
+    def test_healthz_degrades_at_zero_live_workers(self):
+        service = SynthesisService(make_catalog())
+        pool = WorkerPool(1, catalogs=[service.engine.catalog])
+        service.attach_pool(pool)
+        try:
+            assert service.healthy()
+            kill_workers(pool)
+            assert not service.healthy()
+        finally:
+            service.close()
+
+
+class TestBackpressure:
+    def test_zero_capacity_queue_sheds_immediately(self):
+        catalog = make_catalog()
+        pool = WorkerPool(
+            1, catalogs=[catalog], pool=PoolConfig(max_queue=0)
+        )
+        try:
+            with pytest.raises(PoolBusyError) as info:
+                pool.submit(catalog, EXAMPLES)
+            assert info.value.max_queue == 0
+        finally:
+            pool.close()
+
+    def test_closed_pool_refuses_typed(self):
+        catalog = make_catalog()
+        pool = WorkerPool(1, catalogs=[catalog])
+        pool.close()
+        with pytest.raises(WorkerPoolError, match="closed"):
+            pool.submit(catalog, EXAMPLES)
+
+
+class TestStats:
+    def test_stats_shape(self):
+        catalog = make_catalog()
+        with WorkerPool(2, catalogs=[catalog]) as pool:
+            pool.synthesize(catalog, EXAMPLES, k=1)
+            stats = pool.stats()
+            assert stats["size"] == 2
+            assert stats["alive"] == 2
+            assert stats["idle"] + stats["busy"] == 2
+            assert stats["queue_depth"] == 0
+            assert stats["jobs_done"] >= 1
+            assert stats["respawns"] == 0
+            assert len(stats["workers"]) == 2
+            fingerprint = catalog.fingerprint()
+            for worker in stats["workers"]:
+                assert worker["alive"] is True
+                assert isinstance(worker["pid"], int)
+            # Warmup pre-attached the registered catalog everywhere.
+            assert all(
+                fingerprint in worker["attached"]
+                for worker in stats["workers"]
+            )
+
+
+class TestOracleEquivalence:
+    def test_benchsuite_catalogs_byte_identical_to_in_process(self):
+        """Every benchsuite catalog, pooled vs. direct: same bytes.
+
+        All 50 catalogs ride in by fork inheritance (warmup off: engines
+        attach lazily per job); the payloads -- program ASTs, scores,
+        provenance, counts -- must match the in-process oracle exactly,
+        and the rebuilt programs must fill identically.
+        """
+        benches = all_benchmarks()
+        catalogs = {b.name: b.catalog() for b in benches}
+        pool = WorkerPool(
+            2,
+            catalogs=list(catalogs.values()),
+            pool=PoolConfig(warmup=False, engine_cache=4),
+        )
+        mismatches = []
+        try:
+            futures = {
+                b.name: pool.submit(catalogs[b.name], list(b.rows[:2]), k=1)
+                for b in benches
+            }
+            for bench in benches:
+                catalog = catalogs[bench.name]
+                engine = Synthesizer(catalog)
+                direct = engine.synthesize(list(bench.rows[:2]), k=1)
+                payload = futures[bench.name].result(timeout=300)
+                if canonical(payload) != canonical(result_to_payload(direct)):
+                    mismatches.append(bench.name)
+                    continue
+                rebuilt = engine.result_from_payload(payload)
+                rows = [inputs for inputs, _ in bench.rows]
+                if rebuilt.fill(rows) != direct.fill(rows):
+                    mismatches.append(bench.name)
+        finally:
+            pool.close()
+        assert not mismatches, f"pool diverged from oracle on: {mismatches}"
