@@ -41,6 +41,7 @@ import argparse
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
@@ -74,6 +75,14 @@ LEARN_SCALING_MIN_CPUS = 4
 #: The async cheap lane must not slow fills down vs the threaded server
 #: (same run, same machine): async_latency / threaded_latency ceiling.
 FILL_LATENCY_RATIO_CEILING = 2.0
+
+#: Absolute acceptance floor: compiled-plan fill throughput vs the AST
+#: interpreter, single thread, fully distinct rows (no row-memo help).
+COMPILED_FILL_SPEEDUP_FLOOR = 10.0
+
+#: Streaming fill peak RSS must not scale with row count: the ceiling on
+#: peak_rss(10N rows) / peak_rss(N rows).
+STREAM_RSS_RATIO_CEILING = 1.5
 
 NAMES = [
     "Microsoft", "Google", "Apple", "Facebook", "IBM", "Xerox", "Intel",
@@ -206,6 +215,120 @@ def bench_fill_throughput(
     finally:
         server.shutdown()
         server.server_close()
+
+
+def _fill_bench_program(catalog: Catalog):
+    """A representative synthesized shape: a table lookup keyed by a
+    substring of the input, concatenated with a positional slice."""
+    from repro.core.exprs import Var
+    from repro.engine.program import Program
+    from repro.lookup.ast import Select
+    from repro.syntactic.ast import Concatenate, ConstStr, CPos, Pos, SubStr
+    from repro.syntactic.tokens import TOKENS
+
+    whitespace = next(t.ident for t in TOKENS if t.name == "WsTok")
+    key = SubStr(Var(0), CPos(0), Pos((), (whitespace,), 1))
+    expr = Concatenate(
+        (
+            Select("Name", "Comp", (("Id", key),)),
+            ConstStr(" / "),
+            SubStr(Var(0), Pos((), (whitespace,), 1), CPos(-1)),
+        )
+    )
+    return Program(expr, catalog, "semantic", 1)
+
+
+def bench_fill_compiled_speedup(num_rows: int) -> Dict[str, float]:
+    """Single-thread compiled plan vs AST interpreter, distinct rows.
+
+    Every input row is unique, so the compiled plan's bounded row memo
+    never hits: the measured gap is plan execution (pre-resolved
+    handles, fused lookups, precompiled position closures) against tree
+    interpretation, nothing else.  Outputs are asserted byte-identical.
+    """
+    catalog = bench_catalog()
+    program = _fill_bench_program(catalog)
+    table_rows = catalog.table("Comp").num_rows
+    rows = [[f"c{r % table_rows} tail{r}"] for r in range(num_rows)]
+    plan = program.compile()
+    # Warm token/regex caches on both paths outside the timed region.
+    assert plan.fill_aligned(rows[:64]) == program.fill_aligned_interpreted(
+        rows[:64]
+    )
+    started = time.perf_counter()
+    interpreted = program.fill_aligned_interpreted(rows)
+    interpreted_s = time.perf_counter() - started
+    started = time.perf_counter()
+    compiled = plan.fill_aligned(rows)
+    compiled_s = time.perf_counter() - started
+    assert compiled == interpreted, "compiled fill diverged from interpreter"
+    return {
+        "rows": float(num_rows),
+        "interpreted_rows_per_s": num_rows / interpreted_s,
+        "compiled_rows_per_s": num_rows / compiled_s,
+        "compiled_speedup": interpreted_s / compiled_s,
+    }
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak resident set, in KiB (VmHWM, getrusage fallback)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource
+
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _rss_child(num_rows: int) -> int:
+    """Child-process body for the streaming-RSS probe: stream ``num_rows``
+    through the compiled fill path row by row, then print peak RSS."""
+    catalog = bench_catalog()
+    plan = _fill_bench_program(catalog).compile()
+    table_rows = catalog.table("Comp").num_rows
+
+    def rows():
+        for r in range(num_rows):
+            yield [f"c{r % table_rows} tail{r}"]
+
+    count = sum(1 for _ in plan.fill_iter(rows()))
+    assert count == num_rows
+    print(_peak_rss_kb())
+    return 0
+
+
+def bench_fill_streaming_rss(base_rows: int) -> Dict[str, float]:
+    """Peak RSS of a streaming fill at N rows vs 10N rows.
+
+    Each measurement is a fresh child process (so the high-water mark
+    belongs to that stream alone).  A bounded ratio means the streaming
+    path holds one chunk, not the whole row set.
+    """
+
+    def probe(num_rows: int) -> int:
+        reply = subprocess.run(
+            [sys.executable, os.path.abspath(__file__),
+             "--rss-child", str(num_rows)],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=600,
+        )
+        return int(reply.stdout.strip())
+
+    small_kb = probe(base_rows)
+    large_kb = probe(base_rows * 10)
+    return {
+        "rows_small": float(base_rows),
+        "rows_large": float(base_rows * 10),
+        "rss_small_mb": small_kb / 1024.0,
+        "rss_large_mb": large_kb / 1024.0,
+        "rss_ratio": large_kb / small_kb,
+    }
 
 
 def bench_learn_scaling(
@@ -346,13 +469,33 @@ def run_suite(quick: bool) -> Dict[str, Dict[str, float]]:
         "requests": latency_requests,
         **bench_fill_latency_parity(latency_requests, rows_per_request=100),
     }
+    compiled_rows = 20_000 if quick else 100_000
+    name = "fill_compiled_speedup[single-thread]"
+    print(f"running {name}[rows={compiled_rows}] ...", flush=True)
+    results[name] = bench_fill_compiled_speedup(compiled_rows)
+    rss_rows = 20_000 if quick else 100_000
+    name = "fill_streaming_rss[x10-rows]"
+    print(f"running {name}[rows={rss_rows}] ...", flush=True)
+    results[name] = bench_fill_streaming_rss(rss_rows)
     return results
 
 
 def render(results: Dict[str, Dict[str, float]]) -> List[str]:
     lines = []
     for name, row in results.items():
-        if "cold_s" in row:
+        if "compiled_speedup" in row:
+            lines.append(
+                f"{name}: interpreted {row['interpreted_rows_per_s']:.0f} "
+                f"rows/s | compiled {row['compiled_rows_per_s']:.0f} rows/s "
+                f"| speedup {row['compiled_speedup']:.1f}x"
+            )
+        elif "rss_ratio" in row:
+            lines.append(
+                f"{name}: peak RSS {row['rss_small_mb']:.1f}MB @ "
+                f"{row['rows_small']:.0f} rows | {row['rss_large_mb']:.1f}MB "
+                f"@ {row['rows_large']:.0f} rows | ratio {row['rss_ratio']:.2f}"
+            )
+        elif "cold_s" in row:
             lines.append(
                 f"{name}: cold {row['cold_s'] * 1e3:.1f}ms | cached "
                 f"{row['cached_s'] * 1e3:.2f}ms | speedup {row['speedup']:.0f}x"
@@ -382,6 +525,33 @@ def check_regression(
     baseline = json.loads(baseline_path.read_text())["results"]
     failures = []
     for name, row in results.items():
+        if "compiled_speedup" in row:
+            # Compiled fill plan: absolute floor, machine-independent
+            # (same-run, same-machine interpreter comparison).
+            floor = COMPILED_FILL_SPEEDUP_FLOOR / factor
+            status = "ok" if row["compiled_speedup"] >= floor else "REGRESSION"
+            print(
+                f"{status:>10}  {name}: compiled fill speedup "
+                f"{row['compiled_speedup']:.1f}x (floor {floor:.1f}x, "
+                f"acceptance {COMPILED_FILL_SPEEDUP_FLOOR:.0f}x / --factor)"
+            )
+            if status != "ok":
+                failures.append(name)
+            continue
+        if "rss_ratio" in row:
+            # Streaming memory: peak RSS must not track row count.
+            status = (
+                "ok" if row["rss_ratio"] <= STREAM_RSS_RATIO_CEILING
+                else "REGRESSION"
+            )
+            print(
+                f"{status:>10}  {name}: peak RSS ratio at 10x rows "
+                f"{row['rss_ratio']:.2f} "
+                f"(ceiling {STREAM_RSS_RATIO_CEILING:.1f})"
+            )
+            if status != "ok":
+                failures.append(name)
+            continue
         if "single_s" in row:
             # Pooled learn scaling: only gated where extra cores exist.
             cpus = int(row.get("cpus", 1))
@@ -457,6 +627,79 @@ def _start_serve(src: Path, args: List[str]) -> "tuple":
             f"stderr={process.stderr.read()!r}"
         )
     return process, Client(banner.split("serving on ", 1)[1])
+
+
+def _process_rss_kb(pid: int) -> Optional[int]:
+    """Another process's current resident set in KiB (None off-Linux)."""
+    try:
+        with open(f"/proc/{pid}/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return None
+
+
+def _stream_fill(
+    base: str, program: Dict[str, Any], inputs, chunk: int = 4096
+) -> List[Any]:
+    """POST /fill/stream with a chunked NDJSON request body.
+
+    The request body is written from a separate thread while this one
+    reads the chunked response, so client and server stream
+    concurrently -- neither side ever holds the full row set.  Returns
+    the decoded NDJSON response lines.
+    """
+    import http.client as http_client
+
+    host, _, port = base.rpartition("//")[2].partition(":")
+    sock = socket.create_connection((host, int(port)), timeout=300)
+    failures: List[BaseException] = []
+
+    def send() -> None:
+        try:
+            sock.sendall(
+                (
+                    "POST /fill/stream HTTP/1.1\r\n"
+                    f"Host: {host}\r\n"
+                    "Transfer-Encoding: chunked\r\n"
+                    "Content-Type: application/x-ndjson\r\n\r\n"
+                ).encode("ascii")
+            )
+
+            def chunk_out(data: bytes) -> None:
+                sock.sendall(
+                    hex(len(data))[2:].encode("ascii") + b"\r\n" + data + b"\r\n"
+                )
+
+            header = json.dumps({"program": program, "chunk": chunk}) + "\n"
+            chunk_out(header.encode("utf-8"))
+            batch: List[str] = []
+            for row in inputs:
+                batch.append(json.dumps(row))
+                if len(batch) >= 1000:
+                    chunk_out(("\n".join(batch) + "\n").encode("utf-8"))
+                    batch = []
+            if batch:
+                chunk_out(("\n".join(batch) + "\n").encode("utf-8"))
+            sock.sendall(b"0\r\n\r\n")
+        except BaseException as error:  # relayed to the reading thread
+            failures.append(error)
+
+    writer = threading.Thread(target=send, daemon=True)
+    writer.start()
+    response = http_client.HTTPResponse(sock, method="POST")
+    response.begin()
+    assert response.status == 200, (response.status, response.read()[:200])
+    raw = response.read()
+    writer.join(timeout=60)
+    sock.close()
+    if failures:
+        raise failures[0]
+    return [
+        json.loads(line) for line in raw.decode("utf-8").splitlines() if line
+    ]
 
 
 def _stop_serve(process: subprocess.Popen) -> str:
@@ -679,6 +922,54 @@ def run_smoke() -> int:
             )
             _stop_serve(process)  # SIGTERM drains the pool: exit 0 asserted
             print("smoke: SIGTERM drained the worker pool, graceful exit 0")
+
+            # -- act four: 100k-row NDJSON streaming fill, constant RSS --
+            process, client = _start_serve(
+                src, ["--table", str(table_csv), "--port", "0", "--async"]
+            )
+            learned = client.post(
+                "/learn",
+                {"examples": [[["c4 c3 c1"], "Facebook Apple Microsoft"]]},
+            )
+            program = learned["programs"][0]["program"]
+            distinct = [
+                [f"c{1 + r % 4} c{1 + (r + 1) % 4} c{1 + (r + 2) % 4}"]
+                for r in range(4)
+            ]
+            expected = client.post(
+                "/fill", {"program": program, "rows": distinct}
+            )["outputs"]
+            total = 100_000
+            # Warm-up stream: allocator arenas and engine caches settle
+            # before the RSS baseline is read.
+            warm = _stream_fill(
+                client.base, program, (distinct[r % 4] for r in range(2000))
+            )
+            assert warm == [expected[r % 4] for r in range(2000)], warm[:5]
+            before_kb = _process_rss_kb(process.pid)
+            outputs = _stream_fill(
+                client.base, program, (distinct[r % 4] for r in range(total))
+            )
+            after_kb = _process_rss_kb(process.pid)
+            assert len(outputs) == total, len(outputs)
+            assert outputs == [expected[r % 4] for r in range(total)], (
+                "streamed outputs diverged from POST /fill"
+            )
+            print(
+                f"smoke: /fill/stream served {total} rows over the async "
+                "transport, byte-identical with POST /fill"
+            )
+            if before_kb is not None and after_kb is not None:
+                growth_mb = max(0, after_kb - before_kb) / 1024.0
+                assert growth_mb < 64.0, (before_kb, after_kb)
+                print(
+                    f"smoke: server RSS grew {growth_mb:.1f}MB across the "
+                    f"{total}-row stream (bounded, not O(rows))"
+                )
+            else:
+                print("smoke: /proc unavailable; RSS growth not measured")
+            _stop_serve(process)
+            print("smoke: streaming fill act done, graceful exit 0")
             return 0
         finally:
             if process.poll() is None:
@@ -705,7 +996,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="boot the real `repro serve` subprocess and smoke-test it",
     )
+    parser.add_argument(
+        "--rss-child",
+        type=int,
+        metavar="ROWS",
+        help=argparse.SUPPRESS,  # internal: streaming-RSS probe body
+    )
     args = parser.parse_args(argv)
+
+    if args.rss_child is not None:
+        return _rss_child(args.rss_child)
 
     if args.smoke:
         return run_smoke()

@@ -209,7 +209,13 @@ class Synthesizer:
         return None
 
     def _wrap(self, expr: Expression, num_inputs: int) -> Program:
-        return Program(expr, self._program_catalog(), self.language, num_inputs)
+        return Program(
+            expr,
+            self._program_catalog(),
+            self.language,
+            num_inputs,
+            use_compiled_fill=self.config.use_compiled_fill,
+        )
 
     # ------------------------------------------------------------------
     def synthesize(self, task: TaskLike, k: int = 5) -> SynthesisResult:

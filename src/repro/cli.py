@@ -5,6 +5,7 @@ Subcommand usage::
     repro learn --table Comp.csv --examples examples.csv \\
                 [--fill pending.csv] [--save program.json] [--top 3]
     repro fill  --program program.json --rows pending.csv [--table Comp.csv]
+    repro fill  --program program.json --rows - --stream [--chunk 1024]
     repro serve --table Comp.csv [--store programs/] [--port 8765] \\
                 [--catalog-root catalogs/] [--storage sqlite] [--snapshots]
     repro catalog list   --root catalogs/
@@ -20,7 +21,10 @@ columns but the last are inputs, the last is the output), optionally
 fills pending rows, prints the top-k ranked candidates with ``--top``,
 and persists the learned program as JSON with ``--save``.  ``fill``
 applies a previously saved program with zero synthesis cost -- the
-cache-then-serve workflow.  ``serve`` keeps the whole loop resident: a
+cache-then-serve workflow; ``--rows -`` reads the CSV rows from stdin
+and ``--stream`` writes NDJSON outputs incrementally (one JSON string
+per row, ``null`` for undefined, flushed every ``--chunk`` rows), so
+fills compose with Unix pipes at constant memory.  ``serve`` keeps the whole loop resident: a
 threaded JSON HTTP API (``POST /learn``, ``POST /fill``,
 ``GET /programs``, ``GET /healthz``, ``GET /stats``, plus the
 ``/catalogs`` registry endpoints) with an LRU request cache and an
@@ -149,7 +153,21 @@ def build_fill_parser(prog: str = "repro fill") -> argparse.ArgumentParser:
         "--rows",
         required=True,
         metavar="CSV",
-        help="rows of inputs to fill",
+        help="rows of inputs to fill; '-' reads CSV rows from stdin",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="write NDJSON outputs incrementally (one JSON string per "
+        "row, null for undefined, flushed per chunk) instead of the "
+        "buffered row+output CSV",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=1024,
+        metavar="ROWS",
+        help="rows per flushed output chunk with --stream (default: 1024)",
     )
     return parser
 
@@ -329,11 +347,27 @@ def _read_rows(path: str, keep_blank: bool = False) -> List[List[str]]:
     output line per input line, and silently dropping blanks would shift
     every following row against the user's file.
     """
-    with open(path, newline="", encoding="utf-8") as handle:
-        rows = list(csv.reader(handle))
+    if path == "-":
+        rows = list(csv.reader(sys.stdin))
+    else:
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
     if keep_blank:
         return rows
     return [row for row in rows if row]
+
+
+def _iter_rows(path: str):
+    """Lazily yield CSV records (blank lines as ``[]``); ``-`` is stdin.
+
+    The streaming counterpart of ``_read_rows(keep_blank=True)``: a
+    piped million-row fill never materializes the row list.
+    """
+    if path == "-":
+        yield from csv.reader(sys.stdin)
+        return
+    with open(path, newline="", encoding="utf-8") as handle:
+        yield from csv.reader(handle)
 
 
 def _load_catalog(args: argparse.Namespace) -> Catalog:
@@ -357,6 +391,30 @@ def _fill_and_print(program: Program, rows: List[List[str]]) -> None:
             sys.stdout.write("\n")
             continue
         writer.writerow(row + [result if result is not None else ""])
+
+
+def _fill_stream_stdout(program: Program, rows, chunk: int = 1024) -> None:
+    """Incremental NDJSON fill: one JSON string (or ``null``) per row.
+
+    Outputs are flushed every ``chunk`` rows, so ``repro fill --stream``
+    composes with Unix pipes -- a downstream consumer sees progress
+    while upstream is still producing, and memory stays at one chunk.
+    Errors keep the ``fill row N`` 1-based numbering and exit 1.
+    """
+    if chunk < 1:
+        raise ReproError(f"--chunk must be >= 1, got {chunk}")
+    pending = 0
+    try:
+        for output in program.fill_iter(rows):
+            sys.stdout.write(json.dumps(output, ensure_ascii=False) + "\n")
+            pending += 1
+            if pending >= chunk:
+                sys.stdout.flush()
+                pending = 0
+    except ValueError as error:
+        sys.stdout.flush()
+        raise ReproError(str(error)) from None
+    sys.stdout.flush()
 
 
 def _cmd_learn(argv: Sequence[str], prog: str = "repro learn") -> int:
@@ -423,7 +481,10 @@ def _cmd_fill(argv: Sequence[str]) -> int:
         missing_columns = program.missing_columns(catalog)
         if missing_columns:
             raise MissingColumnsError(missing_columns)
-        _fill_and_print(program, _read_rows(args.rows, keep_blank=True))
+        if args.stream:
+            _fill_stream_stdout(program, _iter_rows(args.rows), chunk=args.chunk)
+        else:
+            _fill_and_print(program, _read_rows(args.rows, keep_blank=True))
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -102,6 +102,15 @@ class SynthesisConfig:
             in-memory structures first -- the equivalence oracle for the
             whole storage tier (tests/test_storage_equivalence.py).
             No effect on catalogs that are not storage-backed.
+        use_compiled_fill: serve ``Program.fill``/``fill_aligned`` through
+            the compiled execution plan (``repro.engine.compile``:
+            pre-resolved lookup handles, fused Selects, precompiled
+            position closures, constant folding) instead of per-row AST
+            interpretation.  False selects the interpreter -- the
+            byte-for-byte equivalence oracle
+            (tests/test_compiled_fill_equivalence.py).  Programs that
+            cannot be compiled (plugin nodes, storage-backed catalogs)
+            fall back to the interpreter automatically.
         weights: the ranking cost model.
 
     The ``use_*_index``/``use_worklist_pruning``/``use_lazy_intersection``/
@@ -125,6 +134,7 @@ class SynthesisConfig:
     use_lazy_intersection: bool = True
     use_intersection_cache: bool = True
     use_storage_backend: bool = True
+    use_compiled_fill: bool = True
     weights: RankingWeights = field(default_factory=RankingWeights)
 
     def with_weights(self, **kwargs) -> "SynthesisConfig":
@@ -154,6 +164,7 @@ class SynthesisConfig:
             use_lazy_intersection=False,
             use_intersection_cache=False,
             use_storage_backend=False,
+            use_compiled_fill=False,
         )
 
 

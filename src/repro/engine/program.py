@@ -2,15 +2,21 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.config import DEFAULT_CONFIG
 from repro.core.base import Expression, InputState
 from repro.exceptions import SerializationError
 from repro.tables.catalog import Catalog
 
 #: ``format`` tag stamped into serialized program payloads.
 PROGRAM_FORMAT = "repro/program"
+
+#: Cache sentinel: compilation failed for this catalog state -- serve the
+#: interpreter without retrying on every fill.
+_COMPILE_FAILED = object()
 
 
 def _language_uses_catalog(language: str) -> bool:
@@ -41,11 +47,24 @@ class Program:
         catalog: Optional[Catalog],
         language: str,
         num_inputs: int,
+        use_compiled_fill: Optional[bool] = None,
     ) -> None:
         self.expr = expr
         self.catalog = catalog
         self.language = language
         self.num_inputs = num_inputs
+        #: Serve bulk fills through the compiled execution plan
+        #: (``repro.engine.compile``).  Stamped from
+        #: ``SynthesisConfig.use_compiled_fill`` by the synthesizer;
+        #: False keeps every fill on the interpreted path (the oracle).
+        self.use_compiled_fill: bool = (
+            DEFAULT_CONFIG.use_compiled_fill
+            if use_compiled_fill is None
+            else use_compiled_fill
+        )
+        # (catalog fingerprint, CompiledProgram | _COMPILE_FAILED).
+        self._compiled: Optional[Tuple[Optional[str], Any]] = None
+        self._digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     def run(self, inputs: Union[InputState, Sequence[str]]) -> Optional[str]:
@@ -60,7 +79,20 @@ class Program:
     __call__ = run
 
     def fill(self, rows: Sequence[Sequence[str]]) -> List[Optional[str]]:
-        """Run on many rows (the add-in's 'Apply' button over a column)."""
+        """Run on many rows (the add-in's 'Apply' button over a column).
+
+        Served from the compiled execution plan when
+        :attr:`use_compiled_fill` is on and the program compiles
+        (byte-identical outputs; see ``repro.engine.compile``);
+        :meth:`fill_interpreted` is the unconditioned oracle.
+        """
+        plan = self._compiled_or_none()
+        if plan is not None:
+            return plan.fill(rows)
+        return self.fill_interpreted(rows)
+
+    def fill_interpreted(self, rows: Sequence[Sequence[str]]) -> List[Optional[str]]:
+        """:meth:`fill` on the per-row AST interpreter (the oracle path)."""
         return [self.run(row) for row in rows]
 
     def fill_aligned(self, rows: Sequence[Sequence[str]]) -> List[Optional[str]]:
@@ -71,18 +103,105 @@ class Program:
         align 1:1 with the caller's rows), undefined outputs (⊥) stay
         ``None``, and an arity mismatch raises ``ValueError`` prefixed
         with the 1-based row number (``fill row N: ...``).
+
+        Routed through the compiled plan exactly like :meth:`fill`;
+        :meth:`fill_aligned_interpreted` is the oracle.
         """
-        outputs: List[Optional[str]] = []
-        for index, row in enumerate(rows, start=1):
+        plan = self._compiled_or_none()
+        if plan is not None:
+            return plan.fill_aligned(rows)
+        return self.fill_aligned_interpreted(rows)
+
+    def fill_aligned_interpreted(
+        self, rows: Sequence[Sequence[str]]
+    ) -> List[Optional[str]]:
+        """:meth:`fill_aligned` on the AST interpreter (the oracle path)."""
+        return list(self.fill_iter_interpreted(rows))
+
+    def fill_iter(
+        self, rows: Iterable[Sequence[str]], start: int = 1
+    ) -> Iterator[Optional[str]]:
+        """Lazily yield :meth:`fill_aligned` outputs row by row.
+
+        The streaming fill driver: pulls one input row at a time and
+        yields one output, so a million-row fill never materializes the
+        row list.  ``start`` offsets the 1-based row numbers in arity
+        errors for chunked callers.
+        """
+        plan = self._compiled_or_none()
+        if plan is not None:
+            return plan.fill_iter(rows, start=start)
+        return self.fill_iter_interpreted(rows, start=start)
+
+    def fill_iter_interpreted(
+        self, rows: Iterable[Sequence[str]], start: int = 1
+    ) -> Iterator[Optional[str]]:
+        """:meth:`fill_iter` on the AST interpreter (the oracle path)."""
+        for index, row in enumerate(rows, start=start):
             cells = tuple(row)
             if not cells:
-                outputs.append("")
+                yield ""
                 continue
             try:
-                outputs.append(self.run(cells))
+                yield self.run(cells)
             except ValueError as error:
                 raise ValueError(f"fill row {index}: {error}") from None
-        return outputs
+
+    # -- compilation -----------------------------------------------------
+    def compile(self, catalog: Optional[Catalog] = None):
+        """Specialize into a :class:`~repro.engine.compile.CompiledProgram`.
+
+        Raises :class:`~repro.engine.compile.PlanCompileError` when the
+        program cannot be compiled (plugin expression types,
+        storage-backed catalogs, missing tables); the fill methods catch
+        that case internally and stay on the interpreter.
+        """
+        from repro.engine.compile import compile_program
+
+        return compile_program(self, catalog=catalog)
+
+    def _compiled_or_none(self):
+        """The cached compiled plan for the *current* catalog state, or
+        ``None`` when the flag is off or compilation failed.
+
+        Keyed by the catalog fingerprint, so a program whose (mutable)
+        catalog grew re-compiles transparently -- the compiled path must
+        see exactly the data the interpreter would.
+        """
+        if not self.use_compiled_fill:
+            return None
+        fingerprint = (
+            self.catalog.fingerprint() if self.catalog is not None else None
+        )
+        cached = self._compiled
+        if cached is not None and cached[0] == fingerprint:
+            plan = cached[1]
+            return None if plan is _COMPILE_FAILED else plan
+        from repro.engine.compile import PlanCompileError, compile_program
+
+        try:
+            plan = compile_program(self)
+        except PlanCompileError:
+            self._compiled = (fingerprint, _COMPILE_FAILED)
+            return None
+        self._compiled = (fingerprint, plan)
+        return plan
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical serialized payload (cached).
+
+        Stable across processes for equal programs; the service keys its
+        compiled-plan cache on ``(digest, catalog fingerprint)``.
+        """
+        if self._digest is None:
+            payload = json.dumps(
+                self.to_dict(),
+                sort_keys=True,
+                ensure_ascii=False,
+                separators=(",", ":"),
+            )
+            self._digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return self._digest
 
     def is_consistent_with(
         self, examples: Sequence[Tuple[InputState, str]]

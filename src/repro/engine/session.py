@@ -162,7 +162,11 @@ class SynthesisSession:
         if expr is None:
             raise SynthesisError("the version space is empty")
         return Program(
-            expr, self._program_catalog(), self.language_name, self.num_inputs or 0
+            expr,
+            self._program_catalog(),
+            self.language_name,
+            self.num_inputs or 0,
+            use_compiled_fill=self.config.use_compiled_fill,
         )
 
     def consistent_programs(self, limit: int = 25) -> List[Program]:
@@ -182,7 +186,13 @@ class SynthesisSession:
                 return
             seen.add(key)
             programs.append(
-                Program(expr, catalog, self.language_name, self.num_inputs or 0)
+                Program(
+                    expr,
+                    catalog,
+                    self.language_name,
+                    self.num_inputs or 0,
+                    use_compiled_fill=self.config.use_compiled_fill,
+                )
             )
 
         best = self._language.best_program(self.structure)

@@ -40,12 +40,16 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro import __version__
+from repro.exceptions import ServiceError
 from repro.service.http import (
     LANE_LEARN,
     MAX_BODY_BYTES,
+    STREAM_PATH,
     BadRequest,
     ServiceApi,
     error_payload,
+    map_exception,
+    parse_stream_header,
 )
 from repro.service.service import SynthesisService
 
@@ -219,6 +223,9 @@ class AsyncSynthesisServer:
             await self._respond(writer, 400, {"error": str(error)}, False)
             return False
         path, query = ServiceApi.split_target(target)
+        if method == "POST" and path == STREAM_PATH:
+            await self._handle_fill_stream(reader, writer, headers)
+            return False  # one stream per connection (chunked both ways)
         keep_alive = _wants_keep_alive(version, headers)
 
         # Read (or refuse) the body on the event loop -- the framing
@@ -261,6 +268,156 @@ class AsyncSynthesisServer:
         )
         await self._respond(writer, status, payload, keep_alive)
         return keep_alive
+
+    async def _body_chunks(self, reader: asyncio.StreamReader, headers):
+        """Async generator of raw body chunks (Content-Length or chunked)."""
+        transfer = headers.get("transfer-encoding", "").lower()
+        if "chunked" in transfer:
+            while True:
+                size_line = await asyncio.wait_for(
+                    reader.readline(), timeout=READ_TIMEOUT
+                )
+                try:
+                    size = int(size_line.split(b";")[0].strip() or b"", 16)
+                except ValueError:
+                    raise BadRequest(
+                        f"malformed chunk-size line {size_line!r}"
+                    ) from None
+                if size == 0:
+                    # Consume optional trailers up to the blank line.
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b"\n", b""):
+                            break
+                    return
+                remaining = size
+                while remaining:
+                    data = await asyncio.wait_for(
+                        reader.read(min(remaining, 65536)), timeout=READ_TIMEOUT
+                    )
+                    if not data:
+                        raise BadRequest("request body ended mid-chunk")
+                    remaining -= len(data)
+                    yield data
+                await reader.readexactly(2)  # the CRLF closing this chunk
+            return
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            raise BadRequest("Content-Length header must be an integer") from None
+        if length <= 0:
+            raise BadRequest(
+                "request needs a body (Content-Length or chunked "
+                "Transfer-Encoding)"
+            )
+        remaining = length
+        while remaining:
+            data = await asyncio.wait_for(
+                reader.read(min(remaining, 65536)), timeout=READ_TIMEOUT
+            )
+            if not data:
+                raise BadRequest("request body ended early")
+            remaining -= len(data)
+            yield data
+
+    async def _handle_fill_stream(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        headers: Dict[str, str],
+    ) -> None:
+        """``POST /fill/stream`` on the event loop, fills on the cheap lane.
+
+        Row *decoding* happens on the loop (cheap, incremental); each
+        decoded chunk's *fill* runs on the cheap-lane executor so row
+        execution never blocks other connections; each response chunk
+        is written and drained before the next fill, so peak memory is
+        one chunk regardless of row count.
+        """
+        from repro.service.streamfill import (
+            encode_outputs,
+            error_line,
+            make_reader,
+        )
+
+        loop = asyncio.get_running_loop()
+        executor = self._executors["cheap"]
+        chunks = self._body_chunks(reader, headers)
+        try:
+            buffered = b""
+            async for data in chunks:
+                buffered += data
+                if b"\n" in buffered:
+                    break
+            header_line, _, remainder = buffered.partition(b"\n")
+            spec = parse_stream_header(header_line)
+            row_reader = make_reader(spec.format)
+            service = self.service
+            session = await loop.run_in_executor(
+                executor,
+                lambda: service.fill_session(spec.program, catalog=spec.catalog),
+            )
+        except Exception as error:  # noqa: BLE001 -- mapped, never fatal
+            status, payload = map_exception(error)
+            await self._respond(writer, status, payload, False)
+            return
+
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            f"Server: repro-serve-async/{__version__}\r\n"
+            "Content-Type: application/x-ndjson; charset=utf-8\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+
+        rows: list = []
+        start = 1
+
+        async def write_chunk(data: bytes) -> None:
+            if not data:
+                return  # a zero-size chunk would terminate the response
+            writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+            await writer.drain()
+
+        async def drain_rows(final: bool = False) -> None:
+            nonlocal rows, start
+            while len(rows) >= spec.chunk_rows or (final and rows):
+                batch = rows[: spec.chunk_rows]
+                rows = rows[spec.chunk_rows :]
+                outputs = await loop.run_in_executor(
+                    executor,
+                    lambda b=batch, s=start: session.fill_chunk(b, start=s),
+                )
+                await write_chunk(encode_outputs(outputs))
+                start += len(batch)
+
+        self._busy_requests += 1
+        try:
+            writer.write(head)
+            await writer.drain()
+            try:
+                if remainder:
+                    rows.extend(row_reader.feed(remainder))
+                    await drain_rows()
+                async for data in chunks:
+                    rows.extend(row_reader.feed(data))
+                    await drain_rows()
+                rows.extend(row_reader.finish())
+                await drain_rows(final=True)
+            except (ValueError, ServiceError) as error:
+                await write_chunk(error_line(str(error)))
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            ConnectionError,
+            OSError,
+        ):
+            return  # client went away mid-stream; abandon the fill
+        finally:
+            self._busy_requests -= 1
 
     async def _dispatch(
         self,

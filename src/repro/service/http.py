@@ -178,6 +178,74 @@ def _parse_table_spec(spec: Any) -> Table:
     return Table(name, columns, rows, keys=keys)
 
 
+#: The streaming fill endpoint, special-cased by both transports (its
+#: body is a row *stream*, not a JSON document -- see ``streamfill``).
+STREAM_PATH = "/fill/stream"
+
+#: Ceiling on requested stream chunk sizes: the point of streaming is
+#: bounded memory, so a client cannot ask for million-row chunks.
+MAX_STREAM_CHUNK_ROWS = 65536
+
+#: Default rows per streamed fill chunk.
+DEFAULT_STREAM_CHUNK_ROWS = 1024
+
+
+class StreamSpec:
+    """The parsed header line of a ``POST /fill/stream`` body.
+
+    The first line of the request body is a one-line JSON object --
+    ``{"program": <ref or payload>, "catalog"?: name, "format"?:
+    "ndjson"|"csv", "chunk"?: rows}`` -- and every following byte is
+    the row stream in ``format``.  Putting the envelope in-band keeps
+    the transport framing trivial (no multipart, no query-encoded
+    program payloads) and works identically under Content-Length and
+    chunked request bodies.
+    """
+
+    __slots__ = ("program", "catalog", "format", "chunk_rows")
+
+    def __init__(
+        self,
+        program: Any,
+        catalog: Optional[str],
+        format: str,  # noqa: A002 -- mirrors the wire field name
+        chunk_rows: int,
+    ) -> None:
+        self.program = program
+        self.catalog = catalog
+        self.format = format
+        self.chunk_rows = chunk_rows
+
+
+def parse_stream_header(line: bytes) -> StreamSpec:
+    """Parse (and validate) the stream header line (-> 400 on nonsense)."""
+    try:
+        header = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise BadRequest(
+            f"stream header (first body line) is not valid JSON: {error}"
+        ) from None
+    if not isinstance(header, dict):
+        raise BadRequest("stream header must be a JSON object")
+    program = _require(header, "program")
+    if not isinstance(program, (str, dict)):
+        raise BadRequest(
+            "program must be a store reference string or a payload object"
+        )
+    catalog = _parse_catalog_field(header)
+    format_name = header.get("format", "ndjson")
+    if format_name not in ("ndjson", "csv"):
+        raise BadRequest(
+            f"format must be 'ndjson' or 'csv', got {format_name!r}"
+        )
+    chunk_rows = header.get("chunk", DEFAULT_STREAM_CHUNK_ROWS)
+    if not isinstance(chunk_rows, int) or chunk_rows < 1:
+        raise BadRequest("chunk must be a positive integer")
+    return StreamSpec(
+        program, catalog, format_name, min(chunk_rows, MAX_STREAM_CHUNK_ROWS)
+    )
+
+
 def _json_body(read_body: BodyReader) -> Dict[str, Any]:
     raw = read_body()
     try:
@@ -213,6 +281,34 @@ def error_payload(
             if error.catalog is not None:
                 payload["catalog"] = error.catalog
     return payload
+
+
+def map_exception(error: BaseException) -> Tuple[int, Dict[str, Any]]:
+    """One exception -> ``(status, body)`` under the full error contract.
+
+    The single source of the mapping documented in the module doc;
+    :meth:`ServiceApi.route` and the streaming endpoints (which commit
+    their status *before* running rows) both go through here.
+    """
+    if isinstance(error, BadRequest):
+        return 400, error_payload(str(error), error)
+    if isinstance(error, (UnknownProgramError, UnknownCatalogError)):
+        return 404, error_payload(str(error), error)
+    if isinstance(error, (DuplicateTableError, StaleProgramError)):
+        return 409, error_payload(str(error), error)
+    if isinstance(error, PoolBusyError):
+        return 503, error_payload(str(error), error)
+    if isinstance(error, WorkerCrashedError):
+        return 500, error_payload(str(error), error)
+    if isinstance(error, SynthesisError):
+        return 422, error_payload(str(error), error)
+    if isinstance(
+        error,
+        (TableError, ProgramStoreError, SerializationError, ServiceError, ReproError),
+    ):
+        return 400, error_payload(str(error), error)
+    traceback.print_exc()
+    return 500, error_payload(f"internal error: {error}")
 
 
 class ServiceApi:
@@ -303,29 +399,8 @@ class ServiceApi:
             return 404, {"error": f"no such endpoint: {method} {path}"}
         try:
             return endpoint(query, content_type, read_body)
-        except BadRequest as error:
-            return 400, error_payload(str(error), error)
-        except (UnknownProgramError, UnknownCatalogError) as error:
-            return 404, error_payload(str(error), error)
-        except (DuplicateTableError, StaleProgramError) as error:
-            return 409, error_payload(str(error), error)
-        except PoolBusyError as error:
-            return 503, error_payload(str(error), error)
-        except WorkerCrashedError as error:
-            return 500, error_payload(str(error), error)
-        except SynthesisError as error:
-            return 422, error_payload(str(error), error)
-        except (
-            TableError,
-            ProgramStoreError,
-            SerializationError,
-            ServiceError,
-            ReproError,
-        ) as error:
-            return 400, error_payload(str(error), error)
         except Exception as error:  # noqa: BLE001 -- the server must not die
-            traceback.print_exc()
-            return 500, error_payload(f"internal error: {error}")
+            return map_exception(error)
 
     # -- endpoints -----------------------------------------------------
     def healthz(self) -> Tuple[int, Dict[str, Any]]:
@@ -521,8 +596,146 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
         return self.rfile.read(length)
 
+    # -- streaming fill ------------------------------------------------
+    def _body_chunks(self):
+        """Yield raw request-body chunks (Content-Length or chunked TE).
+
+        Unlike :meth:`_read_bytes` this never materializes the body;
+        it is the request half of the constant-memory streaming path.
+        Framing errors raise :class:`BadRequest`.
+        """
+        transfer = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in transfer:
+            while True:
+                size_line = self.rfile.readline(1024)
+                try:
+                    size = int(size_line.split(b";")[0].strip() or b"", 16)
+                except ValueError:
+                    raise BadRequest(
+                        f"malformed chunk-size line {size_line!r}"
+                    ) from None
+                if size == 0:
+                    # Consume optional trailers up to the blank line.
+                    while self.rfile.readline(1024) not in (b"\r\n", b"\n", b""):
+                        pass
+                    return
+                remaining = size
+                while remaining:
+                    data = self.rfile.read(min(remaining, 65536))
+                    if not data:
+                        raise BadRequest("request body ended mid-chunk")
+                    remaining -= len(data)
+                    yield data
+                self.rfile.read(2)  # the CRLF closing this chunk
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise BadRequest("Content-Length header must be an integer") from None
+        if length <= 0:
+            raise BadRequest(
+                "request needs a body (Content-Length or chunked "
+                "Transfer-Encoding)"
+            )
+        remaining = length
+        while remaining:
+            data = self.rfile.read(min(remaining, 65536))
+            if not data:
+                raise BadRequest("request body ended early")
+            remaining -= len(data)
+            yield data
+
+    def _write_stream_chunk(self, data: bytes) -> None:
+        if not data:
+            return  # a zero-size chunk would terminate the response
+        self.wfile.write(f"{len(data):x}\r\n".encode("latin-1"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+        self.wfile.flush()
+
+    def _handle_fill_stream(self) -> None:
+        """``POST /fill/stream``: rows in, NDJSON out, bounded memory.
+
+        The program is resolved (and its plan compiled) *before* the
+        status line commits, so bad references / stale programs /
+        missing tables still get their proper HTTP status.  After the
+        200 commits, a failure (ragged row, undecodable line) ends the
+        stream with one JSON-object error line; an early client
+        disconnect just abandons the fill.
+        """
+        from repro.service.streamfill import (
+            encode_outputs,
+            error_line,
+            make_reader,
+        )
+
+        # One logical stream per connection: response framing is
+        # chunked and the request body may be too; keep-alive re-sync
+        # is not worth the bookkeeping.
+        self.close_connection = True
+        try:
+            chunks = self._body_chunks()
+            buffered = b""
+            for data in chunks:
+                buffered += data
+                if b"\n" in buffered:
+                    break
+            header_line, _, remainder = buffered.partition(b"\n")
+            spec = parse_stream_header(header_line)
+            reader = make_reader(spec.format)
+            session = self.service.fill_session(
+                spec.program, catalog=spec.catalog
+            )
+        except Exception as error:  # noqa: BLE001 -- mapped, never fatal
+            status, payload = map_exception(error)
+            self._send_json(status, payload)
+            return
+
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson; charset=utf-8")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Connection", "close")
+        self.end_headers()
+
+        rows: List[List[str]] = []
+        start = 1
+
+        def drain() -> None:
+            nonlocal rows, start
+            while len(rows) >= spec.chunk_rows:
+                batch, rows = rows[: spec.chunk_rows], rows[spec.chunk_rows :]
+                self._write_stream_chunk(
+                    encode_outputs(session.fill_chunk(batch, start=start))
+                )
+                start += len(batch)
+
+        try:
+            try:
+                if remainder:
+                    rows.extend(reader.feed(remainder))
+                    drain()
+                for data in chunks:
+                    rows.extend(reader.feed(data))
+                    drain()
+                rows.extend(reader.finish())
+                while rows:
+                    batch, rows = rows[: spec.chunk_rows], rows[spec.chunk_rows :]
+                    self._write_stream_chunk(
+                        encode_outputs(session.fill_chunk(batch, start=start))
+                    )
+                    start += len(batch)
+            except (ValueError, ServiceError) as error:
+                self._write_stream_chunk(error_line(str(error)))
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionError, OSError):
+            return  # client went away mid-stream; abandon the fill
+
     def _handle(self, method: str) -> None:
         path, query = ServiceApi.split_target(self.path)
+        if method == "POST" and path == STREAM_PATH:
+            self._handle_fill_stream()
+            return
         if method in ("POST", "PUT") and self.api.resolve(method, path) is None:
             # The request body is never read on this branch; keep-alive
             # would parse it as the next request line (see _read_bytes).

@@ -149,6 +149,17 @@ def _worker_main(
                 if kind == "synthesize":
                     result = engine.synthesize(job["task"], k=job["k"])
                     reply["payload"] = _result_to_payload(result)
+                elif kind == "fill":
+                    from repro.engine.program import Program
+
+                    program = Program.from_dict(
+                        job["program"], catalog=engine.catalog
+                    )
+                    # Stamp the pool's config flag so the worker serves
+                    # fills from its compiled plan exactly when the
+                    # parent would (byte-identical either way).
+                    program.use_compiled_fill = config.use_compiled_fill
+                    reply["payload"] = program.fill_aligned(job["rows"])
         except BaseException as error:  # noqa: BLE001 -- relayed to the parent
             reply = {"ok": False, "pid": pid, "error": _picklable_error(error)}
         jobs_done += 1
@@ -531,6 +542,9 @@ class WorkerPool:
             "task": task,
             "k": k,
         }
+        return self._enqueue(payload)
+
+    def _enqueue(self, payload: Dict[str, Any]) -> Future:
         future: Future = Future()
         max_queue = self.pool_config.max_queue
         with self._cv:
@@ -548,6 +562,33 @@ class WorkerPool:
                    timeout: Optional[float] = None) -> Dict[str, Any]:
         """Blocking convenience wrapper around :meth:`submit`."""
         return self.submit(catalog, task, k=k).result(timeout)
+
+    def submit_fill(
+        self, catalog: Catalog, program: Dict[str, Any], rows
+    ) -> Future:
+        """Queue one bulk fill; the Future resolves to the output list.
+
+        ``program`` is the serialized ``Program.to_dict`` payload (live
+        Program objects never cross the pipe); the worker rebuilds it
+        against its attached copy of ``catalog`` and serves
+        ``fill_aligned`` -- through its compiled plan when the pool
+        config enables it -- so outputs match the parent's byte for
+        byte.  Same backpressure/typed-error contract as :meth:`submit`.
+        """
+        spec_fp, spec_dir = self._attach_spec(catalog)
+        payload = {
+            "kind": "fill",
+            "fingerprint": spec_fp,
+            "snapshot_dir": spec_dir,
+            "program": program,
+            "rows": [list(row) for row in rows],
+        }
+        return self._enqueue(payload)
+
+    def fill(self, catalog: Catalog, program: Dict[str, Any], rows,
+             timeout: Optional[float] = None) -> List[Optional[str]]:
+        """Blocking convenience wrapper around :meth:`submit_fill`."""
+        return self.submit_fill(catalog, program, rows).result(timeout)
 
     def ping(self) -> int:
         """Round-trip a no-op through the queue; returns the worker pid."""

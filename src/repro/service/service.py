@@ -75,6 +75,10 @@ CACHE_MISS = "miss"
 RowsLike = Sequence[Sequence[str]]
 ProgramLike = Union[Program, Dict[str, Any], str]
 
+#: Plan-cache sentinel: this (program, catalog) pair does not compile;
+#: serve the interpreter without re-attempting on every request.
+_UNCOMPILED = object()
+
 
 @dataclass(frozen=True)
 class LearnReply:
@@ -161,6 +165,41 @@ class RequestCache:
             }
 
 
+class FillSession:
+    """One resolved program, serving row chunks of a single logical fill.
+
+    Built by :meth:`SynthesisService.fill_session`; the streaming
+    transports decode rows incrementally and push each decoded chunk
+    through :meth:`fill_chunk`, threading ``start`` so the ``fill row
+    N`` error numbering stays global across chunks.  Holds the resolved
+    program and its compiled plan (or ``None`` for the interpreter), so
+    per-chunk cost is pure row execution.
+    """
+
+    __slots__ = ("_service", "program", "plan")
+
+    def __init__(self, service: "SynthesisService", program: Program, plan) -> None:
+        self._service = service
+        self.program = program
+        self.plan = plan
+
+    def fill_chunk(
+        self, rows: Sequence[Sequence[str]], start: int = 1
+    ) -> List[Optional[str]]:
+        """Outputs for one chunk; ``start`` is its first global row number."""
+        if self.plan is not None:
+            outputs = self.plan.fill_iter(rows, start=start)
+        else:
+            outputs = self.program.fill_iter_interpreted(rows, start=start)
+        try:
+            results = list(outputs)
+        except ValueError as error:
+            raise ServiceError(str(error)) from None
+        with self._service._counter_lock:
+            self._service._rows_filled += len(results)
+        return results
+
+
 class SynthesisService:
     """Learn-and-serve facade over named catalogs, one backend and config.
 
@@ -208,6 +247,10 @@ class SynthesisService:
         self.config = config
         self.store = store
         self.cache = RequestCache(cache_size)
+        # Compiled execution plans, keyed (program digest, catalog
+        # fingerprint): every fill transport (JSON body, streaming,
+        # worker pool) shares one plan per (program, snapshot) pair.
+        self.plans = RequestCache(cache_size)
         self.started_at = time.time()
         # name -> (registry snapshot the engine was built for, engine).
         # Keyed on the *snapshot* identity, not engine.catalog: with
@@ -545,40 +588,14 @@ class SynthesisService:
 
         Empty means every required table is intact as a prefix of the
         current data (same columns, original rows unchanged -- appended
-        rows are fine), so the program may re-resolve silently.
+        rows are fine), so the program may re-resolve silently.  The
+        same rule governs compiled-plan rebinding
+        (:meth:`~repro.engine.compile.CompiledProgram.rebound`), so the
+        check itself lives in :func:`repro.engine.compile.table_drift`.
         """
-        changes: List[str] = []
-        for table_name, info in sorted(provenance.get("tables", {}).items()):
-            if table_name not in snapshot:
-                changes.append(f"table {table_name!r} was removed")
-                continue
-            table = snapshot.table(table_name)
-            recorded_columns = info.get("columns")
-            if recorded_columns is not None and list(table.columns) != list(
-                recorded_columns
-            ):
-                changes.append(
-                    f"table {table_name!r} columns changed "
-                    f"({recorded_columns} -> {list(table.columns)})"
-                )
-                continue
-            recorded_rows = info.get("num_rows")
-            if recorded_rows is not None and table.num_rows < recorded_rows:
-                changes.append(
-                    f"table {table_name!r} lost rows "
-                    f"({recorded_rows} -> {table.num_rows})"
-                )
-                continue
-            recorded_digest = info.get("data_fingerprint")
-            if (
-                recorded_digest is not None
-                and table.data_fingerprint(recorded_rows) != recorded_digest
-            ):
-                changes.append(
-                    f"table {table_name!r} rows 1..{recorded_rows} were "
-                    "rewritten"
-                )
-        return changes
+        from repro.engine.compile import table_drift
+
+        return table_drift(provenance.get("tables", {}), snapshot)
 
     def resolve_program(
         self, program: ProgramLike, catalog: Optional[str] = None
@@ -631,6 +648,7 @@ class SynthesisService:
                     snapshot,
                     resolved.language,
                     resolved.num_inputs,
+                    use_compiled_fill=resolved.use_compiled_fill,
                 )
         elif isinstance(program, dict):
             resolved = Program.from_dict(program, catalog=snapshot)
@@ -664,6 +682,38 @@ class SynthesisService:
             raise MissingColumnsError(missing_columns)
         return resolved
 
+    def _compiled_for(self, resolved: Program):
+        """The shared compiled plan for ``resolved``, or ``None``.
+
+        ``None`` means serve the interpreter: the config flag is off, or
+        this (program, catalog snapshot) pair does not compile (cached
+        as :data:`_UNCOMPILED` so the failed attempt is paid once, not
+        per request).  Plans are cached in :attr:`plans` keyed
+        ``(program digest, catalog fingerprint)`` -- both stable content
+        digests, so every transport (JSON fill, streaming fill, session
+        apply) resolving the same program against the same snapshot
+        shares one plan, and a catalog update makes old entries
+        unreachable rather than stale.
+        """
+        if not self.config.use_compiled_fill:
+            return None
+        fingerprint = (
+            resolved.catalog.fingerprint()
+            if resolved.catalog is not None
+            else ""
+        )
+        key = (resolved.digest(), fingerprint)
+        plan = self.plans.get(key)
+        if plan is None:
+            from repro.engine.compile import PlanCompileError
+
+            try:
+                plan = resolved.compile()
+            except PlanCompileError:
+                plan = _UNCOMPILED
+            self.plans.put(key, plan)
+        return None if plan is _UNCOMPILED else plan
+
     def fill(
         self,
         program: ProgramLike,
@@ -681,16 +731,82 @@ class SynthesisService:
         clean :class:`ServiceError` naming the 1-based row.  ``catalog``
         picks the serving catalog; store references default to the
         catalog they were learned against (see :meth:`resolve_program`).
+
+        Rows are executed on the shared compiled plan
+        (:meth:`_compiled_for`) when enabled, the AST interpreter
+        otherwise -- byte-identical outputs either way.
         """
         resolved = self.resolve_program(program, catalog=catalog)
+        plan = self._compiled_for(resolved)
         try:
-            outputs = resolved.fill_aligned(rows)
+            if plan is not None:
+                outputs = plan.fill_aligned(rows)
+            else:
+                outputs = resolved.fill_aligned_interpreted(rows)
         except ValueError as error:
             raise ServiceError(str(error)) from None
         with self._counter_lock:
             self._fill_requests += 1
             self._rows_filled += len(outputs)
         return outputs
+
+    def fill_session(
+        self, program: ProgramLike, catalog: Optional[str] = None
+    ) -> "FillSession":
+        """Resolve ``program`` once for an incremental (chunked) fill.
+
+        Resolution (and plan compilation) happens *eagerly* -- bad
+        references, missing tables and staleness raise here, before a
+        streaming transport commits its HTTP status line.  The returned
+        :class:`FillSession` then runs row chunks one at a time; the
+        ``fill_requests`` counter ticks here, ``rows_filled`` per chunk.
+        """
+        resolved = self.resolve_program(program, catalog=catalog)
+        plan = self._compiled_for(resolved)
+        with self._counter_lock:
+            self._fill_requests += 1
+        return FillSession(self, resolved, plan)
+
+    def fill_stream(
+        self,
+        program: ProgramLike,
+        rows: Iterable[Sequence[str]],
+        catalog: Optional[str] = None,
+        chunk_rows: int = 1024,
+    ) -> Iterator[List[Optional[str]]]:
+        """Stream :meth:`fill` outputs in bounded chunks.
+
+        Resolves the program eagerly (see :meth:`fill_session`), then
+        returns a generator yielding lists of at most ``chunk_rows``
+        outputs, pulling input rows lazily so a million-row fill holds
+        one chunk at a time.  Per-row semantics match :meth:`fill`
+        exactly (blank rows, ``None`` for ⊥, ``fill row N`` arity
+        errors as :class:`ServiceError`, raised mid-stream from the
+        generator); a ``ValueError`` from the ``rows`` iterable itself
+        (a row decoder, say) surfaces as a :class:`ServiceError` too.
+        """
+        if chunk_rows < 1:
+            raise ServiceError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        session = self.fill_session(program, catalog=catalog)
+
+        def chunks() -> Iterator[List[Optional[str]]]:
+            start = 1
+            iterator = iter(rows)
+            while True:
+                buffer: List[Sequence[str]] = []
+                try:
+                    for row in iterator:
+                        buffer.append(row)
+                        if len(buffer) >= chunk_rows:
+                            break
+                except ValueError as error:
+                    raise ServiceError(str(error)) from None
+                if not buffer:
+                    return
+                yield session.fill_chunk(buffer, start=start)
+                start += len(buffer)
+
+        return chunks()
 
     # ------------------------------------------------------------------
     def list_programs(self) -> List[Dict[str, Any]]:
@@ -752,6 +868,7 @@ class SynthesisService:
             "workers": workers,
             "requests": counters,
             "request_cache": self.cache.stats(),
+            "plan_cache": self.plans.stats(),
             "store": {
                 "attached": self.store is not None,
                 "root": str(self.store.root) if self.store is not None else None,

@@ -118,6 +118,40 @@ def token_matches(token: Token, text: str) -> List[Span]:
     return [(len(text), len(text))]
 
 
+def token_start_positions(token: Token, text: str) -> List[int]:
+    """Ascending positions where a match of ``token`` starts.
+
+    The compiled fill path (``repro.engine.compile``) asks for exactly
+    one boundary side of exactly the tokens a position expression names,
+    instead of building the full :class:`TokenMatchIndex` over the whole
+    alphabet the way interpreted evaluation does.
+    """
+    if token.kind == KIND_CLASS:
+        return [match.start() for match in _CLASS_RE[token.ident].finditer(text)]
+    if token.kind == KIND_CHAR:
+        positions: List[int] = []
+        find = text.find
+        at = find(token.pattern)
+        while at != -1:
+            positions.append(at)
+            at = find(token.pattern, at + 1)
+        return positions
+    if token.kind == KIND_START:
+        return [0]
+    return [len(text)]
+
+
+def token_end_positions(token: Token, text: str) -> List[int]:
+    """Ascending positions where a match of ``token`` ends."""
+    if token.kind == KIND_CLASS:
+        return [match.end() for match in _CLASS_RE[token.ident].finditer(text)]
+    if token.kind == KIND_CHAR:
+        return [at + 1 for at in token_start_positions(token, text)]
+    if token.kind == KIND_START:
+        return [0]
+    return [len(text)]
+
+
 class TokenMatchIndex:
     """Per-string cache of token matches and boundary sets.
 

@@ -259,6 +259,16 @@ class Table:
         self.column_position(column)  # raises UnknownColumnError
         return self._ensure_value_rows()[column].get(value, ())
 
+    def column_postings(self, column: str) -> Dict[str, Tuple[int, ...]]:
+        """The whole ``value -> row numbers`` index of one column.
+
+        The compiled fill path (``repro.engine.compile``) fuses a
+        single-predicate ``Select`` into one dict built from this
+        mapping.  Shared with the lazily built index -- do not mutate.
+        """
+        self.column_position(column)  # raises UnknownColumnError
+        return self._ensure_value_rows()[column]
+
     def _ensure_rows_digest(self):
         """The streaming SHA-256 over (name, columns, rows) -- resumable.
 
