@@ -33,8 +33,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -244,6 +246,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         payload = {
             "meta": {
                 "python": sys.version.split()[0],
+                "cpu_count": os.cpu_count() or 1,
+                "timestamp": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
                 "quick": args.quick,
                 "note": "speedups are machine-relative (same-run delta vs "
                 "rebuild); refresh with: PYTHONPATH=src python "

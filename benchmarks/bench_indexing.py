@@ -28,9 +28,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict, List, Tuple
 
@@ -279,6 +281,10 @@ def main(argv: List[str] = None) -> int:
         payload = {
             "meta": {
                 "python": sys.version.split()[0],
+                "cpu_count": os.cpu_count() or 1,
+                "timestamp": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
                 "quick": args.quick,
                 "note": "speedups are machine-relative (same-run naive vs indexed); "
                 "refresh with: PYTHONPATH=src python benchmarks/bench_indexing.py "

@@ -51,6 +51,7 @@ import random
 import sys
 import time
 from dataclasses import replace
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List
 
@@ -350,6 +351,10 @@ def main(argv: List[str] = None) -> int:
         payload = {
             "meta": {
                 "python": sys.version.split()[0],
+                "cpu_count": os.cpu_count() or 1,
+                "timestamp": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
                 "quick": args.quick,
                 "cpus": os.cpu_count() or 1,
                 "note": "speedups are machine-relative (same-run naive vs "

@@ -19,6 +19,10 @@ in-process ``ThreadingHTTPServer`` on an ephemeral port):
   mean ``POST /fill`` round-trip latency over the async transport vs the
   threaded one, gated on the same-run ratio (<= 2x) so the check is
   machine-independent.
+* ``revalidation_latency`` -- wall-clock from a grow-only row append on
+  a 10k-cell catalog to the changefeed revalidator having *rebound*
+  every stored program (the window in which a stale-fingerprint 409 is
+  even possible).  Gated at an absolute <= 250ms p50.
 
 Usage::
 
@@ -49,6 +53,7 @@ import threading
 import time
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
@@ -83,6 +88,10 @@ COMPILED_FILL_SPEEDUP_FLOOR = 10.0
 #: Streaming fill peak RSS must not scale with row count: the ceiling on
 #: peak_rss(10N rows) / peak_rss(N rows).
 STREAM_RSS_RATIO_CEILING = 1.5
+
+#: Absolute acceptance ceiling on the append->rebound p50 latency for a
+#: 10k-cell catalog: the stale window a client can observe a 409 in.
+REVALIDATION_P50_CEILING_MS = 250.0
 
 NAMES = [
     "Microsoft", "Google", "Apple", "Facebook", "IBM", "Xerox", "Intel",
@@ -439,6 +448,62 @@ def bench_fill_latency_parity(
     }
 
 
+def bench_revalidation_latency(num_rows: int, repeats: int) -> Dict[str, float]:
+    """Append->rebound wall clock through the changefeed, p50/p95.
+
+    One stored program is bound to a ``num_rows``-row (2-column, so
+    ``2 * num_rows`` cells) catalog.  Each iteration appends a single
+    grow-only row and blocks until the revalidator has drained -- i.e.
+    until the stored artifact's provenance fingerprint matches the new
+    snapshot again and a ``name@version`` fill can no longer 409.  The
+    measured span covers the copy-on-write append, the feed diff
+    (prefix fingerprint over the full table), and the rebind rewrite.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        service = SynthesisService(
+            bench_catalog(num_rows), store=ProgramStore(Path(tmp) / "programs")
+        )
+        try:
+            table = service.engine.catalog.table("Comp")
+            body = learn_tasks(service.engine.catalog, 1)[0]
+            task = [(tuple(inp), out) for inp, out in body["examples"]]
+            reply = service.learn(task, save_as="reval")
+            assert reply.stored is not None, "save_as did not persist"
+            ref = f"reval@{reply.stored.version}"
+            assert service.revalidator.wait_idle(), "revalidator stuck"
+            before = service.revalidator.stats()["rebound"]
+            latencies = []
+            for index in range(repeats):
+                row = [f"x{index}", f"Extra{index}"]
+                started = time.perf_counter()
+                service.registry.append_rows("default", "Comp", [row])
+                assert service.revalidator.wait_idle(), "revalidator stuck"
+                latencies.append(time.perf_counter() - started)
+            stats = service.revalidator.stats()
+            assert stats["rebound"] >= before + repeats, stats
+            assert stats["stale"] == 0, stats
+            # The pre-append reference still serves: every append was
+            # grow-only, so the artifact was rebound, never staled.
+            ids = [f"c{10 + offset}" for offset in range(5)]
+            expected = " ".join(
+                table.lookup("Name", {"Id": one}) for one in ids
+            )
+            outputs = service.fill(ref, [[" ".join(ids)]])
+            assert outputs == [expected], outputs
+            latencies.sort()
+            return {
+                "cells": float(2 * num_rows),
+                "repeats": float(repeats),
+                "revalidation_p50_ms": latencies[len(latencies) // 2] * 1e3,
+                "revalidation_p95_ms": (
+                    latencies[min(len(latencies) - 1,
+                                  int(len(latencies) * 0.95))] * 1e3
+                ),
+            }
+        finally:
+            service.close()
+
+
 # -- harness ------------------------------------------------------------------
 def run_suite(quick: bool) -> Dict[str, Dict[str, float]]:
     num_tasks = 4 if quick else 12
@@ -477,6 +542,10 @@ def run_suite(quick: bool) -> Dict[str, Dict[str, float]]:
     name = "fill_streaming_rss[x10-rows]"
     print(f"running {name}[rows={rss_rows}] ...", flush=True)
     results[name] = bench_fill_streaming_rss(rss_rows)
+    reval_repeats = 5 if quick else 15
+    name = "revalidation_latency[cells=10k]"
+    print(f"running {name}[repeats={reval_repeats}] ...", flush=True)
+    results[name] = bench_revalidation_latency(5000, reval_repeats)
     return results
 
 
@@ -494,6 +563,13 @@ def render(results: Dict[str, Dict[str, float]]) -> List[str]:
                 f"{name}: peak RSS {row['rss_small_mb']:.1f}MB @ "
                 f"{row['rows_small']:.0f} rows | {row['rss_large_mb']:.1f}MB "
                 f"@ {row['rows_large']:.0f} rows | ratio {row['rss_ratio']:.2f}"
+            )
+        elif "revalidation_p50_ms" in row:
+            lines.append(
+                f"{name}: append->rebound p50 "
+                f"{row['revalidation_p50_ms']:.1f}ms | p95 "
+                f"{row['revalidation_p95_ms']:.1f}ms "
+                f"({row['cells']:.0f} cells)"
             )
         elif "cold_s" in row:
             lines.append(
@@ -522,7 +598,21 @@ def render(results: Dict[str, Dict[str, float]]) -> List[str]:
 def check_regression(
     results: Dict[str, Dict[str, float]], baseline_path: Path, factor: float
 ) -> int:
-    baseline = json.loads(baseline_path.read_text())["results"]
+    payload = json.loads(baseline_path.read_text())
+    baseline = payload["results"]
+    meta = payload.get("meta", {})
+    # Baseline honesty: say what machine the committed numbers came from
+    # before judging this runner against them.
+    print(
+        f"baseline env: python {meta.get('python', '?')} | "
+        f"{meta.get('cpu_count', '?')} CPU(s) | "
+        f"{meta.get('timestamp', 'undated')}"
+    )
+    print(
+        f"runner env:   python {sys.version.split()[0]} | "
+        f"{os.cpu_count() or 1} CPU(s) | "
+        f"{datetime.now(timezone.utc).isoformat(timespec='seconds')}"
+    )
     failures = []
     for name, row in results.items():
         if "compiled_speedup" in row:
@@ -548,6 +638,22 @@ def check_regression(
                 f"{status:>10}  {name}: peak RSS ratio at 10x rows "
                 f"{row['rss_ratio']:.2f} "
                 f"(ceiling {STREAM_RSS_RATIO_CEILING:.1f})"
+            )
+            if status != "ok":
+                failures.append(name)
+            continue
+        if "revalidation_p50_ms" in row:
+            # Stale window: absolute ms ceiling, --factor as headroom on
+            # slow runners (acceptance is the unscaled 250ms).
+            ceiling = REVALIDATION_P50_CEILING_MS * factor
+            status = (
+                "ok" if row["revalidation_p50_ms"] <= ceiling
+                else "REGRESSION"
+            )
+            print(
+                f"{status:>10}  {name}: append->rebound p50 "
+                f"{row['revalidation_p50_ms']:.1f}ms (ceiling {ceiling:.0f}ms, "
+                f"acceptance {REVALIDATION_P50_CEILING_MS:.0f}ms * --factor)"
             )
             if status != "ok":
                 failures.append(name)
@@ -838,6 +944,30 @@ def run_smoke() -> int:
             print("smoke: uploaded catalog, appended rows, served new "
                   "snapshot -- all good")
 
+            # The changefeed revalidator must *rebind* the stored
+            # artifact after the grow-only append: wait for the queue to
+            # drain, then the pinned pre-append version still fills with
+            # 200 -- zero 409s on old references.
+            deadline = time.monotonic() + 15
+            while True:
+                reval = client.get("/stats")["revalidation"]
+                if reval["queued"] == 0 and reval["rebound"] >= 1:
+                    break
+                assert time.monotonic() < deadline, reval
+                time.sleep(0.05)
+            assert reval["stale"] == 0, reval
+            pinned = client.post(
+                "/fill", {"program": "codes@1", "rows": [["SFO"]]}
+            )
+            assert pinned["outputs"] == ["San Francisco"], pinned
+            feed = client.get("/stats")["changefeed"]
+            assert feed["uploads"]["head"] >= 2, feed
+            print(
+                "smoke: revalidator rebound codes@1 after the append "
+                f"(feed head {feed['uploads']['head']}, "
+                f"rebound {reval['rebound']}) -- no 409 on the old ref"
+            )
+
             # -- act two: graceful SIGTERM, snapshot persist, cold-start --
             _stop_serve(process)
             print("smoke: SIGTERM -> graceful exit 0, state flushed")
@@ -1019,6 +1149,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         payload = {
             "meta": {
                 "python": sys.version.split()[0],
+                "cpu_count": os.cpu_count() or 1,
+                "timestamp": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
                 "quick": args.quick,
                 "note": "cache speedup is machine-relative (same-run cold vs "
                 "cached over HTTP); refresh with: PYTHONPATH=src python "

@@ -44,11 +44,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import shutil
 import sys
 import tempfile
 import time
 import tracemalloc
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -382,6 +384,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         payload = {
             "meta": {
                 "python": sys.version.split()[0],
+                "cpu_count": os.cpu_count() or 1,
+                "timestamp": datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
                 "quick": args.quick,
                 "note": "speedups are machine-relative (same-run cold-start "
                 "vs rebuild); refresh with: PYTHONPATH=src python "

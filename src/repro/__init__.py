@@ -106,7 +106,7 @@ from repro.exceptions import (
 from repro.tables import Catalog, Table
 from repro.tables.background import background_catalog, background_table
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Catalog",

@@ -12,6 +12,7 @@ Subcommand usage::
     repro catalog show   --root catalogs/ NAME
     repro catalog add    --root catalogs/ NAME TABLE.csv [TABLE.csv ...]
     repro catalog append --root catalogs/ NAME TABLE ROWS.csv
+    repro catalog watch  --url http://127.0.0.1:8765 NAME [--since N] [--once]
     repro snapshot save  --root catalogs/ NAME
     repro snapshot load  --root catalogs/ NAME
     repro snapshot gc    --root catalogs/ NAME [--keep N]
@@ -37,7 +38,11 @@ server shuts down cleanly on SIGTERM/SIGINT: in-flight requests finish,
 snapshot writes flush, database connections close, exit status 0.
 ``catalog`` manages such a root from the shell: ``list``/``show``
 inspect it, ``add`` creates a catalog from CSVs, ``append`` grows a
-table's rows (validated through the same table layer the server uses).
+table's rows (validated through the same table layer the server uses),
+and ``watch`` tails a running server's changefeed (``GET
+/catalogs/<name>/changes``) as JSON lines, long-polling with ``--wait``
+and resuming from ``--since``.  ``serve --notify URL`` (repeatable)
+POSTs every changefeed event to the URL as JSON, off the mutation path.
 ``snapshot`` manages the index snapshots by hand: ``save`` writes one
 synchronously, ``load`` verifies what a cold start would serve, ``gc``
 prunes old versions.
@@ -256,6 +261,15 @@ def build_serve_parser(prog: str = "repro serve") -> argparse.ArgumentParser:
         "thread-per-connection server",
     )
     parser.add_argument(
+        "--notify",
+        action="append",
+        default=[],
+        metavar="URL",
+        help="POST every catalog changefeed event to URL as JSON "
+        "(repeatable; delivered off the mutation path with capped "
+        "retries -- consumers re-sync from GET /catalogs/<name>/changes)",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="log each HTTP request to stderr",
@@ -298,6 +312,38 @@ def build_catalog_parser(prog: str = "repro catalog") -> argparse.ArgumentParser
     append.add_argument("name", metavar="CATALOG")
     append.add_argument("table", metavar="TABLE")
     append.add_argument("rows", metavar="ROWS_CSV")
+
+    watch = commands.add_parser(
+        "watch",
+        help="tail a running server's changefeed for one catalog "
+        "(long-polled JSON lines; resumes with --since)",
+    )
+    watch.add_argument(
+        "--url",
+        required=True,
+        metavar="URL",
+        help="base URL of a running 'repro serve' (e.g. http://127.0.0.1:8765)",
+    )
+    watch.add_argument(
+        "--since",
+        type=int,
+        default=0,
+        metavar="SEQ",
+        help="emit events with sequence > SEQ (default: 0, the full feed)",
+    )
+    watch.add_argument(
+        "--wait",
+        type=float,
+        default=25.0,
+        metavar="SECONDS",
+        help="long-poll timeout per request (default: 25)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="do a single poll and exit instead of tailing forever",
+    )
+    watch.add_argument("name", metavar="CATALOG")
     return parser
 
 
@@ -537,6 +583,8 @@ def _cmd_serve(argv: Sequence[str]) -> int:
             registry=registry,
             default_catalog=args.default_catalog,
         )
+        for url in args.notify:
+            service.add_change_webhook(url)
         make_server = create_async_server if args.async_server else create_server
         server = make_server(
             service, host=args.host, port=args.port, quiet=not args.verbose
@@ -627,6 +675,9 @@ def _cmd_serve(argv: Sequence[str]) -> int:
 def _cmd_catalog(argv: Sequence[str]) -> int:
     args = build_catalog_parser().parse_args(argv)
     try:
+        if args.action == "watch":
+            return _watch_changes(args)
+
         from repro.service.registry import CatalogRegistry
         from repro.tables.io import save_table_csv
 
@@ -730,6 +781,60 @@ def _cmd_catalog(argv: Sequence[str]) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     return 0
+
+
+def _watch_changes(args: argparse.Namespace) -> int:
+    """``repro catalog watch``: tail the changefeed as JSON lines.
+
+    Long-polls ``GET /catalogs/<name>/changes`` and prints one event per
+    line, resuming from the returned head; a 416 (feed behind ``--since``,
+    e.g. after a server restart without durable storage) resubscribes
+    from the server's head instead of failing.  Ctrl-C exits 0.
+    """
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    since = args.since
+    try:
+        while True:
+            url = (
+                f"{base}/catalogs/{args.name}/changes"
+                f"?since={since}&wait={args.wait:g}"
+            )
+            try:
+                with urllib.request.urlopen(
+                    url, timeout=args.wait + 30.0
+                ) as response:
+                    body = json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as error:
+                detail = error.read().decode("utf-8", "replace")
+                if error.code == 416:
+                    try:
+                        head = int(json.loads(detail)["head"])
+                    except (ValueError, KeyError, TypeError):
+                        raise ReproError(
+                            f"server returned 416 for {url}: {detail}"
+                        ) from None
+                    print(
+                        f"note: feed head is {head} (< --since {since}); "
+                        "resubscribing from the head",
+                        file=sys.stderr,
+                    )
+                    since = head
+                    continue
+                raise ReproError(
+                    f"server returned {error.code} for {url}: {detail}"
+                ) from None
+            except urllib.error.URLError as error:
+                raise ReproError(f"cannot reach {url}: {error.reason}") from None
+            for event in body.get("events", ()):
+                print(json.dumps(event, ensure_ascii=False), flush=True)
+            since = max(since, int(body.get("head", since)))
+            if args.once:
+                return 0
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_snapshot(argv: Sequence[str]) -> int:

@@ -206,6 +206,27 @@ class UnknownCatalogError(CatalogRegistryError):
         self.available = tuple(available)
 
 
+class ChangefeedRangeError(CatalogRegistryError):
+    """A changefeed subscription asked for a sequence beyond the head.
+
+    ``since`` must never exceed the feed's current head: a client that
+    is "ahead" of the server is either talking to a restarted feed or
+    confused about which catalog it watches, and silently serving an
+    empty event list would hide that.  The HTTP front ends map this to
+    416 with the current ``head`` in the body so the client can
+    resubscribe from a real position.
+    """
+
+    def __init__(self, catalog: str, since: int, head: int) -> None:
+        super().__init__(
+            f"catalog {catalog!r} changefeed has no sequence {since} yet "
+            f"(head is {head}); resubscribe with since <= {head}"
+        )
+        self.catalog = catalog
+        self.since = since
+        self.head = head
+
+
 class StaleProgramError(ServiceError):
     """A stored program's catalog moved on in ways the program can see.
 

@@ -44,12 +44,16 @@ from repro.exceptions import ServiceError
 from repro.service.http import (
     LANE_LEARN,
     MAX_BODY_BYTES,
+    SSE_KEEPALIVE_SECONDS,
     STREAM_PATH,
     BadRequest,
     ServiceApi,
+    changes_catalog,
     error_payload,
     map_exception,
+    parse_changes_query,
     parse_stream_header,
+    wants_sse,
 )
 from repro.service.service import SynthesisService
 
@@ -227,6 +231,19 @@ class AsyncSynthesisServer:
             await self._handle_fill_stream(reader, writer, headers)
             return False  # one stream per connection (chunked both ways)
         keep_alive = _wants_keep_alive(version, headers)
+        if method == "GET":
+            changes_name = changes_catalog(path)
+            if changes_name is not None:
+                sse = wants_sse(query, headers.get("accept"))
+                wait = 0.0
+                try:
+                    wait = parse_changes_query(query).wait
+                except BadRequest:
+                    pass  # the normal dispatch path reports the 400
+                if sse or wait > 0:
+                    return await self._handle_changes(
+                        writer, changes_name, query, sse, keep_alive
+                    )
 
         # Read (or refuse) the body on the event loop -- the framing
         # must be settled before the next pipelined request either way.
@@ -419,6 +436,90 @@ class AsyncSynthesisServer:
         finally:
             self._busy_requests -= 1
 
+    async def _handle_changes(
+        self,
+        writer: asyncio.StreamWriter,
+        name: str,
+        query: Dict[str, str],
+        sse: bool,
+        keep_alive: bool,
+    ) -> bool:
+        """``GET /catalogs/<name>/changes`` with long-poll or SSE.
+
+        Waiting happens *on the event loop* (50ms polls of the
+        in-memory feed), never on a cheap-lane thread: thousands of
+        watchers can park here without starving fills, which is the
+        whole point of the async front end.  Wire format matches the
+        threaded transport byte-for-byte on payloads and SSE frames.
+        """
+        from repro.service.streamfill import sse_event
+
+        feed = self.service.registry.feed
+        loop = asyncio.get_running_loop()
+        try:
+            spec = parse_changes_query(query)
+            self.service.registry.get(name)  # 404 before any waiting
+            head, events = feed.events_since(name, spec.since)
+        except Exception as error:  # noqa: BLE001 -- mapped, never fatal
+            status, payload = map_exception(error)
+            await self._respond(writer, status, payload, False)
+            return False
+        if not sse:
+            deadline = loop.time() + spec.wait
+            while not events and loop.time() < deadline:
+                await asyncio.sleep(0.05)
+                head, events = feed.events_since(name, spec.since)
+            if spec.limit is not None:
+                events = events[: spec.limit]
+            await self._respond(
+                writer,
+                200,
+                {
+                    "catalog": name,
+                    "since": spec.since,
+                    "head": head,
+                    "events": events,
+                },
+                keep_alive,
+            )
+            return keep_alive
+        # SSE: close-delimited stream (no Content-Length, no chunking).
+        head_block = (
+            "HTTP/1.1 200 OK\r\n"
+            f"Server: repro-serve-async/{__version__}\r\n"
+            "Content-Type: text/event-stream; charset=utf-8\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head_block)
+            await writer.drain()
+            last = spec.since
+            sent = 0
+            next_keepalive = loop.time() + SSE_KEEPALIVE_SECONDS
+            while True:
+                for item in events:
+                    writer.write(
+                        sse_event(item, event="change", id=item["seq"])
+                    )
+                    last = max(last, int(item["seq"]))
+                    sent += 1
+                    if spec.limit is not None and sent >= spec.limit:
+                        await writer.drain()
+                        return False
+                if events:
+                    await writer.drain()
+                    next_keepalive = loop.time() + SSE_KEEPALIVE_SECONDS
+                elif loop.time() >= next_keepalive:
+                    writer.write(b": keepalive\n\n")
+                    await writer.drain()
+                    next_keepalive = loop.time() + SSE_KEEPALIVE_SECONDS
+                await asyncio.sleep(0.05)
+                _, events = feed.events_since(name, last)
+        except (ConnectionError, OSError):
+            return False  # client went away mid-stream
+
     async def _dispatch(
         self,
         method: str,
@@ -473,6 +574,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     409: "Conflict",
+    416: "Range Not Satisfiable",
     422: "Unprocessable Entity",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",

@@ -30,6 +30,12 @@ The endpoints::
                  -> copy-on-write: add one table
     POST /catalogs/<name>/rows     {"table": "T", "rows": [[...], ...]}
                  -> copy-on-write: append rows (incremental reindex)
+    GET  /catalogs/<name>/changes?since=SEQ[&wait=SECONDS][&limit=N]
+                 -> {"catalog", "since", "head", "events": [...]}
+                    the versioned changefeed (every mutation above
+                    records one event); ``wait`` long-polls up to 30s
+                    for events past ``since``; ``sse=1`` (or Accept:
+                    text/event-stream) switches to an SSE stream
     GET  /programs  -> {"programs": [store listing]}
     GET  /healthz   -> {"status": "ok", ...}; 503 {"status": "degraded"}
                        when an attached worker pool has zero live workers
@@ -61,6 +67,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import __version__
 from repro.exceptions import (
+    ChangefeedRangeError,
     DuplicateTableError,
     PoolBusyError,
     ProgramStoreError,
@@ -84,7 +91,16 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 #: Exception attributes copied into error bodies when present -- the
 #: structured half of the error contract (message + machine-readable
 #: fields naming exactly what went wrong).
-_ERROR_FIELDS = ("table", "column", "positions", "missing", "changes", "program")
+_ERROR_FIELDS = (
+    "table",
+    "column",
+    "positions",
+    "missing",
+    "changes",
+    "program",
+    "since",
+    "head",
+)
 
 #: Dispatch lanes (see :meth:`ServiceApi.classify`).
 LANE_LEARN = "learn"
@@ -246,6 +262,81 @@ def parse_stream_header(line: bytes) -> StreamSpec:
     )
 
 
+#: Path suffix of the changefeed endpoint (``/catalogs/<name>/changes``).
+CHANGES_SUFFIX = "/changes"
+
+#: Ceiling on ``?wait=`` long-poll durations: a subscriber wanting more
+#: than this should loop (or use SSE) -- unbounded parked connections
+#: are a resource-exhaustion footgun on the thread-per-connection server.
+MAX_CHANGES_WAIT = 30.0
+
+#: How often an idle SSE stream emits a keepalive comment: bounds both
+#: proxy idle timeouts and how long a dead client ties up a handler.
+SSE_KEEPALIVE_SECONDS = 15.0
+
+
+def changes_catalog(path: str) -> Optional[str]:
+    """The catalog name of a ``/catalogs/<name>/changes`` path, or None."""
+    path = path.rstrip("/") or "/"
+    if path.startswith("/catalogs/") and path.endswith(CHANGES_SUFFIX):
+        name = path[len("/catalogs/") : -len(CHANGES_SUFFIX)]
+        if name and "/" not in name:
+            return name
+    return None
+
+
+class ChangesSpec:
+    """Parsed query of a changefeed subscription request."""
+
+    __slots__ = ("since", "wait", "sse", "limit")
+
+    def __init__(
+        self, since: int, wait: float, sse: bool, limit: Optional[int]
+    ) -> None:
+        self.since = since
+        self.wait = wait
+        self.sse = sse
+        self.limit = limit
+
+
+def parse_changes_query(query: Dict[str, str]) -> ChangesSpec:
+    """Validate ``since`` / ``wait`` / ``sse`` / ``limit`` (-> 400)."""
+    try:
+        since = int(query.get("since", "0"))
+    except ValueError:
+        raise BadRequest("since must be a non-negative integer") from None
+    if since < 0:
+        raise BadRequest("since must be a non-negative integer")
+    wait = 0.0
+    raw_wait = query.get("wait")
+    if raw_wait is not None:
+        try:
+            wait = float(raw_wait)
+        except ValueError:
+            raise BadRequest("wait must be a number of seconds") from None
+        if wait < 0:
+            raise BadRequest("wait must be a number of seconds >= 0")
+        wait = min(wait, MAX_CHANGES_WAIT)
+    limit = None
+    raw_limit = query.get("limit")
+    if raw_limit is not None:
+        try:
+            limit = int(raw_limit)
+        except ValueError:
+            raise BadRequest("limit must be a positive integer") from None
+        if limit < 1:
+            raise BadRequest("limit must be a positive integer")
+    sse = query.get("sse", "").lower() in ("1", "true", "yes")
+    return ChangesSpec(since, wait, sse, limit)
+
+
+def wants_sse(query: Dict[str, str], accept: Optional[str]) -> bool:
+    """Whether a changes request asked for the SSE variant."""
+    if query.get("sse", "").lower() in ("1", "true", "yes"):
+        return True
+    return "text/event-stream" in (accept or "").lower()
+
+
 def _json_body(read_body: BodyReader) -> Dict[str, Any]:
     raw = read_body()
     try:
@@ -277,7 +368,9 @@ def error_payload(
             payload[field] = list(value) if isinstance(value, tuple) else value
         if isinstance(error, UnknownCatalogError):
             payload["catalog"] = error.name
-        elif isinstance(error, (DuplicateTableError, StaleProgramError)):
+        elif isinstance(
+            error, (ChangefeedRangeError, DuplicateTableError, StaleProgramError)
+        ):
             if error.catalog is not None:
                 payload["catalog"] = error.catalog
     return payload
@@ -296,6 +389,9 @@ def map_exception(error: BaseException) -> Tuple[int, Dict[str, Any]]:
         return 404, error_payload(str(error), error)
     if isinstance(error, (DuplicateTableError, StaleProgramError)):
         return 409, error_payload(str(error), error)
+    if isinstance(error, ChangefeedRangeError):
+        # The body carries the current head so the client can resubscribe.
+        return 416, error_payload(str(error), error)
     if isinstance(error, PoolBusyError):
         return 503, error_payload(str(error), error)
     if isinstance(error, WorkerCrashedError):
@@ -352,6 +448,9 @@ class ServiceApi:
                 )
             if path == "/catalogs":
                 return lambda q, ct, rb: self.list_catalogs()
+            changes_name = changes_catalog(path)
+            if changes_name is not None:
+                return lambda q, ct, rb: self.catalog_changes(changes_name, q)
             if path.startswith("/catalogs/"):
                 name = path[len("/catalogs/") :]
                 if "/" not in name:
@@ -497,6 +596,35 @@ class ServiceApi:
         payload = registry.describe(name)
         payload["appended"] = {"table": table_name, "rows": len(rows)}
         return 200, payload
+
+    def catalog_changes(
+        self, name: str, query: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """``GET /catalogs/<name>/changes``: the plain/long-poll variant.
+
+        ``wait`` blocks (up to :data:`MAX_CHANGES_WAIT` seconds) for
+        events past ``since`` -- fine on the thread-per-connection
+        server; the async transport long-polls on its event loop
+        instead of through here.  ``since`` beyond the head raises
+        :class:`~repro.exceptions.ChangefeedRangeError` (-> 416 with
+        the current head).
+        """
+        registry = self.service.registry
+        registry.get(name)  # unknown catalog -> 404 before range checks
+        spec = parse_changes_query(query)
+        feed = registry.feed
+        if spec.wait > 0:
+            head, events = feed.wait(name, spec.since, timeout=spec.wait)
+        else:
+            head, events = feed.events_since(name, spec.since)
+        if spec.limit is not None:
+            events = events[: spec.limit]
+        return 200, {
+            "catalog": name,
+            "since": spec.since,
+            "head": head,
+            "events": events,
+        }
 
     def learn(self, read_body: BodyReader) -> Tuple[int, Dict[str, Any]]:
         body = _json_body(read_body)
@@ -731,11 +859,71 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionError, OSError):
             return  # client went away mid-stream; abandon the fill
 
+    def _handle_changes_sse(self, name: str, query: Dict[str, str]) -> None:
+        """``GET /catalogs/<name>/changes`` as an SSE stream.
+
+        Validation errors (unknown catalog, bad/over-head ``since``)
+        still map to their JSON statuses -- the event stream only
+        starts once the subscription is known good.  Each event goes
+        out as ``id: <seq>`` + ``event: change`` + one ``data:`` line;
+        idle periods emit comment keepalives.  ``limit=N`` closes the
+        stream after N events (handy for scripted consumers and tests);
+        otherwise the stream runs until the client disconnects.
+        """
+        from repro.service.streamfill import sse_event
+
+        self.close_connection = True
+        registry = self.service.registry
+        try:
+            registry.get(name)
+            spec = parse_changes_query(query)
+            head, events = registry.feed.events_since(name, spec.since)
+        except Exception as error:  # noqa: BLE001 -- mapped, never fatal
+            status, payload = map_exception(error)
+            self._send_json(status, payload)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        last = spec.since
+        sent = 0
+        try:
+            while True:
+                for event in events:
+                    self.wfile.write(
+                        sse_event(event, event="change", id=event["seq"])
+                    )
+                    last = int(event["seq"])
+                    sent += 1
+                    if spec.limit is not None and sent >= spec.limit:
+                        self.wfile.flush()
+                        return
+                self.wfile.flush()
+                _, events = registry.feed.wait(
+                    name, last, timeout=SSE_KEEPALIVE_SECONDS
+                )
+                if not events:
+                    # Keepalive comment: detects dead clients and keeps
+                    # intermediaries from timing the stream out.
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+        except (BrokenPipeError, ConnectionError, OSError):
+            return  # client went away; abandon the stream
+
     def _handle(self, method: str) -> None:
         path, query = ServiceApi.split_target(self.path)
         if method == "POST" and path == STREAM_PATH:
             self._handle_fill_stream()
             return
+        if method == "GET":
+            changes_name = changes_catalog(path)
+            if changes_name is not None and wants_sse(
+                query, self.headers.get("Accept")
+            ):
+                self._handle_changes_sse(changes_name, query)
+                return
         if method in ("POST", "PUT") and self.api.resolve(method, path) is None:
             # The request body is never read on this branch; keep-alive
             # would parse it as the next request line (see _read_bytes).

@@ -142,7 +142,12 @@ def _worker_main(
         reply: Dict[str, Any] = {"ok": True, "pid": pid, "payload": None}
         try:
             kind = job["kind"]
-            if kind != "ping":
+            if kind == "invalidate":
+                # Drop superseded engines; the next job for a live
+                # fingerprint re-attaches from inheritance or the spool.
+                for fp in job.get("fingerprints", ()):
+                    engines.pop(fp, None)
+            elif kind != "ping":
                 engine = _attach_engine(
                     engines, inherited, job, language, config, engine_cache
                 )
@@ -194,7 +199,7 @@ class _Slot:
 
     __slots__ = (
         "index", "process", "conn", "busy", "jobs", "respawns",
-        "attached", "dead", "thread",
+        "attached", "dead", "thread", "pending_invalidations",
     )
 
     def __init__(self, index: int) -> None:
@@ -207,6 +212,7 @@ class _Slot:
         self.attached: List[str] = []
         self.dead = False
         self.thread: Optional[threading.Thread] = None
+        self.pending_invalidations: set = set()
 
     @property
     def pid(self) -> Optional[int]:
@@ -281,6 +287,7 @@ class WorkerPool:
         self._closed = False
         self._total_respawns = 0
         self._total_jobs = 0
+        self._invalidations = 0
 
         self._slots = [_Slot(i) for i in range(workers)]
         started: List[_Slot] = []
@@ -472,10 +479,29 @@ class WorkerPool:
                     return  # unrespawnable seat: leave jobs to live slots
                 job = self._jobs.popleft()
                 slot.busy = True
+                pending = list(slot.pending_invalidations)
+                slot.pending_invalidations.clear()
             try:
+                if pending:
+                    self._flush_invalidations(slot, pending)
                 self._run_job(slot, job)
             finally:
                 slot.busy = False
+
+    def _flush_invalidations(self, slot: _Slot, fingerprints: List[str]) -> None:
+        """Drop superseded engines in the worker before its next job.
+
+        A worker that dies mid-flush is respawned; the fresh process
+        holds no engines at all, so the invalidation is moot for it.
+        """
+        try:
+            reply = self._roundtrip(
+                slot, {"kind": "invalidate", "fingerprints": fingerprints}
+            )
+            slot.attached = list(reply.get("attached", slot.attached))
+            slot.jobs = int(reply.get("jobs", slot.jobs))
+        except _WorkerDied:
+            self._respawn(slot)
 
     def _run_job(self, slot: _Slot, job: _Job) -> None:
         while True:
@@ -590,6 +616,28 @@ class WorkerPool:
         """Blocking convenience wrapper around :meth:`submit_fill`."""
         return self.submit_fill(catalog, program, rows).result(timeout)
 
+    def invalidate(self, fingerprints: Iterable[str]) -> None:
+        """Mark engine-cache entries for eviction in every worker.
+
+        Called by the serving layer when the changefeed supersedes a
+        catalog fingerprint.  Enqueue-only and non-blocking: each
+        worker's dispatcher flushes its pending set over the pipe
+        immediately before the worker's next job, so mutation latency
+        never pays a pool round-trip.  Invalidation is purely an
+        eviction hint -- a fingerprint still referenced by an in-flight
+        job simply re-attaches on its next use.
+        """
+        fps = [fp for fp in fingerprints if fp]
+        if not fps:
+            return
+        with self._cv:
+            if self._closing or self._closed:
+                return
+            for slot in self._slots:
+                slot.pending_invalidations.update(fps)
+            self._invalidations += len(fps)
+            self._cv.notify_all()
+
     def ping(self) -> int:
         """Round-trip a no-op through the queue; returns the worker pid."""
         future: Future = Future()
@@ -623,6 +671,7 @@ class WorkerPool:
             queue_depth = len(self._jobs)
             total_respawns = self._total_respawns
             total_jobs = self._total_jobs
+            invalidations = self._invalidations
         workers = []
         busy = 0
         alive = 0
@@ -649,6 +698,7 @@ class WorkerPool:
             "max_queue": self.pool_config.max_queue,
             "respawns": total_respawns,
             "jobs_done": total_jobs,
+            "invalidations": invalidations,
             "start_method": self._ctx.get_start_method(),
             "spool_dir": str(self._spool),
             "published": len(self._published),

@@ -57,9 +57,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.exceptions import (
     CatalogRegistryError,
     DuplicateTableError,
+    ReproError,
     StorageError,
     UnknownCatalogError,
 )
+from repro.service.changefeed import ChangeFeed
 from repro.storage.backend import StorageBackend
 from repro.storage.catalog import StorageCatalog
 from repro.storage.snapshot import (
@@ -69,7 +71,7 @@ from repro.storage.snapshot import (
     load_catalog_snapshot,
     save_catalog_snapshot,
 )
-from repro.storage.sqlite import SQLiteBackend, ingest_catalog
+from repro.storage.sqlite import ChangefeedStore, SQLiteBackend, ingest_catalog
 from repro.tables.catalog import Catalog
 from repro.tables.io import load_table_csv
 from repro.tables.table import Table
@@ -149,6 +151,16 @@ class CatalogRegistry:
         #: mutation listeners: called as fn(name, new_snapshot) after a
         #: register/update swap lands (outside registry locks).
         self._listeners: List = []
+        #: The versioned changefeed every mutation path records into.
+        #: Snapshot-writer scheduling and the legacy ``add_listener``
+        #: callbacks are both driven *by* the feed (see
+        #: :meth:`_on_feed_event`), making it the single propagation
+        #: spine for catalog changes.
+        self.feed = ChangeFeed()
+        self.feed.persister = self._persist_feed_event
+        self.feed.add_listener(self._on_feed_event)
+        #: per-catalog durable feed stores (sqlite tier only).
+        self._feedstores: Dict[str, ChangefeedStore] = {}
 
     # ------------------------------------------------------------------
     def add_listener(self, callback) -> None:
@@ -172,6 +184,56 @@ class CatalogRegistry:
                 callback(name, catalog)
             except Exception:  # noqa: BLE001 -- listeners are best-effort
                 pass
+
+    def _on_feed_event(self, event: Dict[str, object], catalog: Catalog) -> None:
+        """Internal feed subscriber: the feed drives snapshot-writer
+        scheduling and the legacy listener fan-out, so every consumer
+        observes mutations in feed order."""
+        name = str(event["catalog"])
+        if self.snapshots and not catalog.storage_backed and len(catalog) > 0:
+            self._enqueue_snapshot(name, catalog)
+        self._notify(name, catalog)
+
+    def _record_change(
+        self,
+        name: str,
+        old: Optional[Catalog],
+        new: Catalog,
+        kind: str,
+    ) -> Catalog:
+        """Record a mutation in the changefeed (callers hold the
+        per-name lock, which is what keeps sequences gap-free)."""
+        if self.storage == "sqlite" and new.storage_backed:
+            self._ensure_feedstore(name)
+        self.feed.record(name, old, new, kind)
+        return new
+
+    def _ensure_feedstore(self, name: str) -> Optional[ChangefeedStore]:
+        """Open (and seed the feed from) ``<root>/<name>/changefeed.db``.
+
+        The feed's durable log lives in its own small database file --
+        deliberately *not* inside ``catalog.db``, which is versioned and
+        superseded wholesale on re-ingest; the feed must survive those
+        transitions to stay resumable."""
+        if self.storage != "sqlite" or self.root is None:
+            return None
+        with self._lock:
+            store = self._feedstores.get(name)
+        if store is not None:
+            return store
+        directory = self.root / name
+        directory.mkdir(parents=True, exist_ok=True)
+        store = ChangefeedStore(directory / "changefeed.db")
+        self.feed.seed(name, store.load())
+        with self._lock:
+            self._feedstores[name] = store
+        return store
+
+    def _persist_feed_event(self, name: str, event: Dict[str, object]) -> None:
+        with self._lock:
+            store = self._feedstores.get(name)
+        if store is not None:
+            store.append(event)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -327,6 +389,9 @@ class CatalogRegistry:
             if previous is not None:
                 self._retired.append(previous)
             self._backends[name] = backend
+        # Seed the changefeed from the durable log so sequences resume
+        # across restarts instead of starting over at 1.
+        self._ensure_feedstore(name)
         return StorageCatalog(backend)
 
     @staticmethod
@@ -374,6 +439,12 @@ class CatalogRegistry:
         if not isinstance(catalog, Catalog):
             catalog = Catalog(catalog)
         with self._name_lock(name):
+            try:
+                # The replaced snapshot (lazily loading it if needed) so
+                # the changefeed can record a true fingerprint transition.
+                previous: Optional[Catalog] = self.get(name)
+            except ReproError:
+                previous = None
             catalog.freeze()
             if (
                 self.storage == "sqlite"
@@ -382,9 +453,8 @@ class CatalogRegistry:
             ):
                 catalog = self._ingest_registered(name, catalog)
             stored = self._store(name, catalog)
-        if self.snapshots and not stored.storage_backed and len(stored) > 0:
-            self._enqueue_snapshot(name, stored)
-        self._notify(name, stored)
+            # Snapshot scheduling and listener fan-out ride the feed.
+            self._record_change(name, previous, stored, "register")
         return stored
 
     def _ingest_registered(self, name: str, catalog: Catalog) -> Catalog:
@@ -427,7 +497,7 @@ class CatalogRegistry:
                 raise DuplicateTableError(name, table.name)
             return snapshot.with_table(table)
 
-        return self._update(name, derive)
+        return self._update(name, derive, kind="table")
 
     def append_rows(
         self, name: str, table_name: str, rows: Sequence[Sequence[str]]
@@ -445,9 +515,9 @@ class CatalogRegistry:
                 raise UnknownCatalogError(name, self.names())
             return snapshot.with_rows(table_name, rows)
 
-        return self._update(name, derive)
+        return self._update(name, derive, kind="rows")
 
-    def _update(self, name: str, derive) -> Catalog:
+    def _update(self, name: str, derive, kind: str = "update") -> Catalog:
         """Derive-outside, compare-and-swap-inside update loop.
 
         The expensive part (copy-on-write reindexing, or a root load
@@ -472,9 +542,11 @@ class CatalogRegistry:
                     parent = None
                 if parent is not None and parent.storage_backed:
                     derived = derive(parent).freeze()
+                    if derived is parent:
+                        return derived  # zero-row append: no transition
                     with self._lock:
                         self._catalogs[name] = derived
-                    self._notify(name, derived)
+                    self._record_change(name, parent, derived, kind)
                     return derived
                 derived = derive(parent).freeze()
                 if (
@@ -493,9 +565,7 @@ class CatalogRegistry:
                     else:
                         swapped = False
                 if swapped:
-                    if self.snapshots and not derived.storage_backed:
-                        self._enqueue_snapshot(name, derived)
-                    self._notify(name, derived)
+                    self._record_change(name, parent, derived, kind)
                     return derived
                 # Lost the race (a concurrent ``register``): replay.
 
@@ -677,6 +747,10 @@ class CatalogRegistry:
             backends = list(self._backends.values()) + self._retired
             self._backends.clear()
             self._retired = []
+            feedstores = list(self._feedstores.values())
+            self._feedstores.clear()
+        for store in feedstores:
+            store.close()
         for backend in backends:
             backend.close()
 

@@ -1,0 +1,356 @@
+"""Proactive program revalidation + webhook notify, driven by the changefeed.
+
+The paper's learn-once/serve-many model assumes the catalog under a
+learned program never moves; the registry made catalogs mutable at
+runtime, and until now staleness was discovered *reactively* -- a
+``/fill`` 409'd with :class:`~repro.exceptions.StaleProgramError` only
+at resolve time.  :class:`Revalidator` subscribes to the registry's
+:class:`~repro.service.changefeed.ChangeFeed` and, on every catalog
+transition, walks the attached :class:`ProgramStore` for artifacts
+bound to that catalog and settles each into one of three outcomes:
+
+``rebound``
+    The program's required tables only grew (empty
+    :func:`~repro.engine.compile.table_drift`): the artifact's recorded
+    provenance is rewritten in place against the new snapshot, so even
+    a *destructive* later change is diffed against data the program
+    actually still works on.
+
+``relearned``
+    The program no longer fits (non-empty drift) but the learn examples
+    persisted in the artifact still do: the service re-synthesizes from
+    those examples against the new snapshot and rewrites the artifact
+    in place -- same ``name@version`` ref, fresh program.
+
+``stale``
+    Neither applies (or no examples were recorded -- pre-migration
+    artifacts): the artifact is marked stale with the exact per-table
+    diff, so listings explain the coming 409 instead of springing it.
+
+Processing happens on one daemon thread fed by a queue -- the mutation
+path only enqueues and never blocks.  :class:`WebhookNotifier` is the
+outbound half: registered URLs receive every feed event as a JSON POST,
+retried with capped exponential backoff, with delivery counters in
+``/stats``; failures never block or fail a mutation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ReproError
+
+__all__ = ["Revalidator", "WebhookNotifier"]
+
+
+class Revalidator:
+    """Walks stored artifacts after each catalog transition (off-thread)."""
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+        self._cv = threading.Condition()
+        self._queue: deque = deque()
+        self._busy = False
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        self._events_seen = 0
+        self._processed = 0
+        self._rebound = 0
+        self._relearned = 0
+        self._stale = 0
+        self._errors = 0
+        self._last_seq: Dict[str, int] = {}
+
+    # -- feed listener (mutating thread: enqueue only, never block) -----
+    def on_event(self, event: Dict[str, Any], catalog: Any) -> None:
+        if self.service.store is None:
+            return
+        with self._cv:
+            if self._closed:
+                return
+            self._events_seen += 1
+            self._queue.append(dict(event))
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-revalidator", daemon=True
+                )
+                self._thread.start()
+            self._cv.notify_all()
+
+    # -- worker ---------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if not self._queue:
+                    return  # closed and drained
+                event = self._queue.popleft()
+                self._busy = True
+            try:
+                self._process(event)
+            except Exception:  # noqa: BLE001 -- never kill the worker
+                with self._cv:
+                    self._errors += 1
+            finally:
+                with self._cv:
+                    self._busy = False
+                    name = event.get("catalog")
+                    seq = event.get("seq", 0)
+                    if isinstance(name, str):
+                        self._last_seq[name] = max(
+                            self._last_seq.get(name, 0), int(seq)
+                        )
+                    self._processed += 1
+                    self._cv.notify_all()
+
+    def _process(self, event: Dict[str, Any]) -> None:
+        from repro.engine.compile import table_drift
+
+        service = self.service
+        store = service.store
+        if store is None:
+            return
+        name = event["catalog"]
+        # Revalidate against the *current* snapshot, not the event's:
+        # if the catalog moved again while this event sat in the queue,
+        # the walk below is idempotent and the later event re-runs it.
+        snapshot = service.registry.get(name)
+        fingerprint = snapshot.fingerprint()
+        for prog_name in store.names():
+            for version in store.versions(prog_name):
+                try:
+                    stored = store.get(prog_name, version)
+                except ReproError:
+                    continue
+                info = stored.catalog_info
+                if not info or info.get("name") != name:
+                    continue
+                if info.get("fingerprint") == fingerprint:
+                    continue
+                drift = table_drift(info.get("tables", {}), snapshot)
+                if not drift:
+                    self._rebind(stored, name, snapshot)
+                    continue
+                if not self._relearn(stored, name, snapshot):
+                    store.amend(
+                        prog_name,
+                        version,
+                        stale={
+                            "fingerprint": fingerprint,
+                            "changes": list(drift),
+                        },
+                    )
+                    with self._cv:
+                        self._stale += 1
+
+    def _rebind(self, stored: Any, name: str, snapshot: Any) -> None:
+        """Grow-only drift: rewrite provenance in place (``rebound``)."""
+        program = stored.program(catalog=snapshot)
+        new_info = self.service._catalog_provenance(program, name, snapshot)
+        self.service.store.amend(
+            stored.name, stored.version, catalog_info=new_info, stale=None
+        )
+        with self._cv:
+            self._rebound += 1
+
+    def _relearn(self, stored: Any, name: str, snapshot: Any) -> bool:
+        """Re-synthesize from persisted examples (``relearned``).
+
+        Returns False when no examples were recorded (pre-migration
+        artifact) or the examples no longer admit a program.
+        """
+        examples = stored.examples
+        if not examples:
+            return False
+        try:
+            engine = self.service.engine_for(name)
+            result = engine.synthesize(list(examples), k=1)
+            program = result.program
+        except ReproError:
+            return False
+        new_info = self.service._catalog_provenance(program, name, snapshot)
+        self.service.store.amend(
+            stored.name,
+            stored.version,
+            program=program,
+            catalog_info=new_info,
+            stale=None,
+        )
+        with self._cv:
+            self._relearned += 1
+        return True
+
+    # -- introspection --------------------------------------------------
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until the queue drains (tests/benchmarks); False on
+        timeout."""
+        deadline = time.monotonic() + timeout
+        with self._cv:
+            while self._queue or self._busy:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cv.wait(remaining)
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        feed = self.service.registry.feed
+        with self._cv:
+            last_seq = dict(self._last_seq)
+            entry = {
+                "enabled": True,
+                "events": self._events_seen,
+                "processed": self._processed,
+                "rebound": self._rebound,
+                "relearned": self._relearned,
+                "stale": self._stale,
+                "errors": self._errors,
+                "queued": len(self._queue),
+            }
+        # Feed lag: how far behind the head the walker is, summed over
+        # catalogs it has seen events for.
+        entry["lag"] = sum(
+            max(0, feed.head(name) - seq) for name, seq in last_seq.items()
+        )
+        entry["last_seq"] = last_seq
+        return entry
+
+    def close(self) -> None:
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=10.0)
+
+
+class WebhookNotifier:
+    """POSTs every feed event to registered URLs, off the mutation path.
+
+    Delivery runs on one daemon thread with capped exponential backoff
+    (``RETRIES`` attempts, ``BACKOFF_BASE * 2^attempt`` seconds capped
+    at ``BACKOFF_CAP``); a URL that keeps failing counts into
+    ``failed`` and the event is dropped -- external notify is
+    best-effort by contract, and the durable changefeed remains the
+    source of truth a consumer can re-sync from (``GET
+    /catalogs/<name>/changes``).
+    """
+
+    RETRIES = 3
+    BACKOFF_BASE = 0.1
+    BACKOFF_CAP = 2.0
+    TIMEOUT = 5.0
+
+    def __init__(self) -> None:
+        self._cv = threading.Condition()
+        self._urls: List[str] = []
+        self._queue: deque = deque()
+        self._busy = False
+        self._closed = False
+        self._thread: Optional[threading.Thread] = None
+        self._delivered = 0
+        self._failed = 0
+        self._retries = 0
+
+    def add(self, url: str) -> None:
+        with self._cv:
+            if url not in self._urls:
+                self._urls.append(url)
+
+    def urls(self) -> List[str]:
+        with self._cv:
+            return list(self._urls)
+
+    # -- feed listener (enqueue only) -----------------------------------
+    def on_event(self, event: Dict[str, Any], catalog: Any) -> None:
+        with self._cv:
+            if self._closed or not self._urls:
+                return
+            self._queue.append((dict(event), list(self._urls)))
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-webhooks", daemon=True
+                )
+                self._thread.start()
+            self._cv.notify_all()
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if not self._queue:
+                    return
+                event, urls = self._queue.popleft()
+                self._busy = True
+            try:
+                body = json.dumps(event, ensure_ascii=False).encode("utf-8")
+                for url in urls:
+                    self._deliver(url, body)
+            finally:
+                with self._cv:
+                    self._busy = False
+                    self._cv.notify_all()
+
+    def _deliver(self, url: str, body: bytes) -> None:
+        for attempt in range(self.RETRIES):
+            request = urllib.request.Request(
+                url,
+                data=body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.TIMEOUT):
+                    pass
+                with self._cv:
+                    self._delivered += 1
+                return
+            except (urllib.error.URLError, OSError, ValueError):
+                with self._cv:
+                    if self._closed:
+                        return
+                    if attempt + 1 < self.RETRIES:
+                        self._retries += 1
+            if attempt + 1 < self.RETRIES:
+                time.sleep(
+                    min(self.BACKOFF_CAP, self.BACKOFF_BASE * (2 ** attempt))
+                )
+        with self._cv:
+            self._failed += 1
+
+    # -- introspection --------------------------------------------------
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        deadline = time.monotonic() + timeout
+        with self._cv:
+            while self._queue or self._busy:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cv.wait(remaining)
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        with self._cv:
+            return {
+                "urls": len(self._urls),
+                "delivered": self._delivered,
+                "failed": self._failed,
+                "retries": self._retries,
+                "queued": len(self._queue),
+            }
+
+    def close(self) -> None:
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=10.0)

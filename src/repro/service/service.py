@@ -64,6 +64,7 @@ from repro.exceptions import (
     WorkerPoolError,
 )
 from repro.service.registry import DEFAULT_CATALOG, CatalogRegistry
+from repro.service.revalidate import Revalidator, WebhookNotifier
 from repro.service.store import ProgramStore, StoredProgram, parse_program_ref
 from repro.tables.background import background_catalog
 from repro.tables.catalog import Catalog
@@ -273,6 +274,32 @@ class SynthesisService:
         self.pool = None
         self._pool_dispatched = 0
         self._pool_fallbacks = 0
+        # Changefeed consumers: proactive artifact revalidation (only
+        # useful with a store attached -- it checks at event time) and
+        # outbound webhook notify.  Both enqueue-and-return; the
+        # mutation path never blocks on them.
+        self.revalidator = Revalidator(self)
+        self.registry.feed.add_listener(self.revalidator.on_event)
+        self.webhooks = WebhookNotifier()
+        self.registry.feed.add_listener(self.webhooks.on_event)
+        self.registry.feed.add_listener(self._pool_invalidate)
+
+    # ------------------------------------------------------------------
+    def add_change_webhook(self, url: str) -> None:
+        """POST every catalog changefeed event to ``url`` (best-effort)."""
+        self.webhooks.add(url)
+
+    def _pool_invalidate(self, event: Dict[str, Any], catalog: Catalog) -> None:
+        """Feed listener: tell pool workers to drop engine cache entries
+        for the superseded snapshot fingerprint (non-blocking)."""
+        pool = self.pool
+        old = event.get("old_fingerprint")
+        if pool is None or pool.closed or not old:
+            return
+        try:
+            pool.invalidate([old])
+        except Exception:  # noqa: BLE001 -- hygiene only, never fail a mutation
+            pass
 
     # ------------------------------------------------------------------
     def attach_pool(self, pool) -> None:
@@ -470,6 +497,7 @@ class SynthesisService:
                 metadata=metadata,
                 catalog_name=name,
                 snapshot=engine.catalog,
+                examples=as_task(task).examples,
             )
         return LearnReply(
             result=result,
@@ -556,6 +584,7 @@ class SynthesisService:
         metadata: Optional[Dict[str, Any]] = None,
         catalog_name: Optional[str] = None,
         snapshot: Optional[Catalog] = None,
+        examples: Optional[Any] = None,
     ) -> StoredProgram:
         """Persist ``program`` under ``name``; dedupe unchanged saves.
 
@@ -566,7 +595,9 @@ class SynthesisService:
         catalog -- on an unchanged program does write a new version.
         When ``snapshot`` is given the artifact records catalog
         provenance (name, fingerprint, per-required-table data digests)
-        used by :meth:`fill`'s staleness check.
+        used by :meth:`fill`'s staleness check; ``examples`` (the learn
+        input/output pairs) are persisted alongside it so revalidation
+        can re-learn the program when the catalog moves destructively.
         """
         self.validate_save_target(name)
         assert self.store is not None  # validate_save_target guarantees it
@@ -576,7 +607,11 @@ class SynthesisService:
                 program, catalog_name or self.default_catalog, snapshot
             )
         return self.store.save_if_changed(
-            name, program, metadata=metadata, catalog_info=catalog_info
+            name,
+            program,
+            metadata=metadata,
+            catalog_info=catalog_info,
+            examples=examples,
         )
 
     # ------------------------------------------------------------------
@@ -865,6 +900,13 @@ class SynthesisService:
                 "snapshots": self.registry.snapshots,
             },
             "catalogs": catalogs,
+            "changefeed": self.registry.feed.stats(),
+            "revalidation": (
+                self.revalidator.stats()
+                if self.store is not None
+                else {"enabled": False}
+            ),
+            "webhooks": self.webhooks.stats(),
             "workers": workers,
             "requests": counters,
             "request_cache": self.cache.stats(),
@@ -905,6 +947,8 @@ class SynthesisService:
         only after the server stops accepting requests (the
         ``repro serve`` shutdown path does exactly that).
         """
+        self.revalidator.close()
+        self.webhooks.close()
         if self.pool is not None:
             self.pool.close(drain=True)
         self.registry.close()

@@ -87,6 +87,41 @@ class StoredProgram:
         return dict(info) if isinstance(info, dict) else None
 
     @property
+    def examples(self) -> Optional[List[Tuple[Tuple[str, ...], str]]]:
+        """The learn examples recorded at save time, or ``None``.
+
+        Lazy migration shim: artifacts written before examples were
+        persisted (or with a malformed block) simply report ``None`` --
+        they load and serve fine, re-learning is just unavailable for
+        them.
+        """
+        raw = self.payload.get("store", {}).get("examples")
+        if not isinstance(raw, list) or not raw:
+            return None
+        examples: List[Tuple[Tuple[str, ...], str]] = []
+        for entry in raw:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], (list, tuple))
+                or not all(isinstance(cell, str) for cell in entry[0])
+                or not isinstance(entry[1], str)
+            ):
+                return None
+            examples.append((tuple(entry[0]), entry[1]))
+        return examples
+
+    @property
+    def stale(self) -> Optional[Dict[str, Any]]:
+        """The staleness marker set by revalidation, or ``None``.
+
+        ``{"fingerprint": <catalog fingerprint the drift was seen
+        against>, "changes": [...]}`` -- informational; the serving
+        layer recomputes drift live on resolve."""
+        marker = self.payload.get("store", {}).get("stale")
+        return dict(marker) if isinstance(marker, dict) else None
+
+    @property
     def language(self) -> Optional[str]:
         return self.payload.get("language")
 
@@ -112,6 +147,7 @@ class StoredProgram:
             "catalog": None
             if info is None
             else {"name": info.get("name"), "fingerprint": info.get("fingerprint")},
+            "stale": self.stale,
         }
 
 
@@ -165,23 +201,35 @@ class ProgramStore:
         return sorted(found)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_examples(examples: Optional[Any]) -> Optional[List[List[Any]]]:
+        """JSON-friendly ``[[inputs...], output]`` pairs, or ``None``."""
+        if not examples:
+            return None
+        return [
+            [list(inputs), output] for inputs, output in examples
+        ]
+
     def save(
         self,
         name: str,
         program: Program,
         metadata: Optional[Dict[str, Any]] = None,
         catalog_info: Optional[Dict[str, Any]] = None,
+        examples: Optional[Any] = None,
     ) -> StoredProgram:
         """Persist ``program`` as the next version of ``name``.
 
         The artifact is ``program.to_dict()`` with a ``store`` block
         (name, version, wall-clock ``saved_at``, caller ``metadata``,
         optional ``catalog`` provenance -- see
-        :attr:`StoredProgram.catalog_info`) added;
+        :attr:`StoredProgram.catalog_info` -- and the optional learn
+        ``examples`` that produced the program) added;
         :meth:`Program.from_dict` ignores the extra key, so the file
         stays a plain program artifact.
         """
         payload = program.to_dict()
+        encoded_examples = self._encode_examples(examples)
         with self._lock:
             versions = self._versions_on_disk(name)
             version = versions[-1][0] + 1 if versions else 1
@@ -201,6 +249,8 @@ class ProgramStore:
                 }
                 if catalog_info is not None:
                     payload["store"]["catalog"] = dict(catalog_info)
+                if encoded_examples is not None:
+                    payload["store"]["examples"] = encoded_examples
                 text = json.dumps(payload, indent=2, ensure_ascii=False) + "\n"
                 path = directory / f"v{version:04d}.json"
                 handle = tempfile.NamedTemporaryFile(
@@ -240,6 +290,7 @@ class ProgramStore:
         program: Program,
         metadata: Optional[Dict[str, Any]] = None,
         catalog_info: Optional[Dict[str, Any]] = None,
+        examples: Optional[Any] = None,
     ) -> StoredProgram:
         """Like :meth:`save`, but dedupe unchanged saves (atomically).
 
@@ -279,6 +330,11 @@ class ProgramStore:
                     if catalog_info is None
                     else json.loads(json.dumps(dict(catalog_info)))
                 )
+                encoded = self._encode_examples(examples)
+                normalized_examples = (
+                    None if encoded is None else json.loads(json.dumps(encoded))
+                )
+                stored_examples = latest.payload.get("store", {}).get("examples")
                 if (
                     unchanged
                     and (normalized is None or normalized == latest.metadata)
@@ -286,10 +342,80 @@ class ProgramStore:
                         normalized_info is None
                         or normalized_info == latest.catalog_info
                     )
+                    and (
+                        normalized_examples is None
+                        or normalized_examples == stored_examples
+                    )
                 ):
                     return latest
             return self.save(
-                name, program, metadata=metadata, catalog_info=catalog_info
+                name,
+                program,
+                metadata=metadata,
+                catalog_info=catalog_info,
+                examples=examples,
+            )
+
+    _KEEP_STALE = object()  # amend(stale=...) sentinel: leave marker alone
+
+    def amend(
+        self,
+        name: str,
+        version: int,
+        program: Optional[Program] = None,
+        catalog_info: Optional[Dict[str, Any]] = None,
+        stale: Any = _KEEP_STALE,
+    ) -> StoredProgram:
+        """Atomically rewrite one stored version **in place**.
+
+        The revalidation subsystem uses this to keep old ``name@version``
+        references serving after their catalog moved: rebinding updates
+        the recorded ``catalog`` provenance (and optionally the program
+        payload itself, after a re-learn) without minting a new version,
+        so clients pinned to the old ref never see a 409.  Identity
+        fields (name, version, ``saved_at``, metadata, examples) are
+        preserved; ``stale`` set to a dict records a staleness marker,
+        ``None`` clears it, and omitting it leaves it untouched.
+        The rewrite is temp-file + ``os.replace`` atomic.
+        """
+        with self._lock:
+            stored = self.get(name, version)
+            payload = (
+                program.to_dict() if program is not None else dict(stored.payload)
+            )
+            block = dict(stored.payload.get("store", {}))
+            block["name"] = name
+            block["version"] = version
+            if catalog_info is not None:
+                block["catalog"] = dict(catalog_info)
+            if stale is not self._KEEP_STALE:
+                if stale is None:
+                    block.pop("stale", None)
+                else:
+                    block["stale"] = dict(stale)
+            payload["store"] = block
+            text = json.dumps(payload, indent=2, ensure_ascii=False) + "\n"
+            directory = self._program_dir(name)
+            handle = tempfile.NamedTemporaryFile(
+                "w",
+                encoding="utf-8",
+                dir=str(directory),
+                prefix=".tmp-",
+                suffix=".json",
+                delete=False,
+            )
+            try:
+                with handle:
+                    handle.write(text)
+                os.replace(handle.name, stored.path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+            return StoredProgram(
+                name=name, version=version, path=stored.path, payload=payload
             )
 
     def _read_artifact(self, name: str, version: int, path: Path) -> StoredProgram:

@@ -39,6 +39,7 @@ __all__ = [
     "encode_outputs",
     "error_line",
     "make_reader",
+    "sse_event",
 ]
 
 
@@ -220,3 +221,24 @@ def error_line(message: str) -> bytes:
     return json.dumps({"error": message}, ensure_ascii=False).encode(
         "utf-8"
     ) + b"\n"
+
+
+def sse_event(
+    payload, event: Optional[str] = None, id: Optional[object] = None  # noqa: A002
+) -> bytes:
+    """One Server-Sent-Events frame: ``id:`` / ``event:`` / ``data:``.
+
+    ``payload`` is JSON-encoded onto a single ``data:`` line (compact
+    separators -- SSE frames are line-framed, so the payload must not
+    contain raw newlines), followed by the blank line that terminates
+    the frame.  Both changefeed transports (threaded and async) emit
+    feed events through here so the wire bytes are identical.
+    """
+    lines: List[bytes] = []
+    if id is not None:
+        lines.append(f"id: {id}\n".encode("utf-8"))
+    if event is not None:
+        lines.append(f"event: {event}\n".encode("utf-8"))
+    data = json.dumps(payload, ensure_ascii=False, separators=(",", ":"))
+    lines.append(b"data: " + data.encode("utf-8") + b"\n\n")
+    return b"".join(lines)

@@ -1058,3 +1058,82 @@ def ingest_catalog(
 def _chunks(items: Sequence, size: int = _IN_CHUNK):
     for start in range(0, len(items), size):
         yield items[start : start + size]
+
+
+class ChangefeedStore:
+    """Durable per-catalog changefeed log: one tiny WAL-mode file.
+
+    Kept separate from ``catalog.db`` on purpose -- catalog database
+    files are versioned and superseded wholesale when a catalog is
+    re-ingested (see the registry's ``_next_db_path``), while the feed
+    must span those transitions to stay resumable.  The schema is one
+    append-only table::
+
+        changefeed(seq INTEGER PRIMARY KEY, event TEXT)
+
+    ``event`` is the JSON-encoded feed event; ``seq`` mirrors the
+    event's sequence number, so the primary key enforces the
+    no-duplicates half of the gap-free invariant at the disk layer too.
+    Thread-safe: appends happen on mutating threads, loads on lazy
+    catalog loaders.
+    """
+
+    def __init__(self, path: Union[str, Path], busy_timeout_ms: int = 5000) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._conn = _open_connection(self.path, busy_timeout_ms)
+        try:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS changefeed ("
+                "seq INTEGER PRIMARY KEY, event TEXT NOT NULL)"
+            )
+        except sqlite3.Error as error:
+            self._conn.close()
+            raise StorageError(
+                f"cannot open changefeed store {self.path}: {error}"
+            ) from error
+        self._closed = False
+
+    def append(self, event: Dict[str, object]) -> None:
+        payload = json.dumps(event, ensure_ascii=False, separators=(",", ":"))
+        with self._lock:
+            if self._closed:
+                return
+            self._conn.execute(
+                "INSERT OR IGNORE INTO changefeed (seq, event) VALUES (?, ?)",
+                (int(event["seq"]), payload),
+            )
+
+    def load(self) -> List[Dict[str, object]]:
+        """All persisted events, oldest first."""
+        with self._lock:
+            if self._closed:
+                return []
+            rows = self._conn.execute(
+                "SELECT event FROM changefeed ORDER BY seq"
+            ).fetchall()
+        events: List[Dict[str, object]] = []
+        for (payload,) in rows:
+            try:
+                event = json.loads(payload)
+            except ValueError:
+                continue  # torn row: skip, the chain check will surface it
+            if isinstance(event, dict):
+                events.append(event)
+        return events
+
+    def head(self) -> int:
+        with self._lock:
+            if self._closed:
+                return 0
+            row = self._conn.execute(
+                "SELECT COALESCE(MAX(seq), 0) FROM changefeed"
+            ).fetchone()
+        return int(row[0]) if row else 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._conn.close()

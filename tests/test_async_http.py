@@ -119,6 +119,7 @@ class TestTransportParity:
                 "uptime_seconds",
                 "created_at",
                 "saved_at",
+                "ts",
             }
 
             def normalize(body):
@@ -139,17 +140,94 @@ class TestTransportParity:
                 ("GET", "/programs", None),
                 ("GET", "/catalogs", None),
                 ("POST", "/nope", {"x": 1}),
+                # The changefeed surface: plain poll, satisfied long
+                # poll, 416 past the head, 404 on an unknown catalog.
+                ("GET", "/catalogs/default/changes?since=0", None),
+                ("GET", "/catalogs/default/changes?since=0&wait=5", None),
+                ("GET", "/catalogs/default/changes?since=42", None),
+                ("GET", "/catalogs/nope/changes?since=0", None),
+                # Destructive replace, then a fill of the now-stale
+                # artifact: the 409 body must match shape across
+                # transports (relearn cannot save "q": one example and
+                # no tables left would fit it -- see below).
+                (
+                    "POST",
+                    "/learn",
+                    {
+                        "examples": [
+                            [["c1"], "Microsoft"],
+                            [["c2"], "Google"],
+                        ],
+                        "save": "q",
+                    },
+                ),
+                (
+                    "PUT",
+                    "/catalogs/default",
+                    {
+                        "tables": [
+                            {"name": "Other", "columns": ["a"], "rows": [["1"]]}
+                        ]
+                    },
+                ),
+                ("POST", "/fill", {"program": "q", "rows": [["c1"]]}),
             ]
+            statuses = []
             for method, path, payload in calls:
                 replies = []
                 for server in (threaded, asynced):
                     if method == "GET":
                         replies.append(get(server, path))
                     else:
-                        replies.append(post(server, path, payload))
+                        replies.append(post(server, path, payload, method))
                 (status_a, body_a), (status_b, body_b) = replies
                 assert status_a == status_b, (path, body_a, body_b)
                 assert normalize(body_a) == normalize(body_b), path
+                statuses.append(status_a)
+                last_body = body_a
+            assert statuses[-4:] == [404, 200, 200, 409]
+            # Pin the 409 shape clients key off of.
+            assert last_body["program"] == "q"
+            assert last_body["changes"] == ["table 'Comp' was removed"]
+        finally:
+            for server in (threaded, asynced):
+                server.shutdown()
+            for thread in threads:
+                thread.join(timeout=10)
+            for server in (threaded, asynced):
+                server.server_close()
+                server.service.close()
+
+    def test_changes_sse_frames_match_across_transports(self, tmp_path):
+        """Same mutations, same SSE frames (ids, event names, data)."""
+        threaded = create_server(make_service(tmp_path / "a"), port=0)
+        asynced = create_async_server(make_service(tmp_path / "b"), port=0)
+        threads = [boot(threaded), boot(asynced)]
+        try:
+            frames_by_server = []
+            for server in (threaded, asynced):
+                server.service.registry.append_rows(
+                    "default", "Comp", [["x0", "NewCo0"]]
+                )
+                raw = raw_exchange(
+                    server,
+                    b"GET /catalogs/default/changes?since=0&sse=1&limit=2 "
+                    b"HTTP/1.1\r\nHost: x\r\n\r\n",
+                    timeout=30.0,
+                )
+                head, _, payload = raw.partition(b"\r\n\r\n")
+                assert b"text/event-stream" in head, head
+                frames = []
+                for frame in payload.split(b"\n\n"):
+                    if not frame or frame.startswith(b":"):
+                        continue
+                    lines = frame.split(b"\n")
+                    event = json.loads(lines[2][len(b"data: ") :])
+                    event.pop("ts")
+                    frames.append((lines[0], lines[1], event))
+                frames_by_server.append(frames)
+            assert len(frames_by_server[0]) == 2
+            assert frames_by_server[0] == frames_by_server[1]
         finally:
             for server in (threaded, asynced):
                 server.shutdown()

@@ -280,8 +280,33 @@ class TestProvenanceAndStaleness:
         assert status == 200
         assert filled["outputs"][0].startswith("Intel")
 
+    def wait_revalidated(self, client):
+        """Poll /stats until the revalidator drained its queue."""
+        import time
+
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            status, stats = client.get("/stats")
+            assert status == 200
+            reval = stats["revalidation"]
+            if reval["queued"] == 0 and reval["processed"] == reval["events"]:
+                return stats
+            time.sleep(0.05)
+        raise AssertionError("revalidation never drained")
+
     def test_fill_refuses_rewritten_catalog_with_409(self, client):
-        self.save_expand(client)
+        # Two conflicting examples: once the rows are gone, nothing --
+        # not even a relearn from the persisted examples -- can heal the
+        # artifact, so the 409 is deterministic and carries the diff.
+        status, reply = client.post(
+            "/learn",
+            {
+                "examples": [[["c4"], "Facebook"], [["c2"], "Google"]],
+                "save": "expand",
+                "catalog": "products",
+            },
+        )
+        assert status == 200, reply
         client.put(
             "/catalogs/products",
             {
@@ -295,6 +320,8 @@ class TestProvenanceAndStaleness:
                 ]
             },
         )
+        stats = self.wait_revalidated(client)
+        assert stats["revalidation"]["stale"] >= 1
         status, reply = client.post(
             "/fill", {"program": "expand", "rows": [["c1"]]}
         )
@@ -302,8 +329,16 @@ class TestProvenanceAndStaleness:
         assert reply["program"] == "expand"
         assert reply["catalog"] == "products"
         assert any("lost rows" in change for change in reply["changes"])
+        # The listing explains the coming 409 instead of springing it.
+        status, listing = client.get("/programs")
+        entry = next(p for p in listing["programs"] if p["name"] == "expand")
+        assert entry["stale"] is not None
+        assert any("lost rows" in c for c in entry["stale"]["changes"])
 
-    def test_fill_refuses_schema_change_with_409(self, client):
+    def test_schema_change_relearns_from_stored_examples(self, client):
+        """Renamed columns over intact data: the revalidator re-learns
+        the program from its persisted examples and the same
+        ``name@version`` ref keeps serving -- no 409."""
         self.save_expand(client)
         client.put(
             "/catalogs/products",
@@ -318,11 +353,13 @@ class TestProvenanceAndStaleness:
                 ]
             },
         )
-        status, reply = client.post(
-            "/fill", {"program": "expand", "rows": [["c1"]]}
+        stats = self.wait_revalidated(client)
+        assert stats["revalidation"]["relearned"] >= 1
+        status, filled = client.post(
+            "/fill", {"program": "expand", "rows": [["c2 c5 c6"]]}
         )
-        assert status == 409
-        assert any("columns changed" in change for change in reply["changes"])
+        assert status == 200, filled
+        assert filled["outputs"] == ["Google IBM Xerox"]
 
     def test_stored_program_defaults_to_its_learned_catalog(self, client):
         # Saved against "products"; an unrelated default catalog change
