@@ -101,12 +101,14 @@ from repro.exceptions import (
     TableError,
     UnknownBackendError,
     UnknownCatalogError,
+    UnknownMatcherError,
     UnknownProgramError,
 )
+from repro.matching import available_matchers, build_pipeline
 from repro.tables import Catalog, Table
 from repro.tables.background import background_catalog, background_table
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Catalog",
@@ -143,10 +145,13 @@ __all__ = [
     "TableError",
     "UnknownBackendError",
     "UnknownCatalogError",
+    "UnknownMatcherError",
     "UnknownProgramError",
     "available_backends",
+    "available_matchers",
     "background_catalog",
     "background_table",
+    "build_pipeline",
     "create_backend",
     "paraphrase",
     "register_backend",

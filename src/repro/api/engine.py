@@ -44,7 +44,8 @@ from repro.core.formalism import (
 from repro.engine.program import Program
 from repro.exceptions import NoExamplesError, NoProgramFoundError
 from repro.lookup.ast import Select
-from repro.lookup.extract import expression_tables
+from repro.lookup.extract import expression_confidence, expression_tables
+from repro.matching import normalize_spec
 from repro.syntactic.ast import Concatenate, ConstStr, SubStr
 from repro.syntactic.positions import position_expr_cost
 from repro.tables.background import background_catalog
@@ -95,6 +96,14 @@ def _select_cost(expr: Select, weights: RankingWeights) -> float:
         if expr.table in expression_tables(sub):
             cost += weights.self_join_penalty
         total += cost
+    if expr.match_provenance:
+        # Approximately-bound predicates pay for their uncertainty --
+        # the same surcharge the extractor applies -- so an exact
+        # derivation of the same structure always scores strictly better.
+        total += sum(
+            weights.approx_predicate * (1.0 - confidence)
+            for _column, _strategy, confidence in expr.match_provenance
+        )
     return total
 
 
@@ -190,6 +199,15 @@ class Synthesizer:
                 merged = merged.merged_with(background_catalog(names))
             merged.use_table_index = config.use_table_index
             self.catalog = merged
+        # Stamp the matcher spec onto the serving catalog (like
+        # use_table_index above).  The default exact spec is already every
+        # catalog's default, so this is a no-op on the default path; a
+        # non-default spec derives an O(1) frozen clone sharing all
+        # indexes (storage-backed catalogs materialize first -- the
+        # secondary matcher indexes are in-memory structures).
+        spec = normalize_spec(config.matchers)
+        if tuple(getattr(self.catalog, "matcher_spec", ("exact",))) != spec:
+            self.catalog = self.catalog.with_matchers(spec)
         self.config = config
         self._catalog_picklable: Optional[bool] = None
         self._batch_pool = None  # persistent WorkerPool, built on demand
@@ -272,17 +290,25 @@ class Synthesizer:
     def _ranked_candidates(
         self, structure, num_inputs: int, k: int
     ) -> List[RankedProgram]:
-        """Best program first, then up to ``k - 1`` runners-up by cost."""
+        """Best program first, then up to ``k - 1`` runners-up by cost.
+
+        Under an approximate matcher spec, an exact derivation of a given
+        structure always outranks the approximate derivation of the same
+        structure: approximately-bound predicates carry the
+        ``approx_predicate`` cost surcharge both in extraction and in
+        :func:`score_expression`, and the extractor never binds
+        approximately when the exact node exists.
+        """
         weights = self.config.weights
         seen = set()
-        ordered: List[Tuple[float, str, Expression, str]] = []
+        ordered: List[Tuple[float, str, Expression, str, float]] = []
 
         def push(score: float, expr: Expression, provenance: str) -> None:
             key = str(expr)
             if key in seen:
                 return
             seen.add(key)
-            ordered.append((score, key, expr, provenance))
+            ordered.append((score, key, expr, provenance, expression_confidence(expr)))
 
         best = self._backend.best_program(structure)
         if best is None:
@@ -304,8 +330,11 @@ class Synthesizer:
                 score=score,
                 program=self._wrap(expr, num_inputs),
                 provenance=provenance,
+                confidence=confidence,
             )
-            for rank, (score, _, expr, provenance) in enumerate(ranked, start=1)
+            for rank, (score, _, expr, provenance, confidence) in enumerate(
+                ranked, start=1
+            )
         ]
 
     # ------------------------------------------------------------------
@@ -495,8 +524,9 @@ class Synthesizer:
                 score=score,
                 program=Program.from_dict(data, catalog=self.catalog),
                 provenance=provenance,
+                confidence=confidence,
             )
-            for rank, score, provenance, data in payload["programs"]
+            for rank, score, provenance, confidence, data in payload["programs"]
         )
         return SynthesisResult(
             task=payload["task"],
@@ -516,7 +546,7 @@ def _result_to_payload(result: SynthesisResult) -> Dict[str, Any]:
         "task": result.task,
         "language": result.language,
         "programs": [
-            (c.rank, c.score, c.provenance, c.program.to_dict())
+            (c.rank, c.score, c.provenance, c.confidence, c.program.to_dict())
             for c in result.programs
         ],
         "consistent_count": result.consistent_count,

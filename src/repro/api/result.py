@@ -83,12 +83,24 @@ class RankedProgram:
     ``score`` is the cost under :class:`repro.config.RankingWeights` --
     lower is better, rank 1 is the program :meth:`SynthesisResult.program`
     returns.
+
+    ``confidence`` is the min matcher confidence over the program's
+    lookups (``repro.matching``): 1.0 when every binding is exact -- the
+    only value the default matcher spec produces -- and lower when some
+    predicate was resolved canonically / fuzzily / by alias.  Exact
+    candidates always rank strictly ahead of approximate ones.
     """
 
     rank: int
     score: float
     program: "Program"
     provenance: str = PROVENANCE_ENUMERATED
+    confidence: float = 1.0
+
+    @property
+    def approximate(self) -> bool:
+        """True when some lookup was bound by an approximate matcher."""
+        return self.confidence < 1.0
 
     def __iter__(self):
         """Unpack as ``(score, program)`` for tuple-style consumers."""
@@ -188,6 +200,13 @@ class SynthesisResult:
                     "score": candidate.score,
                     "provenance": candidate.provenance,
                     "program": candidate.program.to_dict(),
+                    # Emitted only for approximate candidates so exact
+                    # artifacts stay byte-identical to prior releases.
+                    **(
+                        {"confidence": candidate.confidence}
+                        if candidate.confidence < 1.0
+                        else {}
+                    ),
                 }
                 for candidate in self.programs
             ],

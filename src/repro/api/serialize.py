@@ -86,7 +86,7 @@ def expression_to_dict(expr: Expression) -> Dict[str, Any]:
             "parts": [expression_to_dict(part) for part in expr.parts],
         }
     if isinstance(expr, Select):
-        return {
+        payload = {
             "kind": "select",
             "column": expr.column,
             "table": expr.table,
@@ -95,6 +95,15 @@ def expression_to_dict(expr: Expression) -> Dict[str, Any]:
                 for key_column, sub in expr.predicates
             ],
         }
+        # Only approximate-matcher lookups carry provenance; omitting the
+        # key otherwise keeps default-path payloads byte-identical to
+        # prior releases (same digests, same cache keys).
+        if expr.match_provenance:
+            payload["match_provenance"] = [
+                [column, strategy, confidence]
+                for column, strategy, confidence in expr.match_provenance
+            ]
+        return payload
     raise SerializationError(f"cannot serialize expression type {type(expr).__name__}")
 
 
@@ -121,6 +130,7 @@ def expression_from_dict(data: Any) -> Expression:
         if kind == "concat":
             return Concatenate([expression_from_dict(part) for part in data["parts"]])
         if kind == "select":
+            provenance = data.get("match_provenance")
             return Select(
                 str(data["column"]),
                 str(data["table"]),
@@ -128,6 +138,12 @@ def expression_from_dict(data: Any) -> Expression:
                     (str(pred["column"]), expression_from_dict(pred["value"]))
                     for pred in data["predicates"]
                 ],
+                match_provenance=[
+                    (str(column), str(strategy), float(confidence))
+                    for column, strategy, confidence in provenance
+                ]
+                if provenance
+                else None,
             )
     except SerializationError:
         raise

@@ -3,8 +3,10 @@
 Subcommand usage::
 
     repro learn --table Comp.csv --examples examples.csv \\
-                [--fill pending.csv] [--save program.json] [--top 3]
-    repro fill  --program program.json --rows pending.csv [--table Comp.csv]
+                [--fill pending.csv] [--save program.json] [--top 3] \\
+                [--matchers canonical,fuzzy]
+    repro fill  --program program.json --rows pending.csv [--table Comp.csv] \\
+                [--matchers canonical,fuzzy]
     repro fill  --program program.json --rows - --stream [--chunk 1024]
     repro serve --table Comp.csv [--store programs/] [--port 8765] \\
                 [--catalog-root catalogs/] [--storage sqlite] [--snapshots]
@@ -117,6 +119,13 @@ def build_learn_parser(prog: str = "repro learn") -> argparse.ArgumentParser:
         "default: semantic)",
     )
     parser.add_argument(
+        "--matchers",
+        metavar="NAMES",
+        help="comma-separated matcher strategies for approximate lookups "
+        "(e.g. canonical,fuzzy; exact is always included and always "
+        "ranks first; default: exact only)",
+    )
+    parser.add_argument(
         "--describe",
         action="store_true",
         help="also print the natural-language paraphrase",
@@ -159,6 +168,12 @@ def build_fill_parser(prog: str = "repro fill") -> argparse.ArgumentParser:
         required=True,
         metavar="CSV",
         help="rows of inputs to fill; '-' reads CSV rows from stdin",
+    )
+    parser.add_argument(
+        "--matchers",
+        metavar="NAMES",
+        help="comma-separated matcher strategies for approximate lookups "
+        "during the fill (e.g. canonical,fuzzy; default: exact only)",
     )
     parser.add_argument(
         "--stream",
@@ -466,10 +481,18 @@ def _fill_stream_stdout(program: Program, rows, chunk: int = 1024) -> None:
 def _cmd_learn(argv: Sequence[str], prog: str = "repro learn") -> int:
     args = build_learn_parser(prog=prog).parse_args(argv)
     try:
+        from repro.config import DEFAULT_CONFIG
+
+        config = (
+            DEFAULT_CONFIG.with_matchers(args.matchers)
+            if args.matchers
+            else DEFAULT_CONFIG
+        )
         engine = Synthesizer(
             catalog=_load_catalog(args),
             language=args.language,
             background=args.background or None,
+            config=config,
         )
         examples = []
         for row in _read_rows(args.examples):
@@ -519,6 +542,8 @@ def _cmd_fill(argv: Sequence[str]) -> int:
         catalog = _load_catalog(args)
         if args.background:
             catalog = catalog.merged_with(background_catalog(args.background))
+        if args.matchers:
+            catalog = catalog.with_matchers(args.matchers)
         text = Path(args.program).read_text(encoding="utf-8")
         program = Program.from_json(text, catalog=catalog)
         missing = program.missing_tables(catalog)

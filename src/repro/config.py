@@ -9,7 +9,7 @@ toggle each design choice and measure its effect.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,13 @@ class RankingWeights:
     const_predicate: float = 30.0
     node_predicate: float = 2.0
     self_join_penalty: float = 20.0
+    #: Extra cost of a predicate whose node binding was resolved by an
+    #: *approximate* matcher (repro.matching), scaled by how unsure the
+    #: match is: ``approx_predicate * (1 - confidence)``.  Exact bindings
+    #: (confidence 1.0) add nothing, so default-config ranking is
+    #: untouched; among approximate candidates, higher-confidence
+    #: strategies rank first.
+    approx_predicate: float = 50.0
 
 
 @dataclass(frozen=True)
@@ -111,6 +118,19 @@ class SynthesisConfig:
             (tests/test_compiled_fill_equivalence.py).  Programs that
             cannot be compiled (plugin nodes, storage-backed catalogs)
             fall back to the interpreter automatically.
+        matchers: the value-matching strategies ``Select`` lookups and the
+            lookup generator use, in priority order
+            (``repro.matching.build_pipeline``).  The default
+            ``("exact",)`` is byte-identical to the hard-wired equality of
+            every prior release: programs, ranks, scores and fills do not
+            change (tests/test_matching_equivalence.py).  Adding
+            ``"canonical"`` (case/whitespace/unicode-NFKC
+            canonicalization), ``"fuzzy"`` (bounded edit distance +
+            q-gram similarity over the existing substring-index grams) or
+            ``"alias"`` (per-catalog synonym tables) surfaces approximate
+            hits as *lower-confidence* candidates: exact matches always
+            rank strictly first, and multiple equally-plausible
+            approximate hits flow into ``result.ambiguous``.
         weights: the ranking cost model.
 
     The ``use_*_index``/``use_worklist_pruning``/``use_lazy_intersection``/
@@ -135,11 +155,25 @@ class SynthesisConfig:
     use_intersection_cache: bool = True
     use_storage_backend: bool = True
     use_compiled_fill: bool = True
+    matchers: Tuple[str, ...] = ("exact",)
     weights: RankingWeights = field(default_factory=RankingWeights)
+
+    def __post_init__(self) -> None:
+        # JSON round-trips (worker-pool wire form, request payloads) hand
+        # back lists; normalize so signatures and equality stay stable.
+        if not isinstance(self.matchers, tuple):
+            object.__setattr__(self, "matchers", tuple(self.matchers))
 
     def with_weights(self, **kwargs) -> "SynthesisConfig":
         """A copy of this config with some ranking weights replaced."""
         return replace(self, weights=replace(self.weights, **kwargs))
+
+    def with_matchers(self, *names: str) -> "SynthesisConfig":
+        """A copy of this config using the given matcher strategies."""
+        flat = []
+        for name in names:
+            flat.extend(part.strip() for part in name.split(",") if part.strip())
+        return replace(self, matchers=tuple(flat) or ("exact",))
 
     def signature(self) -> str:
         """A stable, process-independent rendering of every knob.

@@ -611,6 +611,16 @@ def compile_program(program: "Any", catalog: Optional[Catalog] = None) -> Compil
                 "use_table_index=False is the naive-path oracle config; "
                 "fills stay interpreted"
             )
+        if tuple(getattr(bound, "matcher_spec", ("exact",))) != ("exact",):
+            # Compiled lookups fuse exact postings-intersection; an
+            # approximate matcher spec changes lookup semantics, and the
+            # plan cache keys on the catalog fingerprint, which matcher
+            # clones *share* -- so refuse rather than risk serving an
+            # exact-fused plan for a matched fill.
+            raise PlanCompileError(
+                "approximate matcher specs serve through the interpreter; "
+                "fills stay interpreted"
+            )
     try:
         kind, item = _compile_expr(program.expr, bound)
     except PlanCompileError:

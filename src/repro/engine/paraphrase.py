@@ -52,6 +52,10 @@ def _describe_const(text: str) -> str:
     and whitespace-only constants are called out in words; everything
     else is JSON-quoted, which escapes quotes, backslashes and control
     characters while leaving ordinary (incl. non-ASCII) text readable.
+    Leading/trailing whitespace around visible text (common in table
+    cells pasted from spreadsheets) is named and counted, because
+    ``" MSFT"`` and ``"MSFT"`` are different lookup keys but look
+    identical at a glance even when quoted.
     """
     if not text:
         return "the empty text"
@@ -61,6 +65,17 @@ def _describe_const(text: str) -> str:
         names = sorted({kinds.get(char, "whitespace") for char in text})
         unit = " and ".join(names) + ("" if len(text) == 1 else " characters")
         return f"the whitespace text {quoted} ({len(text)} {unit})"
+    lead = len(text) - len(text.lstrip())
+    trail = len(text) - len(text.rstrip())
+    if lead or trail:
+        notes = []
+        if lead:
+            plural = "s" if lead != 1 else ""
+            notes.append(f"{lead} leading whitespace character{plural}")
+        if trail:
+            plural = "s" if trail != 1 else ""
+            notes.append(f"{trail} trailing whitespace character{plural}")
+        return f"the text {quoted} (with {' and '.join(notes)})"
     return f"the text {quoted}"
 
 

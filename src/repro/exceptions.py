@@ -152,6 +152,31 @@ class UnknownBackendError(ReproError, ValueError):
         return (type(self), (self.name, self.available))
 
 
+class UnknownMatcherError(ReproError, ValueError):
+    """A matcher strategy name is not in the matching registry.
+
+    Raised by ``repro.matching.build_pipeline`` (and therefore by every
+    surface that accepts matcher names: ``SynthesisConfig.matchers``,
+    ``repro learn --matchers``, the ``matchers`` field of ``/learn`` and
+    ``/fill``).  The HTTP front ends map it to 400; the CLI exits 1.
+    Also a ``ValueError`` so callers validating knobs with
+    ``except ValueError`` keep working.
+    """
+
+    def __init__(self, name: str, available: "tuple | list" = ()) -> None:
+        super().__init__(
+            f"unknown matcher {name!r}; "
+            f"available: {', '.join(sorted(available))}"
+        )
+        self.name = name
+        self.available = tuple(available)
+
+    def __reduce__(self):
+        # BaseException pickling replays args (the formatted message);
+        # rebuild from the structured fields instead.
+        return (type(self), (self.name, self.available))
+
+
 class SerializationError(ReproError):
     """A serialized program payload is malformed or unsupported."""
 

@@ -27,12 +27,24 @@ PredicatePair = Tuple[str, Expression]
 
 
 class Select(Expression):
-    """``Select(column, table, [(key_column, expr), ...])``."""
+    """``Select(column, table, [(key_column, expr), ...])``.
 
-    __slots__ = ("column", "table", "predicates")
+    ``match_provenance`` records, for predicates whose chosen key
+    expression was bound by an *approximate* matcher during synthesis, a
+    ``(key_column, strategy, confidence)`` triple each.  It is ``None``
+    for fully exact selects -- the only kind the default matcher spec
+    produces -- so default-path structure, keys and rendering are
+    byte-identical to prior releases.
+    """
+
+    __slots__ = ("column", "table", "predicates", "match_provenance")
 
     def __init__(
-        self, column: str, table: str, predicates: Sequence[PredicatePair]
+        self,
+        column: str,
+        table: str,
+        predicates: Sequence[PredicatePair],
+        match_provenance: "Sequence[Tuple[str, str, float]] | None" = None,
     ) -> None:
         if not predicates:
             raise ValueError("Select requires at least one predicate")
@@ -40,6 +52,9 @@ class Select(Expression):
         self.table = table
         self.predicates: Tuple[PredicatePair, ...] = tuple(
             (key_column, expr) for key_column, expr in predicates
+        )
+        self.match_provenance = (
+            tuple(match_provenance) if match_provenance else None
         )
 
     def evaluate(self, state: InputState, catalog: "Catalog | None" = None) -> EvalResult:
@@ -52,7 +67,18 @@ class Select(Expression):
             if value is None:
                 return ""  # an undefined key behaves like "no row matches"
             conditions[key_column] = value
-        return table.lookup(self.column, conditions, use_index=catalog.use_table_index)
+        # Boolean-attribute gate (not a method call or tuple compare):
+        # evaluate is the per-row hot path and the exact spec must stay
+        # overhead-free.
+        if not catalog.matchers_active:
+            return table.lookup(
+                self.column, conditions, use_index=catalog.use_table_index
+            )
+        pipeline = catalog.matcher_pipeline()
+        text, _confidence, _strategy = table.lookup_matched(
+            self.column, conditions, pipeline, catalog.alias_groups()
+        )
+        return text
 
     def _key(self) -> tuple:
         return (self.column, self.table, self.predicates)
@@ -71,8 +97,27 @@ class Select(Expression):
                 used |= expr.tables_used()
         return used
 
+    def match_confidence(self) -> float:
+        """Min matcher confidence over this select and its sub-selects.
+
+        1.0 for fully exact lookups (the default spec's only output).
+        """
+        confidence = 1.0
+        if self.match_provenance:
+            confidence = min(c for _column, _strategy, c in self.match_provenance)
+        for _key_column, expr in self.predicates:
+            if isinstance(expr, Select):
+                confidence = min(confidence, expr.match_confidence())
+        return confidence
+
     def __str__(self) -> str:
         condition = " ∧ ".join(
             f"{key_column} = {expr}" for key_column, expr in self.predicates
         )
+        if self.match_provenance:
+            tags = ", ".join(
+                f"{column}~{strategy}:{confidence:.2f}"
+                for column, strategy, confidence in self.match_provenance
+            )
+            return f"Select({self.column}, {self.table}, {condition} ≈[{tags}])"
         return f"Select({self.column}, {self.table}, {condition})"

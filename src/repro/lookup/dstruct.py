@@ -48,6 +48,12 @@ class GenPredicate:
     constant: Optional[str] = None
     node: Optional[int] = None
     dag: Optional[Dag] = None
+    #: How the node binding was resolved (``repro.matching`` provenance).
+    #: Exact bindings -- the only kind under the default matcher spec --
+    #: carry ``("exact", 1.0)``; an approximate matcher stamps its strategy
+    #: name and confidence so ranking can penalize and results can report.
+    node_strategy: str = "exact"
+    node_confidence: float = 1.0
 
     def is_satisfiable(self) -> bool:
         """Syntactically non-empty (ignoring node emptiness, checked later)."""
@@ -60,7 +66,12 @@ class GenPredicate:
         if self.constant is not None:
             options.append(repr(self.constant))
         if self.node is not None:
-            options.append(f"η{self.node}")
+            if self.node_confidence < 1.0:
+                options.append(
+                    f"η{self.node}~{self.node_strategy}:{self.node_confidence:.2f}"
+                )
+            else:
+                options.append(f"η{self.node}")
         return f"{self.column} = {{{', '.join(options)}}}"
 
 

@@ -74,6 +74,27 @@ def expression_columns(expr: Expression) -> Set[Tuple[str, str]]:
     return set()
 
 
+def expression_confidence(expr: Expression) -> float:
+    """Min matcher confidence over every Select inside ``expr``.
+
+    1.0 when every lookup is exact (always true under the default matcher
+    spec); lower when some predicate was bound approximately -- the value
+    surfaced as ``RankedProgram.confidence``.
+    """
+    if isinstance(expr, Select):
+        return expr.match_confidence()
+    confidence = 1.0
+    parts = getattr(expr, "parts", None)
+    if parts is not None:
+        for part in parts:
+            confidence = min(confidence, expression_confidence(part))
+        return confidence
+    source = getattr(expr, "source", None)
+    if source is not None:
+        return expression_confidence(source)
+    return confidence
+
+
 class Extractor:
     """Budget-bounded best-expression DP over a node store."""
 
@@ -123,17 +144,29 @@ class Extractor:
         for predicates in entry.cond.keys:
             total = weights.select_base
             pairs: List[Tuple[str, Expression]] = []
+            provenance: List[Tuple[str, str, float]] = []
             feasible = True
             for predicate in predicates:
                 choice = self._rank_predicate(predicate, entry.table, budget)
                 if choice is None:
                     feasible = False
                     break
-                total += choice[0]
-                pairs.append((predicate.column, choice[1]))
+                cost, expr, approx = choice
+                total += cost
+                pairs.append((predicate.column, expr))
+                if approx is not None:
+                    provenance.append((predicate.column, approx[0], approx[1]))
             if not feasible:
                 continue
-            candidate = (total, Select(entry.column, entry.table, pairs))
+            candidate = (
+                total,
+                Select(
+                    entry.column,
+                    entry.table,
+                    pairs,
+                    match_provenance=provenance or None,
+                ),
+            )
             if champion is None or (candidate[0], str(candidate[1])) < (
                 champion[0],
                 str(champion[1]),
@@ -143,29 +176,43 @@ class Extractor:
 
     def _rank_predicate(
         self, predicate: GenPredicate, parent_table: str, budget: int
-    ) -> Optional[Ranked]:
+    ) -> Optional[Tuple[float, Expression, Optional[Tuple[str, float]]]]:
+        """Best right-hand side for one predicate.
+
+        Returns ``(cost, expression, approx)`` where ``approx`` is the
+        ``(strategy, confidence)`` matcher provenance when the chosen
+        option is an approximately-bound node, else ``None``.
+        """
         weights = self.config.weights
-        champion: Optional[Ranked] = None
+        champion: Optional[Tuple[float, Expression, Optional[Tuple[str, float]]]] = None
         if predicate.dag is not None:
             if self.dag_extractor is None:
                 raise ValueError("dag-valued predicate needs a dag_extractor")
-            champion = self.dag_extractor(
+            ranked = self.dag_extractor(
                 predicate.dag, lambda node: self.best_node(node, budget - 1)
             )
-            if champion is not None and parent_table in expression_tables(champion[1]):
-                champion = (champion[0] + weights.self_join_penalty, champion[1])
-            return champion
+            if ranked is None:
+                return None
+            cost, expr = ranked
+            if parent_table in expression_tables(expr):
+                cost += weights.self_join_penalty
+            return (cost, expr, None)
         if predicate.node is not None:
             ranked = self.best_node(predicate.node, budget - 1)
             if ranked is not None:
                 cost = weights.node_predicate + ranked[0]
                 if parent_table in expression_tables(ranked[1]):
                     cost += weights.self_join_penalty
-                champion = (cost, ranked[1])
+                approx: Optional[Tuple[str, float]] = None
+                if predicate.node_confidence < 1.0:
+                    # Approximately-bound nodes pay for their uncertainty,
+                    # so exact programs always rank strictly first.
+                    cost += weights.approx_predicate * (1.0 - predicate.node_confidence)
+                    approx = (predicate.node_strategy, predicate.node_confidence)
+                champion = (cost, ranked[1], approx)
         if predicate.constant is not None:
-            constant = (weights.const_predicate, ConstStr(predicate.constant))
-            if champion is None or constant[0] < champion[0]:
-                champion = constant
+            if champion is None or weights.const_predicate < champion[0]:
+                champion = (weights.const_predicate, ConstStr(predicate.constant), None)
         return champion
 
 
@@ -229,14 +276,27 @@ def enumerate_expressions(
             if depth <= 0:
                 continue
             for predicates in entry.cond.keys:
-                option_lists: List[List[Expression]] = []
+                # Options carry their matcher provenance: the node option
+                # of an approximately-bound predicate yields the same
+                # Select (same provenance tag, same string key) as the
+                # extractor's, so cross-source dedup works and enumerated
+                # candidates report the right confidence.
+                option_lists: List[List[Tuple[Expression, Optional[Tuple[str, float]]]]] = []
                 feasible = True
                 for predicate in predicates:
-                    options: List[Expression] = []
+                    options: List[Tuple[Expression, Optional[Tuple[str, float]]]] = []
                     if predicate.constant is not None:
-                        options.append(ConstStr(predicate.constant))
+                        options.append((ConstStr(predicate.constant), None))
                     if predicate.node is not None:
-                        options.extend(exprs_for(predicate.node, depth - 1))
+                        approx = (
+                            (predicate.node_strategy, predicate.node_confidence)
+                            if predicate.node_confidence < 1.0
+                            else None
+                        )
+                        options.extend(
+                            (expr, approx)
+                            for expr in exprs_for(predicate.node, depth - 1)
+                        )
                     if not options:
                         feasible = False
                         break
@@ -245,7 +305,19 @@ def enumerate_expressions(
                     continue
                 columns = [p.column for p in predicates]
                 for combo in _cartesian(option_lists):
-                    out.append(Select(entry.column, entry.table, list(zip(columns, combo))))
+                    provenance = [
+                        (column, approx[0], approx[1])
+                        for column, (_expr, approx) in zip(columns, combo)
+                        if approx is not None
+                    ]
+                    out.append(
+                        Select(
+                            entry.column,
+                            entry.table,
+                            list(zip(columns, (expr for expr, _approx in combo))),
+                            match_provenance=provenance or None,
+                        )
+                    )
                     if len(out) >= limit:
                         break
                 if len(out) >= limit:

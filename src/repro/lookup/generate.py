@@ -28,6 +28,7 @@ from repro.lookup.dstruct import (
     RowCondition,
     VarEntry,
 )
+from repro.matching import ValueUniverse
 from repro.tables.catalog import Catalog
 
 RowKey = Tuple[str, int]  # (table name, row index)
@@ -68,6 +69,14 @@ def generate_lookup(
     attached: Set[Tuple[str, str, int]] = set()
     pending_selects: List[Tuple[int, str, str, int]] = []  # node, table, column, row
 
+    # Approximate matching: under the default exact-only spec the pipeline
+    # is None and both phases below run the historical byte-equality code
+    # verbatim.  With approximate matchers configured, a reachable string
+    # also triggers rows whose cells match it canonically / fuzzily / by
+    # alias; the provenance is captured in phase 2, where the triggering
+    # cell resurfaces as a key constant whose exact val⁻¹ probe misses.
+    pipeline = catalog.matcher_pipeline()
+
     step = 0
     while frontier and step < depth_bound and len(store) < config.max_reachable_nodes:
         step += 1
@@ -76,12 +85,20 @@ def generate_lookup(
             value = store.vals[node]
             if not value:
                 continue  # empty cells trigger nothing useful
-            for occurrence in catalog.occurrences_of(value):
-                row_key = (occurrence.table, occurrence.row)
-                columns = matched_columns.setdefault(row_key, set())
-                if occurrence.column not in columns:
-                    columns.add(occurrence.column)
-                    affected_rows.append(row_key)
+            if pipeline is None:
+                triggered = (value,)
+            else:
+                triggered = tuple(
+                    match.value
+                    for match in pipeline.match(value, catalog.match_universe())
+                )
+            for cell_value in triggered:
+                for occurrence in catalog.occurrences_of(cell_value):
+                    row_key = (occurrence.table, occurrence.row)
+                    columns = matched_columns.setdefault(row_key, set())
+                    if occurrence.column not in columns:
+                        columns.add(occurrence.column)
+                        affected_rows.append(row_key)
 
         next_frontier: List[int] = []
         for table_name, row in affected_rows:
@@ -110,11 +127,7 @@ def generate_lookup(
         per_key: List[List[GenPredicate]] = []
         for candidate_key in table.keys:
             predicates = [
-                GenPredicate(
-                    column=key_column,
-                    constant=table.cell(key_column, row),
-                    node=store.node_for(table.cell(key_column, row)),
-                )
+                _key_predicate(store, key_column, table.cell(key_column, row), pipeline)
                 for key_column in candidate_key
             ]
             per_key.append(predicates)
@@ -128,3 +141,30 @@ def generate_lookup(
 
     store.target = store.node_for(output)
     return store
+
+
+def _key_predicate(store, key_column, cell, pipeline) -> GenPredicate:
+    """The generalized predicate ``key_column = {cell, val⁻¹(cell)}``.
+
+    With approximate matchers configured, a cell with no exact node may
+    still be bound to a reachable node whose string matches it canonically
+    / fuzzily / by alias; the binding then carries the matcher's
+    ``(strategy, confidence)`` so ranking can penalize it and results can
+    report it.  The exact probe always wins when it hits, so default-spec
+    behavior is byte-identical.
+    """
+    node = store.node_for(cell)
+    if node is not None or pipeline is None:
+        return GenPredicate(column=key_column, constant=cell, node=node)
+    hits = pipeline.match(cell, ValueUniverse(store.val_to_node))
+    for hit in hits:
+        matched = store.val_to_node.get(hit.value)
+        if matched is not None:
+            return GenPredicate(
+                column=key_column,
+                constant=cell,
+                node=matched,
+                node_strategy=hit.strategy,
+                node_confidence=hit.confidence,
+            )
+    return GenPredicate(column=key_column, constant=cell, node=None)

@@ -93,7 +93,21 @@ def intersect_lookup(
                 if constant is None and node is None:
                     ok = False
                     break
-                merged.append(GenPredicate(p1.column, constant=constant, node=node))
+                # The merged node binding is only as trustworthy as the
+                # weaker of the two sides' matcher provenance.
+                if p1.node_confidence <= p2.node_confidence:
+                    strategy, confidence = p1.node_strategy, p1.node_confidence
+                else:
+                    strategy, confidence = p2.node_strategy, p2.node_confidence
+                merged.append(
+                    GenPredicate(
+                        p1.column,
+                        constant=constant,
+                        node=node,
+                        node_strategy=strategy,
+                        node_confidence=confidence,
+                    )
+                )
             if ok and merged:
                 merged_keys.append(merged)
         outcome = (
@@ -199,6 +213,8 @@ def prune_store(store: NodeStore, use_worklist: bool = True) -> Optional[NodeSto
                             constant=p.constant,
                             node=p.node if p.node in valid else None,
                             dag=p.dag,
+                            node_strategy=p.node_strategy,
+                            node_confidence=p.node_confidence,
                         )
                         for p in predicates
                     ]

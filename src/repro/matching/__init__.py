@@ -1,0 +1,62 @@
+"""Pluggable value-matching strategies for catalog lookups.
+
+The paper's Lu language joins examples to catalog tables on **exact cell
+equality**, which breaks on real catalogs: ``"IBM"`` vs ``"IBM Corp."``,
+``"co-ordinate"`` vs ``"coordinate"``, trailing whitespace, letter case,
+unicode width.  This package turns the hard-wired equality at every
+layer -- `Table` value indexes, the lookup generator's Select triggers,
+intersection match identity, the service fill path -- into one strategy
+seam:
+
+* :class:`ExactMatcher` -- byte equality; the default and the oracle.
+  ``matchers=("exact",)`` is byte-identical to every prior release.
+* :class:`CanonicalMatcher` -- case / whitespace / unicode-NFKC
+  canonicalization, served from canonical-form secondary indexes that
+  `Table` maintains through the copy-on-write append path.
+* :class:`FuzzyMatcher` -- bounded edit distance + q-gram similarity,
+  candidates from the existing substring-index gram postings (no new
+  index structures).
+* :class:`AliasMatcher` -- per-catalog synonym tables.
+
+Every non-exact hit carries ``(strategy, confidence)`` provenance;
+generation and ranking prefer exact matches strictly, approximate hits
+surface as ranked lower-confidence candidates, and ambiguity flows into
+the existing ``result.ambiguous`` machinery.
+"""
+
+from repro.matching.alias import AliasMatcher
+from repro.matching.base import (
+    EXACT_SPEC,
+    Match,
+    Matcher,
+    MatcherPipeline,
+    ValueUniverse,
+    available_matchers,
+    build_pipeline,
+    matching_stats,
+    normalize_spec,
+    reset_matching_stats,
+)
+from repro.matching.canonical import CanonicalMatcher, canonicalize
+from repro.matching.exact import ExactMatcher
+from repro.matching.fuzzy import FuzzyMatcher, bounded_edit_distance, gram_similarity
+
+__all__ = [
+    "AliasMatcher",
+    "CanonicalMatcher",
+    "EXACT_SPEC",
+    "ExactMatcher",
+    "FuzzyMatcher",
+    "Match",
+    "Matcher",
+    "MatcherPipeline",
+    "ValueUniverse",
+    "available_matchers",
+    "normalize_spec",
+    "bounded_edit_distance",
+    "build_pipeline",
+    "canonicalize",
+    "gram_similarity",
+    "matching_stats",
+    "reset_matching_stats",
+]

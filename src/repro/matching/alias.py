@@ -1,0 +1,61 @@
+"""Synonym matching from per-catalog alias tables.
+
+A catalog opts in by carrying a table named ``Synonyms`` (any casing):
+each row's cells are mutually synonymous spellings ("IBM",
+"IBM Corp.", "International Business Machines").  ``Catalog`` exposes
+the row groups as ``alias_groups()``; this matcher equates a query with
+every *stored* member of its group.  Membership is by canonical form,
+so "ibm corp." still finds the group, at alias confidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.matching.base import Match, Matcher, ValueUniverse, register_matcher
+from repro.matching.canonical import canonicalize
+
+#: Confidence of synonym hits: the mapping is curated (a real table in
+#: the catalog) so it outranks fuzzy guesses, but the spellings are
+#: genuinely different strings, so it stays below canonical's 0.9.
+ALIAS_CONFIDENCE = 0.85
+
+#: Table names (canonicalized) recognized as synonym tables.
+ALIAS_TABLE_NAMES = ("synonyms", "aliases")
+
+
+def groups_from_rows(rows) -> Dict[str, Tuple[str, ...]]:
+    """``{canonical form: (row cells...)}`` over every synonym-table row.
+
+    A cell appearing in several rows maps to the union of its groups, in
+    row order, so lookups stay deterministic.
+    """
+    groups: Dict[str, Tuple[str, ...]] = {}
+    for row in rows:
+        cells = tuple(cell for cell in row if cell)
+        for cell in cells:
+            key = canonicalize(cell)
+            have = groups.get(key, ())
+            merged = have + tuple(c for c in cells if c not in have)
+            groups[key] = merged
+    return groups
+
+
+class AliasMatcher(Matcher):
+    """Stored values synonymous with the query per the catalog's table."""
+
+    name = "alias"
+
+    def match(self, query: str, universe: ValueUniverse) -> List[Match]:
+        groups = universe.alias_groups()
+        if not groups:
+            return []
+        group = groups.get(canonicalize(query), ())
+        return [
+            Match(value, self.name, ALIAS_CONFIDENCE)
+            for value in group
+            if value != query and value in universe
+        ]
+
+
+register_matcher("alias", AliasMatcher)

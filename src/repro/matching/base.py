@@ -1,0 +1,248 @@
+"""Matcher protocol, pipeline, registry and serving stats.
+
+A :class:`Matcher` answers one question -- *which stored values does this
+query string mean?* -- against a :class:`ValueUniverse` (one table
+column's distinct values, or a whole catalog's).  Strategies are
+registered by name; :func:`build_pipeline` turns a spec like
+``("canonical", "fuzzy")`` into a :class:`MatcherPipeline` that always
+runs exact equality first and short-circuits on an exact hit, so clean
+data behaves byte-identically to the exact-only oracle and approximate
+strategies only ever *add* lower-confidence candidates.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import UnknownMatcherError
+
+#: The default matcher spec -- byte-identical to hard-wired equality.
+EXACT_SPEC: Tuple[str, ...] = ("exact",)
+
+
+@dataclass(frozen=True)
+class Match:
+    """One resolved candidate: a stored value plus how sure we are.
+
+    ``strategy`` names the matcher that produced the hit and
+    ``confidence`` its score in ``(0, 1]``; exact hits are always
+    ``("exact", 1.0)``.  The pair travels as provenance through
+    generation, intersection, ranking (``RankedProgram.confidence``)
+    and serialized Select payloads.
+    """
+
+    value: str
+    strategy: str
+    confidence: float
+
+
+class ValueUniverse:
+    """The candidate value set a matcher searches, with optional indexes.
+
+    ``values`` is the deterministic base sequence (catalog/table
+    insertion order -- match output order must be reproducible).  The
+    optional callables expose prebuilt structures so strategies can skip
+    the linear scan:
+
+    * ``contains`` -- O(1) exact membership (a table's value->rows dict).
+    * ``canonical_map`` -- lazily returns ``{canonical_form: (raw, ...)}``
+      (the COW-maintained secondary index).
+    * ``gram_candidates`` -- ``query -> candidate values`` sharing a
+      q-gram (the substring index's posting lists).
+    * ``alias_groups`` -- lazily returns ``{value: (synonyms, ...)}``
+      from a per-catalog synonym table.
+    """
+
+    __slots__ = ("_values", "_contains", "_canonical", "_grams", "_aliases")
+
+    def __init__(
+        self,
+        values: Sequence[str],
+        contains: Optional[Callable[[str], bool]] = None,
+        canonical_map: Optional[Callable[[], Dict[str, Tuple[str, ...]]]] = None,
+        gram_candidates: Optional[Callable[[str], Sequence[str]]] = None,
+        alias_groups: Optional[Callable[[], Dict[str, Tuple[str, ...]]]] = None,
+    ) -> None:
+        self._values = values
+        self._contains = contains
+        self._canonical = canonical_map
+        self._grams = gram_candidates
+        self._aliases = alias_groups
+
+    def values(self) -> Sequence[str]:
+        return self._values
+
+    def __contains__(self, value: str) -> bool:
+        if self._contains is not None:
+            return self._contains(value)
+        return value in self._values
+
+    def canonical_map(self) -> Optional[Dict[str, Tuple[str, ...]]]:
+        return self._canonical() if self._canonical is not None else None
+
+    def gram_candidates(self, query: str) -> Optional[Sequence[str]]:
+        return self._grams(query) if self._grams is not None else None
+
+    def alias_groups(self) -> Optional[Dict[str, Tuple[str, ...]]]:
+        return self._aliases() if self._aliases is not None else None
+
+
+class Matcher:
+    """One matching strategy.  Subclasses set ``name`` and implement
+    :meth:`match`; returned matches must be deterministic for a given
+    (query, universe) pair and must only contain values present in the
+    universe."""
+
+    name: str = "?"
+
+    def match(self, query: str, universe: ValueUniverse) -> List[Match]:
+        raise NotImplementedError
+
+
+class MatcherPipeline:
+    """Matchers in priority order with an exact-first short circuit.
+
+    ``match`` runs exact equality first; a hit resolves the query
+    unambiguously (confidence 1.0) and no approximate strategy runs.
+    Otherwise every remaining strategy contributes candidates, deduped
+    per value keeping the highest confidence, ordered by descending
+    confidence (ties: universe value order) so downstream ranking is
+    deterministic.
+    """
+
+    __slots__ = ("_matchers", "spec")
+
+    def __init__(self, matchers: Sequence[Matcher]) -> None:
+        self._matchers: Tuple[Matcher, ...] = tuple(matchers)
+        self.spec: Tuple[str, ...] = tuple(m.name for m in self._matchers)
+
+    @property
+    def exact_only(self) -> bool:
+        """True when this pipeline is plain equality (the oracle path)."""
+        return self.spec == EXACT_SPEC
+
+    def match(self, query: str, universe: ValueUniverse) -> List[Match]:
+        stats = _STATS
+        with _STATS_LOCK:
+            stats["queries"] += 1
+        if query in universe:
+            with _STATS_LOCK:
+                stats["exact_hits"] += 1
+            return [Match(query, "exact", 1.0)]
+        best: Dict[str, Match] = {}
+        for matcher in self._matchers[1:]:
+            for hit in matcher.match(query, universe):
+                kept = best.get(hit.value)
+                if kept is None or hit.confidence > kept.confidence:
+                    best[hit.value] = hit
+        if not best:
+            with _STATS_LOCK:
+                stats["misses"] += 1
+            return []
+        if len(best) == 1:
+            # The common case (one candidate) skips the ordering scan --
+            # building a universe-order map is O(|universe|) and must not
+            # run per query.
+            hits = list(best.values())
+        else:
+            order = {value: i for i, value in enumerate(universe.values())}
+            hits = sorted(
+                best.values(),
+                key=lambda m: (-m.confidence, order.get(m.value, len(order))),
+            )
+        with _STATS_LOCK:
+            stats["approx_hits"] += 1
+            for hit in hits:
+                stats["by_strategy"][hit.strategy] = (
+                    stats["by_strategy"].get(hit.strategy, 0) + 1
+                )
+        return hits
+
+
+# -- registry -----------------------------------------------------------------
+_REGISTRY: Dict[str, Callable[[], Matcher]] = {}
+
+
+def register_matcher(name: str, factory: Callable[[], Matcher]) -> None:
+    _REGISTRY[name] = factory
+
+
+def _ensure_loaded() -> None:
+    if "fuzzy" in _REGISTRY:
+        return
+    # Importing the strategy modules populates the registry.
+    from repro.matching import alias, canonical, exact, fuzzy  # noqa: F401
+
+
+def available_matchers() -> Tuple[str, ...]:
+    """Registered strategy names, sorted."""
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def normalize_spec(
+    spec: Union[str, Iterable[str], None]
+) -> Tuple[str, ...]:
+    """A validated, exact-first, deduplicated matcher spec.
+
+    Accepts a comma-separated string or an iterable of names (each of
+    which may itself be comma-separated, the CLI form).  Exact matching
+    is always part of the pipeline -- approximate strategies extend it,
+    they never replace it -- so ``"canonical,fuzzy"`` normalizes to
+    ``("exact", "canonical", "fuzzy")``.  Raises
+    :class:`~repro.exceptions.UnknownMatcherError` on unknown names.
+    """
+    _ensure_loaded()
+    if spec is None:
+        return EXACT_SPEC
+    parts: List[str] = []
+    raw = [spec] if isinstance(spec, str) else list(spec)
+    for item in raw:
+        parts.extend(p.strip() for p in str(item).split(",") if p.strip())
+    names: List[str] = ["exact"]
+    for part in parts:
+        if part not in _REGISTRY:
+            raise UnknownMatcherError(part, available_matchers())
+        if part not in names:
+            names.append(part)
+    return tuple(names)
+
+
+def build_pipeline(spec: Union[str, Iterable[str], None]) -> MatcherPipeline:
+    """Build a :class:`MatcherPipeline` from a spec (see
+    :func:`normalize_spec`)."""
+    names = normalize_spec(spec)
+    return MatcherPipeline([_REGISTRY[name]() for name in names])
+
+
+# -- serving stats ------------------------------------------------------------
+_STATS_LOCK = threading.Lock()
+
+
+def _fresh_stats() -> Dict[str, object]:
+    return {
+        "queries": 0,
+        "exact_hits": 0,
+        "approx_hits": 0,
+        "misses": 0,
+        "by_strategy": {},
+    }
+
+
+_STATS = _fresh_stats()
+
+
+def matching_stats() -> Dict[str, object]:
+    """A snapshot of process-wide matcher counters (for ``/stats``)."""
+    with _STATS_LOCK:
+        snap = dict(_STATS)
+        snap["by_strategy"] = dict(_STATS["by_strategy"])  # type: ignore[index]
+        return snap
+
+
+def reset_matching_stats() -> None:
+    global _STATS
+    with _STATS_LOCK:
+        _STATS = _fresh_stats()

@@ -1,0 +1,77 @@
+"""Canonicalization matching: case / whitespace / unicode-NFKC.
+
+:func:`canonicalize` maps a string to its canonical form --
+NFKC-normalized, case-folded, whitespace-collapsed -- iterated to a
+fixed point so the function is idempotent (NFKC and casefold do not
+commute in general; e.g. casefolding can surface compatibility
+characters that a second NFKC pass still has to fold).
+``CanonicalMatcher`` then equates strings with equal canonical forms,
+served from the canonical-form secondary index ``Table``/``Catalog``
+maintain copy-on-write (a full scan only when no index is available).
+"""
+
+from __future__ import annotations
+
+import unicodedata
+from typing import List
+
+from repro.matching.base import Match, Matcher, ValueUniverse, register_matcher
+
+#: Confidence assigned to canonical-form hits: high -- the strings differ
+#: only in case, spacing or unicode representation -- but strictly below
+#: exact's 1.0 so exact hits always outrank them.
+CANONICAL_CONFIDENCE = 0.9
+
+#: Fixpoint iteration cap; NFKC+casefold+collapse converges in <= 3
+#: passes on all known inputs, the cap only guards against pathological
+#: future unicode tables.
+_MAX_PASSES = 8
+
+
+def _pass(text: str) -> str:
+    return " ".join(unicodedata.normalize("NFKC", text).casefold().split())
+
+
+def canonicalize(text: str) -> str:
+    """The canonical form of ``text``; idempotent by construction."""
+    current = text
+    for _ in range(_MAX_PASSES):
+        folded = _pass(current)
+        if folded == current:
+            return current
+        current = folded
+    return current
+
+
+class CanonicalMatcher(Matcher):
+    """Values whose canonical form equals the query's.
+
+    With a canonical map (the COW-maintained secondary index) a hit is
+    one dict probe; without one, a deterministic scan of the universe.
+    The query's own raw form never appears in the output -- exact
+    equality is the pipeline's job.
+    """
+
+    name = "canonical"
+
+    def match(self, query: str, universe: ValueUniverse) -> List[Match]:
+        wanted = canonicalize(query)
+        if not wanted:
+            return []
+        mapping = universe.canonical_map()
+        if mapping is not None:
+            raws = mapping.get(wanted, ())
+        else:
+            raws = tuple(
+                value
+                for value in universe.values()
+                if canonicalize(value) == wanted
+            )
+        return [
+            Match(raw, self.name, CANONICAL_CONFIDENCE)
+            for raw in raws
+            if raw != query
+        ]
+
+
+register_matcher("canonical", CanonicalMatcher)

@@ -1,0 +1,26 @@
+"""Byte-equality matching -- the default strategy and the oracle."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.matching.base import Match, Matcher, ValueUniverse, register_matcher
+
+
+class ExactMatcher(Matcher):
+    """``query == value`` and nothing else; confidence is always 1.0.
+
+    The pipeline consults exact equality before any other strategy and
+    short-circuits on a hit, so ``matchers=("exact",)`` behaves
+    byte-identically to the hard-wired equality of prior releases.
+    """
+
+    name = "exact"
+
+    def match(self, query: str, universe: ValueUniverse) -> List[Match]:
+        if query in universe:
+            return [Match(query, "exact", 1.0)]
+        return []
+
+
+register_matcher("exact", ExactMatcher)

@@ -1,0 +1,137 @@
+"""Fuzzy matching: bounded edit distance confirmed by q-gram similarity.
+
+Candidates come from the substring index's existing q-gram posting
+lists when the universe exposes them (``SubstringIndex.gram_candidates``
+-- no new index structures), else from a length-prefiltered scan; each
+candidate is verified with a banded Levenshtein bounded by a
+length-scaled limit, and scored so more distant matches rank lower.
+Canonical forms are compared, so fuzzy subsumes pure case/width noise
+at its own (lower) confidence when canonical matching is not enabled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.matching.base import Match, Matcher, ValueUniverse, register_matcher
+from repro.matching.canonical import canonicalize
+
+#: Confidence ceiling for distance-1 hits; strictly below canonical's
+#: 0.9 so cheaper explanations of the same value always win.
+FUZZY_CONFIDENCE = 0.8
+
+#: Additional q-gram Jaccard floor for longer strings -- kills
+#: coincidental short-edit pairs like "IBM"/"IBB" sharing no real
+#: lexical overlap beyond the edit itself.
+MIN_GRAM_SIMILARITY = 0.3
+
+
+def edit_limit(length: int) -> int:
+    """Allowed edit distance for a query of ``length`` characters."""
+    if length <= 3:
+        return 1
+    if length <= 8:
+        return 2
+    return 3
+
+
+def bounded_edit_distance(a: str, b: str, limit: int) -> Optional[int]:
+    """Levenshtein distance of ``a``/``b`` if ``<= limit``, else ``None``.
+
+    Banded DP: only the ``2*limit + 1`` diagonal band is computed, so the
+    cost is O(min(len) * limit) and rows whose minimum exceeds the limit
+    abort early.
+    """
+    if a == b:
+        return 0
+    if abs(len(a) - len(b)) > limit:
+        return None
+    if len(a) > len(b):
+        a, b = b, a
+    previous = list(range(len(a) + 1))
+    for row, char_b in enumerate(b, start=1):
+        lo = max(1, row - limit)
+        hi = min(len(a), row + limit)
+        current = [limit + 1] * (len(a) + 1)
+        if lo == 1:
+            current[0] = row
+        for col in range(lo, hi + 1):
+            cost = 0 if a[col - 1] == char_b else 1
+            current[col] = min(
+                previous[col] + 1,       # deletion
+                current[col - 1] + 1,    # insertion
+                previous[col - 1] + cost,  # substitution / keep
+            )
+        if min(current[lo : hi + 1]) > limit:
+            return None
+        previous = current
+    return previous[len(a)] if previous[len(a)] <= limit else None
+
+
+def _grams(text: str, width: int = 2) -> frozenset:
+    if len(text) < width:
+        return frozenset((text,)) if text else frozenset()
+    return frozenset(
+        text[i : i + width] for i in range(len(text) - width + 1)
+    )
+
+
+def gram_similarity(a: str, b: str) -> float:
+    """Jaccard similarity of the 2-gram sets of ``a`` and ``b``."""
+    ga, gb = _grams(a), _grams(b)
+    if not ga or not gb:
+        return 1.0 if ga == gb else 0.0
+    return len(ga & gb) / len(ga | gb)
+
+
+class FuzzyMatcher(Matcher):
+    """Values within a bounded, similarity-confirmed edit distance.
+
+    Confidence decays with distance (``0.8`` at distance 1, ``0.65`` at
+    2, ``0.5`` at 3) so closer matches rank first and every fuzzy hit
+    ranks below canonical and exact explanations of the same query.
+    """
+
+    name = "fuzzy"
+
+    def match(self, query: str, universe: ValueUniverse) -> List[Match]:
+        wanted = canonicalize(query)
+        if not wanted:
+            return []
+        limit = edit_limit(len(wanted))
+        candidates: Sequence[str]
+        indexed = universe.gram_candidates(query)
+        if indexed is not None and wanted != query:
+            # The gram postings are over *raw* stored values; query with
+            # the canonical form too so case/width noise in the query
+            # does not hide raw-form candidates.
+            extra = universe.gram_candidates(wanted) or ()
+            seen = set(indexed)
+            indexed = list(indexed) + [v for v in extra if v not in seen]
+        candidates = indexed if indexed is not None else universe.values()
+        hits: List[Match] = []
+        for value in candidates:
+            if value == query:
+                continue
+            folded = canonicalize(value)
+            if abs(len(folded) - len(wanted)) > limit:
+                continue
+            distance = bounded_edit_distance(wanted, folded, limit)
+            if distance is None:
+                continue
+            if distance == 0:
+                # Same canonical form: CanonicalMatcher territory, but
+                # claim it (at lower confidence) when fuzzy runs alone.
+                confidence = FUZZY_CONFIDENCE
+            else:
+                if (
+                    len(wanted) > 4
+                    and gram_similarity(wanted, folded) < MIN_GRAM_SIMILARITY
+                ):
+                    continue
+                confidence = max(0.5, FUZZY_CONFIDENCE - 0.15 * (distance - 1))
+            hits.append(Match(value, self.name, confidence))
+        return hits
+
+
+register_matcher("fuzzy", FuzzyMatcher)

@@ -372,7 +372,9 @@ class AsyncSynthesisServer:
             service = self.service
             session = await loop.run_in_executor(
                 executor,
-                lambda: service.fill_session(spec.program, catalog=spec.catalog),
+                lambda: service.fill_session(
+                    spec.program, catalog=spec.catalog, matchers=spec.matchers
+                ),
             )
         except Exception as error:  # noqa: BLE001 -- mapped, never fatal
             status, payload = map_exception(error)

@@ -14,12 +14,14 @@ The endpoints::
 
     POST /learn     {"examples": [[["in1", ...], "out"], ...],
                      "k"?: int, "save"?: "name", "metadata"?: {...},
-                     "catalog"?: "name"}
+                     "catalog"?: "name",
+                     "matchers"?: ["canonical", "fuzzy"] | "canonical,fuzzy"}
                  -> SynthesisResult.to_dict() + {"cache": "hit"|"miss",
                                                  "catalog": {...},
                                                  "saved"?: {...}}
     POST /fill      {"program": "name" | "name@version" | <payload dict>,
-                     "rows": [[...], ...], "catalog"?: "name"}
+                     "rows": [[...], ...], "catalog"?: "name",
+                     "matchers"?: [names] | "names,..."}
                  -> {"outputs": [...], "rows": N}
     GET  /catalogs  -> {"catalogs": [{"name", "loaded", ...}]}
     GET  /catalogs/<name>          -> tables, fingerprint, entries
@@ -164,6 +166,27 @@ def _parse_catalog_field(body: Dict[str, Any]) -> Optional[str]:
     return catalog
 
 
+def _parse_matchers_field(body: Dict[str, Any]) -> Optional[List[str]]:
+    """The optional ``matchers`` field: a list of strategy names or one
+    comma-separated string.  Unknown names surface later as
+    :class:`~repro.exceptions.UnknownMatcherError` (-> 400)."""
+    matchers = body.get("matchers")
+    if matchers is None:
+        return None
+    if isinstance(matchers, str):
+        matchers = [name for name in matchers.split(",") if name.strip()]
+    if not isinstance(matchers, list) or not all(
+        isinstance(name, str) for name in matchers
+    ):
+        raise BadRequest(
+            "matchers must be a list of strategy names or a "
+            'comma-separated string (e.g. "canonical,fuzzy")'
+        )
+    if not matchers:
+        raise BadRequest("matchers, when given, must name at least one strategy")
+    return matchers
+
+
 def _parse_table_spec(spec: Any) -> Table:
     """Build a :class:`Table` from a JSON table spec (see module doc)."""
     if not isinstance(spec, dict):
@@ -211,14 +234,15 @@ class StreamSpec:
 
     The first line of the request body is a one-line JSON object --
     ``{"program": <ref or payload>, "catalog"?: name, "format"?:
-    "ndjson"|"csv", "chunk"?: rows}`` -- and every following byte is
+    "ndjson"|"csv", "chunk"?: rows, "matchers"?: [names]}`` -- and
+    every following byte is
     the row stream in ``format``.  Putting the envelope in-band keeps
     the transport framing trivial (no multipart, no query-encoded
     program payloads) and works identically under Content-Length and
     chunked request bodies.
     """
 
-    __slots__ = ("program", "catalog", "format", "chunk_rows")
+    __slots__ = ("program", "catalog", "format", "chunk_rows", "matchers")
 
     def __init__(
         self,
@@ -226,11 +250,13 @@ class StreamSpec:
         catalog: Optional[str],
         format: str,  # noqa: A002 -- mirrors the wire field name
         chunk_rows: int,
+        matchers: Optional[List[str]] = None,
     ) -> None:
         self.program = program
         self.catalog = catalog
         self.format = format
         self.chunk_rows = chunk_rows
+        self.matchers = matchers
 
 
 def parse_stream_header(line: bytes) -> StreamSpec:
@@ -257,8 +283,13 @@ def parse_stream_header(line: bytes) -> StreamSpec:
     chunk_rows = header.get("chunk", DEFAULT_STREAM_CHUNK_ROWS)
     if not isinstance(chunk_rows, int) or chunk_rows < 1:
         raise BadRequest("chunk must be a positive integer")
+    matchers = _parse_matchers_field(header)
     return StreamSpec(
-        program, catalog, format_name, min(chunk_rows, MAX_STREAM_CHUNK_ROWS)
+        program,
+        catalog,
+        format_name,
+        min(chunk_rows, MAX_STREAM_CHUNK_ROWS),
+        matchers=matchers,
     )
 
 
@@ -639,8 +670,14 @@ class ServiceApi:
         if metadata is not None and not isinstance(metadata, dict):
             raise BadRequest("metadata must be an object")
         catalog = _parse_catalog_field(body)
+        matchers = _parse_matchers_field(body)
         reply = self.service.learn(
-            examples, k=k, save_as=save_as, metadata=metadata, catalog=catalog
+            examples,
+            k=k,
+            save_as=save_as,
+            metadata=metadata,
+            catalog=catalog,
+            matchers=matchers,
         )
         payload = reply.result.to_dict()
         payload["cache"] = reply.cache_status
@@ -668,7 +705,8 @@ class ServiceApi:
             )
         rows = _parse_rows(_require(body, "rows"))
         catalog = _parse_catalog_field(body)
-        outputs = self.service.fill(program, rows, catalog=catalog)
+        matchers = _parse_matchers_field(body)
+        outputs = self.service.fill(program, rows, catalog=catalog, matchers=matchers)
         return 200, {"outputs": outputs, "rows": len(outputs)}
 
 
@@ -812,7 +850,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             spec = parse_stream_header(header_line)
             reader = make_reader(spec.format)
             session = self.service.fill_session(
-                spec.program, catalog=spec.catalog
+                spec.program, catalog=spec.catalog, matchers=spec.matchers
             )
         except Exception as error:  # noqa: BLE001 -- mapped, never fatal
             status, payload = map_exception(error)

@@ -44,12 +44,13 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.api.engine import Synthesizer, TaskLike
 from repro.api.result import SynthesisResult, as_task
 from repro.config import DEFAULT_CONFIG, SynthesisConfig
+from repro.matching import matching_stats, normalize_spec
 from repro.engine.program import Program
 from repro.exceptions import (
     EmptyCatalogError,
@@ -259,6 +260,13 @@ class SynthesisService:
         # use_table_index=False, the oracle), engine.catalog is a copy
         # and comparing it would rebuild the engine on every request.
         self._engines: Dict[str, Tuple[Catalog, Synthesizer]] = {}
+        # (name, matcher spec) -> (snapshot, engine) for requests that
+        # override the service config's matchers (``/learn`` with a
+        # ``matchers`` field); bounded separately so exotic specs cannot
+        # evict the hot default engines.
+        self._matcher_engines: Dict[
+            Tuple[str, Tuple[str, ...]], Tuple[Catalog, Synthesizer]
+        ] = {}
         self._engines_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._learn_requests = 0
@@ -357,6 +365,9 @@ class SynthesisService:
         pool = self.pool
         if (
             pool is not None
+            and engine.config is self.config
+            # Derived-config engines (per-request matcher overrides) stay
+            # in-process: pool workers are pinned to the service config.
             and not engine.catalog.storage_backed
             and not pool.closed
         ):
@@ -412,6 +423,50 @@ class SynthesisService:
         """The default catalog's engine (single-catalog compatibility)."""
         return self.engine_for(None)
 
+    # -- per-request matcher overrides ----------------------------------
+    def _matcher_spec(self, matchers) -> Optional[Tuple[str, ...]]:
+        """Normalized override spec, or ``None`` when the service config
+        already serves it (no derived engine needed).
+
+        Raises :class:`~repro.exceptions.UnknownMatcherError` on unknown
+        names -- before any synthesis work or counters move.
+        """
+        if matchers is None:
+            return None
+        spec = normalize_spec(matchers)
+        if spec == normalize_spec(self.config.matchers):
+            return None
+        return spec
+
+    def engine_for_matchers(
+        self, catalog: Optional[str], spec: Tuple[str, ...]
+    ) -> Synthesizer:
+        """An engine over ``catalog``'s snapshot with matcher ``spec``.
+
+        Shares the registry snapshot (``with_matchers`` clones are O(1))
+        and is cached per (name, spec) until the snapshot moves on.
+        """
+        name = catalog if catalog is not None else self.default_catalog
+        snapshot = self.registry.get(name)
+        key = (name, spec)
+        with self._engines_lock:
+            cached = self._matcher_engines.get(key)
+            if cached is not None and cached[0] is snapshot:
+                return cached[1]
+        engine = Synthesizer(
+            catalog=snapshot,
+            language=self.language,
+            config=replace(self.config, matchers=spec),
+        )
+        with self._engines_lock:
+            cached = self._matcher_engines.get(key)
+            if cached is not None and cached[0] is snapshot:
+                return cached[1]
+            while len(self._matcher_engines) >= 16:
+                self._matcher_engines.pop(next(iter(self._matcher_engines)))
+            self._matcher_engines[key] = (snapshot, engine)
+            return engine
+
     def cache_key(
         self, task: TaskLike, k: int = 1, catalog: Optional[str] = None
     ) -> Tuple:
@@ -426,9 +481,16 @@ class SynthesisService:
         return self._cache_key(self.engine_for(catalog), task, k)
 
     def _cache_key(self, engine: Synthesizer, task: TaskLike, k: int) -> Tuple:
+        # Derived engines (per-request matcher overrides) key on their own
+        # config signature, so overridden and default results never alias.
+        config_key = (
+            self._config_key
+            if engine.config is self.config
+            else engine.config.signature()
+        )
         return (
             engine.catalog.fingerprint(),
-            self._config_key,
+            config_key,
             engine.language,
             as_task(task).signature(),
             max(1, k),
@@ -441,6 +503,7 @@ class SynthesisService:
         save_as: Optional[str] = None,
         metadata: Optional[Dict[str, Any]] = None,
         catalog: Optional[str] = None,
+        matchers: Union[None, str, Sequence[str]] = None,
     ) -> LearnReply:
         """Solve ``task`` against a named catalog (or serve it cached).
 
@@ -454,11 +517,25 @@ class SynthesisService:
         an unchanged program learned against an unchanged catalog does
         not grow a new version); ``reply.stored`` is the exact version
         this request ended up with.
+
+        ``matchers`` overrides the service config's value-matching
+        strategies for this request (a comma string or list of names,
+        see ``repro.matching``); unknown names raise
+        :class:`~repro.exceptions.UnknownMatcherError` (HTTP 400) before
+        any synthesis is attempted.  Overridden requests run on a
+        derived engine sharing the same frozen snapshot and are cached
+        under the derived config's signature, so they never collide with
+        default-spec results.
         """
         if save_as is not None:
             # Fail fast (no store / bad name) before paying for synthesis.
             self.validate_save_target(save_as)
-        engine = self.engine_for(catalog)
+        spec = self._matcher_spec(matchers)
+        engine = (
+            self.engine_for(catalog)
+            if spec is None
+            else self.engine_for_matchers(catalog, spec)
+        )
         if len(engine.catalog) == 0 and getattr(
             engine.backend, "requires_catalog", True
         ):
@@ -737,7 +814,15 @@ class SynthesisService:
             if resolved.catalog is not None
             else ""
         )
-        key = (resolved.digest(), fingerprint)
+        # Matcher clones share their base snapshot's fingerprint, so the
+        # spec must be part of the key: an exact-fused plan must never be
+        # served for an approximately-matched fill (and vice versa).
+        spec = (
+            tuple(getattr(resolved.catalog, "matcher_spec", ("exact",)))
+            if resolved.catalog is not None
+            else ("exact",)
+        )
+        key = (resolved.digest(), fingerprint, spec)
         plan = self.plans.get(key)
         if plan is None:
             from repro.engine.compile import PlanCompileError
@@ -749,11 +834,34 @@ class SynthesisService:
             self.plans.put(key, plan)
         return None if plan is _UNCOMPILED else plan
 
+    def _rebind_matchers(
+        self, resolved: Program, spec: Optional[Tuple[str, ...]]
+    ) -> Program:
+        """``resolved`` re-bound to a matcher-``spec`` clone of its catalog.
+
+        A no-op when no override was requested or the catalog already
+        carries the spec; otherwise the clone is O(1) (shared tables and
+        indexes) and the returned program serves lookups through the
+        requested pipeline.
+        """
+        if spec is None or resolved.catalog is None:
+            return resolved
+        if tuple(getattr(resolved.catalog, "matcher_spec", ("exact",))) == spec:
+            return resolved
+        return Program(
+            resolved.expr,
+            resolved.catalog.with_matchers(spec),
+            resolved.language,
+            resolved.num_inputs,
+            use_compiled_fill=resolved.use_compiled_fill,
+        )
+
     def fill(
         self,
         program: ProgramLike,
         rows: RowsLike,
         catalog: Optional[str] = None,
+        matchers: Union[None, str, Sequence[str]] = None,
     ) -> List[Optional[str]]:
         """Run ``program`` over ``rows``, one output per input row.
 
@@ -770,8 +878,18 @@ class SynthesisService:
         Rows are executed on the shared compiled plan
         (:meth:`_compiled_for`) when enabled, the AST interpreter
         otherwise -- byte-identical outputs either way.
+
+        ``matchers`` serves this fill through the named value-matching
+        strategies (``repro.matching``): the program is re-bound to an
+        O(1) matcher clone of the serving snapshot, so e.g.
+        ``matchers="canonical,fuzzy"`` resolves noisy key spellings that
+        exact equality would return empty for.  Approximate fills run on
+        the interpreter (compiled plans fuse exact lookups).
         """
-        resolved = self.resolve_program(program, catalog=catalog)
+        resolved = self._rebind_matchers(
+            self.resolve_program(program, catalog=catalog),
+            None if matchers is None else normalize_spec(matchers),
+        )
         plan = self._compiled_for(resolved)
         try:
             if plan is not None:
@@ -786,7 +904,10 @@ class SynthesisService:
         return outputs
 
     def fill_session(
-        self, program: ProgramLike, catalog: Optional[str] = None
+        self,
+        program: ProgramLike,
+        catalog: Optional[str] = None,
+        matchers: Union[None, str, Sequence[str]] = None,
     ) -> "FillSession":
         """Resolve ``program`` once for an incremental (chunked) fill.
 
@@ -795,8 +916,13 @@ class SynthesisService:
         streaming transport commits its HTTP status line.  The returned
         :class:`FillSession` then runs row chunks one at a time; the
         ``fill_requests`` counter ticks here, ``rows_filled`` per chunk.
+        ``matchers`` overrides the value-matching strategies exactly as
+        in :meth:`fill`.
         """
-        resolved = self.resolve_program(program, catalog=catalog)
+        resolved = self._rebind_matchers(
+            self.resolve_program(program, catalog=catalog),
+            None if matchers is None else normalize_spec(matchers),
+        )
         plan = self._compiled_for(resolved)
         with self._counter_lock:
             self._fill_requests += 1
@@ -808,6 +934,7 @@ class SynthesisService:
         rows: Iterable[Sequence[str]],
         catalog: Optional[str] = None,
         chunk_rows: int = 1024,
+        matchers: Union[None, str, Sequence[str]] = None,
     ) -> Iterator[List[Optional[str]]]:
         """Stream :meth:`fill` outputs in bounded chunks.
 
@@ -822,7 +949,7 @@ class SynthesisService:
         """
         if chunk_rows < 1:
             raise ServiceError(f"chunk_rows must be >= 1, got {chunk_rows}")
-        session = self.fill_session(program, catalog=catalog)
+        session = self.fill_session(program, catalog=catalog, matchers=matchers)
 
         def chunks() -> Iterator[List[Optional[str]]]:
             start = 1
@@ -911,6 +1038,7 @@ class SynthesisService:
             "requests": counters,
             "request_cache": self.cache.stats(),
             "plan_cache": self.plans.stats(),
+            "matching": matching_stats(),
             "store": {
                 "attached": self.store is not None,
                 "root": str(self.store.root) if self.store is not None else None,

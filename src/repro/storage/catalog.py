@@ -106,6 +106,7 @@ class StorageTable(Table):
         self._column_index = {c: i for i, c in enumerate(meta.columns)}
         self._key_row_index = {}  # unused: row_by_key goes via postings
         self._value_rows = None
+        self._canonical_maps = None
         self._fingerprint = meta.fingerprint
         self._data_fingerprint = meta.data_fingerprint
         self._rows_digest = None

@@ -57,6 +57,22 @@ class Catalog:
     #: ``use_storage_backend`` config flag applies.
     storage_backed = False
 
+    #: Matcher strategies ``Select`` evaluation and the lookup generator
+    #: use against this catalog (``repro.matching``).  ``("exact",)`` is
+    #: the hard-wired-equality oracle; ``Synthesizer`` stamps it from
+    #: ``SynthesisConfig.matchers`` (like ``use_table_index``) and
+    #: :meth:`with_matchers` derives a re-matched snapshot.  A class
+    #: attribute so shell-constructed catalogs (storage views) default
+    #: to exact.
+    matcher_spec: Tuple[str, ...] = ("exact",)
+
+    #: Precomputed ``matcher_spec != ("exact",)``.  ``Select.evaluate``
+    #: gates the whole matcher layer on this one boolean attribute --
+    #: cheaper than comparing the spec tuple per evaluated row -- so the
+    #: exact path stays overhead-free.  Kept in lockstep with
+    #: :attr:`matcher_spec` by :meth:`with_matchers` and the COW paths.
+    matchers_active: bool = False
+
     def __init__(self, tables: Iterable[Table] = ()) -> None:
         self._tables: Dict[str, Table] = {}
         self._order: List[str] = []
@@ -64,6 +80,9 @@ class Catalog:
         self._occurrence_cache: Dict[str, Tuple[Occurrence, ...]] = {}
         self._distinct_cache: Optional[Tuple[str, ...]] = None
         self._substring_index: Optional[SubstringIndex] = None
+        self._canonical_cache: Optional[Dict[str, Tuple[str, ...]]] = None
+        self._alias_cache: Optional[Dict[str, Tuple[str, ...]]] = None
+        self._matcher_pipeline = None
         self._fingerprint: Optional[str] = None
         self._frozen: bool = False
         #: Serve ``Select`` evaluations against this catalog from the
@@ -71,6 +90,10 @@ class Catalog:
         #: ``SynthesisConfig.use_table_index``; False selects the naive
         #: row scans (the equivalence oracle).
         self.use_table_index: bool = True
+        # Instance copy of the class default: the hot-path gate reads
+        # this per evaluated row and an instance-dict hit is ~3x faster
+        # than the class-attribute fallback.
+        self.matchers_active = False
         for table in tables:
             self.add(table)
 
@@ -113,6 +136,8 @@ class Catalog:
         self._occurrence_cache.clear()
         self._distinct_cache = None
         self._substring_index = None
+        self._canonical_cache = None
+        self._alias_cache = None
         self._fingerprint = None
 
     def extend(self, tables: Iterable[Table]) -> "Catalog":
@@ -170,6 +195,8 @@ class Catalog:
         ]
         rebuilt = Catalog(replaced)
         rebuilt.use_table_index = self.use_table_index
+        rebuilt.matcher_spec = self.matcher_spec
+        rebuilt.matchers_active = self.matchers_active
         return rebuilt.freeze()
 
     def with_rows(self, table_name: str, rows: Iterable[Sequence[str]]) -> "Catalog":
@@ -188,9 +215,14 @@ class Catalog:
         clone._occurrence_cache = {}
         clone._distinct_cache = None
         clone._substring_index = None
+        clone._canonical_cache = None
+        clone._alias_cache = None
+        clone._matcher_pipeline = None
         clone._fingerprint = None
         clone._frozen = True
         clone.use_table_index = self.use_table_index
+        clone.matcher_spec = self.matcher_spec
+        clone.matchers_active = self.matchers_active
         return clone
 
     def _cow_append(self, table: Table) -> "Catalog":
@@ -231,7 +263,25 @@ class Catalog:
                 if nonempty
                 else self._substring_index
             )
+        clone._canonical_cache = self._patched_canonical(additions)
         return clone
+
+    def _patched_canonical(
+        self, additions: Sequence[str]
+    ) -> Optional[Dict[str, Tuple[str, ...]]]:
+        """The built canonical map patched with appended distinct values."""
+        parent = getattr(self, "_canonical_cache", None)
+        if parent is None:
+            return None
+        if not additions:
+            return parent
+        from repro.matching.canonical import canonicalize
+
+        patched = dict(parent)
+        for value in additions:
+            canon = canonicalize(value)
+            patched[canon] = patched.get(canon, ()) + (value,)
+        return patched
 
     def _cow_extend(self, old: Table, table: Table) -> "Catalog":
         """COW case 2: ``table`` extends ``old`` -- patch appended rows in."""
@@ -248,6 +298,7 @@ class Catalog:
             clone._occurrence_cache = dict(self._occurrence_cache)
             clone._distinct_cache = parent_distinct
             clone._substring_index = self._substring_index
+            clone._canonical_cache = self._canonical_cache
             return clone
         position = self._order.index(table.name)
         pos_of = {name: i for i, name in enumerate(self._order)}
@@ -300,6 +351,7 @@ class Catalog:
             # No new or moved distinct values: order views carry over.
             clone._distinct_cache = parent_distinct
             clone._substring_index = self._substring_index
+            clone._canonical_cache = self._canonical_cache
             return clone
         # The whole batch lands at one splice point: after every value
         # first seen up to this table, before values first seen later.
@@ -317,17 +369,19 @@ class Catalog:
         clone._distinct_cache = (
             tuple(kept[:insert_at]) + tuple(batch) + tuple(kept[insert_at:])
         )
-        if self._substring_index is not None and not moved:
-            if insert_at == len(kept):
+        if not moved and insert_at == len(kept):
+            if self._substring_index is not None:
                 nonempty = [value for value in batch if value]
                 clone._substring_index = (
                     self._substring_index.extended(nonempty)
                     if nonempty
                     else self._substring_index
                 )
-            # else: new value ids would land mid-order; leave the clone's
-            # substring index to its lazy rebuild (the rare path -- only
-            # appends to a non-last table with later-first-seen values).
+            clone._canonical_cache = self._patched_canonical(batch)
+        # else: new value ids/group members would land mid-order; leave
+        # the clone's substring index and canonical map to their lazy
+        # rebuilds (the rare path -- only appends to a non-last table
+        # with later-first-seen values).
         return clone
 
     # ------------------------------------------------------------------
@@ -391,6 +445,134 @@ class Catalog:
                 [value for value in self.distinct_values() if value]
             )
         return self._substring_index
+
+    # -- approximate matching (repro.matching) -------------------------
+    def with_matchers(self, spec) -> "Catalog":
+        """A frozen snapshot of this catalog using matcher ``spec``.
+
+        Content-identical to ``self`` -- tables, indexes, caches and the
+        fingerprint are shared, only :attr:`matcher_spec` differs -- so
+        deriving one is O(1).  ``spec`` is a comma string or a sequence
+        of names (see ``repro.matching.normalize_spec``; raises
+        :class:`~repro.exceptions.UnknownMatcherError` on unknown names).
+        The serving layer uses this to re-bind programs to a per-request
+        matcher spec without touching the shared snapshot.
+        """
+        from repro.matching.base import normalize_spec
+
+        names = normalize_spec(spec)
+        if names == self.matcher_spec:
+            return self if self._frozen else self.freeze()
+        if self.storage_backed:
+            # Approximate matching needs the in-memory secondary indexes;
+            # lift the backend view into a plain catalog first.
+            return self.materialize().with_matchers(names)  # type: ignore[attr-defined]
+        self.freeze()
+        clone: "Catalog" = Catalog.__new__(Catalog)
+        clone._tables = self._tables
+        clone._order = self._order
+        clone._value_index = self._value_index
+        clone._occurrence_cache = self._occurrence_cache
+        clone._distinct_cache = self._distinct_cache
+        clone._substring_index = self._substring_index
+        clone._canonical_cache = getattr(self, "_canonical_cache", None)
+        clone._alias_cache = getattr(self, "_alias_cache", None)
+        clone._matcher_pipeline = None
+        clone._fingerprint = self._fingerprint
+        clone._frozen = True
+        clone.use_table_index = self.use_table_index
+        clone.matcher_spec = names
+        clone.matchers_active = names != ("exact",)
+        return clone
+
+    def matcher_pipeline(self):
+        """The active :class:`repro.matching.MatcherPipeline`, or ``None``.
+
+        ``None`` for the default exact spec, so hot paths can gate the
+        whole matcher machinery behind one falsy check and stay
+        byte-identical to the pre-matcher code.
+        """
+        spec = self.matcher_spec
+        if spec == ("exact",):
+            return None
+        pipeline = getattr(self, "_matcher_pipeline", None)
+        if pipeline is None or pipeline.spec != tuple(spec):
+            from repro.matching.base import build_pipeline
+
+            pipeline = build_pipeline(spec)
+            self._matcher_pipeline = pipeline
+        return pipeline
+
+    def canonical_value_map(self) -> Dict[str, Tuple[str, ...]]:
+        """``canonical form -> raw distinct values`` across the catalog.
+
+        Raw values keep :meth:`distinct_values` order within each group.
+        Built lazily, patched by the copy-on-write append paths.
+        """
+        if getattr(self, "_canonical_cache", None) is None:
+            from repro.matching.canonical import canonicalize
+
+            built: Dict[str, Tuple[str, ...]] = {}
+            for value in self.distinct_values():
+                canon = canonicalize(value)
+                built[canon] = built.get(canon, ()) + (value,)
+            self._canonical_cache = built
+        return self._canonical_cache
+
+    def alias_groups(self) -> Dict[str, Tuple[str, ...]]:
+        """Synonym groups from this catalog's alias tables (may be empty).
+
+        A table named ``Synonyms`` or ``Aliases`` (any casing) opts the
+        catalog in: each row's cells are mutually synonymous spellings.
+        Keys are canonical forms; see ``repro.matching.alias``.
+        """
+        if getattr(self, "_alias_cache", None) is None:
+            from repro.matching.alias import ALIAS_TABLE_NAMES, groups_from_rows
+            from repro.matching.canonical import canonicalize
+
+            rows: List[Tuple[str, ...]] = []
+            for name in self._order:
+                if canonicalize(name) in ALIAS_TABLE_NAMES:
+                    rows.extend(self._tables[name].rows)
+            self._alias_cache = groups_from_rows(rows)
+        return self._alias_cache
+
+    def match_universe(self):
+        """The whole catalog's distinct values as a match universe.
+
+        Exact membership and gram candidates are served by the value and
+        substring indexes; the lookup generator matches frontier strings
+        against this.
+        """
+        from repro.matching.base import ValueUniverse
+
+        index = self.substring_index()
+
+        def gram_candidates(query: str):
+            return [index.values[i] for i in index.gram_candidates(query)]
+
+        return ValueUniverse(
+            self.distinct_values(),
+            contains=lambda value: value in self._value_index,
+            canonical_map=self.canonical_value_map,
+            gram_candidates=gram_candidates,
+            alias_groups=self.alias_groups,
+        )
+
+    def matched_values(self, query: str):
+        """Stored values the active pipeline resolves ``query`` to.
+
+        Empty when the exact spec is active and ``query`` is not a cell
+        value; callers follow up with :meth:`occurrences_of` per match.
+        """
+        pipeline = self.matcher_pipeline()
+        if pipeline is None:
+            if query in self._value_index:
+                from repro.matching.base import Match
+
+                return [Match(query, "exact", 1.0)]
+            return []
+        return pipeline.match(query, self.match_universe())
 
     def fingerprint(self) -> str:
         """A stable content digest of the whole catalog.

@@ -272,6 +272,29 @@ class SubstringIndex:
         values = self.values
         return [value_id for value_id in best if text in values[value_id]]
 
+    def gram_candidates(self, text: str) -> List[int]:
+        """Ids of values sharing at least one q-gram with ``text``, ascending.
+
+        The candidate-generation primitive behind fuzzy matching
+        (``repro.matching.FuzzyMatcher``): the union of the posting lists
+        of ``text``'s grams of width ``min(len(text), MAX_GRAM)``.  A
+        value within small edit distance of ``text`` necessarily shares a
+        gram with it (unless both are shorter than the gram width), so
+        verifying only these candidates never misses a bounded-distance
+        match while skipping the unrelated bulk of the catalog.
+        """
+        if not text:
+            return []
+        grams = self.build()._grams
+        assert grams is not None
+        width = min(len(text), MAX_GRAM)
+        hits: Set[int] = set()
+        for start in range(len(text) - width + 1):
+            posting = grams.get(text[start : start + width])
+            if posting is not None:
+                hits.update(posting)
+        return sorted(hits)
+
     def overlapping(self, text: str, min_len: int = 1) -> List[int]:
         """Ids of values overlapping ``text`` per the §5.3 trigger, sorted.
 

@@ -75,6 +75,7 @@ class Table:
         "_column_index",
         "_key_row_index",
         "_value_rows",
+        "_canonical_maps",
         "_fingerprint",
         "_data_fingerprint",
         "_rows_digest",
@@ -150,6 +151,11 @@ class Table:
         # first find_rows/lookup (the serve-time hot path), never mutated
         # afterwards -- the table is immutable.
         self._value_rows: Optional[Dict[str, Dict[str, Tuple[int, ...]]]] = None
+        # Per-column canonical-form -> raw distinct values secondary
+        # index (repro.matching.canonicalize); built lazily per column on
+        # the first canonical-matched lookup, patched copy-on-write by
+        # extended().
+        self._canonical_maps: Optional[Dict[str, Dict[str, Tuple[str, ...]]]] = None
         self._fingerprint: Optional[str] = None
         self._data_fingerprint: Optional[str] = None
         self._rows_digest = None  # streaming hash state; see fingerprint()
@@ -268,6 +274,110 @@ class Table:
         """
         self.column_position(column)  # raises UnknownColumnError
         return self._ensure_value_rows()[column]
+
+    def canonical_map(self, column: str) -> Dict[str, Tuple[str, ...]]:
+        """``canonical form -> raw values`` over one column's distinct values.
+
+        The secondary index behind ``CanonicalMatcher``
+        (``repro.matching.canonicalize``): raw values keep first-seen row
+        order within each group.  Built lazily per column and patched --
+        not rebuilt -- by :meth:`extended`.
+        """
+        from repro.matching.canonical import canonicalize
+
+        maps = getattr(self, "_canonical_maps", None)
+        if maps is None:
+            maps = self._canonical_maps = {}
+        built = maps.get(column)
+        if built is None:
+            built = {}
+            for value in self.column_postings(column):
+                canon = canonicalize(value)
+                built[canon] = built.get(canon, ()) + (value,)
+            maps[column] = built
+        return built
+
+    def column_universe(self, column: str, alias_groups=None):
+        """The :class:`repro.matching.ValueUniverse` of one column."""
+        from repro.matching.base import ValueUniverse
+
+        postings = self.column_postings(column)
+        return ValueUniverse(
+            postings,
+            contains=postings.__contains__,
+            canonical_map=lambda: self.canonical_map(column),
+            alias_groups=alias_groups,
+        )
+
+    def find_rows_matched(
+        self,
+        conditions: Dict[str, str],
+        pipeline,
+        alias_groups=None,
+    ) -> Dict[int, Tuple[float, str]]:
+        """Rows matching every condition under ``pipeline``, with provenance.
+
+        Generalizes :meth:`find_rows` to approximate matching: each
+        condition value is resolved to a match set by the pipeline, a row
+        satisfies the condition when its cell equals *any* matched value,
+        and the returned mapping carries each surviving row's overall
+        ``(confidence, strategy)`` -- the weakest condition wins (an
+        all-exact row reads ``(1.0, "exact")``).  With an exact-only
+        pipeline the key set equals ``find_rows(conditions)``.
+        """
+        for column in conditions:
+            self.column_position(column)  # raises UnknownColumnError
+        if not conditions:
+            return {row: (1.0, "exact") for row in range(len(self.rows))}
+        combined: Optional[Dict[int, Tuple[float, str]]] = None
+        for column, value in conditions.items():
+            matches = pipeline.match(
+                value, self.column_universe(column, alias_groups)
+            )
+            per_row: Dict[int, Tuple[float, str]] = {}
+            for match in matches:  # descending confidence: first wins
+                for row in self.value_rows(column, match.value):
+                    if row not in per_row:
+                        per_row[row] = (match.confidence, match.strategy)
+            if combined is None:
+                combined = per_row
+            else:
+                combined = {
+                    row: min(combined[row], hit)
+                    for row, hit in per_row.items()
+                    if row in combined
+                }
+            if not combined:
+                return {}
+        assert combined is not None
+        return combined
+
+    def lookup_matched(
+        self,
+        column: str,
+        conditions: Dict[str, str],
+        pipeline,
+        alias_groups=None,
+    ) -> Tuple[str, float, str]:
+        """Matched-lookup Select semantics: ``(output, confidence, strategy)``.
+
+        The exactly-one-row rule of :meth:`lookup` applied per confidence
+        level: among the matched rows, only the highest-confidence tier
+        competes, and the lookup succeeds when that tier holds exactly
+        one row -- so an exact hit is never displaced (or made ambiguous)
+        by approximate ones, and two equally-plausible approximate rows
+        yield ``""`` exactly like two exact rows do today.
+        """
+        rows = self.find_rows_matched(conditions, pipeline, alias_groups)
+        if not rows:
+            return "", 0.0, "none"
+        best = max(hit[0] for hit in rows.values())
+        tier = [row for row, hit in rows.items() if hit[0] == best]
+        if len(tier) != 1:
+            return "", 0.0, "ambiguous"
+        winner = tier[0]
+        confidence, strategy = rows[winner]
+        return self.cell(column, winner), confidence, strategy
 
     def _ensure_rows_digest(self):
         """The streaming SHA-256 over (name, columns, rows) -- resumable.
@@ -410,6 +520,42 @@ class Table:
                     postings[value] = postings.get(value, ()) + tuple(row_numbers)
                 patched[column] = postings
             clone._value_rows = patched
+
+        canonical_maps = getattr(self, "_canonical_maps", None)
+        if canonical_maps is None:
+            clone._canonical_maps = None
+        else:
+            # Patch each already-built column map with the appended rows'
+            # *new* distinct values (first-seen order), copying only the
+            # touched canonical groups -- same COW discipline as the
+            # value index above.
+            from repro.matching.canonical import canonicalize
+
+            old_values = self._value_rows or {}
+            patched_maps: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+            for column, mapping in canonical_maps.items():
+                position = self._column_index[column]
+                known = old_values.get(column)
+                if known is None:
+                    known = {
+                        row[position]: None for row in self.rows
+                    }
+                additions: List[str] = []
+                seen: set = set()
+                for row in new_rows:
+                    value = row[position]
+                    if value not in known and value not in seen:
+                        seen.add(value)
+                        additions.append(value)
+                if not additions:
+                    patched_maps[column] = mapping
+                    continue
+                mapping = dict(mapping)
+                for value in additions:
+                    canon = canonicalize(value)
+                    mapping[canon] = mapping.get(canon, ()) + (value,)
+                patched_maps[column] = mapping
+            clone._canonical_maps = patched_maps
         return clone
 
     def _extend_key_index(
@@ -541,6 +687,7 @@ class Table:
         for slot in self._PICKLED_SLOTS:
             object.__setattr__(self, slot, state[slot])
         self._value_rows = None
+        self._canonical_maps = None
         self._fingerprint = None
         self._data_fingerprint = None
         self._rows_digest = None

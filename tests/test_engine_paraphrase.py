@@ -44,6 +44,29 @@ class TestLeaves:
     def test_unicode_left_readable(self):
         assert paraphrase(ConstStr("café")) == 'the text "café"'
 
+    def test_leading_whitespace_named_and_counted(self):
+        # " MSFT" and "MSFT" are different lookup keys but look the same
+        # at a glance; the paraphrase must call the padding out.
+        assert (
+            paraphrase(ConstStr(" MSFT"))
+            == 'the text " MSFT" (with 1 leading whitespace character)'
+        )
+
+    def test_trailing_whitespace_named_and_counted(self):
+        assert (
+            paraphrase(ConstStr("MSFT  "))
+            == 'the text "MSFT  " (with 2 trailing whitespace characters)'
+        )
+
+    def test_leading_and_trailing_whitespace_both_reported(self):
+        text = paraphrase(ConstStr("\t MSFT "))
+        assert "2 leading whitespace characters" in text
+        assert "1 trailing whitespace character)" in text
+        assert "\\t" in text  # still JSON-quoted, so the tab is visible
+
+    def test_interior_whitespace_not_flagged(self):
+        assert paraphrase(ConstStr("Microsoft Corp")) == 'the text "Microsoft Corp"'
+
 
 class TestSubstrings:
     def test_substr2_sugar_recognized(self):

@@ -1,0 +1,336 @@
+"""Unit tests for the pluggable matcher layer (``repro.matching``).
+
+Covers the strategy implementations (exact, canonical, fuzzy, alias),
+the exact-first pipeline semantics, spec normalization and the typed
+unknown-strategy error, the serving stats counters, and the catalog /
+table integration points (``with_matchers`` clones, the hot-path
+``matchers_active`` gate, canonical secondary indexes, matched
+lookups).
+"""
+
+import pytest
+
+from repro.exceptions import UnknownMatcherError
+from repro.matching import (
+    EXACT_SPEC,
+    AliasMatcher,
+    CanonicalMatcher,
+    ExactMatcher,
+    FuzzyMatcher,
+    Match,
+    ValueUniverse,
+    available_matchers,
+    bounded_edit_distance,
+    build_pipeline,
+    canonicalize,
+    gram_similarity,
+    matching_stats,
+    normalize_spec,
+    reset_matching_stats,
+)
+from repro.matching.alias import groups_from_rows
+from repro.matching.fuzzy import edit_limit
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+VALUES = ["Microsoft Corp", "Google Inc", "Apple", "IBM", "microsoft corp"]
+
+
+def universe(values=None):
+    return ValueUniverse(list(VALUES if values is None else values))
+
+
+class TestCanonicalize:
+    def test_case_whitespace_width(self):
+        assert canonicalize("  MicroSoft   Corp ") == "microsoft corp"
+        assert canonicalize("Ｍicrosoft Corp") == "microsoft corp"  # fullwidth M
+        assert canonicalize("\tGoogle\n Inc") == "google inc"
+
+    def test_idempotent_on_tricky_folds(self):
+        # ﬁ (U+FB01) NFKC-expands under casefold interplay; ẞ casefolds
+        # to "ss"; both must reach a fixed point.
+        for text in ["ﬁle", "STRAẞE", "Ⅻ", "①②", "ﬀ"]:
+            once = canonicalize(text)
+            assert canonicalize(once) == once
+
+    def test_empty_and_whitespace(self):
+        assert canonicalize("") == ""
+        assert canonicalize("   \t\n") == ""
+
+
+class TestNormalizeSpec:
+    def test_none_is_exact(self):
+        assert normalize_spec(None) == EXACT_SPEC
+
+    def test_exact_always_first(self):
+        assert normalize_spec(("canonical", "fuzzy")) == (
+            "exact",
+            "canonical",
+            "fuzzy",
+        )
+
+    def test_comma_string_and_dedup(self):
+        assert normalize_spec("canonical, fuzzy, canonical") == (
+            "exact",
+            "canonical",
+            "fuzzy",
+        )
+
+    def test_iterable_of_comma_strings(self):
+        assert normalize_spec(["canonical,alias"]) == (
+            "exact",
+            "canonical",
+            "alias",
+        )
+
+    def test_unknown_name_is_typed_error(self):
+        with pytest.raises(UnknownMatcherError) as excinfo:
+            normalize_spec(("soundex",))
+        assert "soundex" in str(excinfo.value)
+        # Also a ValueError, for callers validating knobs generically.
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_available_matchers(self):
+        assert available_matchers() == ("alias", "canonical", "exact", "fuzzy")
+
+
+class TestStrategies:
+    def test_exact_matcher(self):
+        hits = ExactMatcher().match("Apple", universe())
+        assert hits == [Match("Apple", "exact", 1.0)]
+        assert ExactMatcher().match("apple", universe()) == []
+
+    def test_canonical_matcher_excludes_raw_query(self):
+        hits = CanonicalMatcher().match("MICROSOFT CORP", universe())
+        assert [h.value for h in hits] == ["Microsoft Corp", "microsoft corp"]
+        assert all(h.strategy == "canonical" and h.confidence == 0.9 for h in hits)
+        # The query's own spelling never comes back from canonical.
+        hits = CanonicalMatcher().match("microsoft corp", universe())
+        assert [h.value for h in hits] == ["Microsoft Corp"]
+
+    def test_canonical_uses_prebuilt_map(self):
+        probes = []
+
+        def mapping():
+            probes.append(True)
+            return {"apple": ("Apple",)}
+
+        uni = ValueUniverse(VALUES, canonical_map=mapping)
+        hits = CanonicalMatcher().match("APPLE", uni)
+        assert [h.value for h in hits] == ["Apple"]
+        assert probes  # served from the secondary index, not a scan
+
+    def test_fuzzy_matcher_typo(self):
+        hits = FuzzyMatcher().match("Microsft Corp", universe())
+        values = {h.value for h in hits}
+        assert "Microsoft Corp" in values and "microsoft corp" in values
+        assert all(h.confidence <= 0.8 for h in hits)
+
+    def test_fuzzy_respects_edit_limit(self):
+        assert edit_limit(3) == 1 and edit_limit(8) == 2 and edit_limit(20) == 3
+        # "IBM" -> "IBX" is distance 1 of a length-3 query: allowed;
+        # a 2-edit corruption of a short string is not.
+        assert FuzzyMatcher().match("IBX", universe(["IBM"]))
+        assert not FuzzyMatcher().match("IXX", universe(["IBM"]))
+
+    def test_alias_matcher(self):
+        groups = groups_from_rows(
+            [("IBM", "International Business Machines", "IBM Corp.")]
+        )
+        uni = ValueUniverse(
+            ["International Business Machines", "Apple"],
+            alias_groups=lambda: groups,
+        )
+        hits = AliasMatcher().match("ibm", uni)  # canonical-form membership
+        assert [h.value for h in hits] == ["International Business Machines"]
+        assert hits[0].strategy == "alias" and hits[0].confidence == 0.85
+
+    def test_alias_only_returns_stored_values(self):
+        groups = groups_from_rows([("NYC", "New York")])
+        uni = ValueUniverse(["Boston"], alias_groups=lambda: groups)
+        assert AliasMatcher().match("NYC", uni) == []
+
+
+class TestEditDistance:
+    def test_basic_distances(self):
+        assert bounded_edit_distance("abc", "abc", 1) == 0
+        assert bounded_edit_distance("abc", "abd", 1) == 1
+        assert bounded_edit_distance("abc", "ab", 1) == 1
+        assert bounded_edit_distance("kitten", "sitting", 3) == 3
+
+    def test_limit_cuts_off(self):
+        assert bounded_edit_distance("kitten", "sitting", 2) is None
+        assert bounded_edit_distance("a", "abcdef", 3) is None  # length gap
+
+    def test_gram_similarity(self):
+        assert gram_similarity("abcd", "abcd") == 1.0
+        assert gram_similarity("abcd", "wxyz") == 0.0
+        assert 0.0 < gram_similarity("abcd", "abce") < 1.0
+
+
+class TestPipeline:
+    def test_exact_short_circuits_approx(self):
+        pipeline = build_pipeline(("canonical", "fuzzy"))
+        hits = pipeline.match("Microsoft Corp", universe())
+        # "microsoft corp" is a canonical twin, but the exact hit resolves
+        # the query alone.
+        assert hits == [Match("Microsoft Corp", "exact", 1.0)]
+
+    def test_dedup_keeps_highest_confidence(self):
+        pipeline = build_pipeline(("canonical", "fuzzy"))
+        hits = pipeline.match("MICROSOFT CORP", universe())
+        by_value = {h.value: h for h in hits}
+        # Canonical (0.9) wins over fuzzy's lower claim for the same value.
+        assert by_value["Microsoft Corp"].strategy == "canonical"
+        assert by_value["Microsoft Corp"].confidence == 0.9
+
+    def test_order_confidence_then_universe(self):
+        pipeline = build_pipeline(("canonical", "fuzzy"))
+        hits = pipeline.match("MICROSOFT CORP", universe())
+        confidences = [h.confidence for h in hits]
+        assert confidences == sorted(confidences, reverse=True)
+        ties = [h.value for h in hits if h.confidence == 0.9]
+        assert ties == ["Microsoft Corp", "microsoft corp"]  # universe order
+
+    def test_miss_returns_empty(self):
+        pipeline = build_pipeline(("canonical",))
+        assert pipeline.match("Netscape", universe()) == []
+
+    def test_exact_only_flag(self):
+        assert build_pipeline(None).exact_only
+        assert not build_pipeline(("canonical",)).exact_only
+
+    def test_stats_counters(self):
+        reset_matching_stats()
+        pipeline = build_pipeline(("canonical",))
+        pipeline.match("Apple", universe())  # exact hit
+        pipeline.match("APPLE", universe())  # canonical hit
+        pipeline.match("Netscape", universe())  # miss
+        stats = matching_stats()
+        assert stats["queries"] == 3
+        assert stats["exact_hits"] == 1
+        assert stats["approx_hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["by_strategy"] == {"canonical": 1}
+        reset_matching_stats()
+        assert matching_stats()["queries"] == 0
+
+
+def make_catalog():
+    return Catalog(
+        [
+            Table(
+                "Comp",
+                ["Name", "Stock"],
+                [
+                    ("Microsoft Corp", "MSFT"),
+                    ("Google Inc", "GOOG"),
+                    ("Apple", "AAPL"),
+                ],
+                keys=[("Name",)],
+            )
+        ]
+    )
+
+
+class TestCatalogIntegration:
+    def test_default_catalog_is_exact(self):
+        catalog = make_catalog()
+        assert catalog.matcher_spec == ("exact",)
+        assert catalog.matchers_active is False
+        assert catalog.matcher_pipeline() is None
+
+    def test_with_matchers_is_shared_o1_clone(self):
+        catalog = make_catalog()
+        fingerprint = catalog.fingerprint()
+        approx = catalog.with_matchers("canonical,fuzzy")
+        assert approx.matcher_spec == ("exact", "canonical", "fuzzy")
+        assert approx.matchers_active is True
+        assert approx.fingerprint() == fingerprint
+        assert approx.table("Comp") is catalog.table("Comp")
+        assert approx.matcher_pipeline() is not None
+        # Same spec round-trips to the same (frozen) object.
+        assert approx.with_matchers(("canonical", "fuzzy")) is approx
+
+    def test_with_matchers_unknown_name(self):
+        with pytest.raises(UnknownMatcherError):
+            make_catalog().with_matchers("phonetic")
+
+    def test_matchers_active_survives_cow(self):
+        approx = make_catalog().with_matchers(("canonical",))
+        grown = approx.with_rows("Comp", [("IBM", "IBM")])
+        assert grown.matchers_active is True
+        assert grown.matcher_spec == ("exact", "canonical")
+        # And the exact default stays off after growth.
+        grown_exact = make_catalog().with_rows("Comp", [("IBM", "IBM")])
+        assert grown_exact.matchers_active is False
+
+    def test_catalog_canonical_value_map(self):
+        mapping = make_catalog().canonical_value_map()
+        assert mapping["microsoft corp"] == ("Microsoft Corp",)
+        assert mapping["aapl"] == ("AAPL",)
+
+    def test_alias_groups_from_synonyms_table(self):
+        catalog = make_catalog().with_table(
+            Table(
+                "Synonyms",
+                ["A", "B"],
+                [("Microsoft Corp", "MSFT Corp")],
+            )
+        )
+        groups = catalog.alias_groups()
+        assert "microsoft corp" in groups
+        assert "msft corp" in groups
+
+    def test_table_canonical_map_patched_by_extended(self):
+        table = make_catalog().table("Comp")
+        before = table.canonical_map("Name")
+        assert before["apple"] == ("Apple",)
+        grown = table.extended([("APPLE", "AAPL2")])
+        after = grown.canonical_map("Name")
+        assert after["apple"] == ("Apple", "APPLE")
+        # Patched COW map equals a from-scratch rebuild.
+        rebuilt = Table("Comp", ["Name", "Stock"], grown.rows, keys=[("Name",)])
+        assert after == rebuilt.canonical_map("Name")
+
+
+class TestMatchedLookup:
+    def test_exact_tier_beats_approx(self):
+        table = Table(
+            "T",
+            ["K", "V"],
+            [("Alpha", "a"), ("ALPHA", "b")],
+        )
+        pipeline = build_pipeline(("canonical",))
+        text, confidence, strategy = table.lookup_matched(
+            "V", {"K": "Alpha"}, pipeline
+        )
+        assert (text, confidence, strategy) == ("a", 1.0, "exact")
+
+    def test_canonical_resolves_noisy_key(self):
+        table = make_catalog().table("Comp")
+        pipeline = build_pipeline(("canonical",))
+        text, confidence, strategy = table.lookup_matched(
+            "Stock", {"Name": "  GOOGLE inc "}, pipeline
+        )
+        assert (text, confidence, strategy) == ("GOOG", 0.9, "canonical")
+
+    def test_ambiguous_tier_is_empty_like_exact(self):
+        table = Table(
+            "T",
+            ["K", "V"],
+            [("Alpha", "a"), ("ALPHA", "b")],
+        )
+        pipeline = build_pipeline(("canonical",))
+        text, confidence, strategy = table.lookup_matched(
+            "V", {"K": "alpha"}, pipeline
+        )
+        assert text == "" and strategy == "ambiguous"
+
+    def test_miss_is_empty(self):
+        table = make_catalog().table("Comp")
+        pipeline = build_pipeline(("canonical",))
+        text, confidence, strategy = table.lookup_matched(
+            "Stock", {"Name": "Netscape"}, pipeline
+        )
+        assert text == "" and confidence == 0.0 and strategy == "none"

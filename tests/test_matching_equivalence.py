@@ -1,0 +1,235 @@
+"""Matcher-layer equivalence and acceptance gates.
+
+The strategy seam must be invisible under the default spec and useful
+under approximate ones:
+
+* canonicalization is idempotent (hypothesis, arbitrary unicode);
+* the canonical matcher's indexed route equals its scan route;
+* under ``matchers=("exact",)`` every benchsuite problem produces
+  fully-exact artifacts -- confidence 1.0 throughout, no provenance or
+  confidence keys in the serialized payload -- and derived exact
+  clones change nothing;
+* exact candidates rank strictly ahead of approximate ones;
+* ``canonical,fuzzy`` recovers >= 80% of the noisy suite's exact
+  misses (the ISSUE acceptance gate; measured recall is 100%);
+* the copy-on-write append path patches the canonical secondary index
+  to exactly the from-scratch rebuild.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.engine import Synthesizer
+from repro.api.serialize import expression_to_dict
+from repro.benchsuite import all_benchmarks
+from repro.benchsuite.noisy_problems import (
+    PERTURBATIONS,
+    evaluate_noisy,
+    noisy_benchmarks,
+    perturb,
+)
+from repro.config import DEFAULT_CONFIG
+from repro.matching import CanonicalMatcher, ValueUniverse, canonicalize
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+texts = st.text(max_size=40)
+
+
+class TestCanonicalizationProperties:
+    @given(texts)
+    @settings(max_examples=300, deadline=None)
+    def test_canonicalize_idempotent(self, text):
+        once = canonicalize(text)
+        assert canonicalize(once) == once
+
+    @given(texts, st.lists(texts, max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_indexed_route_equals_scan_route(self, query, values):
+        def mapping():
+            built = {}
+            for value in values:
+                canon = canonicalize(value)
+                built[canon] = built.get(canon, ()) + (value,)
+            return built
+
+        matcher = CanonicalMatcher()
+        scanned = matcher.match(query, ValueUniverse(values))
+        indexed = matcher.match(
+            query, ValueUniverse(values, canonical_map=mapping)
+        )
+        assert [m.value for m in scanned] == [m.value for m in indexed]
+
+
+@pytest.mark.parametrize(
+    "bench", all_benchmarks(), ids=lambda bench: bench.name
+)
+def test_default_spec_is_fully_exact(bench):
+    """Under ``matchers=("exact",)`` nothing approximate leaks anywhere."""
+    catalog = bench.catalog()
+    assert catalog.matchers_active is False
+    result = Synthesizer(catalog, config=DEFAULT_CONFIG).synthesize(
+        bench.rows[:2], k=3
+    )
+    for candidate in result.programs:
+        assert candidate.confidence == 1.0
+        assert not candidate.approximate
+        payload = json.dumps(expression_to_dict(candidate.program.expr))
+        assert "match_provenance" not in payload
+        assert "confidence" not in payload
+    # Clean example rows reproduce exactly.
+    for inputs, output in bench.rows[:2]:
+        assert result.program.run(inputs) == output
+    # An explicit exact derivation is the same catalog, same results.
+    rebound = catalog.with_matchers(("exact",))
+    assert rebound.matcher_spec == ("exact",)
+    again = Synthesizer(rebound, config=DEFAULT_CONFIG).synthesize(
+        bench.rows[:2], k=3
+    )
+    assert [(c.rank, c.score, str(c.program)) for c in result.programs] == [
+        (c.rank, c.score, str(c.program)) for c in again.programs
+    ]
+
+
+class TestExactRanksFirst:
+    def _synthesize(self, k=12):
+        # v1 exactly keys Tickers; v2 is a noisy spelling that only the
+        # canonical matcher can bind to Comp's Name key.  Both selects
+        # derive "MSFT", so the ranked list holds an exact candidate and
+        # its structurally identical approximate twin side by side.
+        # (depth_bound=1 keeps reachability from looping back through
+        # the shared output cell and re-deriving the key exactly.)
+        catalog = Catalog(
+            [
+                Table(
+                    "Tickers",
+                    ["Code", "Symbol"],
+                    [("MS-1", "MSFT"), ("GO-1", "GOOG")],
+                    keys=[("Code",)],
+                ),
+                Table(
+                    "Comp",
+                    ["Name", "Stock"],
+                    [("Microsoft Corp", "MSFT"), ("Google Inc", "GOOG")],
+                    keys=[("Name",)],
+                ),
+            ]
+        )
+        config = replace(
+            DEFAULT_CONFIG, depth_bound=1, matchers=("exact", "canonical")
+        )
+        return Synthesizer(catalog, language="lookup", config=config).synthesize(
+            [(("MS-1", "microsoft corp"), "MSFT")], k=k
+        )
+
+    def test_exact_binding_outranks_approximate_twin_by_surcharge(self):
+        result = self._synthesize()
+        top = result.programs[0]
+        assert top.confidence == 1.0 and not top.approximate
+        approx = [c for c in result.programs if c.approximate]
+        assert approx, "the noisy input must surface an approximate select"
+        twin = approx[0]
+        # The exact binding ranks strictly first, and by exactly the
+        # cost surcharge: approx_predicate * (1 - confidence) -- no
+        # bucket sort involved.
+        assert twin.rank > top.rank
+        surcharge = DEFAULT_CONFIG.weights.approx_predicate * (
+            1.0 - twin.confidence
+        )
+        assert twin.score == pytest.approx(top.score + surcharge)
+
+    def test_surcharge_is_not_a_bucket_sort(self):
+        # Degenerate constant-key selects are exact (confidence 1.0) but
+        # rank *after* the meaningful approximate candidate -- the seam
+        # orders by cost, it does not promote all-exact wholesale.
+        result = self._synthesize()
+        twin = next(c for c in result.programs if c.approximate)
+        const_keyed = [
+            c
+            for c in result.programs
+            if not c.approximate and "ConstStr" in str(c.program)
+        ]
+        assert const_keyed
+        assert all(c.rank > twin.rank for c in const_keyed)
+
+    def test_approximate_candidates_carry_provenance(self):
+        result = self._synthesize()
+        tagged = [c for c in result.programs if c.approximate]
+        assert tagged
+        for candidate in tagged:
+            assert 0.0 < candidate.confidence < 1.0
+            assert "≈" in str(candidate.program)
+            payload = json.dumps(expression_to_dict(candidate.program.expr))
+            assert "match_provenance" in payload
+
+
+class TestNoisySuite:
+    def test_perturbation_cycle_is_deterministic(self):
+        assert perturb("Microsoft", 0) == "MICROSOFT"
+        assert perturb("Microsoft", 1) == "microsoft"
+        assert perturb("Microsoft", 0) == perturb("Microsoft", 0)
+        assert len(PERTURBATIONS) == 6
+
+    def test_noisy_benchmarks_cover_lt_class(self):
+        noisy = noisy_benchmarks()
+        assert len(noisy) >= 10
+        for problem in noisy:
+            assert problem.base.language_class == "Lt"
+            assert len(problem.rows) == len(problem.base.rows)
+
+    def test_canonical_fuzzy_recall_gate(self):
+        """The ISSUE acceptance gate: >= 80% of exact misses recovered."""
+        report = evaluate_noisy(("canonical", "fuzzy"))
+        assert report["exact_misses"] > 0, (
+            "the noisy suite must actually perturb lookup keys"
+        )
+        assert report["recall"] >= 0.8
+        assert report["recovered"] + report["exact_hits"] <= report["total_rows"]
+
+    def test_exact_spec_recovers_nothing(self):
+        """Re-binding to the exact spec is a no-op on the noisy rows."""
+        problems = noisy_benchmarks()[:3]
+        report = evaluate_noisy(("exact",), problems=problems)
+        assert report["recovered"] == 0
+
+
+class TestCowCanonicalIndex:
+    def test_with_rows_patches_to_scratch_equivalence(self):
+        catalog = Catalog(
+            [
+                Table(
+                    "Comp",
+                    ["Name", "Stock"],
+                    [("Microsoft Corp", "MSFT"), ("Google Inc", "GOOG")],
+                    keys=[("Name",)],
+                )
+            ]
+        )
+        # Build the index before growing, so the COW path must patch it.
+        before = catalog.canonical_value_map()
+        assert "microsoft corp" in before
+        grown = catalog.with_rows(
+            "Comp", [("APPLE inc", "AAPL"), ("apple INC", "AAPL2")]
+        )
+        patched = grown.canonical_value_map()
+        scratch = Catalog(grown.tables()).canonical_value_map()
+        assert patched == scratch
+        assert patched["apple inc"] == ("APPLE inc", "apple INC")
+        # The parent's map is untouched (COW, not shared mutation).
+        assert "apple inc" not in catalog.canonical_value_map()
+
+    def test_matched_lookup_sees_appended_rows(self):
+        catalog = Catalog(
+            [Table("Comp", ["Name", "Stock"], [("Google Inc", "GOOG")])]
+        ).with_matchers(("canonical",))
+        assert catalog.canonical_value_map()  # force the lazy build
+        grown = catalog.with_rows("Comp", [("Apple Inc", "AAPL")])
+        table = grown.table("Comp")
+        text, confidence, strategy = table.lookup_matched(
+            "Stock", {"Name": "APPLE INC"}, grown.matcher_pipeline()
+        )
+        assert (text, strategy) == ("AAPL", "canonical")

@@ -1,0 +1,243 @@
+"""Matcher overrides through the serving surfaces.
+
+The ``matchers`` knob must behave identically whether it arrives via the
+service facade, the JSON HTTP API, or the CLI: approximate fills resolve
+noisy keys, derived engines are cached per (catalog, spec) and never
+alias the default-spec request cache, and an unknown strategy name is a
+typed 400 / exit-1 error raised before any synthesis work.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import NoProgramFoundError, UnknownMatcherError
+from repro.service import ProgramStore, SynthesisService, create_server
+from repro.tables.catalog import Catalog
+from repro.tables.table import Table
+
+ROWS = [
+    ("Microsoft Corp", "MSFT"),
+    ("Google Inc", "GOOG"),
+    ("Apple Computers", "AAPL"),
+]
+CLEAN = [(("Microsoft Corp",), "MSFT"), (("Google Inc",), "GOOG")]
+NOISY_ROWS = [("  MICROSOFT corp ",), ("google  inc",), ("Apple Computer",)]
+
+
+def make_catalog():
+    return Catalog([Table("Comp", ["Name", "Stock"], ROWS, keys=[("Name",)])])
+
+
+@pytest.fixture()
+def service(tmp_path):
+    return SynthesisService(
+        make_catalog(),
+        language="lookup",
+        store=ProgramStore(tmp_path / "store"),
+    )
+
+
+class TestServiceMatchers:
+    def test_fill_with_matchers_resolves_noisy_keys(self, service):
+        reply = service.learn(CLEAN)
+        program = reply.result.program
+        assert service.fill(program, NOISY_ROWS) == ["", "", ""]
+        assert service.fill(program, NOISY_ROWS, matchers="canonical,fuzzy") == [
+            "MSFT",
+            "GOOG",
+            "AAPL",
+        ]
+
+    def test_fill_stream_honors_matchers(self, service):
+        program = service.learn(CLEAN).result.program
+        chunks = list(
+            service.fill_stream(
+                program, NOISY_ROWS, chunk_rows=2, matchers=("canonical", "fuzzy")
+            )
+        )
+        assert chunks == [["MSFT", "GOOG"], ["AAPL"]]
+
+    def test_learn_with_matchers_binds_noisy_examples(self, service):
+        noisy_task = [(("microsoft corp",), "MSFT")]
+        reply = service.learn(noisy_task, matchers="canonical")
+        assert reply.result.programs[0].approximate
+        assert reply.result.programs[0].confidence == pytest.approx(0.9)
+        # The same task under the default spec must not alias the cached
+        # approximate result (the derived config keys the cache): exact
+        # equality has no consistent program for the noisy spelling.
+        with pytest.raises(NoProgramFoundError):
+            service.learn(noisy_task)
+
+    def test_derived_engines_are_cached_per_spec(self, service):
+        spec = ("exact", "canonical")
+        first = service.engine_for_matchers(None, spec)
+        assert service.engine_for_matchers(None, spec) is first
+        other = service.engine_for_matchers(None, ("exact", "fuzzy"))
+        assert other is not first
+        assert first.catalog.matcher_spec == spec
+
+    def test_unknown_matcher_fails_before_synthesis(self, service):
+        with pytest.raises(UnknownMatcherError):
+            service.learn(CLEAN, matchers="soundex")
+        with pytest.raises(UnknownMatcherError):
+            service.fill(service.learn(CLEAN).result.program, NOISY_ROWS,
+                         matchers=["phonetic"])
+        # The failed (unknown-matcher) learn did not tick the counters;
+        # only the one successful learn above did.
+        assert service.stats()["requests"]["learn_requests"] == 1
+
+    def test_stats_exposes_matching_counters(self, service):
+        stats = service.stats()
+        assert "matching" in stats
+        for key in ("queries", "exact_hits", "approx_hits", "misses"):
+            assert key in stats["matching"]
+
+
+@pytest.fixture()
+def server(tmp_path):
+    service = SynthesisService(
+        make_catalog(),
+        language="lookup",
+        store=ProgramStore(tmp_path / "store"),
+    )
+    server = create_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def post(server, path, payload):
+    host, port = server.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}" + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            return reply.status, json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+CLEAN_JSON = [[["Microsoft Corp"], "MSFT"], [["Google Inc"], "GOOG"]]
+
+
+class TestHttpMatchers:
+    def test_fill_with_matchers_field(self, server):
+        status, learned = post(server, "/learn", {"examples": CLEAN_JSON})
+        assert status == 200
+        program = learned["programs"][0]["program"]
+        status, body = post(
+            server, "/fill", {"program": program, "rows": [list(r) for r in NOISY_ROWS]}
+        )
+        assert status == 200 and body["outputs"] == ["", "", ""]
+        status, body = post(
+            server,
+            "/fill",
+            {
+                "program": program,
+                "rows": [list(r) for r in NOISY_ROWS],
+                "matchers": "canonical,fuzzy",
+            },
+        )
+        assert status == 200
+        assert body["outputs"] == ["MSFT", "GOOG", "AAPL"]
+
+    def test_learn_with_matchers_list(self, server):
+        status, body = post(
+            server,
+            "/learn",
+            {
+                "examples": [[["microsoft corp"], "MSFT"]],
+                "matchers": ["canonical"],
+            },
+        )
+        assert status == 200
+        # The serializer emits a confidence key only for approximate
+        # candidates, so its presence is itself part of the contract.
+        assert body["programs"][0]["confidence"] == pytest.approx(0.9)
+
+    def test_unknown_matcher_is_400(self, server):
+        status, body = post(
+            server,
+            "/learn",
+            {"examples": CLEAN_JSON, "matchers": "soundex"},
+        )
+        assert status == 400
+        assert "soundex" in body["error"]
+
+    def test_bad_matchers_type_is_400(self, server):
+        status, body = post(
+            server,
+            "/fill",
+            {"program": {"kind": "var", "index": 0}, "rows": [], "matchers": 7},
+        )
+        assert status == 400
+        assert "matchers" in body["error"]
+
+
+@pytest.fixture()
+def workdir(tmp_path):
+    (tmp_path / "Comp.csv").write_text(
+        "Name,Stock\nMicrosoft Corp,MSFT\nGoogle Inc,GOOG\nApple Computers,AAPL\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "examples.csv").write_text(
+        "Microsoft Corp,MSFT\nGoogle Inc,GOOG\n", encoding="utf-8"
+    )
+    (tmp_path / "noisy.csv").write_text(
+        '"  MICROSOFT corp "\n"google  inc"\n', encoding="utf-8"
+    )
+    return tmp_path
+
+
+class TestCliMatchers:
+    def test_fill_with_matchers_resolves_noisy_rows(self, workdir, capsys):
+        artifact = workdir / "program.json"
+        assert (
+            main(
+                [
+                    "learn",
+                    "--table", str(workdir / "Comp.csv"),
+                    "--examples", str(workdir / "examples.csv"),
+                    "--save", str(artifact),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "fill",
+                    "--program", str(artifact),
+                    "--table", str(workdir / "Comp.csv"),
+                    "--rows", str(workdir / "noisy.csv"),
+                    "--matchers", "canonical,fuzzy",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "MSFT" in output and "GOOG" in output
+
+    def test_unknown_matcher_exits_1(self, workdir, capsys):
+        code = main(
+            [
+                "learn",
+                "--table", str(workdir / "Comp.csv"),
+                "--examples", str(workdir / "examples.csv"),
+                "--matchers", "soundex",
+            ]
+        )
+        assert code == 1
+        assert "soundex" in capsys.readouterr().err

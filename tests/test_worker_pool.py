@@ -54,8 +54,8 @@ def canonical(payload):
             {
                 "language": payload["language"],
                 "programs": [
-                    (rank, score, provenance, data)
-                    for rank, score, provenance, data in payload["programs"]
+                    (rank, score, provenance, confidence, data)
+                    for rank, score, provenance, confidence, data in payload["programs"]
                 ],
                 "structure_size": payload["structure_size"],
             },
